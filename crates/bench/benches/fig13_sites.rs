@@ -1,0 +1,46 @@
+//! Criterion bench for Experiment 2 / Figure 13: evaluating the per-update
+//! cost factors over all Table 2 distributions, per site count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use eve_bench::experiments::exp2_sites::{figure13, plan_for, Table1};
+use eve_qc::cost::{cf_io, cf_messages, cf_transfer, compositions};
+use eve_qc::IoBound;
+
+fn bench_fig13(c: &mut Criterion) {
+    let params = Table1::default();
+
+    // The full figure (all six averages).
+    c.bench_function("fig13/full_series", |b| {
+        b.iter(|| std::hint::black_box(figure13(&params)));
+    });
+
+    // Per-m cost of evaluating every distribution.
+    let mut group = c.benchmark_group("fig13/per_site_count");
+    for m in 1..=6usize {
+        let dists = compositions(params.relations, m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &dists, |b, dists| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for d in dists {
+                    let plan = plan_for(d, &params);
+                    acc += cf_messages(&plan, true)
+                        + cf_transfer(&plan)
+                        + cf_io(&plan, IoBound::Lower);
+                }
+                std::hint::black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    targets = bench_fig13
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for Experiment 3 / Figure 14: grouped distribution
+//! sweeps across the three join selectivities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use eve_bench::experiments::exp3_distribution::{figure14, FIG14_JS};
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14/by_join_selectivity");
+    for js in FIG14_JS {
+        group.bench_with_input(BenchmarkId::from_parameter(js), &js, |b, &js| {
+            b.iter(|| std::hint::black_box(figure14(js)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    targets = bench_fig14
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench for Experiment 4 / Tables 3–4 / Figure 15: the full
+//! synchronize-and-rank pipeline over the cardinality chain, per trade-off
+//! case, plus the Table 5 (M1 workload) variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use eve_bench::experiments::exp4_cardinality::{figure15, setup, table4, FIG15_CASES};
+use eve_bench::experiments::exp5_workload::table5;
+use eve_qc::{rank_rewritings, QcParams, WorkloadModel};
+
+fn bench_fig15(c: &mut Criterion) {
+    c.bench_function("fig15/setup_and_synchronize", |b| {
+        b.iter(|| std::hint::black_box(setup()));
+    });
+
+    // Ranking only (synchronization hoisted out).
+    let (view, rewritings, mkb) = setup();
+    c.bench_function("fig15/rank_only", |b| {
+        let params = QcParams::experiment4(0.9, 0.1);
+        b.iter(|| {
+            std::hint::black_box(
+                rank_rewritings(&view, &rewritings, &mkb, &params, WorkloadModel::SingleUpdate)
+                    .unwrap(),
+            )
+        });
+    });
+
+    let mut group = c.benchmark_group("fig15/table4_by_case");
+    for (q, cost) in FIG15_CASES {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("q{q}_c{cost}")),
+            &(q, cost),
+            |b, &(q, cost)| {
+                b.iter(|| std::hint::black_box(table4(q, cost).unwrap()));
+            },
+        );
+    }
+    group.finish();
+
+    c.bench_function("fig15/all_cases", |b| {
+        b.iter(|| std::hint::black_box(figure15().unwrap()));
+    });
+
+    c.bench_function("table5/workload_m1", |b| {
+        b.iter(|| std::hint::black_box(table5().unwrap()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    targets = bench_fig15
+}
+criterion_main!(benches);

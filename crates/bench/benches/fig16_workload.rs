@@ -1,0 +1,34 @@
+//! Criterion bench for Experiment 5 / Table 6 / Figure 16: the M3 workload
+//! totals over all distributions and origin sites.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use eve_bench::experiments::exp5_workload::{model_update_counts, table6};
+
+fn bench_fig16(c: &mut Criterion) {
+    c.bench_function("fig16/table6_full", |b| {
+        b.iter(|| std::hint::black_box(table6(10.0)));
+    });
+
+    let mut group = c.benchmark_group("fig16/update_models");
+    for dist in [vec![6], vec![3, 3], vec![2, 2, 2]] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{dist:?}")),
+            &dist,
+            |b, dist| {
+                b.iter(|| std::hint::black_box(model_update_counts(dist)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    targets = bench_fig16
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion bench for the view synchronizer itself: rewriting-generation
+//! throughput as the information-space redundancy grows (the paper's §4
+//! concern that the rewriting space "may grow exponentially").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use eve_esql::parse_view;
+use eve_misd::{
+    AttributeInfo, Mkb, PcConstraint, PcRelationship, PcSide, RelationInfo, SchemaChange, SiteId,
+};
+use eve_relational::DataType;
+use eve_sync::{synchronize, SyncOptions};
+
+/// An information space with `replicas` full replicas of R(A0..A3).
+fn space(replicas: usize) -> Mkb {
+    let mut mkb = Mkb::new();
+    mkb.register_site(SiteId(1), "one").unwrap();
+    let attrs = || {
+        (0..4)
+            .map(|i| AttributeInfo::new(format!("A{i}"), DataType::Int))
+            .collect::<Vec<_>>()
+    };
+    mkb.register_relation(RelationInfo::new("R", SiteId(1), attrs(), 400))
+        .unwrap();
+    let names: Vec<String> = (0..4).map(|i| format!("A{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    for r in 0..replicas {
+        let site = SiteId(u32::try_from(r).unwrap() + 2);
+        mkb.register_site(site, format!("rep{r}")).unwrap();
+        let name = format!("Rep{r}");
+        mkb.register_relation(RelationInfo::new(&name, site, attrs(), 400))
+            .unwrap();
+        mkb.add_pc_constraint(PcConstraint::new(
+            PcSide::projection("R", &refs),
+            PcRelationship::Equivalent,
+            PcSide::projection(&name, &refs),
+        ))
+        .unwrap();
+    }
+    mkb
+}
+
+fn bench_synchronizer(c: &mut Criterion) {
+    let view = parse_view(
+        "CREATE VIEW V (VE = '~') AS \
+         SELECT R.A0 (AD = true, AR = true), R.A1 (AD = true, AR = true), \
+                R.A2 (AD = true), R.A3 (AR = true) \
+         FROM R (RR = true) \
+         WHERE R.A0 > 10 (CD = true)",
+    )
+    .unwrap();
+    let change = SchemaChange::DeleteRelation {
+        relation: "R".into(),
+    };
+
+    let mut group = c.benchmark_group("synchronize/by_replicas");
+    for replicas in [1usize, 4, 16, 64] {
+        let mkb = space(replicas);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(replicas),
+            &mkb,
+            |b, mkb| {
+                let options = SyncOptions {
+                    max_rewritings: 256,
+                    ..SyncOptions::default()
+                };
+                b.iter(|| {
+                    std::hint::black_box(synchronize(&view, &change, mkb, &options).unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // The CVS-style widened search.
+    let mkb = space(8);
+    c.bench_function("synchronize/with_dispensable_spectrum", |b| {
+        let options = SyncOptions {
+            max_rewritings: 256,
+            enumerate_dispensable_drops: true,
+        };
+        b.iter(|| std::hint::black_box(synchronize(&view, &change, &mkb, &options).unwrap()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    targets = bench_synchronizer
+}
+criterion_main!(benches);

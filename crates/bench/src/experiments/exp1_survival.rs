@@ -1,0 +1,294 @@
+//! Experiment 1 — "Survival of a View" (§7.1, Figure 12).
+//!
+//! `V0 = SELECT R.A (AD, AR), R.B (AD) FROM R (RR)` faces `delete-attribute
+//! R.A` with replicas of `A` at `S` and `T`. Three legal rewritings exist
+//! (`V1` from `S`, `V2` from `T`, `V3` dropping `A`). With `w1 > w2` EVE
+//! prefers the *replaceable*-preserving rewritings (`V1`/`V2`), which keeps
+//! the view evolvable when `S` later disappears; with `w2 > w1` it picks
+//! `V3`, after which any further relevant change kills the view — the
+//! Fig. 12 life-span tree.
+//!
+//! The randomized extension sweeps the number of replicas and measures the
+//! average number of delete-changes survived under both weight settings,
+//! quantifying §7.1's claim that replaceability plus redundancy extends view
+//! lifetime.
+
+use eve_misd::{
+    AttributeInfo, Mkb, PcConstraint, PcRelationship, PcSide, RelationInfo, SchemaChange, SiteId,
+};
+use eve_qc::{rank_rewritings, QcParams, SelectionStrategy, WorkloadModel};
+use eve_relational::DataType;
+use eve_sync::{synchronize, SyncOptions};
+
+/// One step of the Fig. 12 narrative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12Step {
+    /// The capability change applied.
+    pub change: String,
+    /// Rewriting chosen when `w1 > w2` (source relation), if the view lives.
+    pub choice_w1: Option<String>,
+    /// Rewriting chosen when `w2 > w1`, if the view lives.
+    pub choice_w2: Option<String>,
+}
+
+fn experiment1_mkb(replicas: usize) -> Mkb {
+    let mut m = Mkb::new();
+    m.register_site(SiteId(1), "origin").unwrap();
+    let attr = |n: &str| AttributeInfo::new(n, DataType::Int);
+    m.register_relation(RelationInfo::new(
+        "R",
+        SiteId(1),
+        vec![attr("A"), attr("B")],
+        400,
+    ))
+    .unwrap();
+    for i in 0..replicas {
+        let site = SiteId(u32::try_from(i).unwrap() + 2);
+        m.register_site(site, format!("replica-{i}")).unwrap();
+        let name = replica_name(i);
+        m.register_relation(RelationInfo::new(
+            &name,
+            site,
+            vec![attr("A"), attr(&format!("Extra{i}"))],
+            400,
+        ))
+        .unwrap();
+        m.add_pc_constraint(PcConstraint::new(
+            PcSide::projection("R", &["A"]),
+            PcRelationship::Subset,
+            PcSide::projection(&name, &["A"]),
+        ))
+        .unwrap();
+    }
+    // Replicas also replicate each other (the "amply duplicated" space).
+    for i in 0..replicas {
+        for j in (i + 1)..replicas {
+            m.add_pc_constraint(PcConstraint::new(
+                PcSide::projection(replica_name(i), &["A"]),
+                PcRelationship::Equivalent,
+                PcSide::projection(replica_name(j), &["A"]),
+            ))
+            .unwrap();
+        }
+    }
+    m
+}
+
+fn replica_name(i: usize) -> String {
+    // S, T, U, … for readability in reports.
+    let letters = ["S", "T", "U", "W", "X", "Y", "Z"];
+    letters
+        .get(i)
+        .map_or_else(|| format!("Rep{i}"), |s| (*s).to_owned())
+}
+
+fn v0() -> eve_esql::ViewDef {
+    eve_esql::parse_view(
+        "CREATE VIEW V0 (VE = '~') AS \
+         SELECT R.A (AD = true, AR = true), R.B (AD = true) \
+         FROM R (RR = true)",
+    )
+    .unwrap()
+}
+
+/// Picks the QC-best rewriting under the given attribute weights, returning
+/// the updated view (or `None` when the view dies).
+fn evolve_once(
+    view: &eve_esql::ViewDef,
+    change: &SchemaChange,
+    mkb: &Mkb,
+    w1: f64,
+    w2: f64,
+) -> Option<(eve_esql::ViewDef, String)> {
+    let outcome = synchronize(view, change, mkb, &SyncOptions::default()).ok()?;
+    if !outcome.affected {
+        return Some((view.clone(), "(unaffected)".to_owned()));
+    }
+    let params = QcParams {
+        w1,
+        w2,
+        ..QcParams::default()
+    };
+    let scored = rank_rewritings(
+        view,
+        &outcome.rewritings,
+        mkb,
+        &params,
+        WorkloadModel::SingleUpdate,
+    )
+    .ok()?;
+    let chosen = SelectionStrategy::QcBest.select(&scored)?;
+    let source = chosen.rewriting.view.from[0].relation.clone();
+    Some((chosen.rewriting.view.clone(), source))
+}
+
+/// Runs the Fig. 12 narrative: `delete-attribute R.A`, then deletion of the
+/// adopted source, until the view dies under each weight setting.
+#[must_use]
+pub fn figure12() -> Vec<Fig12Step> {
+    let mut steps = Vec::new();
+
+    // Both tracks share the same information space with replicas S and T.
+    let run = |w1: f64, w2: f64| -> Vec<Option<String>> {
+        let mut mkb = experiment1_mkb(2);
+        let mut view = v0();
+        let mut choices = Vec::new();
+        // Step 1: delete-attribute R.A.
+        let change = SchemaChange::DeleteAttribute {
+            relation: "R".into(),
+            attribute: "A".into(),
+        };
+        match evolve_once(&view, &change, &mkb, w1, w2) {
+            Some((v, src)) => {
+                view = v;
+                mkb.apply_change(&change).unwrap();
+                choices.push(Some(src));
+            }
+            None => {
+                choices.push(None);
+                return choices;
+            }
+        }
+        // Steps 2..: delete whatever relation the view now uses.
+        for _ in 0..3 {
+            let current = view.from[0].relation.clone();
+            let change = SchemaChange::DeleteRelation {
+                relation: current.clone(),
+            };
+            match evolve_once(&view, &change, &mkb, w1, w2) {
+                Some((v, src)) => {
+                    view = v;
+                    mkb.apply_change(&change).unwrap();
+                    choices.push(Some(src));
+                }
+                None => {
+                    choices.push(None);
+                    break;
+                }
+            }
+        }
+        choices
+    };
+
+    let track_w1 = run(0.7, 0.3);
+    let track_w2 = run(0.3, 0.7);
+    let len = track_w1.len().max(track_w2.len());
+    let labels = ["delete-attribute R.A", "delete adopted source", "delete adopted source", "delete adopted source"];
+    for i in 0..len {
+        steps.push(Fig12Step {
+            change: labels.get(i).copied().unwrap_or("delete adopted source").to_owned(),
+            choice_w1: track_w1.get(i).cloned().flatten(),
+            choice_w2: track_w2.get(i).cloned().flatten(),
+        });
+    }
+    steps
+}
+
+/// One row of the survival sweep: replicas vs changes survived.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivalRow {
+    /// Number of replica relations in the space.
+    pub replicas: usize,
+    /// Delete-changes survived when `w1 > w2` (replaceable preferred).
+    pub survived_w1: usize,
+    /// Delete-changes survived when `w2 > w1`.
+    pub survived_w2: usize,
+}
+
+/// Sweeps the replication factor: starting from `V0`, deletes `R.A` and then
+/// repeatedly deletes the adopted source relation, counting how many changes
+/// the view survives under each weighting (§7.1: "if there is a high number
+/// of data replicas … a view could be kept alive indefinitely").
+#[must_use]
+pub fn survival_sweep(max_replicas: usize) -> Vec<SurvivalRow> {
+    let run = |replicas: usize, w1: f64, w2: f64| -> usize {
+        let mut mkb = experiment1_mkb(replicas);
+        let mut view = v0();
+        let mut survived = 0usize;
+        let change = SchemaChange::DeleteAttribute {
+            relation: "R".into(),
+            attribute: "A".into(),
+        };
+        match evolve_once(&view, &change, &mkb, w1, w2) {
+            Some((v, _)) => {
+                view = v;
+                mkb.apply_change(&change).unwrap();
+                survived += 1;
+            }
+            None => return survived,
+        }
+        loop {
+            let current = view.from[0].relation.clone();
+            let change = SchemaChange::DeleteRelation {
+                relation: current.clone(),
+            };
+            match evolve_once(&view, &change, &mkb, w1, w2) {
+                Some((v, src)) if src != "(unaffected)" => {
+                    view = v;
+                    mkb.apply_change(&change).unwrap();
+                    survived += 1;
+                }
+                _ => break,
+            }
+            if survived > max_replicas + 2 {
+                break; // safety stop
+            }
+        }
+        survived
+    };
+    (0..=max_replicas)
+        .map(|replicas| SurvivalRow {
+            replicas,
+            survived_w1: run(replicas, 0.7, 0.3),
+            survived_w2: run(replicas, 0.3, 0.7),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_w1_track_survives_longer() {
+        let steps = figure12();
+        assert!(!steps.is_empty());
+        // Step 1 under w1 > w2 keeps A by moving to a replica (S or T);
+        // under w2 > w1 it keeps B on R (V3).
+        let first = &steps[0];
+        let w1_choice = first.choice_w1.as_deref().unwrap();
+        assert!(w1_choice == "S" || w1_choice == "T", "{w1_choice}");
+        assert_eq!(first.choice_w2.as_deref(), Some("R"));
+        // Step 2: the w1 track survives (second replica); the w2 track's
+        // view (on R) survives deleting S? No — its source R is deleted and
+        // B has no replica: it dies.
+        let w1_alive_steps = steps.iter().filter(|s| s.choice_w1.is_some()).count();
+        let w2_alive_steps = steps.iter().filter(|s| s.choice_w2.is_some()).count();
+        assert!(
+            w1_alive_steps > w2_alive_steps,
+            "replaceable-preserving choice must out-survive: {steps:?}"
+        );
+    }
+
+    #[test]
+    fn survival_grows_with_replication() {
+        let rows = survival_sweep(3);
+        assert_eq!(rows.len(), 4);
+        // No replicas: deleting R.A leaves only the drop-rewriting V3 (both
+        // tracks pick it), after which deleting R kills the view.
+        assert_eq!(rows[0].survived_w1, rows[0].survived_w2);
+        // Survival under w1 > w2 increases with replicas.
+        for w in rows.windows(2) {
+            assert!(
+                w[1].survived_w1 >= w[0].survived_w1,
+                "survival should not shrink: {rows:?}"
+            );
+        }
+        assert!(
+            rows[3].survived_w1 > rows[0].survived_w1,
+            "replicas must extend lifetime: {rows:?}"
+        );
+        // And dominates the w2 > w1 setting once replicas exist.
+        assert!(rows[3].survived_w1 >= rows[3].survived_w2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Experiment 3 — "Relation Distribution" (§7.3, Figure 14).
+//!
+//! For a fixed number of sites, does the *evenness* of the relation
+//! distribution matter? Fig. 14 plots, per grouped distribution (orderings
+//! of the same multiset collapsed, e.g. `(1,5) ~ (5,1)`), the best and worst
+//! bytes-transferred over the group members, for three join selectivities.
+//!
+//! Finding (§7.3): with fast-growing deltas (`js = 0.005`) even
+//! distributions win; with shrinking deltas (`js = 0.001`) skewed
+//! distributions win; in between there is no clear effect — so the number
+//! of sites (Experiment 2) dominates the distribution choice.
+
+use std::collections::BTreeMap;
+
+use eve_qc::cost::{cf_transfer, compositions};
+
+use super::exp2_sites::{plan_for, Table1};
+
+/// One Fig. 14 bar: a grouped distribution with its best / worst / average
+/// transfer cost over the orderings in the group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig14Group {
+    /// Number of sites.
+    pub sites: usize,
+    /// Group label, e.g. `"1/5"` for the multiset {1, 5}.
+    pub label: String,
+    /// Minimum `CF_T` over the group (best legal rewriting).
+    pub best: f64,
+    /// Maximum `CF_T` over the group (worst legal rewriting).
+    pub worst: f64,
+    /// Group average.
+    pub average: f64,
+}
+
+/// Computes the Fig. 14 groups for one join selectivity over 2–4 sites
+/// (the paper's x-axis: 1/5, 2/4, 3/3, 1/1/4, 1/2/3, 2/2/2, 1/1/1/3,
+/// 1/1/2/2).
+#[must_use]
+pub fn figure14(js: f64) -> Vec<Fig14Group> {
+    let params = Table1 {
+        join_selectivity: js,
+        ..Table1::default()
+    };
+    let mut out = Vec::new();
+    for m in 2..=4usize {
+        let mut groups: BTreeMap<Vec<usize>, Vec<f64>> = BTreeMap::new();
+        for d in compositions(params.relations, m) {
+            let mut key = d.clone();
+            key.sort_unstable();
+            let cost = cf_transfer(&plan_for(&d, &params));
+            groups.entry(key).or_default().push(cost);
+        }
+        for (key, costs) in groups {
+            let label = key
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("/");
+            let best = costs.iter().copied().fold(f64::INFINITY, f64::min);
+            let worst = costs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            #[allow(clippy::cast_precision_loss)]
+            let average = costs.iter().sum::<f64>() / costs.len() as f64;
+            out.push(Fig14Group {
+                sites: m,
+                label,
+                best,
+                worst,
+                average,
+            });
+        }
+    }
+    out
+}
+
+/// The three join selectivities of Fig. 14(a–c).
+pub const FIG14_JS: [f64; 3] = [0.001, 0.0022, 0.005];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group<'a>(rows: &'a [Fig14Group], label: &str) -> &'a Fig14Group {
+        rows.iter().find(|g| g.label == label).unwrap()
+    }
+
+    #[test]
+    fn expected_groups_present() {
+        let rows = figure14(0.005);
+        let labels: Vec<&str> = rows.iter().map(|g| g.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec!["1/5", "2/4", "3/3", "1/1/4", "1/2/3", "2/2/2", "1/1/1/3", "1/1/2/2"]
+        );
+    }
+
+    #[test]
+    fn growing_deltas_favour_even_distributions() {
+        // Fig. 14(c), js = 0.005: within two sites, evenness minimizes the
+        // *worst-case* transfer — the skewed groups contain expensive
+        // orderings (update at the heavy site) that 3/3 avoids.
+        let rows = figure14(0.005);
+        let even = group(&rows, "3/3");
+        assert!(even.worst < group(&rows, "2/4").worst);
+        assert!(even.worst < group(&rows, "1/5").worst);
+        // Three sites: 2/2/2 beats the worst orderings of 1/1/4 and 1/2/3.
+        let even3 = group(&rows, "2/2/2");
+        assert!(even3.worst < group(&rows, "1/1/4").worst);
+        assert!(even3.worst < group(&rows, "1/2/3").worst);
+    }
+
+    #[test]
+    fn shrinking_deltas_favour_skewed_distributions() {
+        // Fig. 14(a), js = 0.001: the skewed 1/5 group beats 3/3.
+        let rows = figure14(0.001);
+        assert!(group(&rows, "1/5").average < group(&rows, "3/3").average);
+    }
+
+    #[test]
+    fn best_is_at_most_worst() {
+        for js in FIG14_JS {
+            for g in figure14(js) {
+                assert!(g.best <= g.average && g.average <= g.worst, "{g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn site_count_dominates_distribution_choice() {
+        // §7.3's conclusion: minimizing the number of ISs has priority over
+        // picking a particular distribution — on average, every extra site
+        // costs more than any distribution choice saves.
+        let rows = figure14(0.005);
+        let mean_for = |m: usize| {
+            let groups: Vec<&Fig14Group> = rows.iter().filter(|g| g.sites == m).collect();
+            #[allow(clippy::cast_precision_loss)]
+            {
+                groups.iter().map(|g| g.average).sum::<f64>() / groups.len() as f64
+            }
+        };
+        assert!(mean_for(2) < mean_for(3));
+        assert!(mean_for(3) < mean_for(4));
+    }
+}

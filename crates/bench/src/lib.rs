@@ -1,0 +1,20 @@
+//! # eve-bench
+//!
+//! The experiment harness: one module per experiment of the paper's §7,
+//! regenerating every table and figure:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`experiments::exp1_survival`] | Experiment 1, Fig. 12 (view survival) |
+//! | [`experiments::exp2_sites`] | Experiment 2, Tables 1–2, Fig. 13 |
+//! | [`experiments::exp3_distribution`] | Experiment 3, Fig. 14 |
+//! | [`experiments::exp4_cardinality`] | Experiment 4, Tables 3–4, Fig. 15 |
+//! | [`experiments::exp5_workload`] | Experiment 5, Tables 5–6, Fig. 16 |
+//! | [`experiments::heuristics`] | §7.6 heuristics checks |
+//! | [`experiments::validation`] | measured-vs-analytic cross-validation (extension) |
+//!
+//! The `repro` binary prints them all; the Criterion benches under
+//! `benches/` time the underlying computations.
+
+pub mod experiments;
+pub mod table;

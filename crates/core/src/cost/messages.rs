@@ -1,0 +1,85 @@
+//! `CF_M` — messages exchanged per data update (§6.2).
+//!
+//! Each visited site costs one query message and one answer message; the
+//! origin site is skipped when no other view relation lives there
+//! (`n_1 = 0`). §6.2's piecewise definition:
+//!
+//! ```text
+//! CF_M = 0          if m = 1 and n_1 = 0
+//!        2          if m = 1 and n_1 > 0
+//!        2·(m − 1)  if m > 1 and n_1 = 0
+//!        2·m        otherwise
+//! ```
+//!
+//! The paper's Experiment 5 numbers additionally count the initial update
+//! notification (+1); [`cf_messages`] takes that convention as a flag.
+
+use crate::plan::MaintenancePlan;
+
+/// Number of messages exchanged for one base update.
+#[must_use]
+pub fn cf_messages(plan: &MaintenancePlan, count_notification: bool) -> f64 {
+    let queried_sites = plan
+        .sites
+        .iter()
+        .filter(|s| !s.relations.is_empty())
+        .count();
+    #[allow(clippy::cast_precision_loss)]
+    let base = 2.0 * queried_sites as f64;
+    if count_notification {
+        base + 1.0
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(distribution: &[usize]) -> MaintenancePlan {
+        MaintenancePlan::uniform(distribution, 0.005).unwrap()
+    }
+
+    #[test]
+    fn paper_piecewise_definition_without_notification() {
+        // m = 1, n1 = 0 (single-relation view): no messages at all.
+        assert_eq!(cf_messages(&plan(&[1]), false), 0.0);
+        // m = 1, n1 > 0: one query/answer round trip.
+        assert_eq!(cf_messages(&plan(&[6]), false), 2.0);
+        // m = 3, n1 = 0: skip the origin site.
+        assert_eq!(cf_messages(&plan(&[1, 3, 2]), false), 4.0);
+        // m = 3, n1 > 0: all sites queried.
+        assert_eq!(cf_messages(&plan(&[2, 2, 2]), false), 6.0);
+    }
+
+    #[test]
+    fn experiment5_convention_counts_notification() {
+        // Table 6 row m = 1 (distribution (6)): 3 messages per update.
+        assert_eq!(cf_messages(&plan(&[6]), true), 3.0);
+        // m = 6, all singletons: 1 + 2·5 = 11.
+        assert_eq!(cf_messages(&plan(&[1, 1, 1, 1, 1, 1]), true), 11.0);
+    }
+
+    #[test]
+    fn experiment5_table6_average_for_m2() {
+        // Table 6 row m = 2: averaging over the five Table 2 distributions
+        // and both origin sites gives 92 / 20 = 4.6 messages per update.
+        let dists: [&[usize]; 5] = [&[1, 5], &[2, 4], &[3, 3], &[4, 2], &[5, 1]];
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for d in dists {
+            // Origin at site 1 as listed, and the mirrored case (origin at
+            // the other site) via the reversed distribution.
+            let mut rev: Vec<usize> = d.to_vec();
+            rev.reverse();
+            for dist in [d.to_vec(), rev] {
+                total += cf_messages(&plan(&dist), true);
+                count += 1;
+            }
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let avg = total / count as f64;
+        assert!((avg - 4.6).abs() < 1e-12, "avg = {avg}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Cost: view-maintenance cost factors and the Eq. 24 total.
+//!
+//! ```text
+//! Cost(V) = CF_M·cost_M + CF_T·cost_T + CF_IO·cost_IO
+//! ```
+
+pub mod io;
+pub mod messages;
+pub mod transfer;
+
+pub use io::cf_io;
+pub use messages::cf_messages;
+pub use transfer::{cf_transfer, cf_transfer_uniform_closed_form};
+
+use crate::params::QcParams;
+use crate::plan::MaintenancePlan;
+
+/// The three cost factors of §6.2–6.4 for a single base update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostFactors {
+    /// `CF_M` — messages exchanged.
+    pub messages: f64,
+    /// `CF_T` — bytes transferred.
+    pub transfer: f64,
+    /// `CF_IO` — I/O operations at the sources.
+    pub io: f64,
+}
+
+impl CostFactors {
+    /// Eq. 24: the weighted total with the parameterized unit prices.
+    #[must_use]
+    pub fn total(&self, params: &QcParams) -> f64 {
+        self.messages * params.cost_m + self.transfer * params.cost_t + self.io * params.cost_io
+    }
+}
+
+/// Evaluates all three cost factors of a plan.
+#[must_use]
+pub fn cost_factors(plan: &MaintenancePlan, params: &QcParams) -> CostFactors {
+    CostFactors {
+        messages: cf_messages(plan, params.count_notification),
+        transfer: cf_transfer(plan),
+        io: cf_io(plan, params.io_bound),
+    }
+}
+
+/// Total maintenance cost of one base update (Eq. 24).
+#[must_use]
+pub fn maintenance_cost(plan: &MaintenancePlan, params: &QcParams) -> f64 {
+    cost_factors(plan, params).total(params)
+}
+
+/// All ordered compositions of `n` relations into `m` positive site loads —
+/// the rows of the paper's Table 2 (e.g. `compositions(6, 2)` yields
+/// `(1,5), (2,4), (3,3), (4,2), (5,1)`).
+#[must_use]
+pub fn compositions(n: usize, m: usize) -> Vec<Vec<usize>> {
+    fn rec(remaining: usize, slots: usize, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if slots == 1 {
+            if remaining >= 1 {
+                prefix.push(remaining);
+                out.push(prefix.clone());
+                prefix.pop();
+            }
+            return;
+        }
+        // Leave at least one relation for each remaining slot.
+        for take in 1..=remaining.saturating_sub(slots - 1) {
+            prefix.push(take);
+            rec(remaining - take, slots - 1, prefix, out);
+            prefix.pop();
+        }
+    }
+    if m == 0 || n < m {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    rec(n, m, &mut Vec::new(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::IoBound;
+
+    #[test]
+    fn table2_distribution_counts() {
+        // Table 2 lists 1, 5, 10, 10, 5, 1 distributions for m = 1..6.
+        let counts: Vec<usize> = (1..=6).map(|m| compositions(6, m).len()).collect();
+        assert_eq!(counts, vec![1, 5, 10, 10, 5, 1]);
+        assert_eq!(
+            compositions(6, 2),
+            vec![
+                vec![1, 5],
+                vec![2, 4],
+                vec![3, 3],
+                vec![4, 2],
+                vec![5, 1]
+            ]
+        );
+        assert!(compositions(2, 3).is_empty());
+        assert!(compositions(3, 0).is_empty());
+    }
+
+    #[test]
+    fn eq24_weighted_total() {
+        let f = CostFactors {
+            messages: 2.0,
+            transfer: 1200.0,
+            io: 10.0,
+        };
+        let p = QcParams::default(); // prices 0.1 / 0.7 / 0.2
+        assert!((f.total(&p) - (0.2 + 840.0 + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn experiment4_cost_values_match_table4_shape() {
+        // Reconstructing Table 4's Cost column: m = 2, update at R1's site
+        // (no peers), S_i of growing cardinality at site 2. With the upper
+        // I/O bound the values land within 0.1 of the paper's 842.3, 1193.3,
+        // 1544.3, 1895.3, 2246.3 (the paper's extra constant +0.1 cancels in
+        // normalization; see EXPERIMENTS.md).
+        let params = QcParams {
+            io_bound: IoBound::Upper,
+            count_notification: false,
+            ..QcParams::default()
+        };
+        let expect = [842.3, 1193.3, 1544.3, 1895.3, 2246.3];
+        for (i, card) in [2000.0, 3000.0, 4000.0, 5000.0, 6000.0].iter().enumerate() {
+            let mut plan = MaintenancePlan::uniform(&[1, 1], 0.005).unwrap();
+            plan.sites[1].relations[0].cardinality = *card;
+            let cost = maintenance_cost(&plan, &params);
+            assert!(
+                (cost - expect[i]).abs() <= 0.2,
+                "S{}: cost {cost} vs paper {}",
+                i + 1,
+                expect[i]
+            );
+        }
+    }
+
+    #[test]
+    fn costs_are_monotone_in_cardinality() {
+        let params = QcParams::default();
+        let mut last = 0.0;
+        for card in [1000.0, 2000.0, 4000.0, 8000.0] {
+            let mut plan = MaintenancePlan::uniform(&[1, 1], 0.005).unwrap();
+            plan.sites[1].relations[0].cardinality = card;
+            let cost = maintenance_cost(&plan, &params);
+            assert!(cost > last);
+            last = cost;
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! `CF_T` — bytes transferred per data update (§6.3, Eq. 21).
+//!
+//! The walk of Algorithm 1 in bytes: the update notification ships the delta
+//! tuple to the warehouse; for each site holding view relations, the current
+//! delta is sent down (`R_in`), joined with the site's relations (each join
+//! scaling the expected delta cardinality by `σ·js·|R|` and widening every
+//! delta tuple by the relation's tuple size), and the result is shipped back
+//! (`R_out`). The origin site is skipped when it holds no other view
+//! relation.
+
+use crate::plan::MaintenancePlan;
+
+/// Expected number of bytes transferred for one base update (Eq. 21).
+#[must_use]
+pub fn cf_transfer(plan: &MaintenancePlan) -> f64 {
+    // Update notification: one delta tuple travels to the warehouse.
+    let mut bytes = plan.origin.tuple_bytes;
+    let mut delta_card = 1.0f64;
+    let mut delta_width = plan.origin.tuple_bytes;
+
+    for site in &plan.sites {
+        if site.relations.is_empty() {
+            continue; // nothing to join here (possible only for the origin)
+        }
+        // R_in: the current delta travels to the site…
+        bytes += delta_card * delta_width;
+        // …joins each local relation…
+        for rel in &site.relations {
+            delta_card *= rel.selectivity * rel.join_selectivity * rel.cardinality;
+            delta_width += rel.tuple_bytes;
+        }
+        // …and R_out returns to the warehouse.
+        bytes += delta_card * delta_width;
+    }
+    bytes
+}
+
+/// Closed form of Eq. 22 for the uniform case (all relations share `|R|`,
+/// `s`, `σ`, `js`): used to cross-check the general computation.
+#[must_use]
+pub fn cf_transfer_uniform_closed_form(
+    distribution: &[usize],
+    card: f64,
+    tuple_bytes: f64,
+    selectivity: f64,
+    js: f64,
+) -> f64 {
+    let mut bytes = tuple_bytes; // notification
+    let mut cum_relations = 0usize; // n_R(j): relations joined so far
+    let mut delta_card = 1.0f64;
+    for (i, &count) in distribution.iter().enumerate() {
+        let here = if i == 0 { count - 1 } else { count };
+        if here == 0 {
+            continue;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let width_in = tuple_bytes * (1.0 + cum_relations as f64);
+        bytes += delta_card * width_in;
+        #[allow(clippy::cast_precision_loss)]
+        let growth = (selectivity * js * card).powi(i32::try_from(here).unwrap_or(i32::MAX));
+        delta_card *= growth;
+        cum_relations += here;
+        #[allow(clippy::cast_precision_loss)]
+        let width_out = tuple_bytes * (1.0 + cum_relations as f64);
+        bytes += delta_card * width_out;
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(distribution: &[usize], js: f64) -> MaintenancePlan {
+        MaintenancePlan::uniform(distribution, js).unwrap()
+    }
+
+    #[test]
+    fn single_site_six_relations_is_800_bytes() {
+        // Experiment 5 / Table 6, m = 1: 8000 bytes for 10 updates.
+        // Notification 100 + R_in 100 + R_out 600 (σ·js·|R| = 1 keeps the
+        // delta at one tuple while it widens to six attributes).
+        let p = plan(&[6], 0.005);
+        assert!((cf_transfer(&p) - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn six_singleton_sites_is_3600_bytes() {
+        // Table 6, m = 6: 216000 / 60 updates = 3600 bytes per update.
+        let p = plan(&[1, 1, 1, 1, 1, 1], 0.005);
+        assert!((cf_transfer(&p) - 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn origin_with_no_peers_ships_nothing_locally() {
+        // (1,5): origin alone at site 1 ⇒ no site-1 round trip.
+        let p = plan(&[1, 5], 0.005);
+        // 100 notification + in 100 + out 600.
+        assert!((cf_transfer(&p) - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_form_matches_general_computation() {
+        for dist in [
+            vec![6],
+            vec![1, 5],
+            vec![2, 4],
+            vec![3, 3],
+            vec![1, 2, 3],
+            vec![2, 2, 2],
+            vec![1, 1, 1, 3],
+            vec![1, 1, 1, 1, 1, 1],
+        ] {
+            for js in [0.001, 0.0022, 0.005] {
+                let general = cf_transfer(&plan(&dist, js));
+                let closed = cf_transfer_uniform_closed_form(&dist, 400.0, 100.0, 0.5, js);
+                assert!(
+                    (general - closed).abs() < 1e-9,
+                    "dist {dist:?} js {js}: {general} vs {closed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_grows_with_site_count() {
+        // Figure 13(b): bytes transferred increase with the number of sites.
+        let avg_for_m = |m: usize| -> f64 {
+            let dists = crate::cost::compositions(6, m);
+            let total: f64 = dists.iter().map(|d| cf_transfer(&plan(d, 0.005))).sum();
+            #[allow(clippy::cast_precision_loss)]
+            {
+                total / dists.len() as f64
+            }
+        };
+        let series: Vec<f64> = (1..=6).map(avg_for_m).collect();
+        for w in series.windows(2) {
+            assert!(w[0] < w[1], "series not increasing: {series:?}");
+        }
+    }
+
+    #[test]
+    fn shrinking_deltas_favour_skew_growing_deltas_favour_even() {
+        // Figure 14's finding: with js = 0.005 (growing deltas) the even
+        // (3,3) distribution beats the skewed (5,1); with js = 0.001
+        // (shrinking deltas) the skew wins.
+        let grow_even = cf_transfer(&plan(&[3, 3], 0.005));
+        let grow_skew = cf_transfer(&plan(&[5, 1], 0.005));
+        assert!(grow_even < grow_skew);
+        let shrink_even = cf_transfer(&plan(&[3, 3], 0.001));
+        let shrink_skew = cf_transfer(&plan(&[5, 1], 0.001));
+        assert!(shrink_skew < shrink_even);
+    }
+}

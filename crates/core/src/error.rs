@@ -1,0 +1,67 @@
+//! QC-Model errors.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while scoring rewritings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A trade-off parameter is out of range or a pair does not sum to 1.
+    InvalidParams {
+        /// Explanation.
+        detail: String,
+    },
+    /// The MKB is missing data needed by the model.
+    Misd(eve_misd::Error),
+    /// The relational layer failed (measured-extent mode).
+    Relational(eve_relational::Error),
+    /// A view references something the model cannot cost.
+    BadView {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParams { detail } => write!(f, "invalid QC parameters: {detail}"),
+            Error::Misd(e) => write!(f, "MKB error: {e}"),
+            Error::Relational(e) => write!(f, "relational error: {e}"),
+            Error::BadView { detail } => write!(f, "cannot cost view: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<eve_misd::Error> for Error {
+    fn from(e: eve_misd::Error) -> Self {
+        Error::Misd(e)
+    }
+}
+
+impl From<eve_relational::Error> for Error {
+    fn from(e: eve_relational::Error) -> Self {
+        Error::Relational(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_wraps_sources() {
+        let e = Error::Misd(eve_misd::Error::UnknownRelation {
+            relation: "R".into(),
+        });
+        assert_eq!(e.to_string(), "MKB error: unknown relation `R`");
+        let e = Error::InvalidParams {
+            detail: "w1 out of range".into(),
+        };
+        assert!(e.to_string().contains("w1"));
+    }
+}

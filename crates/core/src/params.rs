@@ -1,0 +1,193 @@
+//! Trade-off parameters of the QC-Model.
+
+use crate::error::{Error, Result};
+
+/// Which bound of the I/O estimate interval (Eq. 33) to use. The paper's own
+/// experiments use the lower bound in Experiments 2/5 and the upper bound in
+/// Experiment 4 (reverse-engineered from Tables 4–6; see EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoBound {
+    /// Index-assisted joins: each probing delta tuple touches only matching
+    /// blocks (lower end of Eq. 33).
+    #[default]
+    Lower,
+    /// Unclustered worst case: every matching tuple costs one I/O, capped by
+    /// a full scan (upper end of Eq. 33).
+    Upper,
+    /// Midpoint of the two bounds.
+    Midpoint,
+}
+
+/// All tunable parameters of the QC-Model, with the paper's defaults.
+///
+/// | Parameter | Meaning | Default | Source |
+/// |---|---|---|---|
+/// | `w1`, `w2` | category C1/C2 attribute weights | 0.7 / 0.3 | §5.2 |
+/// | `rho_d1`, `rho_d2` | lost vs surplus tuple weights | 0.5 / 0.5 | §5.4.2 |
+/// | `rho_attr`, `rho_ext` | interface vs extent divergence | 0.7 / 0.3 | Exp. 4 |
+/// | `cost_m/t/io` | unit prices (message / byte / I/O) | 0.1 / 0.7 / 0.2 | Exp. 4 |
+/// | `rho_quality`, `rho_cost` | quality vs cost trade-off | 0.9 / 0.1 | Exp. 4 case 1 |
+#[derive(Debug, Clone, PartialEq)]
+pub struct QcParams {
+    /// Weight of category C1 attributes (dispensable & replaceable).
+    pub w1: f64,
+    /// Weight of category C2 attributes (dispensable, non-replaceable).
+    pub w2: f64,
+    /// Weight `ρ1` of `DD_ext-D1` (tuples of the original view lost).
+    pub rho_d1: f64,
+    /// Weight `ρ2` of `DD_ext-D2` (surplus tuples introduced).
+    pub rho_d2: f64,
+    /// Weight `ρ_attr` of interface divergence in `DD`.
+    pub rho_attr: f64,
+    /// Weight `ρ_ext` of extent divergence in `DD`.
+    pub rho_ext: f64,
+    /// Unit price of one message (`cost_M`, Eq. 24).
+    pub cost_m: f64,
+    /// Unit price of one transferred byte (`cost_T`, Eq. 24).
+    pub cost_t: f64,
+    /// Unit price of one I/O (`cost_IO`, Eq. 24).
+    pub cost_io: f64,
+    /// Weight `ρ_quality` of divergence in the final score (Eq. 26).
+    pub rho_quality: f64,
+    /// Weight `ρ_cost` of normalized cost in the final score (Eq. 26).
+    pub rho_cost: f64,
+    /// Which Eq. 33 bound `CF_IO` uses.
+    pub io_bound: IoBound,
+    /// Whether `CF_M` counts the initial update notification message
+    /// (the convention behind the paper's Table 6 numbers).
+    pub count_notification: bool,
+}
+
+impl Default for QcParams {
+    fn default() -> Self {
+        QcParams {
+            w1: 0.7,
+            w2: 0.3,
+            rho_d1: 0.5,
+            rho_d2: 0.5,
+            rho_attr: 0.7,
+            rho_ext: 0.3,
+            cost_m: 0.1,
+            cost_t: 0.7,
+            cost_io: 0.2,
+            rho_quality: 0.9,
+            rho_cost: 0.1,
+            io_bound: IoBound::Lower,
+            count_notification: true,
+        }
+    }
+}
+
+impl QcParams {
+    /// Validates ranges and the `ρ` pairs that must sum to 1
+    /// (`ρ1 + ρ2 = 1`, `ρ_attr + ρ_ext = 1`, `ρ_quality + ρ_cost = 1`; the
+    /// attribute weights only need `0 ≤ w ≤ 1`, §5.2 footnote 3).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParams`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<()> {
+        let unit = |name: &str, v: f64| -> Result<()> {
+            if !(0.0..=1.0).contains(&v) || v.is_nan() {
+                return Err(Error::InvalidParams {
+                    detail: format!("{name} = {v} must lie in [0, 1]"),
+                });
+            }
+            Ok(())
+        };
+        unit("w1", self.w1)?;
+        unit("w2", self.w2)?;
+        for (name, a, b) in [
+            ("rho_d1 + rho_d2", self.rho_d1, self.rho_d2),
+            ("rho_attr + rho_ext", self.rho_attr, self.rho_ext),
+            ("rho_quality + rho_cost", self.rho_quality, self.rho_cost),
+        ] {
+            unit(name, a)?;
+            unit(name, b)?;
+            if (a + b - 1.0).abs() > 1e-9 {
+                return Err(Error::InvalidParams {
+                    detail: format!("{name} = {} must equal 1", a + b),
+                });
+            }
+        }
+        for (name, v) in [
+            ("cost_m", self.cost_m),
+            ("cost_t", self.cost_t),
+            ("cost_io", self.cost_io),
+        ] {
+            if v < 0.0 || v.is_nan() {
+                return Err(Error::InvalidParams {
+                    detail: format!("{name} = {v} must be non-negative"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The Experiment 4 parameterization for a given quality/cost trade-off
+    /// case (`(0.9, 0.1)`, `(0.75, 0.25)` or `(0.5, 0.5)` in the paper).
+    #[must_use]
+    pub fn experiment4(rho_quality: f64, rho_cost: f64) -> QcParams {
+        QcParams {
+            rho_quality,
+            rho_cost,
+            io_bound: IoBound::Upper,
+            ..QcParams::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid_and_match_the_paper() {
+        let p = QcParams::default();
+        p.validate().unwrap();
+        assert!(p.w1 > p.w2, "EVE favours replaceable attributes (§5.2)");
+        assert!((p.rho_d1 + p.rho_d2 - 1.0).abs() < 1e-12);
+        assert!((p.cost_m - 0.1).abs() < 1e-12);
+        assert!((p.cost_t - 0.7).abs() < 1e-12);
+        assert!((p.cost_io - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_sum_violation_rejected() {
+        let p = QcParams {
+            rho_quality: 0.8,
+            rho_cost: 0.1,
+            ..QcParams::default()
+        };
+        let e = p.validate().unwrap_err();
+        assert!(e.to_string().contains("rho_quality + rho_cost"));
+    }
+
+    #[test]
+    fn range_violations_rejected() {
+        let p = QcParams {
+            w1: 1.5,
+            ..QcParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = QcParams {
+            cost_t: -1.0,
+            ..QcParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = QcParams {
+            w1: f64::NAN,
+            ..QcParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn experiment4_cases_valid() {
+        for (q, c) in [(0.9, 0.1), (0.75, 0.25), (0.5, 0.5)] {
+            let p = QcParams::experiment4(q, c);
+            p.validate().unwrap();
+            assert_eq!(p.io_bound, IoBound::Upper);
+        }
+    }
+}

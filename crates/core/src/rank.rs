@@ -1,0 +1,500 @@
+//! Ranking legal rewritings by the QC score (§6.7, Eq. 25–26).
+//!
+//! Per-rewriting costs are normalized across the candidate set,
+//!
+//! ```text
+//! COST*(V_i) = (COST(V_i) − min_j COST(V_j)) / (max_j COST(V_j) − min_j COST(V_j))
+//! ```
+//!
+//! and folded with the degree of divergence into
+//!
+//! ```text
+//! QC(V_i) = 1 − (ρ_quality·DD(V_i) + ρ_cost·COST*(V_i))
+//! ```
+//!
+//! An efficiency of 1 would be a perfect rewriting at the cheapest cost in
+//! the set; 0 means no information preserved at the dearest cost.
+
+use eve_esql::ViewDef;
+use eve_misd::Mkb;
+use eve_sync::LegalRewriting;
+
+use crate::error::Result;
+use crate::params::QcParams;
+use crate::plan::plans_for_view;
+use crate::quality::{degree_of_divergence, DivergenceReport};
+use crate::workload::{total_cost, WorkloadModel};
+
+/// A rewriting with its full QC-Model assessment.
+#[derive(Debug, Clone)]
+pub struct ScoredRewriting {
+    /// Position in the synchronizer's discovery order (0-based) — the
+    /// first-found baseline picks index 0.
+    pub index: usize,
+    /// The rewriting being scored.
+    pub rewriting: LegalRewriting,
+    /// Quality breakdown.
+    pub divergence: DivergenceReport,
+    /// Absolute maintenance cost under the workload model.
+    pub cost: f64,
+    /// Normalized cost `COST*` (Eq. 25).
+    pub normalized_cost: f64,
+    /// Efficiency score `QC` (Eq. 26).
+    pub qc: f64,
+}
+
+/// Normalizes costs across a candidate set (Eq. 25). A uniform set (max =
+/// min) normalizes to all zeros.
+#[must_use]
+pub fn normalize_costs(costs: &[f64]) -> Vec<f64> {
+    let min = costs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = costs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !min.is_finite() || !max.is_finite() || (max - min).abs() < f64::EPSILON {
+        return vec![0.0; costs.len()];
+    }
+    costs.iter().map(|c| (c - min) / (max - min)).collect()
+}
+
+/// Scores and ranks a set of legal rewritings. The result is sorted by
+/// descending `QC`; ties keep discovery order (stable sort).
+///
+/// # Errors
+///
+/// Parameter validation, MKB lookups, or plan derivation failures.
+pub fn rank_rewritings(
+    original: &ViewDef,
+    rewritings: &[LegalRewriting],
+    mkb: &Mkb,
+    params: &QcParams,
+    workload: WorkloadModel,
+) -> Result<Vec<ScoredRewriting>> {
+    params.validate()?;
+    let mut divergences = Vec::with_capacity(rewritings.len());
+    let mut costs = Vec::with_capacity(rewritings.len());
+    for rw in rewritings {
+        divergences.push(degree_of_divergence(original, rw, mkb, params)?);
+        let plans = plans_for_view(&rw.view, mkb)?;
+        costs.push(total_cost(&plans, workload, params));
+    }
+    let normalized = normalize_costs(&costs);
+
+    let mut scored: Vec<ScoredRewriting> = rewritings
+        .iter()
+        .enumerate()
+        .map(|(i, rw)| ScoredRewriting {
+            index: i,
+            rewriting: rw.clone(),
+            divergence: divergences[i],
+            cost: costs[i],
+            normalized_cost: normalized[i],
+            qc: 1.0 - (params.rho_quality * divergences[i].dd + params.rho_cost * normalized[i]),
+        })
+        .collect();
+    scored.sort_by(|a, b| b.qc.partial_cmp(&a.qc).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(scored)
+}
+
+
+/// The quality/cost Pareto front of a scored set: rewritings not dominated
+/// by any other candidate (another candidate dominates when it has
+/// lower-or-equal divergence *and* lower-or-equal cost, at least one
+/// strictly). The QC score linearizes this two-dimensional trade-off
+/// (Eq. 26); for any `(ρ_quality, ρ_cost)` the QC-best rewriting lies on
+/// this front, so the front is exactly the set of rewritings some user
+/// weighting could select.
+#[must_use]
+pub fn pareto_front(scored: &[ScoredRewriting]) -> Vec<&ScoredRewriting> {
+    scored
+        .iter()
+        .filter(|a| {
+            !scored.iter().any(|b| {
+                let no_worse =
+                    b.divergence.dd <= a.divergence.dd && b.cost <= a.cost;
+                let strictly_better =
+                    b.divergence.dd < a.divergence.dd || b.cost < a.cost;
+                no_worse && strictly_better
+            })
+        })
+        .collect()
+}
+
+/// How EVE picks the rewriting to adopt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionStrategy {
+    /// Highest QC score (the paper's proposal).
+    QcBest,
+    /// First legal rewriting discovered — what the pre-QC-Model EVE
+    /// prototype did (§8); the baseline.
+    FirstFound,
+    /// Lowest degree of divergence, ignoring cost (`ρ_cost = 0` corner).
+    QualityOnly,
+    /// Lowest maintenance cost, ignoring quality (`ρ_quality = 0` corner).
+    CostOnly,
+}
+
+impl SelectionStrategy {
+    /// Picks from a scored set (any order). Returns `None` on an empty set.
+    #[must_use]
+    pub fn select<'a>(&self, scored: &'a [ScoredRewriting]) -> Option<&'a ScoredRewriting> {
+        if scored.is_empty() {
+            return None;
+        }
+        let best_by = |cmp: &dyn Fn(&ScoredRewriting, &ScoredRewriting) -> bool| {
+            scored.iter().fold(None::<&ScoredRewriting>, |acc, x| {
+                match acc {
+                    None => Some(x),
+                    Some(best) => {
+                        if cmp(x, best) {
+                            Some(x)
+                        } else {
+                            Some(best)
+                        }
+                    }
+                }
+            })
+        };
+        match self {
+            SelectionStrategy::QcBest => best_by(&|x, best| {
+                x.qc > best.qc || (x.qc == best.qc && x.index < best.index)
+            }),
+            SelectionStrategy::FirstFound => best_by(&|x, best| x.index < best.index),
+            SelectionStrategy::QualityOnly => best_by(&|x, best| {
+                x.divergence.dd < best.divergence.dd
+                    || (x.divergence.dd == best.divergence.dd && x.index < best.index)
+            }),
+            SelectionStrategy::CostOnly => best_by(&|x, best| {
+                x.cost < best.cost || (x.cost == best.cost && x.index < best.index)
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_bounds_and_degenerate_case() {
+        let n = normalize_costs(&[842.3, 1193.3, 1544.3, 1895.3, 2246.3]);
+        let want = [0.0, 0.25, 0.5, 0.75, 1.0];
+        for (got, want) in n.iter().zip(want) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+        assert_eq!(normalize_costs(&[5.0, 5.0, 5.0]), vec![0.0, 0.0, 0.0]);
+        assert!(normalize_costs(&[]).is_empty());
+    }
+
+    #[test]
+    fn normalization_invariant_under_affine_shift() {
+        // The +0.1 discrepancy between our Exp-4 costs and the paper's
+        // cancels here: (x + c) normalizes identically to x.
+        let a = normalize_costs(&[10.0, 20.0, 30.0]);
+        let b = normalize_costs(&[10.1, 20.1, 30.1]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    mod selection {
+        use super::super::*;
+        use eve_esql::parse_view;
+        use eve_sync::{ExtentRelationship, Provenance};
+
+        fn scored(idx: usize, dd: f64, cost: f64, qc: f64) -> ScoredRewriting {
+            ScoredRewriting {
+                index: idx,
+                rewriting: LegalRewriting {
+                    view: parse_view("CREATE VIEW V AS SELECT R.A FROM R").unwrap(),
+                    provenance: Provenance::default(),
+                    extent: ExtentRelationship::Equal,
+                },
+                divergence: DivergenceReport {
+                    dd_attr: dd,
+                    dd_ext: dd,
+                    dd,
+                },
+                cost,
+                normalized_cost: 0.0,
+                qc,
+            }
+        }
+
+        #[test]
+        fn strategies_pick_their_extremes() {
+            let set = vec![
+                scored(0, 0.5, 100.0, 0.60), // first found
+                scored(1, 0.0, 900.0, 0.85), // best quality
+                scored(2, 0.9, 10.0, 0.70),  // cheapest
+                scored(3, 0.2, 500.0, 0.90), // best QC
+            ];
+            assert_eq!(SelectionStrategy::QcBest.select(&set).unwrap().index, 3);
+            assert_eq!(SelectionStrategy::FirstFound.select(&set).unwrap().index, 0);
+            assert_eq!(
+                SelectionStrategy::QualityOnly.select(&set).unwrap().index,
+                1
+            );
+            assert_eq!(SelectionStrategy::CostOnly.select(&set).unwrap().index, 2);
+        }
+
+        #[test]
+        fn empty_set_selects_nothing() {
+            assert!(SelectionStrategy::QcBest.select(&[]).is_none());
+        }
+
+        #[test]
+        fn ties_break_by_discovery_order() {
+            let set = vec![scored(1, 0.1, 5.0, 0.9), scored(0, 0.1, 5.0, 0.9)];
+            assert_eq!(SelectionStrategy::QcBest.select(&set).unwrap().index, 0);
+        }
+    }
+
+
+    mod pareto {
+        use super::super::*;
+        use eve_esql::parse_view;
+        use eve_sync::{ExtentRelationship, Provenance};
+
+        fn scored(idx: usize, dd: f64, cost: f64) -> ScoredRewriting {
+            ScoredRewriting {
+                index: idx,
+                rewriting: LegalRewriting {
+                    view: parse_view("CREATE VIEW V AS SELECT R.A FROM R").unwrap(),
+                    provenance: Provenance::default(),
+                    extent: ExtentRelationship::Equal,
+                },
+                divergence: DivergenceReport {
+                    dd_attr: dd,
+                    dd_ext: dd,
+                    dd,
+                },
+                cost,
+                normalized_cost: 0.0,
+                qc: 0.0,
+            }
+        }
+
+        #[test]
+        fn dominated_candidates_are_excluded() {
+            let set = vec![
+                scored(0, 0.0, 100.0), // front: best quality
+                scored(1, 0.5, 10.0),  // front: best cost
+                scored(2, 0.6, 50.0),  // dominated by 1 (worse dd, worse cost)
+                scored(3, 0.2, 40.0),  // front: intermediate
+            ];
+            let front = pareto_front(&set);
+            let ids: Vec<usize> = front.iter().map(|s| s.index).collect();
+            assert_eq!(ids, vec![0, 1, 3]);
+        }
+
+        #[test]
+        fn front_members_are_mutually_nondominating() {
+            let set = vec![
+                scored(0, 0.1, 90.0),
+                scored(1, 0.1, 90.0), // duplicate point: both survive
+                scored(2, 0.3, 30.0),
+            ];
+            let front = pareto_front(&set);
+            assert_eq!(front.len(), 3);
+            for a in &front {
+                for b in &front {
+                    let dominates = b.divergence.dd <= a.divergence.dd
+                        && b.cost <= a.cost
+                        && (b.divergence.dd < a.divergence.dd || b.cost < a.cost);
+                    assert!(!dominates);
+                }
+            }
+        }
+
+        #[test]
+        fn qc_best_lies_on_the_front_for_any_weighting() {
+            let set = vec![
+                scored(0, 0.0, 100.0),
+                scored(1, 0.5, 10.0),
+                scored(2, 0.25, 55.0),
+                scored(3, 0.4, 80.0), // dominated by 2? dd 0.4>0.25, cost 80>55 → dominated
+            ];
+            let front_ids: Vec<usize> =
+                pareto_front(&set).iter().map(|s| s.index).collect();
+            let normalized = normalize_costs(&set.iter().map(|s| s.cost).collect::<Vec<_>>());
+            for q in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+                let best = set
+                    .iter()
+                    .enumerate()
+                    .min_by(|(i, a), (j, b)| {
+                        let fa = q * a.divergence.dd + (1.0 - q) * normalized[*i];
+                        let fb = q * b.divergence.dd + (1.0 - q) * normalized[*j];
+                        fa.partial_cmp(&fb).unwrap()
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap();
+                assert!(
+                    front_ids.contains(&best),
+                    "weighting {q} picked off-front candidate {best}"
+                );
+            }
+        }
+
+        #[test]
+        fn empty_and_singleton_fronts() {
+            assert!(pareto_front(&[]).is_empty());
+            let one = vec![scored(0, 0.3, 5.0)];
+            assert_eq!(pareto_front(&one).len(), 1);
+        }
+    }
+
+    mod end_to_end {
+        use super::super::*;
+        use eve_misd::{
+            AttributeInfo, PcConstraint, PcRelationship, PcSide, RelationInfo, SchemaChange,
+            SiteId,
+        };
+        use eve_relational::DataType;
+        use eve_sync::{synchronize, SyncOptions};
+
+        /// The full Experiment 4 pipeline: synchronize, rank, check Table 4.
+        fn experiment4() -> (ViewDef, Vec<LegalRewriting>, Mkb) {
+            let mut m = Mkb::new();
+            for i in 1..=6u32 {
+                m.register_site(SiteId(i), format!("IS{i}")).unwrap();
+            }
+            let half = |n: &str| AttributeInfo::sized(n, DataType::Int, 50);
+            m.register_relation(RelationInfo::new(
+                "R1",
+                SiteId(1),
+                vec![half("K"), half("X")],
+                400,
+            ))
+            .unwrap();
+            let abc = || {
+                vec![
+                    AttributeInfo::sized("A", DataType::Int, 34),
+                    AttributeInfo::sized("B", DataType::Int, 33),
+                    AttributeInfo::sized("C", DataType::Int, 33),
+                ]
+            };
+            m.register_relation(RelationInfo::new("R2", SiteId(1), abc(), 4000))
+                .unwrap();
+            for (i, (name, card)) in [
+                ("S1", 2000u64),
+                ("S2", 3000),
+                ("S3", 4000),
+                ("S4", 5000),
+                ("S5", 6000),
+            ]
+            .iter()
+            .enumerate()
+            {
+                m.register_relation(RelationInfo::new(
+                    *name,
+                    SiteId(u32::try_from(i).unwrap() + 2),
+                    abc(),
+                    *card,
+                ))
+                .unwrap();
+            }
+            let proj = |r: &str| PcSide::projection(r, &["A", "B", "C"]);
+            for (a, rel, b) in [
+                ("S1", PcRelationship::Subset, "S2"),
+                ("S2", PcRelationship::Subset, "S3"),
+                ("S3", PcRelationship::Equivalent, "R2"),
+                ("S3", PcRelationship::Subset, "S4"),
+                ("S4", PcRelationship::Subset, "S5"),
+            ] {
+                m.add_pc_constraint(PcConstraint::new(proj(a), rel, proj(b)))
+                    .unwrap();
+            }
+            let view = eve_esql::parse_view(
+                "CREATE VIEW V (VE = '~') AS \
+                 SELECT R2.A (AR = true), R2.B (AR = true), R2.C (AR = true) \
+                 FROM R1, R2 (RR = true) \
+                 WHERE R1.K = R2.A",
+            )
+            .unwrap();
+            let change = SchemaChange::DeleteRelation {
+                relation: "R2".into(),
+            };
+            let outcome = synchronize(&view, &change, &m, &SyncOptions::default()).unwrap();
+            (view, outcome.rewritings, m)
+        }
+
+        fn swap_target(rw: &LegalRewriting) -> String {
+            rw.view
+                .from
+                .iter()
+                .find(|f| f.relation != "R1")
+                .map(|f| f.relation.clone())
+                .unwrap_or_default()
+        }
+
+        #[test]
+        fn experiment4_case1_ranking_matches_table4() {
+            let (view, rewritings, mkb) = experiment4();
+            assert_eq!(rewritings.len(), 5);
+            let params = QcParams::experiment4(0.9, 0.1);
+            let scored = rank_rewritings(
+                &view,
+                &rewritings,
+                &mkb,
+                &params,
+                WorkloadModel::SingleUpdate,
+            )
+            .unwrap();
+            // Table 4 rating: V3 > V2 > V1 > V4 > V5.
+            let order: Vec<String> = scored.iter().map(|s| swap_target(&s.rewriting)).collect();
+            assert_eq!(order, vec!["S3", "S2", "S1", "S4", "S5"]);
+            // QC values of Table 4 (0.95, 0.94125, 0.9325, 0.898, 0.855).
+            let by_target = |t: &str| scored.iter().find(|s| swap_target(&s.rewriting) == t);
+            for (t, qc) in [
+                ("S1", 0.9325),
+                ("S2", 0.94125),
+                ("S3", 0.95),
+                ("S4", 0.898),
+                ("S5", 0.855),
+            ] {
+                let s = by_target(t).unwrap();
+                assert!(
+                    (s.qc - qc).abs() < 1e-6,
+                    "{t}: qc {} vs paper {qc}",
+                    s.qc
+                );
+            }
+        }
+
+        #[test]
+        fn experiment4_case3_prefers_cheapest_subset() {
+            // Case 3 (ρ_quality = ρ_cost = 0.5): cost dominates; V1 (the
+            // smallest substitute) wins (§7.4).
+            let (view, rewritings, mkb) = experiment4();
+            let params = QcParams::experiment4(0.5, 0.5);
+            let scored = rank_rewritings(
+                &view,
+                &rewritings,
+                &mkb,
+                &params,
+                WorkloadModel::SingleUpdate,
+            )
+            .unwrap();
+            assert_eq!(swap_target(&scored[0].rewriting), "S1");
+        }
+
+        #[test]
+        fn qc_scores_lie_in_unit_interval() {
+            let (view, rewritings, mkb) = experiment4();
+            for (q, c) in [(0.9, 0.1), (0.75, 0.25), (0.5, 0.5)] {
+                let scored = rank_rewritings(
+                    &view,
+                    &rewritings,
+                    &mkb,
+                    &QcParams::experiment4(q, c),
+                    WorkloadModel::SingleUpdate,
+                )
+                .unwrap();
+                for s in &scored {
+                    assert!((0.0..=1.0).contains(&s.qc), "qc = {}", s.qc);
+                    assert!((0.0..=1.0).contains(&s.divergence.dd));
+                    assert!((0.0..=1.0).contains(&s.normalized_cost));
+                }
+            }
+        }
+    }
+}

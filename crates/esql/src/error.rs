@@ -1,0 +1,48 @@
+//! Parse and validation errors with source positions.
+
+use std::fmt;
+
+/// Result alias for parsing.
+pub type ParseResult<T> = std::result::Result<T, ParseError>;
+
+/// A lexing/parsing/validation error at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Builds an error at the given position.
+    #[must_use]
+    pub fn new(line: usize, column: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(3, 14, "expected `AS`");
+        assert_eq!(e.to_string(), "3:14: expected `AS`");
+    }
+}

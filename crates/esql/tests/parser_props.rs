@@ -1,0 +1,183 @@
+//! Property-based tests of the E-SQL parser: round-trips over richly
+//! structured generated views, and robustness against mangled input.
+
+use proptest::prelude::*;
+
+use eve_esql::{
+    parse_view, AttrEvolution, CondEvolution, ConditionItem, FromItem, RelEvolution, SelectItem,
+    ViewDef, ViewExtent,
+};
+use eve_relational::{ColumnRef, CompOp, Operand, PrimitiveClause, Value};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Z][A-Za-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+fn hyphen_ident() -> impl Strategy<Value = String> {
+    "[A-Z][a-z]{1,5}(-[a-z]{1,4})?".prop_map(|s| s)
+}
+
+fn comp_op() -> impl Strategy<Value = CompOp> {
+    prop_oneof![
+        Just(CompOp::Lt),
+        Just(CompOp::Le),
+        Just(CompOp::Eq),
+        Just(CompOp::Ge),
+        Just(CompOp::Gt),
+    ]
+}
+
+fn literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(|v| Value::Int(i64::from(v))),
+        "[a-zA-Z ]{0,12}".prop_map(Value::from),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn view_extent() -> impl Strategy<Value = ViewExtent> {
+    prop_oneof![
+        Just(ViewExtent::Approximate),
+        Just(ViewExtent::Equal),
+        Just(ViewExtent::Superset),
+        Just(ViewExtent::Subset),
+    ]
+}
+
+/// A structurally valid multi-relation view with aliases and mixed
+/// conditions.
+fn rich_view() -> impl Strategy<Value = ViewDef> {
+    (
+        hyphen_ident(),
+        view_extent(),
+        prop::collection::vec((ident(), any::<bool>(), any::<bool>(), any::<bool>()), 1..4),
+        prop::collection::vec(
+            (0usize..4, ident(), prop::option::of(ident()), any::<bool>(), any::<bool>()),
+            1..5,
+        ),
+        prop::collection::vec(
+            (0usize..4, ident(), comp_op(), literal(), any::<bool>(), any::<bool>()),
+            0..4,
+        ),
+    )
+        .prop_map(|(name, ve, rels, attrs, conds)| {
+            // FROM items with unique binding names F0, F1, …
+            let from: Vec<FromItem> = rels
+                .iter()
+                .enumerate()
+                .map(|(i, (rel, alias, rd, rr))| FromItem {
+                    relation: rel.clone(),
+                    alias: if *alias || rels.iter().filter(|x| x.0 == *rel).count() > 1 {
+                        Some(format!("F{i}"))
+                    } else {
+                        None
+                    },
+                    evolution: RelEvolution {
+                        dispensable: *rd,
+                        replaceable: *rr,
+                    },
+                })
+                .collect();
+            // Deduplicate binding names (relation names may repeat).
+            let mut from = from;
+            let mut seen = std::collections::BTreeSet::new();
+            for (i, f) in from.iter_mut().enumerate() {
+                if !seen.insert(f.binding_name().to_owned()) {
+                    f.alias = Some(format!("F{i}"));
+                    seen.insert(f.binding_name().to_owned());
+                }
+            }
+            let binding = |i: usize| from[i % from.len()].binding_name().to_owned();
+            let select: Vec<SelectItem> = attrs
+                .iter()
+                .enumerate()
+                .map(|(n, (b, attr, alias, ad, ar))| SelectItem {
+                    attr: ColumnRef::qualified(binding(*b), attr.clone()),
+                    // Unique output names via forced aliases.
+                    alias: Some(alias.clone().unwrap_or_else(|| format!("Out{n}"))),
+                    evolution: AttrEvolution {
+                        dispensable: *ad,
+                        replaceable: *ar,
+                    },
+                })
+                .collect();
+            // Ensure output names unique.
+            let mut select = select;
+            for (n, item) in select.iter_mut().enumerate() {
+                item.alias = Some(format!("Out{n}"));
+            }
+            let conditions: Vec<ConditionItem> = conds
+                .into_iter()
+                .map(|(b, attr, op, lit, cd, cr)| ConditionItem {
+                    clause: PrimitiveClause {
+                        left: ColumnRef::qualified(binding(b), attr),
+                        op,
+                        right: Operand::Literal(lit),
+                    },
+                    evolution: CondEvolution {
+                        dispensable: cd,
+                        replaceable: cr,
+                    },
+                })
+                .collect();
+            ViewDef {
+                name,
+                column_names: None,
+                ve,
+                select,
+                from,
+                conditions,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rich_roundtrip(view in rich_view()) {
+        let printed = view.to_string();
+        let reparsed = parse_view(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(&view, &reparsed, "printed:\n{}", printed);
+        // And printing is a fixed point.
+        prop_assert_eq!(printed, reparsed.to_string());
+    }
+
+    #[test]
+    fn validation_accepts_generated_views(view in rich_view()) {
+        // Every generated view is structurally valid: qualified columns,
+        // unique bindings, unique outputs.
+        let normalized = eve_esql::validate::validate(&view)
+            .unwrap_or_else(|e| panic!("{e}\n{view}"));
+        // Normalization of an already-qualified view is the identity.
+        prop_assert_eq!(normalized, view);
+    }
+
+    #[test]
+    fn parser_never_panics_on_mangled_input(view in rich_view(), cut in 0usize..200, junk in "[ -~]{0,6}") {
+        // Truncate the valid text at an arbitrary byte boundary and splice
+        // junk in; the parser must return Ok or Err, never panic.
+        let mut printed = view.to_string();
+        let cut = cut.min(printed.len());
+        while !printed.is_char_boundary(cut) && cut > 0 { /* unreachable for ASCII */ }
+        printed.truncate(cut);
+        printed.push_str(&junk);
+        let _ = parse_view(&printed);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_ascii(input in "[ -~]{0,80}") {
+        let _ = parse_view(&input);
+    }
+
+    #[test]
+    fn error_positions_are_in_range(input in "CREATE VIEW [A-Z]{1,3} AS SELECT [a-z.,( ]{0,20}") {
+        if let Err(e) = parse_view(&input) {
+            prop_assert!(e.line >= 1);
+            prop_assert!(e.column >= 1);
+            // Single-line inputs report line 1.
+            prop_assert_eq!(e.line, 1);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Errors raised by MKB operations.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised when registering sources/constraints or evolving the MKB.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A relation name is not registered.
+    UnknownRelation {
+        /// The missing relation.
+        relation: String,
+    },
+    /// An attribute is not part of a registered relation.
+    UnknownAttribute {
+        /// Relation searched.
+        relation: String,
+        /// Missing attribute.
+        attribute: String,
+    },
+    /// A site id is not registered.
+    UnknownSite {
+        /// The missing site id.
+        site: u32,
+    },
+    /// Registering a relation name twice.
+    DuplicateRelation {
+        /// The duplicated name.
+        relation: String,
+    },
+    /// Adding an attribute that already exists.
+    DuplicateAttribute {
+        /// Relation affected.
+        relation: String,
+        /// The duplicated attribute.
+        attribute: String,
+    },
+    /// A constraint is malformed (detail explains why).
+    InvalidConstraint {
+        /// Human-readable reason.
+        detail: String,
+    },
+    /// A schema change cannot be applied.
+    InvalidChange {
+        /// Human-readable reason.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownRelation { relation } => write!(f, "unknown relation `{relation}`"),
+            Error::UnknownAttribute {
+                relation,
+                attribute,
+            } => write!(f, "unknown attribute `{relation}.{attribute}`"),
+            Error::UnknownSite { site } => write!(f, "unknown site `{site}`"),
+            Error::DuplicateRelation { relation } => {
+                write!(f, "relation `{relation}` is already registered")
+            }
+            Error::DuplicateAttribute {
+                relation,
+                attribute,
+            } => write!(f, "attribute `{relation}.{attribute}` already exists"),
+            Error::InvalidConstraint { detail } => write!(f, "invalid constraint: {detail}"),
+            Error::InvalidChange { detail } => write!(f, "invalid schema change: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            Error::UnknownRelation {
+                relation: "R".into()
+            }
+            .to_string(),
+            "unknown relation `R`"
+        );
+        assert_eq!(
+            Error::UnknownAttribute {
+                relation: "R".into(),
+                attribute: "A".into()
+            }
+            .to_string(),
+            "unknown attribute `R.A`"
+        );
+    }
+}

@@ -1,0 +1,775 @@
+//! The Meta Knowledge Base (paper §3.2, Fig. 1).
+//!
+//! The MKB is EVE's registry of everything it knows about the information
+//! space: which sites exist, which relations they export (with types, sizes
+//! and statistics), which join and PC constraints hold between them, and the
+//! join selectivities the cost model assumes. It is "an information pool that
+//! is critical in finding appropriate replacements for view components when
+//! view definitions become undefined".
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+
+use crate::constraints::{JoinConstraint, PcConstraint, PcRelationship};
+use crate::error::{Error, Result};
+use crate::overlap::{estimate_overlap, OverlapEstimate, OverlapInputs};
+use crate::source::{AttributeInfo, RelationInfo, SiteId};
+
+/// A candidate replacement for a single attribute, discovered through a PC
+/// constraint (used by view synchronization for `AR = true` components).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrReplacement {
+    /// Relation providing the replacement attribute.
+    pub relation: String,
+    /// The replacement attribute within that relation.
+    pub attribute: String,
+    /// Relationship of the *old* fragment to the *new* one (old ⊑ new).
+    pub relationship: PcRelationship,
+    /// The PC constraint used, oriented with the old relation on the left.
+    pub constraint: PcConstraint,
+}
+
+/// A candidate replacement for a whole relation (used for `RR = true`
+/// components): a relation whose PC constraint covers all attributes the view
+/// still needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationReplacement {
+    /// The replacement relation.
+    pub relation: String,
+    /// Maps each needed old attribute to its counterpart in the replacement.
+    pub attr_map: BTreeMap<String, String>,
+    /// Relationship of the old fragment to the new one (old ⊑ new).
+    pub relationship: PcRelationship,
+    /// The PC constraint used, oriented with the old relation on the left.
+    pub constraint: PcConstraint,
+}
+
+/// The Meta Knowledge Base.
+#[derive(Debug, Clone, Default)]
+pub struct Mkb {
+    sites: BTreeMap<u32, String>,
+    relations: BTreeMap<String, RelationInfo>,
+    join_constraints: Vec<JoinConstraint>,
+    pc_constraints: Vec<PcConstraint>,
+    join_selectivities: BTreeMap<(String, String), f64>,
+    default_join_selectivity: f64,
+}
+
+fn js_key(a: &str, b: &str) -> (String, String) {
+    if a <= b {
+        (a.to_owned(), b.to_owned())
+    } else {
+        (b.to_owned(), a.to_owned())
+    }
+}
+
+impl Mkb {
+    /// An empty MKB with the paper's Table 1 default join selectivity
+    /// (`js = 0.005`).
+    #[must_use]
+    pub fn new() -> Mkb {
+        Mkb {
+            default_join_selectivity: 0.005,
+            ..Mkb::default()
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Registration
+    // ------------------------------------------------------------------
+
+    /// Registers an information source (site).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidChange`] when the id is taken.
+    pub fn register_site(&mut self, site: SiteId, name: impl Into<String>) -> Result<()> {
+        if self.sites.contains_key(&site.0) {
+            return Err(Error::InvalidChange {
+                detail: format!("site {site} already registered"),
+            });
+        }
+        self.sites.insert(site.0, name.into());
+        Ok(())
+    }
+
+    /// Registers a relation exported by a previously registered site.
+    ///
+    /// # Errors
+    ///
+    /// Unknown site, duplicate relation name, or duplicate attribute names.
+    pub fn register_relation(&mut self, info: RelationInfo) -> Result<()> {
+        if !self.sites.contains_key(&info.site.0) {
+            return Err(Error::UnknownSite { site: info.site.0 });
+        }
+        if self.relations.contains_key(&info.name) {
+            return Err(Error::DuplicateRelation {
+                relation: info.name,
+            });
+        }
+        let mut seen = BTreeSet::new();
+        for a in &info.attributes {
+            if !seen.insert(a.name.clone()) {
+                return Err(Error::DuplicateAttribute {
+                    relation: info.name.clone(),
+                    attribute: a.name.clone(),
+                });
+            }
+        }
+        self.relations.insert(info.name.clone(), info);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup
+    // ------------------------------------------------------------------
+
+    /// All registered sites, ordered by id.
+    pub fn sites(&self) -> impl Iterator<Item = (SiteId, &str)> {
+        self.sites.iter().map(|(id, n)| (SiteId(*id), n.as_str()))
+    }
+
+    /// Looks up a relation description.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownRelation`].
+    pub fn relation(&self, name: &str) -> Result<&RelationInfo> {
+        self.relations.get(name).ok_or_else(|| Error::UnknownRelation {
+            relation: name.to_owned(),
+        })
+    }
+
+    /// Whether a relation is registered.
+    #[must_use]
+    pub fn has_relation(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// All registered relations, ordered by name.
+    pub fn relations(&self) -> impl Iterator<Item = &RelationInfo> {
+        self.relations.values()
+    }
+
+    /// Looks up an attribute's type/size information.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownRelation`] / [`Error::UnknownAttribute`].
+    pub fn attribute(&self, relation: &str, attribute: &str) -> Result<&AttributeInfo> {
+        self.relation(relation)?
+            .attribute(attribute)
+            .ok_or_else(|| Error::UnknownAttribute {
+                relation: relation.to_owned(),
+                attribute: attribute.to_owned(),
+            })
+    }
+
+    /// The hosting site of a relation.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownRelation`].
+    pub fn site_of(&self, relation: &str) -> Result<SiteId> {
+        Ok(self.relation(relation)?.site)
+    }
+
+    pub(crate) fn relations_mut(&mut self) -> &mut BTreeMap<String, RelationInfo> {
+        &mut self.relations
+    }
+
+    pub(crate) fn join_constraints_mut(&mut self) -> &mut Vec<JoinConstraint> {
+        &mut self.join_constraints
+    }
+
+    pub(crate) fn pc_constraints_mut(&mut self) -> &mut Vec<PcConstraint> {
+        &mut self.pc_constraints
+    }
+
+    pub(crate) fn join_selectivities_mut(&mut self) -> &mut BTreeMap<(String, String), f64> {
+        &mut self.join_selectivities
+    }
+
+    // ------------------------------------------------------------------
+    // Join selectivities (§6.1 statistic 3)
+    // ------------------------------------------------------------------
+
+    /// Sets the global default join selectivity.
+    pub fn set_default_join_selectivity(&mut self, js: f64) {
+        self.default_join_selectivity = js;
+    }
+
+    /// The global default join selectivity.
+    #[must_use]
+    pub fn default_join_selectivity(&self) -> f64 {
+        self.default_join_selectivity
+    }
+
+    /// Registers a pair-specific join selectivity.
+    pub fn set_join_selectivity(&mut self, a: &str, b: &str, js: f64) {
+        self.join_selectivities.insert(js_key(a, b), js);
+    }
+
+    /// Join selectivity for a pair (pair-specific value or the default).
+    #[must_use]
+    pub fn join_selectivity(&self, a: &str, b: &str) -> f64 {
+        self.join_selectivities
+            .get(&js_key(a, b))
+            .copied()
+            .unwrap_or(self.default_join_selectivity)
+    }
+
+    // ------------------------------------------------------------------
+    // Constraints
+    // ------------------------------------------------------------------
+
+    /// Registers a join constraint after validating both endpoints and the
+    /// join condition against their schemas.
+    ///
+    /// # Errors
+    ///
+    /// Unknown relations or an ill-typed condition.
+    pub fn add_join_constraint(&mut self, jc: JoinConstraint) -> Result<()> {
+        let left = self.relation(&jc.left)?;
+        let right = self.relation(&jc.right)?;
+        if jc.condition.is_empty() {
+            return Err(Error::InvalidConstraint {
+                detail: format!("JC[{}, {}] has no clauses", jc.left, jc.right),
+            });
+        }
+        let combined = left
+            .schema()
+            .concat(&right.schema())
+            .map_err(|e| Error::InvalidConstraint {
+                detail: format!("JC[{}, {}]: {e}", jc.left, jc.right),
+            })?;
+        jc.predicate()
+            .type_check(&combined, &format!("JC[{}, {}]", jc.left, jc.right))
+            .map_err(|e| Error::InvalidConstraint {
+                detail: e.to_string(),
+            })?;
+        self.join_constraints.push(jc);
+        Ok(())
+    }
+
+    /// Registers a PC constraint after validating relations, attribute
+    /// correspondence (arity + types, per Eq. 5's `TC` requirement) and
+    /// selection predicates.
+    ///
+    /// # Errors
+    ///
+    /// Unknown relations/attributes, arity or type mismatches.
+    pub fn add_pc_constraint(&mut self, pc: PcConstraint) -> Result<()> {
+        if pc.left.attrs.is_empty() || pc.left.attrs.len() != pc.right.attrs.len() {
+            return Err(Error::InvalidConstraint {
+                detail: format!(
+                    "PC[{}, {}]: projection lists must be non-empty and equally long",
+                    pc.left.relation, pc.right.relation
+                ),
+            });
+        }
+        for side in [&pc.left, &pc.right] {
+            let rel = self.relation(&side.relation)?;
+            for a in &side.attrs {
+                if !rel.has_attribute(a) {
+                    return Err(Error::UnknownAttribute {
+                        relation: side.relation.clone(),
+                        attribute: a.clone(),
+                    });
+                }
+            }
+            if side.has_selection() {
+                // Selection predicates use bare attribute names.
+                let bare = rel
+                    .schema()
+                    .unqualify()
+                    .map_err(|e| Error::InvalidConstraint {
+                        detail: e.to_string(),
+                    })?;
+                side.selection
+                    .type_check(&bare, &side.relation)
+                    .map_err(|e| Error::InvalidConstraint {
+                        detail: format!("PC selection on {}: {e}", side.relation),
+                    })?;
+            }
+        }
+        for (la, ra) in pc.left.attrs.iter().zip(&pc.right.attrs) {
+            let lt = self.attribute(&pc.left.relation, la)?.ty;
+            let rt = self.attribute(&pc.right.relation, ra)?.ty;
+            if lt != rt {
+                return Err(Error::InvalidConstraint {
+                    detail: format!(
+                        "PC correspondence {}.{la} ({lt}) vs {}.{ra} ({rt}): types differ",
+                        pc.left.relation, pc.right.relation
+                    ),
+                });
+            }
+        }
+        self.pc_constraints.push(pc);
+        Ok(())
+    }
+
+    /// All join constraints.
+    #[must_use]
+    pub fn join_constraints(&self) -> &[JoinConstraint] {
+        &self.join_constraints
+    }
+
+    /// All PC constraints.
+    #[must_use]
+    pub fn pc_constraints(&self) -> &[PcConstraint] {
+        &self.pc_constraints
+    }
+
+    /// Join constraints having `rel` as an endpoint.
+    #[must_use]
+    pub fn join_constraints_of(&self, rel: &str) -> Vec<&JoinConstraint> {
+        self.join_constraints
+            .iter()
+            .filter(|jc| jc.partner_of(rel).is_some())
+            .collect()
+    }
+
+    /// The first join constraint connecting `a` and `b`, if any.
+    #[must_use]
+    pub fn join_constraint_between(&self, a: &str, b: &str) -> Option<&JoinConstraint> {
+        self.join_constraints.iter().find(|jc| jc.connects(a, b))
+    }
+
+    /// PC constraints involving `rel`, re-oriented so `rel` is on the left.
+    #[must_use]
+    pub fn pc_constraints_of(&self, rel: &str) -> Vec<PcConstraint> {
+        self.pc_constraints
+            .iter()
+            .filter_map(|pc| pc.oriented_from(rel))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Replacement discovery (consumed by view synchronization)
+    // ------------------------------------------------------------------
+
+    /// Finds replacement candidates for a single attribute `rel.attr` via PC
+    /// constraints whose `rel`-side projection covers the attribute.
+    /// Candidates from `rel` itself are excluded.
+    #[must_use]
+    pub fn find_attr_replacements(&self, rel: &str, attr: &str) -> Vec<AttrReplacement> {
+        let mut out = Vec::new();
+        for pc in self.pc_constraints_of(rel) {
+            if pc.right.relation == rel {
+                continue;
+            }
+            if let Some(new_attr) = pc.corresponding_attr(attr) {
+                out.push(AttrReplacement {
+                    relation: pc.right.relation.clone(),
+                    attribute: new_attr.to_owned(),
+                    relationship: pc.relationship,
+                    constraint: pc.clone(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Finds whole-relation replacements for `rel` covering all of
+    /// `needed_attrs` (the attributes of `rel` the view must keep).
+    #[must_use]
+    pub fn find_relation_replacements(
+        &self,
+        rel: &str,
+        needed_attrs: &[String],
+    ) -> Vec<RelationReplacement> {
+        let mut out = Vec::new();
+        for pc in self.pc_constraints_of(rel) {
+            if pc.right.relation == rel {
+                continue;
+            }
+            let mut attr_map = BTreeMap::new();
+            let mut covered = true;
+            for a in needed_attrs {
+                match pc.corresponding_attr(a) {
+                    Some(n) => {
+                        attr_map.insert(a.clone(), n.to_owned());
+                    }
+                    None => {
+                        covered = false;
+                        break;
+                    }
+                }
+            }
+            if covered {
+                out.push(RelationReplacement {
+                    relation: pc.right.relation.clone(),
+                    attr_map,
+                    relationship: pc.relationship,
+                    constraint: pc.clone(),
+                });
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Overlap estimation (§5.4.3)
+    // ------------------------------------------------------------------
+
+    /// Builds the statistics a PC constraint needs for overlap estimation
+    /// from the registered relation metadata. The selectivity of a side's
+    /// selection condition is approximated by the relation's registered `σ`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown relations.
+    pub fn overlap_inputs(&self, pc: &PcConstraint) -> Result<OverlapInputs> {
+        let l = self.relation(&pc.left.relation)?;
+        let r = self.relation(&pc.right.relation)?;
+        #[allow(clippy::cast_precision_loss)]
+        Ok(OverlapInputs {
+            left_card: l.cardinality as f64,
+            right_card: r.cardinality as f64,
+            left_selectivity: l.selectivity,
+            right_selectivity: r.selectivity,
+        })
+    }
+
+    /// Estimates `|a ∩~ b|` and (when determinable) the containment
+    /// relationship `a ⊑ b`, using a direct PC constraint if one exists, or a
+    /// transitive chain of *selection-free* constraints otherwise
+    /// (Experiment 4's `S1 ⊆ S2 ⊆ S3 ≡ R2 ⊆ S4 ⊆ S5`). Without any
+    /// constraint path the overlap is zero (§5.4.3).
+    ///
+    /// # Errors
+    ///
+    /// Unknown relations.
+    pub fn relation_overlap(
+        &self,
+        a: &str,
+        b: &str,
+    ) -> Result<(Option<PcRelationship>, OverlapEstimate)> {
+        let a_info = self.relation(a)?;
+        let b_info = self.relation(b)?;
+        if a == b {
+            #[allow(clippy::cast_precision_loss)]
+            return Ok((
+                Some(PcRelationship::Equivalent),
+                OverlapEstimate {
+                    size: a_info.cardinality as f64,
+                    exact: true,
+                },
+            ));
+        }
+
+        // Direct constraints first: keep the most informative estimate
+        // (exact beats inexact; larger lower bound beats smaller).
+        let mut best: Option<(PcRelationship, OverlapEstimate)> = None;
+        for pc in self.pc_constraints_of(a) {
+            if pc.right.relation != b {
+                continue;
+            }
+            let est = estimate_overlap(&pc, self.overlap_inputs(&pc)?);
+            let better = match &best {
+                None => true,
+                Some((_, cur)) => {
+                    (est.exact && !cur.exact) || (est.exact == cur.exact && est.size > cur.size)
+                }
+            };
+            if better {
+                best = Some((pc.relationship, est));
+            }
+        }
+        if let Some((rel, est)) = best {
+            return Ok((Some(rel), est));
+        }
+
+        // Transitive chain over selection-free constraints (BFS, shortest
+        // chain wins; direction composed along the path).
+        let mut queue: VecDeque<(String, PcRelationship)> = VecDeque::new();
+        let mut visited: BTreeSet<String> = BTreeSet::new();
+        visited.insert(a.to_owned());
+        queue.push_back((a.to_owned(), PcRelationship::Equivalent));
+        while let Some((node, rel_so_far)) = queue.pop_front() {
+            for pc in self.pc_constraints_of(&node) {
+                if !pc.is_selection_free() {
+                    continue;
+                }
+                let Some(composed) = rel_so_far.compose(pc.relationship) else {
+                    continue;
+                };
+                let next = pc.right.relation.clone();
+                if next == b {
+                    #[allow(clippy::cast_precision_loss)]
+                    let size = match composed {
+                        PcRelationship::Subset => a_info.cardinality as f64,
+                        PcRelationship::Equivalent => {
+                            (a_info.cardinality.min(b_info.cardinality)) as f64
+                        }
+                        PcRelationship::Superset => b_info.cardinality as f64,
+                    };
+                    return Ok((Some(composed), OverlapEstimate { size, exact: true }));
+                }
+                if visited.insert(next.clone()) {
+                    queue.push_back((next, composed));
+                }
+            }
+        }
+
+        Ok((None, OverlapEstimate::UNKNOWN))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::PcSide;
+    use eve_relational::{ColumnRef, CompOp, DataType, Predicate, PrimitiveClause, Value};
+
+    fn attr(name: &str, ty: DataType) -> AttributeInfo {
+        AttributeInfo::new(name, ty)
+    }
+
+    /// A small information space: R(A,B) at IS1, S(A,C) at IS2, T(A,D) at
+    /// IS3, with PC(R.A ⊆ S.A), PC(R.A ⊆ T.A), JC(R,S on A).
+    fn sample() -> Mkb {
+        let mut mkb = Mkb::new();
+        for (i, name) in [(1u32, "one"), (2, "two"), (3, "three")] {
+            mkb.register_site(SiteId(i), name).unwrap();
+        }
+        mkb.register_relation(RelationInfo::new(
+            "R",
+            SiteId(1),
+            vec![attr("A", DataType::Int), attr("B", DataType::Int)],
+            1000,
+        ))
+        .unwrap();
+        mkb.register_relation(RelationInfo::new(
+            "S",
+            SiteId(2),
+            vec![attr("A", DataType::Int), attr("C", DataType::Int)],
+            2000,
+        ))
+        .unwrap();
+        mkb.register_relation(RelationInfo::new(
+            "T",
+            SiteId(3),
+            vec![attr("A", DataType::Int), attr("D", DataType::Int)],
+            3000,
+        ))
+        .unwrap();
+        mkb.add_pc_constraint(PcConstraint::new(
+            PcSide::projection("R", &["A"]),
+            PcRelationship::Subset,
+            PcSide::projection("S", &["A"]),
+        ))
+        .unwrap();
+        mkb.add_pc_constraint(PcConstraint::new(
+            PcSide::projection("R", &["A"]),
+            PcRelationship::Subset,
+            PcSide::projection("T", &["A"]),
+        ))
+        .unwrap();
+        mkb.add_join_constraint(JoinConstraint::new(
+            "R",
+            "S",
+            vec![PrimitiveClause::eq(
+                ColumnRef::parse("R.A"),
+                ColumnRef::parse("S.A"),
+            )],
+        ))
+        .unwrap();
+        mkb
+    }
+
+    #[test]
+    fn registration_and_lookup() {
+        let mkb = sample();
+        assert_eq!(mkb.relation("R").unwrap().cardinality, 1000);
+        assert_eq!(mkb.site_of("T").unwrap(), SiteId(3));
+        assert_eq!(mkb.attribute("S", "C").unwrap().ty, DataType::Int);
+        assert!(matches!(
+            mkb.relation("Z"),
+            Err(Error::UnknownRelation { .. })
+        ));
+        assert!(matches!(
+            mkb.attribute("S", "Z"),
+            Err(Error::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut mkb = sample();
+        let e = mkb
+            .register_relation(RelationInfo::new("R", SiteId(1), vec![], 0))
+            .unwrap_err();
+        assert!(matches!(e, Error::DuplicateRelation { .. }));
+    }
+
+    #[test]
+    fn relation_on_unknown_site_rejected() {
+        let mut mkb = Mkb::new();
+        let e = mkb
+            .register_relation(RelationInfo::new("R", SiteId(9), vec![], 0))
+            .unwrap_err();
+        assert!(matches!(e, Error::UnknownSite { site: 9 }));
+    }
+
+    #[test]
+    fn join_constraint_validation() {
+        let mut mkb = sample();
+        // Unknown column in clause.
+        let bad = JoinConstraint::new(
+            "R",
+            "S",
+            vec![PrimitiveClause::eq(
+                ColumnRef::parse("R.Z"),
+                ColumnRef::parse("S.A"),
+            )],
+        );
+        assert!(mkb.add_join_constraint(bad).is_err());
+        // Empty condition.
+        let empty = JoinConstraint::new("R", "S", vec![]);
+        assert!(mkb.add_join_constraint(empty).is_err());
+    }
+
+    #[test]
+    fn pc_constraint_validation() {
+        let mut mkb = sample();
+        // Arity mismatch.
+        let bad = PcConstraint::new(
+            PcSide::projection("R", &["A", "B"]),
+            PcRelationship::Subset,
+            PcSide::projection("S", &["A"]),
+        );
+        assert!(mkb.add_pc_constraint(bad).is_err());
+        // Unknown attribute.
+        let bad = PcConstraint::new(
+            PcSide::projection("R", &["Z"]),
+            PcRelationship::Subset,
+            PcSide::projection("S", &["A"]),
+        );
+        assert!(mkb.add_pc_constraint(bad).is_err());
+        // Ill-typed selection.
+        let bad = PcConstraint::new(
+            PcSide::selected(
+                "R",
+                &["A"],
+                Predicate::single(PrimitiveClause::lit(
+                    ColumnRef::bare("A"),
+                    CompOp::Eq,
+                    Value::from("text"),
+                )),
+            ),
+            PcRelationship::Subset,
+            PcSide::projection("S", &["A"]),
+        );
+        assert!(mkb.add_pc_constraint(bad).is_err());
+    }
+
+    #[test]
+    fn attr_replacements_found() {
+        let mkb = sample();
+        let reps = mkb.find_attr_replacements("R", "A");
+        assert_eq!(reps.len(), 2);
+        let names: Vec<&str> = reps.iter().map(|r| r.relation.as_str()).collect();
+        assert_eq!(names, vec!["S", "T"]);
+        assert!(reps.iter().all(|r| r.attribute == "A"));
+        assert!(reps
+            .iter()
+            .all(|r| r.relationship == PcRelationship::Subset));
+        assert!(mkb.find_attr_replacements("R", "B").is_empty());
+    }
+
+    #[test]
+    fn relation_replacements_require_coverage() {
+        let mkb = sample();
+        let reps = mkb.find_relation_replacements("R", &["A".to_owned()]);
+        assert_eq!(reps.len(), 2);
+        assert_eq!(reps[0].attr_map.get("A").map(String::as_str), Some("A"));
+        // B is not covered by any constraint.
+        assert!(mkb
+            .find_relation_replacements("R", &["A".to_owned(), "B".to_owned()])
+            .is_empty());
+    }
+
+    #[test]
+    fn direct_overlap_estimation() {
+        let mkb = sample();
+        let (rel, est) = mkb.relation_overlap("R", "S").unwrap();
+        assert_eq!(rel, Some(PcRelationship::Subset));
+        assert_eq!(est.size, 1000.0);
+        assert!(est.exact);
+        // And flipped.
+        let (rel, est) = mkb.relation_overlap("S", "R").unwrap();
+        assert_eq!(rel, Some(PcRelationship::Superset));
+        assert_eq!(est.size, 1000.0);
+    }
+
+    #[test]
+    fn unconstrained_overlap_is_zero() {
+        let mkb = sample();
+        let (rel, est) = mkb.relation_overlap("S", "T").unwrap();
+        // S ⊇ R ⊆ T composes to nothing.
+        assert_eq!(rel, None);
+        assert_eq!(est, OverlapEstimate::UNKNOWN);
+    }
+
+    #[test]
+    fn chained_overlap_composes_subsets() {
+        // Experiment 4 chain: S1 ⊆ S2 ⊆ S3, query overlap(S3, S1).
+        let mut mkb = Mkb::new();
+        mkb.register_site(SiteId(1), "one").unwrap();
+        for (name, card) in [("S1", 2000u64), ("S2", 3000), ("S3", 4000)] {
+            mkb.register_relation(RelationInfo::new(
+                name,
+                SiteId(1),
+                vec![attr("A", DataType::Int)],
+                card,
+            ))
+            .unwrap();
+        }
+        for (a, b) in [("S1", "S2"), ("S2", "S3")] {
+            mkb.add_pc_constraint(PcConstraint::new(
+                PcSide::projection(a, &["A"]),
+                PcRelationship::Subset,
+                PcSide::projection(b, &["A"]),
+            ))
+            .unwrap();
+        }
+        let (rel, est) = mkb.relation_overlap("S3", "S1").unwrap();
+        assert_eq!(rel, Some(PcRelationship::Superset));
+        assert_eq!(est.size, 2000.0);
+        assert!(est.exact);
+        let (rel, est) = mkb.relation_overlap("S1", "S3").unwrap();
+        assert_eq!(rel, Some(PcRelationship::Subset));
+        assert_eq!(est.size, 2000.0);
+    }
+
+    #[test]
+    fn self_overlap_is_identity() {
+        let mkb = sample();
+        let (rel, est) = mkb.relation_overlap("R", "R").unwrap();
+        assert_eq!(rel, Some(PcRelationship::Equivalent));
+        assert_eq!(est.size, 1000.0);
+        assert!(est.exact);
+    }
+
+    #[test]
+    fn join_selectivity_defaults_and_overrides() {
+        let mut mkb = sample();
+        assert!((mkb.join_selectivity("R", "S") - 0.005).abs() < 1e-12);
+        mkb.set_join_selectivity("S", "R", 0.001);
+        assert!((mkb.join_selectivity("R", "S") - 0.001).abs() < 1e-12);
+        mkb.set_default_join_selectivity(0.0022);
+        assert!((mkb.join_selectivity("R", "T") - 0.0022).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constraint_navigation() {
+        let mkb = sample();
+        assert_eq!(mkb.join_constraints_of("R").len(), 1);
+        assert!(mkb.join_constraint_between("S", "R").is_some());
+        assert!(mkb.join_constraint_between("S", "T").is_none());
+        assert_eq!(mkb.pc_constraints_of("S").len(), 1);
+        assert_eq!(mkb.pc_constraints_of("S")[0].left.relation, "S");
+    }
+}

@@ -1,0 +1,234 @@
+//! Property-based tests of the constraint model, overlap estimation and the
+//! MKB evolver.
+
+use proptest::prelude::*;
+
+use eve_misd::overlap::{estimate_overlap, OverlapInputs};
+use eve_misd::{
+    AttributeInfo, JoinConstraint, Mkb, PcConstraint, PcRelationship, PcSide, RelationInfo,
+    SchemaChange, SiteId,
+};
+use eve_relational::{ColumnRef, CompOp, DataType, Predicate, PrimitiveClause, Value};
+
+fn relationship() -> impl Strategy<Value = PcRelationship> {
+    prop_oneof![
+        Just(PcRelationship::Subset),
+        Just(PcRelationship::Equivalent),
+        Just(PcRelationship::Superset),
+    ]
+}
+
+fn side(rel: &'static str, selected: bool) -> PcSide {
+    if selected {
+        PcSide::selected(
+            rel,
+            &["A"],
+            Predicate::single(PrimitiveClause::lit(
+                ColumnRef::bare("A"),
+                CompOp::Gt,
+                Value::Int(0),
+            )),
+        )
+    } else {
+        PcSide::projection(rel, &["A"])
+    }
+}
+
+/// A chain MKB: relations X0 … Xn with consecutive constraints of given
+/// directions.
+fn chain_mkb(directions: &[PcRelationship], cards: &[u64]) -> Mkb {
+    let mut mkb = Mkb::new();
+    mkb.register_site(SiteId(1), "one").unwrap();
+    for (i, &card) in cards.iter().enumerate() {
+        mkb.register_relation(RelationInfo::new(
+            format!("X{i}"),
+            SiteId(1),
+            vec![AttributeInfo::new("A", DataType::Int)],
+            card,
+        ))
+        .unwrap();
+    }
+    for (i, &dir) in directions.iter().enumerate() {
+        mkb.add_pc_constraint(PcConstraint::new(
+            PcSide::projection(format!("X{i}"), &["A"]),
+            dir,
+            PcSide::projection(format!("X{}", i + 1), &["A"]),
+        ))
+        .unwrap();
+    }
+    mkb
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // -------------------------------------------------------------------
+    // Relationship algebra.
+    // -------------------------------------------------------------------
+
+    #[test]
+    fn flip_is_involutive_and_compose_flips(a in relationship(), b in relationship()) {
+        prop_assert_eq!(a.flipped().flipped(), a);
+        // (a ∘ b) flipped == b.flipped ∘ a.flipped (when both defined).
+        let lhs = a.compose(b).map(PcRelationship::flipped);
+        let rhs = b.flipped().compose(a.flipped());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn equivalent_is_composition_identity(a in relationship()) {
+        prop_assert_eq!(PcRelationship::Equivalent.compose(a), Some(a));
+        prop_assert_eq!(a.compose(PcRelationship::Equivalent), Some(a));
+    }
+
+    // -------------------------------------------------------------------
+    // Overlap estimation (Fig. 9/10).
+    // -------------------------------------------------------------------
+
+    #[test]
+    fn overlap_is_bounded_by_fragments(
+        rel in relationship(),
+        lsel in proptest::bool::ANY,
+        rsel in proptest::bool::ANY,
+        lc in 1.0f64..10_000.0,
+        rc in 1.0f64..10_000.0,
+        s1 in 0.01f64..1.0,
+        s2 in 0.01f64..1.0,
+    ) {
+        let pc = PcConstraint::new(side("L", lsel), rel, side("R", rsel));
+        let est = estimate_overlap(&pc, OverlapInputs {
+            left_card: lc,
+            right_card: rc,
+            left_selectivity: s1,
+            right_selectivity: s2,
+        });
+        prop_assert!(est.size >= 0.0);
+        prop_assert!(est.size <= lc.max(rc) + 1e-9);
+        // Exact estimates of unselected containments equal a full side.
+        if !lsel && !rsel {
+            prop_assert!(est.exact);
+            match rel {
+                PcRelationship::Subset => prop_assert_eq!(est.size, lc),
+                PcRelationship::Superset => prop_assert_eq!(est.size, rc),
+                PcRelationship::Equivalent => prop_assert_eq!(est.size, lc.min(rc)),
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_is_symmetric_under_flip(
+        rel in relationship(),
+        lsel in proptest::bool::ANY,
+        rsel in proptest::bool::ANY,
+        lc in 1.0f64..10_000.0,
+        rc in 1.0f64..10_000.0,
+        s in 0.01f64..1.0,
+    ) {
+        let pc = PcConstraint::new(side("L", lsel), rel, side("R", rsel));
+        let est = estimate_overlap(&pc, OverlapInputs {
+            left_card: lc, right_card: rc, left_selectivity: s, right_selectivity: s,
+        });
+        let flipped = estimate_overlap(&pc.flipped(), OverlapInputs {
+            left_card: rc, right_card: lc, left_selectivity: s, right_selectivity: s,
+        });
+        prop_assert!((est.size - flipped.size).abs() < 1e-9);
+        prop_assert_eq!(est.exact, flipped.exact);
+    }
+
+    // -------------------------------------------------------------------
+    // Transitive overlap through chains.
+    // -------------------------------------------------------------------
+
+    #[test]
+    fn subset_chains_compose_to_first_cardinality(
+        len in 1usize..5,
+        cards in prop::collection::vec(10u64..5000, 6..=6),
+    ) {
+        // Ascending subset chain: X0 ⊆ X1 ⊆ … — overlap(X0, Xk) = |X0|.
+        let mut sorted = cards.clone();
+        sorted.sort_unstable();
+        let dirs = vec![PcRelationship::Subset; len];
+        let mkb = chain_mkb(&dirs, &sorted[..=len]);
+        let (rel, est) = mkb.relation_overlap("X0", &format!("X{len}")).unwrap();
+        prop_assert_eq!(rel, Some(PcRelationship::Subset));
+        #[allow(clippy::cast_precision_loss)]
+        let expect = sorted[0] as f64;
+        prop_assert!((est.size - expect).abs() < 1e-9);
+        prop_assert!(est.exact);
+    }
+
+    #[test]
+    fn mixed_direction_chains_yield_unknown(cards in prop::collection::vec(10u64..5000, 3..=3)) {
+        // X0 ⊆ X1 ⊇ X2 composes to nothing: overlap must be the
+        // conservative zero (§5.4.3).
+        let mkb = chain_mkb(
+            &[PcRelationship::Subset, PcRelationship::Superset],
+            &cards,
+        );
+        let (rel, est) = mkb.relation_overlap("X0", "X2").unwrap();
+        prop_assert_eq!(rel, None);
+        prop_assert_eq!(est.size, 0.0);
+    }
+
+    // -------------------------------------------------------------------
+    // Evolver: apply_change never leaves dangling constraint references.
+    // -------------------------------------------------------------------
+
+    #[test]
+    fn evolver_preserves_consistency(
+        ops in prop::collection::vec(0u8..6, 1..8),
+    ) {
+        let mut mkb = Mkb::new();
+        mkb.register_site(SiteId(1), "one").unwrap();
+        mkb.register_site(SiteId(2), "two").unwrap();
+        let attrs = |n: usize| {
+            (0..n)
+                .map(|i| AttributeInfo::new(format!("A{i}"), DataType::Int))
+                .collect::<Vec<_>>()
+        };
+        mkb.register_relation(RelationInfo::new("R", SiteId(1), attrs(3), 100)).unwrap();
+        mkb.register_relation(RelationInfo::new("S", SiteId(2), attrs(3), 200)).unwrap();
+        mkb.add_pc_constraint(PcConstraint::new(
+            PcSide::projection("R", &["A0", "A1"]),
+            PcRelationship::Subset,
+            PcSide::projection("S", &["A0", "A1"]),
+        )).unwrap();
+        mkb.add_join_constraint(JoinConstraint::new(
+            "R",
+            "S",
+            vec![PrimitiveClause::eq(ColumnRef::parse("R.A0"), ColumnRef::parse("S.A0"))],
+        )).unwrap();
+
+        let mut fresh = 0u32;
+        for op in ops {
+            let change = match op {
+                0 => SchemaChange::DeleteAttribute { relation: "R".into(), attribute: "A0".into() },
+                1 => SchemaChange::DeleteAttribute { relation: "S".into(), attribute: "A1".into() },
+                2 => {
+                    fresh += 1;
+                    SchemaChange::AddAttribute {
+                        relation: "R".into(),
+                        attribute: AttributeInfo::new(format!("N{fresh}"), DataType::Int),
+                    }
+                }
+                3 => SchemaChange::RenameAttribute {
+                    relation: "S".into(),
+                    from: "A2".into(),
+                    to: "Z".into(),
+                },
+                4 => SchemaChange::DeleteRelation { relation: "S".into() },
+                _ => SchemaChange::RenameRelation { from: "R".into(), to: "R2".into() },
+            };
+            // Changes may legitimately fail (e.g. deleting twice); the
+            // invariant is that *successful* changes keep the MKB
+            // consistent and failed ones leave it untouched enough to stay
+            // consistent too.
+            let _ = mkb.apply_change(&change);
+            let problems = eve_misd::evolver::check_consistency(&mkb);
+            prop_assert!(
+                problems.is_empty(),
+                "inconsistent after {change}: {problems:?}"
+            );
+        }
+    }
+}

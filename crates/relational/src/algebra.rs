@@ -1,0 +1,386 @@
+//! Relational algebra operators.
+//!
+//! These implement the operations view queries and the maintenance algorithm
+//! need: selection, projection, join (hash-equijoin with a nested-loop
+//! fallback for general θ-conditions), cartesian product, and positional set
+//! operations.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::predicate::{CompOp, Operand, Predicate};
+use crate::relation::Relation;
+use crate::schema::{ColumnRef, Schema};
+use crate::tuple::Tuple;
+
+/// σ — selection: tuples of `rel` satisfying `pred`.
+///
+/// # Errors
+///
+/// Propagates predicate resolution/evaluation failures.
+pub fn select(rel: &Relation, pred: &Predicate) -> Result<Relation> {
+    pred.type_check(rel.schema(), rel.name())?;
+    let mut out = Relation::empty(format!("σ({})", rel.name()), rel.schema().clone());
+    for t in rel.tuples() {
+        if pred.eval(rel.schema(), t, rel.name())? {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// π — projection onto `columns`, optionally removing duplicates.
+///
+/// The paper's extent comparisons always use set semantics ("duplicates
+/// removed", §5.3), so callers comparing extents should pass `dedup = true`.
+///
+/// # Errors
+///
+/// Column resolution failures.
+pub fn project(rel: &Relation, columns: &[ColumnRef], dedup: bool) -> Result<Relation> {
+    let indices: Vec<usize> = columns
+        .iter()
+        .map(|c| rel.schema().resolve(c, rel.name()))
+        .collect::<Result<_>>()?;
+    let out_schema = Schema::new(
+        indices
+            .iter()
+            .map(|&i| rel.schema().column(i).clone())
+            .collect(),
+    )?;
+    let mut out = Relation::empty(format!("π({})", rel.name()), out_schema);
+    for t in rel.tuples() {
+        out.insert(t.project(&indices))?;
+    }
+    Ok(if dedup { out.distinct() } else { out })
+}
+
+/// ρ — renames the output columns of a relation (keeps types and sizes).
+///
+/// # Errors
+///
+/// [`Error::SchemaMismatch`] if the number of names differs from the arity,
+/// [`Error::DuplicateColumn`] if the new names collide.
+pub fn rename_columns(rel: &Relation, names: &[ColumnRef]) -> Result<Relation> {
+    if names.len() != rel.schema().arity() {
+        return Err(Error::SchemaMismatch {
+            detail: format!(
+                "rename expects {} names, got {}",
+                rel.schema().arity(),
+                names.len()
+            ),
+        });
+    }
+    let schema = Schema::new(
+        rel.schema()
+            .columns()
+            .iter()
+            .zip(names)
+            .map(|(c, n)| crate::schema::ColumnDef::sized(n.clone(), c.ty, c.byte_size))
+            .collect(),
+    )?;
+    Relation::with_tuples(rel.name(), schema, rel.tuples().to_vec())
+}
+
+/// × — cartesian product.
+///
+/// # Errors
+///
+/// Schema concatenation failures (duplicate qualified columns).
+pub fn cartesian(left: &Relation, right: &Relation) -> Result<Relation> {
+    let schema = left.schema().concat(right.schema())?;
+    let mut out = Relation::empty(format!("{}×{}", left.name(), right.name()), schema);
+    for l in left.tuples() {
+        for r in right.tuples() {
+            out.insert(l.concat(r))?;
+        }
+    }
+    Ok(out)
+}
+
+/// ⋈ — θ-join of two relations under a conjunctive condition.
+///
+/// Equality clauses between one column of each side are used as hash-join
+/// keys; remaining clauses are applied as a residual filter. With no usable
+/// equality clause the join degrades to a filtered nested loop.
+///
+/// # Errors
+///
+/// Schema or predicate failures.
+pub fn join(left: &Relation, right: &Relation, on: &Predicate) -> Result<Relation> {
+    let schema = left.schema().concat(right.schema())?;
+    let name = format!("{}⋈{}", left.name(), right.name());
+
+    // Split clauses into hash-join equality keys (left col = right col) and
+    // residual clauses evaluated on the concatenated tuple.
+    let mut keys: Vec<(usize, usize)> = Vec::new();
+    let mut residual: Vec<&crate::predicate::PrimitiveClause> = Vec::new();
+    for clause in on.clauses() {
+        if clause.op == CompOp::Eq {
+            if let Operand::Column(rc) = &clause.right {
+                let l_in_left = left.schema().resolve(&clause.left, left.name());
+                let r_in_right = right.schema().resolve(rc, right.name());
+                if let (Ok(li), Ok(ri)) = (&l_in_left, &r_in_right) {
+                    keys.push((*li, *ri));
+                    continue;
+                }
+                // Try the flipped orientation (right col written first).
+                let l_in_right = right.schema().resolve(&clause.left, right.name());
+                let r_in_left = left.schema().resolve(rc, left.name());
+                if let (Ok(ri), Ok(li)) = (&l_in_right, &r_in_left) {
+                    keys.push((*li, *ri));
+                    continue;
+                }
+            }
+        }
+        residual.push(clause);
+    }
+    let residual_pred = Predicate::new(residual.into_iter().cloned().collect());
+    residual_pred.type_check(&schema, &name)?;
+
+    let mut out = Relation::empty(name.clone(), schema);
+    if keys.is_empty() {
+        for l in left.tuples() {
+            for r in right.tuples() {
+                let t = l.concat(r);
+                if residual_pred.eval(out.schema(), &t, &name)? {
+                    out.insert(t)?;
+                }
+            }
+        }
+        return Ok(out);
+    }
+
+    // Hash join on the collected equality keys.
+    let mut table: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
+    let right_key_idx: Vec<usize> = keys.iter().map(|&(_, r)| r).collect();
+    let left_key_idx: Vec<usize> = keys.iter().map(|&(l, _)| l).collect();
+    for r in right.tuples() {
+        table.entry(r.project(&right_key_idx)).or_default().push(r);
+    }
+    for l in left.tuples() {
+        let key = l.project(&left_key_idx);
+        if let Some(matches) = table.get(&key) {
+            for r in matches {
+                let t = l.concat(r);
+                if residual_pred.eval(out.schema(), &t, &name)? {
+                    out.insert(t)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn check_compatible(a: &Relation, b: &Relation, op: &str) -> Result<()> {
+    if !a.schema().union_compatible(b.schema()) {
+        return Err(Error::SchemaMismatch {
+            detail: format!(
+                "{op} requires union-compatible schemas: {} vs {}",
+                a.schema(),
+                b.schema()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// ∪ — set union (duplicates removed, positional compatibility).
+///
+/// # Errors
+///
+/// [`Error::SchemaMismatch`] for incompatible schemas.
+pub fn union(a: &Relation, b: &Relation) -> Result<Relation> {
+    check_compatible(a, b, "union")?;
+    let mut out = Relation::empty(
+        format!("{}∪{}", a.name(), b.name()),
+        a.schema().clone(),
+    );
+    for t in a.tuples().iter().chain(b.tuples()) {
+        // Positional compatibility may still mean differing declared byte
+        // sizes; tuples type-check against `a`'s schema.
+        out.insert(t.clone())?;
+    }
+    Ok(out.distinct())
+}
+
+/// ∩ — set intersection.
+///
+/// # Errors
+///
+/// [`Error::SchemaMismatch`] for incompatible schemas.
+pub fn intersect(a: &Relation, b: &Relation) -> Result<Relation> {
+    check_compatible(a, b, "intersect")?;
+    let b_set: std::collections::BTreeSet<&Tuple> = b.tuples().iter().collect();
+    let mut out = Relation::empty(
+        format!("{}∩{}", a.name(), b.name()),
+        a.schema().clone(),
+    );
+    for t in a.tuples() {
+        if b_set.contains(t) {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out.distinct())
+}
+
+/// − (set difference): tuples of `a` not in `b`.
+///
+/// # Errors
+///
+/// [`Error::SchemaMismatch`] for incompatible schemas.
+pub fn difference(a: &Relation, b: &Relation) -> Result<Relation> {
+    check_compatible(a, b, "difference")?;
+    let b_set: std::collections::BTreeSet<&Tuple> = b.tuples().iter().collect();
+    let mut out = Relation::empty(
+        format!("{}−{}", a.name(), b.name()),
+        a.schema().clone(),
+    );
+    for t in a.tuples() {
+        if !b_set.contains(t) {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out.distinct())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::PrimitiveClause;
+    use crate::tup;
+    use crate::types::{DataType, Value};
+
+    fn rel(name: &str, cols: &[(&str, DataType)], rows: Vec<Tuple>) -> Relation {
+        Relation::with_tuples(name, Schema::of(cols).unwrap().qualify(name), rows).unwrap()
+    }
+
+    fn r() -> Relation {
+        rel(
+            "R",
+            &[("A", DataType::Int), ("B", DataType::Int)],
+            vec![tup![1, 10], tup![2, 20], tup![3, 30]],
+        )
+    }
+
+    fn s() -> Relation {
+        rel(
+            "S",
+            &[("A", DataType::Int), ("C", DataType::Text)],
+            vec![tup![1, "x"], tup![2, "y"], tup![4, "z"]],
+        )
+    }
+
+    #[test]
+    fn select_filters() {
+        let p = Predicate::single(PrimitiveClause::lit(
+            ColumnRef::parse("R.A"),
+            CompOp::Gt,
+            Value::Int(1),
+        ));
+        let out = select(&r(), &p).unwrap();
+        assert_eq!(out.cardinality(), 2);
+    }
+
+    #[test]
+    fn select_type_error_surfaces() {
+        let p = Predicate::single(PrimitiveClause::lit(
+            ColumnRef::parse("R.A"),
+            CompOp::Gt,
+            Value::from("nope"),
+        ));
+        assert!(select(&r(), &p).is_err());
+    }
+
+    #[test]
+    fn project_with_dedup() {
+        let dup = rel(
+            "D",
+            &[("A", DataType::Int), ("B", DataType::Int)],
+            vec![tup![1, 10], tup![1, 20]],
+        );
+        let bag = project(&dup, &[ColumnRef::parse("D.A")], false).unwrap();
+        assert_eq!(bag.cardinality(), 2);
+        let set = project(&dup, &[ColumnRef::parse("D.A")], true).unwrap();
+        assert_eq!(set.cardinality(), 1);
+    }
+
+    #[test]
+    fn equijoin_matches_hash_and_nested_loop() {
+        let on = Predicate::single(PrimitiveClause::eq(
+            ColumnRef::parse("R.A"),
+            ColumnRef::parse("S.A"),
+        ));
+        let out = join(&r(), &s(), &on).unwrap();
+        assert_eq!(out.cardinality(), 2);
+        // Same result via cartesian + select (nested-loop reference).
+        let reference = select(&cartesian(&r(), &s()).unwrap(), &on).unwrap();
+        assert_eq!(out.distinct().tuples(), reference.distinct().tuples());
+    }
+
+    #[test]
+    fn equijoin_flipped_orientation() {
+        let on = Predicate::single(PrimitiveClause::eq(
+            ColumnRef::parse("S.A"),
+            ColumnRef::parse("R.A"),
+        ));
+        let out = join(&r(), &s(), &on).unwrap();
+        assert_eq!(out.cardinality(), 2);
+    }
+
+    #[test]
+    fn theta_join_nested_loop() {
+        let on = Predicate::single(PrimitiveClause::cols(
+            ColumnRef::parse("R.A"),
+            CompOp::Lt,
+            ColumnRef::parse("S.A"),
+        ));
+        let out = join(&r(), &s(), &on).unwrap();
+        // Pairs with R.A < S.A: (1,2),(1,4),(2,4),(3,4) = 4
+        assert_eq!(out.cardinality(), 4);
+    }
+
+    #[test]
+    fn join_with_residual_clause() {
+        let on = Predicate::new(vec![
+            PrimitiveClause::eq(ColumnRef::parse("R.A"), ColumnRef::parse("S.A")),
+            PrimitiveClause::lit(ColumnRef::parse("S.C"), CompOp::Eq, Value::from("x")),
+        ]);
+        let out = join(&r(), &s(), &on).unwrap();
+        assert_eq!(out.cardinality(), 1);
+    }
+
+    #[test]
+    fn cartesian_product_counts() {
+        let out = cartesian(&r(), &s()).unwrap();
+        assert_eq!(out.cardinality(), 9);
+        assert_eq!(out.schema().arity(), 4);
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let a = rel("A", &[("X", DataType::Int)], vec![tup![1], tup![2], tup![2]]);
+        let b = rel("B", &[("X", DataType::Int)], vec![tup![2], tup![3]]);
+        assert_eq!(union(&a, &b).unwrap().cardinality(), 3);
+        assert_eq!(intersect(&a, &b).unwrap().cardinality(), 1);
+        assert_eq!(difference(&a, &b).unwrap().cardinality(), 1);
+        assert_eq!(difference(&b, &a).unwrap().tuples(), &[tup![3]]);
+    }
+
+    #[test]
+    fn set_ops_reject_incompatible() {
+        let a = rel("A", &[("X", DataType::Int)], vec![]);
+        let b = rel("B", &[("X", DataType::Text)], vec![]);
+        assert!(union(&a, &b).is_err());
+        assert!(intersect(&a, &b).is_err());
+        assert!(difference(&a, &b).is_err());
+    }
+
+    #[test]
+    fn rename_columns_keeps_data() {
+        let out = rename_columns(&r(), &[ColumnRef::bare("X"), ColumnRef::bare("Y")]).unwrap();
+        assert_eq!(out.schema().column(0).column, ColumnRef::bare("X"));
+        assert_eq!(out.cardinality(), 3);
+        assert!(rename_columns(&r(), &[ColumnRef::bare("X")]).is_err());
+    }
+}

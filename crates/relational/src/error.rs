@@ -1,0 +1,124 @@
+//! Error type shared by all relational operations.
+
+use std::fmt;
+
+use crate::types::DataType;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by relational operations.
+///
+/// The engine never panics on user input: schema lookups, type checks and
+/// arity checks all surface here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A referenced column does not exist in the schema.
+    UnknownColumn {
+        /// The column reference as written (possibly qualified).
+        column: String,
+        /// Name of the relation whose schema was searched.
+        relation: String,
+    },
+    /// An unqualified column name matched more than one schema column.
+    AmbiguousColumn {
+        /// The ambiguous unqualified name.
+        column: String,
+        /// Name of the relation whose schema was searched.
+        relation: String,
+    },
+    /// Two columns with the same (qualified) name in one schema.
+    DuplicateColumn {
+        /// The duplicated name.
+        column: String,
+    },
+    /// A comparison or assignment between incompatible data types.
+    TypeMismatch {
+        /// Type on the left side.
+        left: DataType,
+        /// Type on the right side.
+        right: DataType,
+        /// What the engine was doing when the mismatch occurred.
+        context: &'static str,
+    },
+    /// A tuple's arity does not match its schema.
+    ArityMismatch {
+        /// Number of columns in the schema.
+        expected: usize,
+        /// Number of values in the tuple.
+        got: usize,
+    },
+    /// Set operations require identically-typed schemas.
+    SchemaMismatch {
+        /// Describes the incompatibility.
+        detail: String,
+    },
+    /// A floating point value that cannot participate in ordering (NaN).
+    NotComparable,
+    /// The data generator was asked for something unsatisfiable.
+    Generator {
+        /// Describes the unsatisfiable request.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownColumn { column, relation } => {
+                write!(f, "unknown column `{column}` in relation `{relation}`")
+            }
+            Error::AmbiguousColumn { column, relation } => {
+                write!(f, "ambiguous column `{column}` in relation `{relation}`")
+            }
+            Error::DuplicateColumn { column } => {
+                write!(f, "duplicate column `{column}` in schema")
+            }
+            Error::TypeMismatch {
+                left,
+                right,
+                context,
+            } => {
+                write!(f, "type mismatch in {context}: {left} vs {right}")
+            }
+            Error::ArityMismatch { expected, got } => {
+                write!(f, "tuple arity {got} does not match schema arity {expected}")
+            }
+            Error::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
+            Error::NotComparable => write!(f, "values are not comparable (NaN)"),
+            Error::Generator { detail } => write!(f, "generator error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_column() {
+        let e = Error::UnknownColumn {
+            column: "R.A".into(),
+            relation: "R".into(),
+        };
+        assert_eq!(e.to_string(), "unknown column `R.A` in relation `R`");
+    }
+
+    #[test]
+    fn display_type_mismatch() {
+        let e = Error::TypeMismatch {
+            left: DataType::Int,
+            right: DataType::Text,
+            context: "comparison",
+        };
+        assert_eq!(e.to_string(), "type mismatch in comparison: INT vs TEXT");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::NotComparable);
+    }
+}

@@ -1,0 +1,263 @@
+//! Named, typed, in-memory relations.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::types::Value;
+
+/// An in-memory relation: a name, a schema and a bag of tuples.
+///
+/// Tuples are stored in insertion order; [`Relation::distinct`] produces the
+/// set semantics the paper uses when comparing view extents ("with duplicates
+/// removed first", §5.4.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation.
+    #[must_use]
+    pub fn empty(name: impl Into<String>, schema: Schema) -> Relation {
+        Relation {
+            name: name.into(),
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Creates a relation and inserts all `tuples`, checking arity and types.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Relation::insert`] failures.
+    pub fn with_tuples(
+        name: impl Into<String>,
+        schema: Schema,
+        tuples: Vec<Tuple>,
+    ) -> Result<Relation> {
+        let mut r = Relation::empty(name, schema);
+        for t in tuples {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    /// Relation name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the relation.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples — the paper's cardinality `|R|` (§6.1 statistic 1).
+    #[must_use]
+    pub fn cardinality(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation holds no tuples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples in insertion order.
+    #[must_use]
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Inserts a tuple after validating arity and column types.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ArityMismatch`] or [`Error::TypeMismatch`].
+    pub fn insert(&mut self, tuple: Tuple) -> Result<()> {
+        self.validate(&tuple)?;
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// Deletes (one occurrence of) every tuple in `tuples` that is present.
+    /// Returns how many tuples were actually removed.
+    pub fn delete(&mut self, tuples: &[Tuple]) -> usize {
+        let mut removed = 0;
+        for t in tuples {
+            if let Some(pos) = self.tuples.iter().position(|x| x == t) {
+                self.tuples.remove(pos);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Validates a tuple against the schema without inserting it.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ArityMismatch`] or [`Error::TypeMismatch`].
+    pub fn validate(&self, tuple: &Tuple) -> Result<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(Error::ArityMismatch {
+                expected: self.schema.arity(),
+                got: tuple.arity(),
+            });
+        }
+        for (v, c) in tuple.values().iter().zip(self.schema.columns()) {
+            if v.data_type() != c.ty {
+                return Err(Error::TypeMismatch {
+                    left: c.ty,
+                    right: v.data_type(),
+                    context: "tuple insertion",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a new relation with duplicate tuples removed (set semantics).
+    /// The surviving tuples are sorted, giving a canonical order.
+    #[must_use]
+    pub fn distinct(&self) -> Relation {
+        let set: BTreeSet<Tuple> = self.tuples.iter().cloned().collect();
+        Relation {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            tuples: set.into_iter().collect(),
+        }
+    }
+
+    /// Number of distinct tuples.
+    #[must_use]
+    pub fn distinct_cardinality(&self) -> usize {
+        self.tuples.iter().collect::<BTreeSet<_>>().len()
+    }
+
+    /// Whether the relation contains a tuple equal to `t`.
+    #[must_use]
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.iter().any(|x| x == t)
+    }
+
+    /// Declared tuple width in bytes (schema-based, the paper's `s_R`).
+    #[must_use]
+    pub fn tuple_byte_size(&self) -> u64 {
+        self.schema.tuple_byte_size()
+    }
+
+    /// Total declared size of the extent in bytes.
+    #[must_use]
+    pub fn extent_byte_size(&self) -> u64 {
+        self.tuple_byte_size() * self.tuples.len() as u64
+    }
+
+    /// Value of column `col_idx` in row `row_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds (internal indices only).
+    #[must_use]
+    pub fn value_at(&self, row_idx: usize, col_idx: usize) -> &Value {
+        self.tuples[row_idx].get(col_idx)
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}{} [{} tuples]", self.name, self.schema, self.tuples.len())?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+    use crate::types::DataType;
+
+    fn r() -> Relation {
+        Relation::with_tuples(
+            "R",
+            Schema::of(&[("A", DataType::Int), ("B", DataType::Text)]).unwrap(),
+            vec![tup![1, "x"], tup![2, "y"], tup![1, "x"]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_validates_arity() {
+        let mut rel = r();
+        let e = rel.insert(tup![1]).unwrap_err();
+        assert!(matches!(e, Error::ArityMismatch { expected: 2, got: 1 }));
+    }
+
+    #[test]
+    fn insert_validates_types() {
+        let mut rel = r();
+        let e = rel.insert(tup!["oops", "x"]).unwrap_err();
+        assert!(matches!(e, Error::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let rel = r();
+        assert_eq!(rel.cardinality(), 3);
+        assert_eq!(rel.distinct().cardinality(), 2);
+        assert_eq!(rel.distinct_cardinality(), 2);
+    }
+
+    #[test]
+    fn delete_removes_one_occurrence_each() {
+        let mut rel = r();
+        let removed = rel.delete(&[tup![1, "x"], tup![9, "z"]]);
+        assert_eq!(removed, 1);
+        assert_eq!(rel.cardinality(), 2);
+        // The second duplicate survives.
+        assert!(rel.contains(&tup![1, "x"]));
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let rel = r();
+        assert!(rel.contains(&tup![2, "y"]));
+        assert!(!rel.contains(&tup![2, "x"]));
+    }
+
+    #[test]
+    fn byte_sizes() {
+        let rel = r();
+        assert_eq!(rel.tuple_byte_size(), 28); // INT 8 + TEXT 20
+        assert_eq!(rel.extent_byte_size(), 3 * 28);
+    }
+
+    #[test]
+    fn distinct_is_sorted_canonically() {
+        let rel = Relation::with_tuples(
+            "R",
+            Schema::of(&[("A", DataType::Int)]).unwrap(),
+            vec![tup![3], tup![1], tup![2], tup![1]],
+        )
+        .unwrap();
+        let d = rel.distinct();
+        assert_eq!(d.tuples(), &[tup![1], tup![2], tup![3]]);
+    }
+}

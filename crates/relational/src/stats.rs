@@ -1,0 +1,176 @@
+//! Database statistics (paper §6.1).
+//!
+//! The cost model assumes the following statistics are registered in the MKB
+//! for every relation:
+//!
+//! 1. cardinality `|R|`,
+//! 2. attribute sizes `s_{R.A}` (hence tuple size `s_R`),
+//! 3. join selectivity `js` (fraction of tuple pairs that join),
+//! 4. local selection selectivity `σ`,
+//! 5. `|R|` and `js` assumed stable under updates,
+//! 6. blocking factor / block size.
+//!
+//! This module provides both a [`RelationStats`] record (declared statistics)
+//! and functions that *measure* selectivities on actual extents, so the
+//! declared values used by the analytic model can be validated against data.
+
+use crate::error::Result;
+use crate::predicate::Predicate;
+use crate::relation::Relation;
+
+/// Declared statistics for one relation, as registered in the MKB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationStats {
+    /// Cardinality `|R|`.
+    pub cardinality: u64,
+    /// Tuple size `s_R` in bytes.
+    pub tuple_bytes: u64,
+    /// Local selection selectivity `σ_R` of the relation's condition in a
+    /// view (assumed equality-based and constant, §6.1 assumption 4).
+    pub selectivity: f64,
+    /// Blocking factor `bfr_R`: tuples per physical block (Appendix A).
+    pub blocking_factor: u64,
+}
+
+impl RelationStats {
+    /// Builds stats with the paper's Table 1 defaults for unspecified fields
+    /// (`σ = 0.5`, `bfr = 10`).
+    #[must_use]
+    pub fn new(cardinality: u64, tuple_bytes: u64) -> RelationStats {
+        RelationStats {
+            cardinality,
+            tuple_bytes,
+            selectivity: 0.5,
+            blocking_factor: 10,
+        }
+    }
+
+    /// Number of I/Os to scan the whole relation: `⌈|R| / bfr⌉` (Eq. 32).
+    #[must_use]
+    pub fn full_scan_ios(&self) -> u64 {
+        if self.blocking_factor == 0 {
+            return self.cardinality;
+        }
+        self.cardinality.div_ceil(self.blocking_factor)
+    }
+
+    /// Extracts declared-statistics defaults from an actual relation extent.
+    #[must_use]
+    pub fn from_relation(rel: &Relation) -> RelationStats {
+        RelationStats::new(rel.cardinality() as u64, rel.tuple_byte_size())
+    }
+}
+
+/// Measured join selectivity between two relations under a join condition:
+/// `js = |R ⋈ S| / (|R| · |S|)` (§6.1 statistic 3). Returns 0 for empty
+/// inputs.
+///
+/// # Errors
+///
+/// Propagates join failures.
+pub fn measured_join_selectivity(r: &Relation, s: &Relation, on: &Predicate) -> Result<f64> {
+    if r.is_empty() || s.is_empty() {
+        return Ok(0.0);
+    }
+    let joined = crate::algebra::join(r, s, on)?;
+    #[allow(clippy::cast_precision_loss)]
+    Ok(joined.cardinality() as f64 / (r.cardinality() as f64 * s.cardinality() as f64))
+}
+
+/// Measured selectivity of a predicate on a relation (fraction of qualifying
+/// tuples).
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn measured_selectivity(rel: &Relation, pred: &Predicate) -> Result<f64> {
+    pred.selectivity(rel)
+}
+
+/// Estimated cardinality of an equijoin chain under the paper's uniform
+/// assumptions: `js^{k-1} · |R_1| · … · |R_k|` for `k ≥ 1` relations
+/// (generalizing the `J_{IS_i} ≈ js^{n_i} · |R_{i,1}| · … · |R_{i,n_i}|`
+/// estimate of §6.3, where the delta relation supplies one extra factor).
+#[must_use]
+pub fn estimated_join_cardinality(cards: &[u64], js: f64) -> f64 {
+    if cards.is_empty() {
+        return 0.0;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let product: f64 = cards.iter().map(|&c| c as f64).product();
+    #[allow(clippy::cast_precision_loss)]
+    let exponent = (cards.len() - 1) as i32;
+    product * js.powi(exponent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::PrimitiveClause;
+    use crate::schema::{ColumnRef, Schema};
+    use crate::tup;
+    use crate::types::DataType;
+
+    #[test]
+    fn full_scan_ios_rounds_up() {
+        let s = RelationStats {
+            cardinality: 401,
+            tuple_bytes: 100,
+            selectivity: 0.5,
+            blocking_factor: 10,
+        };
+        assert_eq!(s.full_scan_ios(), 41);
+        let exact = RelationStats::new(400, 100);
+        assert_eq!(exact.full_scan_ios(), 40);
+    }
+
+    #[test]
+    fn zero_blocking_factor_degrades_to_cardinality() {
+        let s = RelationStats {
+            cardinality: 7,
+            tuple_bytes: 10,
+            selectivity: 1.0,
+            blocking_factor: 0,
+        };
+        assert_eq!(s.full_scan_ios(), 7);
+    }
+
+    #[test]
+    fn measured_join_selectivity_uniform_keys() {
+        // R and S each have keys 0..10 over a shared domain; equijoin matches
+        // each key once: js = 10 / (10*10) = 0.1 = 1/domain.
+        let schema_r = Schema::of(&[("K", DataType::Int)]).unwrap().qualify("R");
+        let schema_s = Schema::of(&[("K", DataType::Int)]).unwrap().qualify("S");
+        let r = Relation::with_tuples("R", schema_r, (0..10).map(|i| tup![i]).collect()).unwrap();
+        let s = Relation::with_tuples("S", schema_s, (0..10).map(|i| tup![i]).collect()).unwrap();
+        let on = Predicate::single(PrimitiveClause::eq(
+            ColumnRef::parse("R.K"),
+            ColumnRef::parse("S.K"),
+        ));
+        let js = measured_join_selectivity(&r, &s, &on).unwrap();
+        assert!((js - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimated_join_cardinality_matches_paper_shape() {
+        // Table 1 parameters: |R| = 400, js = 0.005 ⇒ js·|R| = 2 per join.
+        let est = estimated_join_cardinality(&[400, 400, 400], 0.005);
+        // 0.005^2 · 400^3 = 1600
+        assert!((est - 1600.0).abs() < 1e-9);
+        assert!((estimated_join_cardinality(&[400], 0.005) - 400.0).abs() < 1e-12);
+        assert_eq!(estimated_join_cardinality(&[], 0.005), 0.0);
+    }
+
+    #[test]
+    fn stats_from_relation() {
+        let r = Relation::with_tuples(
+            "R",
+            Schema::of(&[("A", DataType::Int)]).unwrap(),
+            vec![tup![1], tup![2]],
+        )
+        .unwrap();
+        let s = RelationStats::from_relation(&r);
+        assert_eq!(s.cardinality, 2);
+        assert_eq!(s.tuple_bytes, 8);
+    }
+}

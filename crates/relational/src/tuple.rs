@@ -1,0 +1,139 @@
+//! Tuples: fixed-arity sequences of values.
+
+use std::fmt;
+
+use crate::types::Value;
+
+/// A tuple of values. Ordering and hashing are derived from the values, so
+/// tuples can be deduplicated and used as map keys (the paper compares
+/// extents "with duplicates removed", §5.3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    values: Box<[Value]>,
+}
+
+impl Tuple {
+    /// Builds a tuple from values.
+    #[must_use]
+    pub fn new(values: Vec<Value>) -> Tuple {
+        Tuple {
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Number of values.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The values, in schema order.
+    #[must_use]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at position `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds (indices come from schema resolution).
+    #[must_use]
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Projects the tuple onto the given column indices — the paper's
+    /// `t[Attr(V) ∩ Attr(V_i)]` notation (Def. 2).
+    #[must_use]
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Concatenates two tuples (join results).
+    #[must_use]
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(&self.values);
+        v.extend_from_slice(&other.values);
+        Tuple::new(v)
+    }
+
+    /// Actual byte size of this tuple's values.
+    #[must_use]
+    pub fn byte_size(&self) -> u64 {
+        self.values.iter().map(|v| u64::from(v.byte_size())).sum()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<const N: usize> From<[Value; N]> for Tuple {
+    fn from(values: [Value; N]) -> Self {
+        Tuple::new(values.into_iter().collect())
+    }
+}
+
+/// Builds a tuple from anything convertible to values.
+///
+/// ```
+/// use eve_relational::tup;
+/// let t = tup![1, "Asia", true];
+/// assert_eq!(t.arity(), 3);
+/// ```
+#[macro_export]
+macro_rules! tup {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn project_reorders_and_selects() {
+        let t = tup![1, "x", 3];
+        assert_eq!(t.project(&[2, 0]), tup![3, 1]);
+    }
+
+    #[test]
+    fn concat_appends() {
+        assert_eq!(tup![1].concat(&tup![2, 3]), tup![1, 2, 3]);
+    }
+
+    #[test]
+    fn equality_and_hash_by_value() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(tup![1, "a"]);
+        assert!(s.contains(&tup![1, "a"]));
+        assert!(!s.contains(&tup![1, "b"]));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(tup![1, "Asia"].to_string(), "(1, 'Asia')");
+    }
+
+    #[test]
+    fn byte_size_sums_values() {
+        assert_eq!(tup![1, "abcd"].byte_size(), 12);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(tup![1, 2] < tup![1, 3]);
+        assert!(tup![1, 2] < tup![2, 0]);
+    }
+}

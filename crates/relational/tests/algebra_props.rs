@@ -1,0 +1,216 @@
+//! Property-based tests of the relational algebra laws.
+
+use proptest::prelude::*;
+
+use eve_relational::algebra::{
+    cartesian, difference, intersect, join, project, rename_columns, select, union,
+};
+use eve_relational::common::{cs_equal, cs_intersect, cs_minus, cs_subset};
+use eve_relational::{
+    ColumnRef, CompOp, DataType, Predicate, PrimitiveClause, Relation, Schema, Tuple, Value,
+};
+
+fn small_relation(name: &'static str, cols: usize) -> impl Strategy<Value = Relation> {
+    prop::collection::vec(
+        prop::collection::vec(-5i64..5, cols..=cols),
+        0..12,
+    )
+    .prop_map(move |rows| {
+        let schema = Schema::new(
+            (0..cols)
+                .map(|i| {
+                    eve_relational::ColumnDef::new(
+                        ColumnRef::qualified(name, format!("C{i}")),
+                        DataType::Int,
+                    )
+                })
+                .collect(),
+        )
+        .unwrap();
+        Relation::with_tuples(
+            name,
+            schema,
+            rows.into_iter()
+                .map(|vals| Tuple::new(vals.into_iter().map(Value::Int).collect()))
+                .collect(),
+        )
+        .unwrap()
+    })
+}
+
+fn threshold_pred(name: &'static str, col: usize, v: i64) -> Predicate {
+    Predicate::single(PrimitiveClause::lit(
+        ColumnRef::qualified(name, format!("C{col}")),
+        CompOp::Gt,
+        Value::Int(v),
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn selection_commutes_and_composes(r in small_relation("R", 2), a in -5i64..5, b in -5i64..5) {
+        let pa = threshold_pred("R", 0, a);
+        let pb = threshold_pred("R", 1, b);
+        let ab = select(&select(&r, &pa).unwrap(), &pb).unwrap();
+        let ba = select(&select(&r, &pb).unwrap(), &pa).unwrap();
+        let both = select(&r, &pa.and(&pb)).unwrap();
+        prop_assert_eq!(ab.tuples(), ba.tuples());
+        prop_assert_eq!(ab.tuples(), both.tuples());
+    }
+
+    #[test]
+    fn selection_is_idempotent_and_shrinking(r in small_relation("R", 2), a in -5i64..5) {
+        let p = threshold_pred("R", 0, a);
+        let once = select(&r, &p).unwrap();
+        let twice = select(&once, &p).unwrap();
+        prop_assert_eq!(once.tuples(), twice.tuples());
+        prop_assert!(once.cardinality() <= r.cardinality());
+    }
+
+    #[test]
+    fn projection_is_idempotent(r in small_relation("R", 3)) {
+        let cols = [ColumnRef::parse("R.C1"), ColumnRef::parse("R.C0")];
+        let once = project(&r, &cols, true).unwrap();
+        let again_cols = [ColumnRef::parse("R.C1"), ColumnRef::parse("R.C0")];
+        let twice = project(&once, &again_cols, true).unwrap();
+        prop_assert_eq!(once.tuples(), twice.tuples());
+        prop_assert!(once.cardinality() <= r.cardinality());
+    }
+
+    #[test]
+    fn join_is_select_of_cartesian(r in small_relation("R", 2), s in small_relation("S", 2)) {
+        let on = Predicate::single(PrimitiveClause::eq(
+            ColumnRef::parse("R.C0"),
+            ColumnRef::parse("S.C0"),
+        ));
+        let joined = join(&r, &s, &on).unwrap();
+        let reference = select(&cartesian(&r, &s).unwrap(), &on).unwrap();
+        let mut a = joined.tuples().to_vec();
+        let mut b = reference.tuples().to_vec();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+        // Cardinality bound: |R ⋈ S| ≤ |R|·|S|.
+        prop_assert!(joined.cardinality() <= r.cardinality() * s.cardinality());
+    }
+
+    #[test]
+    fn join_commutes_up_to_column_order(r in small_relation("R", 2), s in small_relation("S", 2)) {
+        let on = Predicate::single(PrimitiveClause::eq(
+            ColumnRef::parse("R.C0"),
+            ColumnRef::parse("S.C0"),
+        ));
+        let rs = join(&r, &s, &on).unwrap();
+        let sr = join(&s, &r, &on).unwrap();
+        // Project both onto a canonical column order.
+        let cols = [
+            ColumnRef::parse("R.C0"),
+            ColumnRef::parse("R.C1"),
+            ColumnRef::parse("S.C0"),
+            ColumnRef::parse("S.C1"),
+        ];
+        let a = project(&rs, &cols, true).unwrap();
+        let b = project(&sr, &cols, true).unwrap();
+        prop_assert_eq!(a.tuples(), b.tuples());
+    }
+
+    #[test]
+    fn set_operations_obey_set_laws(r in small_relation("R", 2), s in small_relation("R", 2)) {
+        // Same schema (both named R): union/intersect/difference laws.
+        let u = union(&r, &s).unwrap();
+        let i = intersect(&r, &s).unwrap();
+        let d_rs = difference(&r, &s).unwrap();
+        let d_sr = difference(&s, &r).unwrap();
+        // |R ∪ S| = |R \ S| + |S \ R| + |R ∩ S| (distinct counts).
+        prop_assert_eq!(
+            u.cardinality(),
+            d_rs.cardinality() + d_sr.cardinality() + i.cardinality()
+        );
+        // Intersection is contained in both.
+        prop_assert!(difference(&i, &r).unwrap().is_empty());
+        prop_assert!(difference(&i, &s).unwrap().is_empty());
+        // Difference disjoint from the subtrahend.
+        prop_assert!(intersect(&d_rs, &s).unwrap().is_empty());
+        // Union is commutative.
+        let u2 = union(&s, &r).unwrap();
+        let (ud, u2d) = (u.distinct(), u2.distinct());
+        prop_assert_eq!(ud.tuples(), u2d.tuples());
+    }
+
+    #[test]
+    fn rename_preserves_extent(r in small_relation("R", 2)) {
+        let renamed = rename_columns(
+            &r,
+            &[ColumnRef::bare("X"), ColumnRef::bare("Y")],
+        ).unwrap();
+        prop_assert_eq!(renamed.cardinality(), r.cardinality());
+        prop_assert_eq!(renamed.tuples(), r.tuples());
+    }
+
+    // -------------------------------------------------------------------
+    // Common-subset-of-attributes operators (Fig. 7).
+    // -------------------------------------------------------------------
+
+    #[test]
+    fn cs_operators_are_consistent(r in small_relation("R", 2), s in small_relation("R", 2)) {
+        // Both relations share column names C0, C1 (bare after binding).
+        let inter = cs_intersect(&r, &s).unwrap();
+        let minus_rs = cs_minus(&r, &s).unwrap();
+        // |R~| = |R ∩~ S| + |R \~ S| on the projected distinct sets.
+        let r_proj = eve_relational::common::project_common(&r, &s).unwrap();
+        prop_assert_eq!(
+            r_proj.cardinality(),
+            inter.cardinality() + minus_rs.cardinality()
+        );
+        // cs_equal ⇔ both difference directions empty.
+        let eq = cs_equal(&r, &s).unwrap();
+        let minus_sr = cs_minus(&s, &r).unwrap();
+        prop_assert_eq!(eq, minus_rs.is_empty() && minus_sr.is_empty());
+        // Subset relation agrees with the difference.
+        prop_assert_eq!(cs_subset(&r, &s).unwrap(), minus_rs.is_empty());
+        // Reflexivity.
+        prop_assert!(cs_equal(&r, &r).unwrap());
+    }
+
+    #[test]
+    fn measured_sizes_bound_overlap(r in small_relation("R", 2), s in small_relation("R", 2)) {
+        let sizes = eve_relational::common::measure_common_sizes(&r, &s).unwrap();
+        prop_assert!(sizes.overlap <= sizes.original);
+        prop_assert!(sizes.overlap <= sizes.rewriting);
+    }
+
+    // -------------------------------------------------------------------
+    // Generator invariants.
+    // -------------------------------------------------------------------
+
+    #[test]
+    fn generated_subsets_are_contained(card in 1usize..40, sub in 1usize..40, seed in 0u64..1000) {
+        prop_assume!(sub <= card);
+        use eve_relational::generator::{generate, generate_subset, AttrSpec, RelationSpec};
+        let spec = RelationSpec::new(
+            "G",
+            vec![AttrSpec::new("A", 10_000), AttrSpec::new("B", 10_000)],
+            card,
+        );
+        let base = generate(&spec, seed).unwrap();
+        let subset = generate_subset(&base, "Sub", sub, seed.wrapping_add(1)).unwrap();
+        prop_assert_eq!(subset.cardinality(), sub);
+        prop_assert!(cs_subset(&subset, &base).unwrap());
+    }
+
+    #[test]
+    fn selectivity_matches_definition(r in small_relation("R", 1), v in -5i64..5) {
+        let p = threshold_pred("R", 0, v);
+        let sel = p.selectivity(&r).unwrap();
+        let selected = select(&r, &p).unwrap();
+        if r.is_empty() {
+            prop_assert_eq!(sel, 1.0);
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            let expect = selected.cardinality() as f64 / r.cardinality() as f64;
+            prop_assert!((sel - expect).abs() < 1e-12);
+        }
+    }
+}

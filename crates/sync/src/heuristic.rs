@@ -1,0 +1,453 @@
+//! Heuristic view synchronization — the paper's §8 future-work direction,
+//! implemented.
+//!
+//! The exhaustive synchronizer generates *every* legal rewriting and leaves
+//! ranking to the QC-Model; §8 sketches "a novel heuristic view
+//! synchronization algorithm that, instead of first generating all rewriting
+//! solutions and then ranking them, would be able to discard some of the
+//! search space early on". This module realizes that sketch using the §7.6
+//! heuristics as the pruning order:
+//!
+//! * **H-sites** — prefer replacement relations that keep the rewriting on
+//!   few information sources (ideally sites already referenced by the view),
+//! * **H-size** — prefer replacements whose cardinality is closest to the
+//!   replaced relation's (Experiment 4's winner under quality-dominant
+//!   trade-offs),
+//! * **H-small** — among otherwise equal candidates, prefer smaller
+//!   relations (cheaper under every workload model).
+//!
+//! PC partners are *sorted by this preference before any rewriting is
+//! built*, and generation stops after `max_candidates` legal rewritings —
+//! the tail of the candidate space is never materialized. The search is
+//! evaluated against the exhaustive synchronizer in
+//! `eve-bench` (`experiments::strategy_regret`): on Experiment 4 the
+//! quality-best rewriting is the *first* candidate emitted.
+
+use std::collections::BTreeSet;
+
+use eve_esql::ViewDef;
+use eve_misd::{Mkb, SchemaChange, SiteId};
+
+use crate::synchronizer::{
+    build_drop_relation, build_swap, delete_attribute_candidates, finish, pc_partners,
+    repair_bindings, synchronize, Candidate, PcPartner, SyncError, SyncOptions, SyncOutcome,
+};
+
+/// Options for the pruned search.
+#[derive(Debug, Clone)]
+pub struct HeuristicOptions {
+    /// Stop once this many legal rewritings have been produced.
+    pub max_candidates: usize,
+    /// Weight of the site-count heuristic relative to the size heuristic
+    /// (both normalized; 0.5 balances them). §7.3 argues sites dominate.
+    pub site_weight: f64,
+}
+
+impl Default for HeuristicOptions {
+    fn default() -> Self {
+        HeuristicOptions {
+            max_candidates: 3,
+            site_weight: 0.7,
+        }
+    }
+}
+
+/// Sites already referenced by a view (excluding one binding).
+fn view_sites(view: &ViewDef, mkb: &Mkb, excluded_binding: &str) -> BTreeSet<SiteId> {
+    view.from
+        .iter()
+        .filter(|f| f.binding_name() != excluded_binding)
+        .filter_map(|f| mkb.relation(&f.relation).ok().map(|r| r.site))
+        .collect()
+}
+
+/// Heuristic preference score of a swap partner — lower is better.
+fn partner_score(
+    partner: &PcPartner,
+    old_card: f64,
+    existing_sites: &BTreeSet<SiteId>,
+    mkb: &Mkb,
+    options: &HeuristicOptions,
+) -> f64 {
+    let Ok(info) = mkb.relation(&partner.relation) else {
+        return f64::INFINITY;
+    };
+    // H-sites: 0 when the partner lives at a site the view already visits.
+    let new_site = f64::from(!existing_sites.contains(&info.site));
+    // H-size: relative cardinality distance to the replaced relation.
+    #[allow(clippy::cast_precision_loss)]
+    let card = info.cardinality as f64;
+    let size_distance = if old_card > 0.0 {
+        ((card - old_card).abs() / old_card).min(1.0)
+    } else {
+        0.0
+    };
+    // H-small tie-break: a hair of preference for smaller relations.
+    let small_bias = card * 1e-12;
+    options.site_weight * new_site + (1.0 - options.site_weight) * size_distance + small_bias
+}
+
+/// Orders the PC partners of `relation` by heuristic preference.
+fn ordered_partners(
+    view: &ViewDef,
+    binding: &str,
+    relation: &str,
+    mkb: &Mkb,
+    options: &HeuristicOptions,
+) -> Vec<PcPartner> {
+    #[allow(clippy::cast_precision_loss)]
+    let old_card = mkb
+        .relation(relation)
+        .map(|r| r.cardinality as f64)
+        .unwrap_or(0.0);
+    let existing = view_sites(view, mkb, binding);
+    let mut partners = pc_partners(mkb, relation);
+    partners.sort_by(|a, b| {
+        let sa = partner_score(a, old_card, &existing, mkb, options);
+        let sb = partner_score(b, old_card, &existing, mkb, options);
+        sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    partners
+}
+
+/// Per-binding candidate generation with heuristic partner ordering and an
+/// emission cap.
+fn pruned_candidates(
+    view: &ViewDef,
+    binding: &str,
+    change: &SchemaChange,
+    mkb: &Mkb,
+    options: &HeuristicOptions,
+) -> Vec<Candidate> {
+    let Some(from_item) = view.from_item(binding) else {
+        return Vec::new();
+    };
+    let relation = from_item.relation.clone();
+    let mut out: Vec<Candidate> = Vec::new();
+
+    match change {
+        SchemaChange::DeleteRelation { .. } => {
+            if from_item.evolution.replaceable {
+                for partner in ordered_partners(view, binding, &relation, mkb, options) {
+                    if out.len() >= options.max_candidates {
+                        return out;
+                    }
+                    if let Some(c) = build_swap(view, binding, &partner) {
+                        out.push(c);
+                    }
+                }
+            }
+            if out.len() < options.max_candidates && from_item.evolution.dispensable {
+                if let Some(c) = build_drop_relation(view, binding) {
+                    out.push(c);
+                }
+            }
+        }
+        SchemaChange::DeleteAttribute { attribute, .. } => {
+            // Reuse the exhaustive generator but reorder its swap options by
+            // re-scoring, then truncate. (Attribute repairs are cheap to
+            // build; the pruning value is in not *ranking* the tail.)
+            let mut all = delete_attribute_candidates(view, binding, attribute, mkb);
+            let existing = view_sites(view, mkb, binding);
+            #[allow(clippy::cast_precision_loss)]
+            let old_card = mkb
+                .relation(&relation)
+                .map(|r| r.cardinality as f64)
+                .unwrap_or(0.0);
+            all.sort_by(|a, b| {
+                let score = |c: &Candidate| -> f64 {
+                    // Candidates referencing fewer new sites and
+                    // closer-sized relations first.
+                    let mut s = 0.0;
+                    for f in &c.0.from {
+                        if let Ok(info) = mkb.relation(&f.relation) {
+                            if !existing.contains(&info.site) && f.relation != relation {
+                                s += options.site_weight;
+                            }
+                            #[allow(clippy::cast_precision_loss)]
+                            let card = info.cardinality as f64;
+                            if old_card > 0.0 && f.relation != relation {
+                                s += (1.0 - options.site_weight)
+                                    * ((card - old_card).abs() / old_card).min(1.0);
+                            }
+                        }
+                    }
+                    s
+                };
+                score(a)
+                    .partial_cmp(&score(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            all.truncate(options.max_candidates);
+            out = all;
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Synchronizes with heuristic pruning: only the most promising
+/// `max_candidates` rewritings are generated (renames and `add-*` changes
+/// fall through to the exhaustive path, which is already O(1) for them).
+///
+/// # Errors
+///
+/// [`SyncError::Validation`] for structurally invalid views.
+pub fn synchronize_heuristic(
+    view: &ViewDef,
+    change: &SchemaChange,
+    mkb: &Mkb,
+    options: &HeuristicOptions,
+) -> Result<SyncOutcome, SyncError> {
+    match change {
+        SchemaChange::DeleteAttribute {
+            relation,
+            attribute,
+        } => {
+            let view = eve_esql::validate::validate(view)
+                .map_err(|e| SyncError::Validation(e.message))?;
+            let bindings: Vec<String> = view
+                .from
+                .iter()
+                .filter(|f| &f.relation == relation)
+                .map(|f| f.binding_name().to_owned())
+                .filter(|b| uses(&view, b, attribute))
+                .collect();
+            if bindings.is_empty() {
+                return Ok(SyncOutcome {
+                    affected: false,
+                    rewritings: Vec::new(),
+                });
+            }
+            let sync_opts = SyncOptions {
+                max_rewritings: options.max_candidates,
+                ..SyncOptions::default()
+            };
+            let candidates = repair_bindings(&view, &bindings, mkb, &sync_opts, |v, b| {
+                pruned_candidates(v, b, change, mkb, options)
+            });
+            Ok(finish(&view, candidates, &sync_opts))
+        }
+        SchemaChange::DeleteRelation { relation } => {
+            let view = eve_esql::validate::validate(view)
+                .map_err(|e| SyncError::Validation(e.message))?;
+            let bindings: Vec<String> = view
+                .from
+                .iter()
+                .filter(|f| &f.relation == relation)
+                .map(|f| f.binding_name().to_owned())
+                .collect();
+            if bindings.is_empty() {
+                return Ok(SyncOutcome {
+                    affected: false,
+                    rewritings: Vec::new(),
+                });
+            }
+            let sync_opts = SyncOptions {
+                max_rewritings: options.max_candidates,
+                ..SyncOptions::default()
+            };
+            let candidates = repair_bindings(&view, &bindings, mkb, &sync_opts, |v, b| {
+                pruned_candidates(v, b, change, mkb, options)
+            });
+            Ok(finish(&view, candidates, &sync_opts))
+        }
+        _ => synchronize(view, change, mkb, &SyncOptions::default()),
+    }
+}
+
+fn uses(view: &ViewDef, binding: &str, attr: &str) -> bool {
+    crate::synchronizer::uses_attr(view, binding, attr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_misd::{AttributeInfo, PcConstraint, PcRelationship, PcSide, RelationInfo};
+    use eve_relational::DataType;
+
+    /// Experiment-4-like space: R2 with substitutes of varying size spread
+    /// over fresh sites, plus one same-site substitute.
+    fn space() -> (Mkb, ViewDef) {
+        let mut m = Mkb::new();
+        for i in 1..=6u32 {
+            m.register_site(SiteId(i), format!("IS{i}")).unwrap();
+        }
+        let attrs = || {
+            vec![
+                AttributeInfo::new("A", DataType::Int),
+                AttributeInfo::new("B", DataType::Int),
+            ]
+        };
+        m.register_relation(RelationInfo::new("R1", SiteId(1), attrs(), 400))
+            .unwrap();
+        m.register_relation(RelationInfo::new("R2", SiteId(2), attrs(), 4000))
+            .unwrap();
+        // A substitute colocated with R1 (keeps the rewriting on one site),
+        // a far equal-size substitute, and far small/large ones.
+        for (name, site, card) in [
+            ("ColocR1", 1u32, 8000u64),
+            ("LocalSmall", 2, 2000),
+            ("FarExact", 3, 4000),
+            ("FarBig", 4, 8000),
+        ] {
+            m.register_relation(RelationInfo::new(name, SiteId(site), attrs(), card))
+                .unwrap();
+            m.add_pc_constraint(PcConstraint::new(
+                PcSide::projection("R2", &["A", "B"]),
+                PcRelationship::Equivalent,
+                PcSide::projection(name, &["A", "B"]),
+            ))
+            .unwrap();
+        }
+        let view = eve_esql::parse_view(
+            "CREATE VIEW V (VE = '~') AS \
+             SELECT R1.A, R2.B AS B2 (AR = true) \
+             FROM R1, R2 (RR = true) \
+             WHERE R1.A = R2.A",
+        )
+        .unwrap();
+        (m, view)
+    }
+
+    #[test]
+    fn heuristic_emits_capped_and_ordered_candidates() {
+        let (mkb, view) = space();
+        let change = SchemaChange::DeleteRelation {
+            relation: "R2".into(),
+        };
+        let outcome = synchronize_heuristic(
+            &view,
+            &change,
+            &mkb,
+            &HeuristicOptions {
+                max_candidates: 2,
+                site_weight: 0.7,
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.rewritings.len(), 2);
+        // First pick with a dominant site weight: the substitute colocated
+        // with R1 — the rewriting then spans a single site (the §7.3
+        // priority), even though its size diverges most.
+        let first = outcome.rewritings[0]
+            .view
+            .from
+            .iter()
+            .find(|f| f.relation != "R1")
+            .unwrap()
+            .relation
+            .clone();
+        assert_eq!(first, "ColocR1");
+    }
+
+    #[test]
+    fn size_heuristic_wins_when_site_weight_low() {
+        let (mkb, view) = space();
+        let change = SchemaChange::DeleteRelation {
+            relation: "R2".into(),
+        };
+        let outcome = synchronize_heuristic(
+            &view,
+            &change,
+            &mkb,
+            &HeuristicOptions {
+                max_candidates: 1,
+                site_weight: 0.0,
+            },
+        )
+        .unwrap();
+        let first = outcome.rewritings[0]
+            .view
+            .from
+            .iter()
+            .find(|f| f.relation != "R1")
+            .unwrap()
+            .relation
+            .clone();
+        assert_eq!(first, "FarExact", "size distance 0 beats colocated 50%");
+    }
+
+    #[test]
+    fn heuristic_subset_of_exhaustive() {
+        let (mkb, view) = space();
+        let change = SchemaChange::DeleteRelation {
+            relation: "R2".into(),
+        };
+        let full = synchronize(&view, &change, &mkb, &SyncOptions::default()).unwrap();
+        let pruned = synchronize_heuristic(
+            &view,
+            &change,
+            &mkb,
+            &HeuristicOptions {
+                max_candidates: 2,
+                site_weight: 0.7,
+            },
+        )
+        .unwrap();
+        let full_set: std::collections::BTreeSet<String> =
+            full.rewritings.iter().map(|r| r.view.to_string()).collect();
+        for rw in &pruned.rewritings {
+            assert!(
+                full_set.contains(&rw.view.to_string()),
+                "pruned result not in exhaustive set"
+            );
+        }
+        assert!(pruned.rewritings.len() < full.rewritings.len());
+    }
+
+    #[test]
+    fn unaffected_views_pass_through() {
+        let (mkb, view) = space();
+        let outcome = synchronize_heuristic(
+            &view,
+            &SchemaChange::DeleteRelation {
+                relation: "FarBig".into(),
+            },
+            &mkb,
+            &HeuristicOptions::default(),
+        )
+        .unwrap();
+        assert!(!outcome.affected);
+    }
+
+    #[test]
+    fn delete_attribute_path_prunes_too() {
+        let (mkb, view) = space();
+        let change = SchemaChange::DeleteAttribute {
+            relation: "R2".into(),
+            attribute: "B".into(),
+        };
+        let full = synchronize(&view, &change, &mkb, &SyncOptions::default()).unwrap();
+        let pruned = synchronize_heuristic(
+            &view,
+            &change,
+            &mkb,
+            &HeuristicOptions {
+                max_candidates: 1,
+                site_weight: 0.7,
+            },
+        )
+        .unwrap();
+        assert!(full.rewritings.len() > 1);
+        assert_eq!(pruned.rewritings.len(), 1);
+    }
+
+    #[test]
+    fn renames_fall_through_to_exhaustive() {
+        let (mkb, view) = space();
+        let outcome = synchronize_heuristic(
+            &view,
+            &SchemaChange::RenameAttribute {
+                relation: "R2".into(),
+                from: "B".into(),
+                to: "B9".into(),
+            },
+            &mkb,
+            &HeuristicOptions::default(),
+        )
+        .unwrap();
+        assert!(outcome.affected);
+        assert_eq!(outcome.rewritings.len(), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Quality-preserving migration candidates.
+//!
+//! Beyond repairing *broken* views, the synchronization machinery can
+//! propose voluntary, **quality-neutral** moves: swapping a replaceable
+//! relation for an *equivalent* PC partner. The view interface and extent
+//! are provably unchanged (`≡` fragments, full attribute coverage, no
+//! dropped components), so the QC-Model's quality term is zero for every
+//! candidate — only maintenance cost differs, letting EVE migrate views to
+//! cheaper sources when the information space gains replicas (the engine's
+//! `rebalance_views`).
+
+use eve_esql::ViewDef;
+use eve_misd::{Mkb, PcRelationship};
+
+use crate::extent::ExtentRelationship;
+use crate::rewriting::{LegalRewriting, Provenance, RewriteAction};
+use crate::synchronizer::{build_swap, pc_partners, SyncError};
+
+/// Enumerates quality-neutral rewritings of a view: each replaces exactly
+/// one replaceable FROM item with an *equivalent* PC partner covering every
+/// attribute the view uses from it. The returned rewritings all have
+/// `extent == Equal` and a single-action provenance.
+///
+/// # Errors
+///
+/// [`SyncError::Validation`] for structurally invalid views.
+pub fn equivalent_swaps(view: &ViewDef, mkb: &Mkb) -> Result<Vec<LegalRewriting>, SyncError> {
+    let view = eve_esql::validate::validate(view).map_err(|e| SyncError::Validation(e.message))?;
+    let mut out = Vec::new();
+    for item in &view.from {
+        if !item.evolution.replaceable {
+            continue;
+        }
+        let binding = item.binding_name().to_owned();
+        for partner in pc_partners(mkb, &item.relation) {
+            if partner.relationship != PcRelationship::Equivalent {
+                continue;
+            }
+            let Some((new_view, actions, extent)) = build_swap(&view, &binding, &partner) else {
+                continue;
+            };
+            // Quality-neutral only: one swap action, equal extent, full
+            // interface preserved.
+            let clean = extent == ExtentRelationship::Equal
+                && actions.len() == 1
+                && matches!(actions[0], RewriteAction::SwappedRelation { .. })
+                && new_view.output_columns() == view.output_columns();
+            if clean {
+                out.push(LegalRewriting {
+                    view: new_view,
+                    provenance: Provenance { actions },
+                    extent,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_misd::{AttributeInfo, PcConstraint, PcSide, RelationInfo, SiteId};
+    use eve_relational::DataType;
+
+    fn space() -> Mkb {
+        let mut m = Mkb::new();
+        for i in 1..=3u32 {
+            m.register_site(SiteId(i), format!("IS{i}")).unwrap();
+        }
+        let attrs = || {
+            vec![
+                AttributeInfo::new("A", DataType::Int),
+                AttributeInfo::new("B", DataType::Int),
+            ]
+        };
+        m.register_relation(RelationInfo::new("R", SiteId(1), attrs(), 400))
+            .unwrap();
+        // Equivalent full replica and a subset replica.
+        m.register_relation(RelationInfo::new("Mirror", SiteId(2), attrs(), 400))
+            .unwrap();
+        m.add_pc_constraint(PcConstraint::new(
+            PcSide::projection("R", &["A", "B"]),
+            PcRelationship::Equivalent,
+            PcSide::projection("Mirror", &["A", "B"]),
+        ))
+        .unwrap();
+        m.register_relation(RelationInfo::new("Partial", SiteId(3), attrs(), 200))
+            .unwrap();
+        m.add_pc_constraint(PcConstraint::new(
+            PcSide::projection("Partial", &["A", "B"]),
+            PcRelationship::Subset,
+            PcSide::projection("R", &["A", "B"]),
+        ))
+        .unwrap();
+        // A replica that only covers A (insufficient for views using B).
+        m.register_relation(RelationInfo::new(
+            "Narrow",
+            SiteId(3),
+            vec![AttributeInfo::new("A", DataType::Int)],
+            400,
+        ))
+        .unwrap();
+        m.add_pc_constraint(PcConstraint::new(
+            PcSide::projection("R", &["A"]),
+            PcRelationship::Equivalent,
+            PcSide::projection("Narrow", &["A"]),
+        ))
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn only_equivalent_full_coverage_swaps_qualify() {
+        let mkb = space();
+        let view = eve_esql::parse_view(
+            "CREATE VIEW V (VE = '=') AS SELECT R.A, R.B FROM R (RR = true) \
+             WHERE R.B > 3",
+        )
+        .unwrap();
+        let swaps = equivalent_swaps(&view, &mkb).unwrap();
+        assert_eq!(swaps.len(), 1, "{swaps:?}");
+        assert_eq!(swaps[0].view.from[0].relation, "Mirror");
+        assert_eq!(swaps[0].extent, ExtentRelationship::Equal);
+        assert_eq!(swaps[0].view.output_columns(), vec!["A", "B"]);
+        assert_eq!(swaps[0].view.conditions[0].clause.to_string(), "Mirror.B > 3");
+    }
+
+    #[test]
+    fn narrow_replica_qualifies_when_view_needs_less() {
+        let mkb = space();
+        let view =
+            eve_esql::parse_view("CREATE VIEW V (VE = '=') AS SELECT R.A FROM R (RR = true)")
+                .unwrap();
+        let swaps = equivalent_swaps(&view, &mkb).unwrap();
+        let targets: Vec<&str> = swaps
+            .iter()
+            .map(|s| s.view.from[0].relation.as_str())
+            .collect();
+        assert!(targets.contains(&"Mirror"));
+        assert!(targets.contains(&"Narrow"));
+    }
+
+    #[test]
+    fn non_replaceable_items_stay_put() {
+        let mkb = space();
+        let view = eve_esql::parse_view("CREATE VIEW V (VE = '=') AS SELECT R.A FROM R").unwrap();
+        assert!(equivalent_swaps(&view, &mkb).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! Legal rewritings and their provenance.
+
+use std::fmt;
+
+use eve_esql::ViewDef;
+use eve_misd::PcRelationship;
+use eve_relational::PrimitiveClause;
+
+use crate::extent::ExtentRelationship;
+
+/// One elementary repair performed while synchronizing a view.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RewriteAction {
+    /// A dispensable SELECT item was removed (`AD = true`).
+    DroppedAttribute {
+        /// FROM binding the attribute came from.
+        binding: String,
+        /// Attribute name.
+        attribute: String,
+    },
+    /// A replaceable SELECT item was re-sourced from another relation
+    /// (`AR = true`, via a PC constraint).
+    ReplacedAttribute {
+        /// Old `binding.attribute`.
+        old: (String, String),
+        /// New `relation.attribute`.
+        new: (String, String),
+        /// PC relationship of the old fragment to the new one.
+        relationship: PcRelationship,
+    },
+    /// A dispensable WHERE conjunct was removed (`CD = true`).
+    DroppedCondition {
+        /// The removed clause.
+        clause: PrimitiveClause,
+    },
+    /// A replaceable WHERE conjunct had an attribute substituted
+    /// (`CR = true`).
+    RewroteCondition {
+        /// The old clause.
+        old: PrimitiveClause,
+        /// The new clause.
+        new: PrimitiveClause,
+    },
+    /// A dispensable FROM item (plus its attributes and conditions) was
+    /// removed (`RD = true`).
+    DroppedRelation {
+        /// The removed binding.
+        binding: String,
+        /// The base relation it referenced.
+        relation: String,
+    },
+    /// A replaceable FROM item was swapped for a PC partner (`RR = true`).
+    SwappedRelation {
+        /// The old binding name.
+        binding: String,
+        /// The old base relation.
+        old_relation: String,
+        /// The replacement relation.
+        new_relation: String,
+        /// PC relationship of the old relation to the new one.
+        relationship: PcRelationship,
+    },
+    /// A relation was added to FROM to host replacement attributes, joined
+    /// through a join constraint.
+    AddedJoinRelation {
+        /// The added relation.
+        relation: String,
+        /// Display form of the join clauses appended to WHERE.
+        join: String,
+    },
+    /// A component was renamed following a rename capability change.
+    Renamed {
+        /// Old name (qualified for attributes).
+        from: String,
+        /// New name.
+        to: String,
+    },
+}
+
+impl fmt::Display for RewriteAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteAction::DroppedAttribute { binding, attribute } => {
+                write!(f, "drop attribute {binding}.{attribute}")
+            }
+            RewriteAction::ReplacedAttribute {
+                old,
+                new,
+                relationship,
+            } => write!(
+                f,
+                "replace attribute {}.{} with {}.{} ({} fragment)",
+                old.0, old.1, new.0, new.1, relationship
+            ),
+            RewriteAction::DroppedCondition { clause } => write!(f, "drop condition ({clause})"),
+            RewriteAction::RewroteCondition { old, new } => {
+                write!(f, "rewrite condition ({old}) as ({new})")
+            }
+            RewriteAction::DroppedRelation { binding, relation } => {
+                write!(f, "drop relation {relation} (binding {binding})")
+            }
+            RewriteAction::SwappedRelation {
+                binding,
+                old_relation,
+                new_relation,
+                relationship,
+            } => write!(
+                f,
+                "swap relation {old_relation} (binding {binding}) for {new_relation} ({relationship})"
+            ),
+            RewriteAction::AddedJoinRelation { relation, join } => {
+                write!(f, "add relation {relation} joined via {join}")
+            }
+            RewriteAction::Renamed { from, to } => write!(f, "rename {from} to {to}"),
+        }
+    }
+}
+
+/// The trail of repairs that produced one rewriting.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Provenance {
+    /// Actions in application order.
+    pub actions: Vec<RewriteAction>,
+}
+
+impl Provenance {
+    /// Number of recorded actions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether no action was needed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A legal rewriting: the new view definition, how it was obtained, and how
+/// its extent relates to the original view's extent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LegalRewriting {
+    /// The rewritten view definition (same view name as the original).
+    pub view: ViewDef,
+    /// The repair trail.
+    pub provenance: Provenance,
+    /// Extent relationship to the original view (already `VE`-checked).
+    pub extent: ExtentRelationship,
+}
+
+impl fmt::Display for LegalRewriting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "-- extent: {}; repairs: {}", self.extent, self.provenance)?;
+        write!(f, "{}", self.view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_display() {
+        let a = RewriteAction::DroppedAttribute {
+            binding: "R".into(),
+            attribute: "B".into(),
+        };
+        assert_eq!(a.to_string(), "drop attribute R.B");
+        let s = RewriteAction::SwappedRelation {
+            binding: "R".into(),
+            old_relation: "R".into(),
+            new_relation: "S".into(),
+            relationship: PcRelationship::Subset,
+        };
+        assert_eq!(s.to_string(), "swap relation R (binding R) for S (⊆)");
+    }
+
+    #[test]
+    fn provenance_display_joins_actions() {
+        let p = Provenance {
+            actions: vec![
+                RewriteAction::DroppedCondition {
+                    clause: PrimitiveClause::lit(
+                        eve_relational::ColumnRef::parse("R.A"),
+                        eve_relational::CompOp::Gt,
+                        eve_relational::Value::Int(10),
+                    ),
+                },
+                RewriteAction::Renamed {
+                    from: "R.A".into(),
+                    to: "R.B".into(),
+                },
+            ],
+        };
+        assert_eq!(
+            p.to_string(),
+            "drop condition (R.A > 10); rename R.A to R.B"
+        );
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+}

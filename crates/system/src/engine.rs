@@ -1,0 +1,1106 @@
+//! The end-to-end EVE engine (paper Fig. 1).
+//!
+//! Wires all components together: information sources register relations
+//! (data at [`SimSite`]s, metadata in the [`Mkb`]); users define E-SQL views
+//! whose extents are materialized in the warehouse; data updates flow
+//! through the view maintainer; capability changes flow through view
+//! synchronization, QC-Model ranking and rewriting adoption.
+
+use std::collections::BTreeMap;
+
+use eve_esql::ViewDef;
+use eve_misd::{Mkb, RelationInfo, SchemaChange, SiteId};
+use eve_qc::cost::{cost_factors, CostFactors};
+use eve_qc::{
+    plans_for_view, rank_rewritings, workload, QcParams, ScoredRewriting, SelectionStrategy,
+    WorkloadModel,
+};
+use eve_relational::{Relation, Value};
+use eve_sync::{synchronize, SyncOptions};
+
+use crate::error::{Error, Result};
+use crate::maintainer::{maintain_view, DataUpdate, MaintenanceTrace};
+use crate::site::SimSite;
+
+/// A materialized view: definition + warehouse extent.
+#[derive(Debug, Clone)]
+pub struct MaterializedView {
+    /// Current (possibly evolved) definition.
+    pub def: ViewDef,
+    /// Materialized extent (bag semantics).
+    pub extent: Relation,
+}
+
+/// Outcome of a capability change for one view.
+#[derive(Debug, Clone)]
+pub struct EvolutionReport {
+    /// The view's name.
+    pub view_name: String,
+    /// Whether the change affected the view at all.
+    pub affected: bool,
+    /// Whether the view survived (unaffected, or a rewriting was adopted).
+    pub survived: bool,
+    /// Number of legal rewritings the synchronizer generated.
+    pub candidates: usize,
+    /// The adopted rewriting with its QC assessment, if any.
+    pub adopted: Option<ScoredRewriting>,
+}
+
+/// The EVE engine.
+#[derive(Debug, Clone)]
+pub struct EveEngine {
+    mkb: Mkb,
+    sites: BTreeMap<u32, SimSite>,
+    views: BTreeMap<String, MaterializedView>,
+    /// Synchronizer options.
+    pub sync_options: SyncOptions,
+    /// QC-Model parameters.
+    pub qc_params: QcParams,
+    /// Workload model for cost aggregation.
+    pub workload: WorkloadModel,
+    /// How the engine picks among legal rewritings.
+    pub strategy: SelectionStrategy,
+}
+
+impl Default for EveEngine {
+    fn default() -> Self {
+        EveEngine::new()
+    }
+}
+
+impl EveEngine {
+    /// An engine with paper-default parameters and QC-best selection.
+    #[must_use]
+    pub fn new() -> EveEngine {
+        EveEngine {
+            mkb: Mkb::new(),
+            sites: BTreeMap::new(),
+            views: BTreeMap::new(),
+            sync_options: SyncOptions::default(),
+            qc_params: QcParams::default(),
+            workload: WorkloadModel::SingleUpdate,
+            strategy: SelectionStrategy::QcBest,
+        }
+    }
+
+    /// The meta knowledge base.
+    #[must_use]
+    pub fn mkb(&self) -> &Mkb {
+        &self.mkb
+    }
+
+    /// Mutable MKB access (to add constraints and selectivities).
+    pub fn mkb_mut(&mut self) -> &mut Mkb {
+        &mut self.mkb
+    }
+
+    /// Registers an information source.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate site ids.
+    pub fn add_site(&mut self, id: SiteId, name: impl Into<String>) -> Result<()> {
+        let name = name.into();
+        self.mkb.register_site(id, name.clone())?;
+        self.sites.insert(id.0, SimSite::new(id, name));
+        Ok(())
+    }
+
+    /// Registers a relation: metadata into the MKB, extent at its site.
+    /// The extent's schema must match the declared attributes.
+    ///
+    /// # Errors
+    ///
+    /// Unknown site, duplicate names, schema mismatches.
+    pub fn register_relation(&mut self, info: RelationInfo, extent: Relation) -> Result<()> {
+        if extent.schema().arity() != info.attributes.len() {
+            return Err(Error::State {
+                detail: format!(
+                    "extent of `{}` has {} columns, declaration has {}",
+                    info.name,
+                    extent.schema().arity(),
+                    info.attributes.len()
+                ),
+            });
+        }
+        for (col, attr) in extent.schema().columns().iter().zip(&info.attributes) {
+            if col.ty != attr.ty {
+                return Err(Error::State {
+                    detail: format!(
+                        "extent column `{}` of `{}` is {}, declared {}",
+                        col.column, info.name, col.ty, attr.ty
+                    ),
+                });
+            }
+        }
+        let site_id = info.site;
+        let bfr = info.blocking_factor;
+        let mut named = extent;
+        named.set_name(info.name.clone());
+        self.mkb.register_relation(info)?;
+        let site = self.sites.get_mut(&site_id.0).ok_or_else(|| Error::State {
+            detail: format!("site {site_id} not registered with the engine"),
+        })?;
+        site.host(named, bfr)?;
+        Ok(())
+    }
+
+    /// Gathers the base extents a view needs.
+    fn extents_for(&self, view: &ViewDef) -> Result<BTreeMap<String, Relation>> {
+        let mut resolved: BTreeMap<String, Relation> = BTreeMap::new();
+        for item in &view.from {
+            if resolved.contains_key(&item.relation) {
+                continue;
+            }
+            let info = self.mkb.relation(&item.relation)?;
+            let site = self.sites.get(&info.site.0).ok_or_else(|| Error::State {
+                detail: format!("unknown site {}", info.site),
+            })?;
+            resolved.insert(item.relation.clone(), site.relation(&item.relation)?.clone());
+        }
+        Ok(resolved)
+    }
+
+    /// Evaluates a view definition against the current information space
+    /// (no materialization, no accounting).
+    ///
+    /// # Errors
+    ///
+    /// Validation/state/relational failures.
+    pub fn evaluate(&self, view: &ViewDef) -> Result<Relation> {
+        let extents = self.extents_for(view)?;
+        crate::query::evaluate_view(view, &extents)
+    }
+
+    /// Validates a view against the MKB: relations registered, attributes
+    /// exist, clause types check out.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Validation`] with the first problem found.
+    pub fn check_view(&self, view: &ViewDef) -> Result<ViewDef> {
+        let view =
+            eve_esql::validate::validate(view).map_err(|e| Error::Validation(e.message))?;
+        for item in &view.from {
+            let info = self.mkb.relation(&item.relation)?;
+            for sel in view.select_items_of(item.binding_name()) {
+                if !info.has_attribute(&sel.attr.name) {
+                    return Err(Error::Validation(format!(
+                        "`{}` has no attribute `{}`",
+                        item.relation, sel.attr.name
+                    )));
+                }
+            }
+        }
+        for cond in &view.conditions {
+            for col in cond.clause.columns() {
+                let Some(binding) = col.qualifier.as_deref() else {
+                    continue;
+                };
+                let Some(item) = view.from_item(binding) else {
+                    continue;
+                };
+                let info = self.mkb.relation(&item.relation)?;
+                if !info.has_attribute(&col.name) {
+                    return Err(Error::Validation(format!(
+                        "`{}` has no attribute `{}`",
+                        item.relation, col.name
+                    )));
+                }
+            }
+        }
+        Ok(view)
+    }
+
+    /// Defines a view from E-SQL source text, materializing its extent.
+    ///
+    /// # Errors
+    ///
+    /// Parse/validation/evaluation failures, or a duplicate view name.
+    pub fn define_view_sql(&mut self, sql: &str) -> Result<&MaterializedView> {
+        let view = eve_esql::parse_view(sql)?;
+        self.define_view(view)
+    }
+
+    /// Defines a view, materializing its extent in the warehouse.
+    ///
+    /// # Errors
+    ///
+    /// Validation/evaluation failures, or a duplicate view name.
+    pub fn define_view(&mut self, view: ViewDef) -> Result<&MaterializedView> {
+        let view = self.check_view(&view)?;
+        if self.views.contains_key(&view.name) {
+            return Err(Error::State {
+                detail: format!("view `{}` already defined", view.name),
+            });
+        }
+        let extent = self.evaluate(&view)?;
+        let name = view.name.clone();
+        self.views
+            .insert(name.clone(), MaterializedView { def: view, extent });
+        Ok(&self.views[&name])
+    }
+
+    /// Looks up a materialized view.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::State`] when undefined.
+    pub fn view(&self, name: &str) -> Result<&MaterializedView> {
+        self.views.get(name).ok_or_else(|| Error::State {
+            detail: format!("no view named `{name}`"),
+        })
+    }
+
+    /// All materialized views, ordered by name.
+    pub fn views(&self) -> impl Iterator<Item = &MaterializedView> {
+        self.views.values()
+    }
+
+    /// Applies a data update at its source and incrementally maintains every
+    /// affected view, returning per-view traces.
+    ///
+    /// # Errors
+    ///
+    /// State/validation failures. The base update is applied first; views
+    /// are then maintained in name order.
+    pub fn notify_data_update(
+        &mut self,
+        update: &DataUpdate,
+    ) -> Result<Vec<(String, MaintenanceTrace)>> {
+        let info = self.mkb.relation(&update.relation)?;
+        let site_id = info.site.0;
+        // The maintenance walk joins deltas against the *post-update* base
+        // state for inserts processed after application; apply first, as the
+        // paper assumes update notifications follow the source change.
+        self.sites
+            .get_mut(&site_id)
+            .ok_or_else(|| Error::State {
+                detail: format!("unknown site {site_id}"),
+            })?
+            .apply_update(&update.relation, &update.inserts, &update.deletes)?;
+
+        let mut traces = Vec::new();
+        let names: Vec<String> = self.views.keys().cloned().collect();
+        for name in names {
+            let mut mv = self.views.remove(&name).expect("exists");
+            let trace = maintain_view(&mv.def, &mut mv.extent, update, &mut self.sites, &self.mkb)?;
+            self.views.insert(name.clone(), mv);
+            traces.push((name, trace));
+        }
+        Ok(traces)
+    }
+
+
+    /// Applies a batch of data updates in order, merging the per-view
+    /// traces (the paper's "cost for multiple updates can then be computed
+    /// by summing over all individual costs", §6.1).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first problematic update, leaving earlier ones applied.
+    pub fn notify_data_updates(
+        &mut self,
+        updates: &[DataUpdate],
+    ) -> Result<BTreeMap<String, MaintenanceTrace>> {
+        let mut merged: BTreeMap<String, MaintenanceTrace> = BTreeMap::new();
+        for update in updates {
+            for (view, trace) in self.notify_data_update(update)? {
+                let entry = merged.entry(view).or_default();
+                *entry = entry.merged(trace);
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Processes a capability change end-to-end (the paper's Fig. 1 loop):
+    ///
+    /// 1. every view is synchronized against the *pre-change* MKB,
+    /// 2. legal rewritings are ranked by the QC-Model and one is selected
+    ///    per the engine's [`SelectionStrategy`],
+    /// 3. the change is applied to the MKB and the hosting site
+    ///    (`new_extent` supplies the data for `add-relation`; added
+    ///    attributes backfill with type defaults),
+    /// 4. adopted rewritings are re-materialized; views with no legal
+    ///    rewriting are dropped from the warehouse.
+    ///
+    /// # Errors
+    ///
+    /// Synchronization, ranking, MKB or state failures.
+    pub fn notify_capability_change(
+        &mut self,
+        change: &SchemaChange,
+        new_extent: Option<Relation>,
+    ) -> Result<Vec<EvolutionReport>> {
+        // Ranking needs statistics for everything rewritings may reference:
+        // the pre-change MKB covers deleted components; renames additionally
+        // need the *new* name registered with the old statistics.
+        let mut rank_mkb = self.mkb.clone();
+        match change {
+            SchemaChange::RenameRelation { from, to } => {
+                let mut info = rank_mkb.relation(from)?.clone();
+                info.name = to.clone();
+                rank_mkb.register_relation(info)?;
+            }
+            SchemaChange::RenameAttribute { relation, from, to } => {
+                let attr = rank_mkb
+                    .relation(relation)?
+                    .attribute(from)
+                    .cloned()
+                    .ok_or_else(|| Error::State {
+                        detail: format!("`{relation}` has no attribute `{from}`"),
+                    })?;
+                rank_mkb.apply_change(&SchemaChange::AddAttribute {
+                    relation: relation.clone(),
+                    attribute: eve_misd::AttributeInfo {
+                        name: to.clone(),
+                        ty: attr.ty,
+                        byte_size: attr.byte_size,
+                    },
+                })?;
+            }
+            _ => {}
+        }
+
+        // Phase 1: synchronize + rank against the pre-change MKB.
+        let mut decisions: Vec<(String, EvolutionReport, Option<ViewDef>)> = Vec::new();
+        for (name, mv) in &self.views {
+            let outcome = synchronize(&mv.def, change, &self.mkb, &self.sync_options)?;
+            if !outcome.affected {
+                decisions.push((
+                    name.clone(),
+                    EvolutionReport {
+                        view_name: name.clone(),
+                        affected: false,
+                        survived: true,
+                        candidates: 0,
+                        adopted: None,
+                    },
+                    None,
+                ));
+                continue;
+            }
+            let scored = rank_rewritings(
+                &mv.def,
+                &outcome.rewritings,
+                &rank_mkb,
+                &self.qc_params,
+                self.workload,
+            )?;
+            let chosen = self.strategy.select(&scored).cloned();
+            let new_def = chosen.as_ref().map(|c| c.rewriting.view.clone());
+            decisions.push((
+                name.clone(),
+                EvolutionReport {
+                    view_name: name.clone(),
+                    affected: true,
+                    survived: chosen.is_some(),
+                    candidates: scored.len(),
+                    adopted: chosen,
+                },
+                new_def,
+            ));
+        }
+
+        // Phase 2: evolve the MKB and the information space.
+        self.apply_change_to_space(change, new_extent)?;
+        self.mkb.apply_change(change)?;
+
+        // Phase 3: adopt or drop.
+        let mut reports = Vec::new();
+        for (name, report, new_def) in decisions {
+            if !report.affected {
+                reports.push(report);
+                continue;
+            }
+            match new_def {
+                Some(def) => {
+                    let extent = self.evaluate(&def)?;
+                    let mut def = def;
+                    def.name = name.clone();
+                    self.views
+                        .insert(name.clone(), MaterializedView { def, extent });
+                }
+                None => {
+                    self.views.remove(&name);
+                }
+            }
+            reports.push(report);
+        }
+        Ok(reports)
+    }
+
+    fn apply_change_to_space(
+        &mut self,
+        change: &SchemaChange,
+        new_extent: Option<Relation>,
+    ) -> Result<()> {
+        match change {
+            SchemaChange::DeleteRelation { relation } => {
+                let site = self.mkb.relation(relation)?.site;
+                self.sites
+                    .get_mut(&site.0)
+                    .ok_or_else(|| Error::State {
+                        detail: format!("unknown site {site}"),
+                    })?
+                    .drop_relation(relation)?;
+            }
+            SchemaChange::AddRelation { relation } => {
+                let extent = new_extent.ok_or_else(|| Error::State {
+                    detail: format!("add-relation {} requires an extent", relation.name),
+                })?;
+                let site = self
+                    .sites
+                    .get_mut(&relation.site.0)
+                    .ok_or_else(|| Error::State {
+                        detail: format!("unknown site {}", relation.site),
+                    })?;
+                let mut named = extent;
+                named.set_name(relation.name.clone());
+                site.host(named, relation.blocking_factor)?;
+            }
+            SchemaChange::DeleteAttribute {
+                relation,
+                attribute,
+            } => {
+                let info = self.mkb.relation(relation)?;
+                let site_id = info.site.0;
+                let keep: Vec<eve_relational::ColumnRef> = info
+                    .attributes
+                    .iter()
+                    .filter(|a| &a.name != attribute)
+                    .map(|a| eve_relational::ColumnRef::bare(a.name.clone()))
+                    .collect();
+                let site = self.sites.get_mut(&site_id).ok_or_else(|| Error::State {
+                    detail: format!("unknown site {site_id}"),
+                })?;
+                let old = site.drop_relation(relation)?;
+                let mut projected = eve_relational::algebra::project(&old, &keep, false)?;
+                projected.set_name(relation.clone());
+                site.host(projected, info.blocking_factor)?;
+            }
+            SchemaChange::AddAttribute {
+                relation,
+                attribute,
+            } => {
+                let info = self.mkb.relation(relation)?;
+                let site_id = info.site.0;
+                let site = self.sites.get_mut(&site_id).ok_or_else(|| Error::State {
+                    detail: format!("unknown site {site_id}"),
+                })?;
+                let old = site.drop_relation(relation)?;
+                let default = match attribute.ty {
+                    eve_relational::DataType::Int => Value::Int(0),
+                    eve_relational::DataType::Float => Value::Float(0.0),
+                    eve_relational::DataType::Bool => Value::Bool(false),
+                    eve_relational::DataType::Text => Value::Text(String::new()),
+                };
+                let new_schema = old.schema().concat(&eve_relational::Schema::new(vec![
+                    eve_relational::ColumnDef::sized(
+                        eve_relational::ColumnRef::bare(attribute.name.clone()),
+                        attribute.ty,
+                        attribute.byte_size,
+                    ),
+                ])?)?;
+                let mut rebuilt = Relation::empty(relation.clone(), new_schema);
+                for t in old.tuples() {
+                    let mut vals = t.values().to_vec();
+                    vals.push(default.clone());
+                    rebuilt.insert(eve_relational::Tuple::new(vals))?;
+                }
+                site.host(rebuilt, info.blocking_factor)?;
+            }
+            SchemaChange::RenameAttribute { relation, from, to } => {
+                let info = self.mkb.relation(relation)?;
+                let site_id = info.site.0;
+                let site = self.sites.get_mut(&site_id).ok_or_else(|| Error::State {
+                    detail: format!("unknown site {site_id}"),
+                })?;
+                let old = site.drop_relation(relation)?;
+                let names: Vec<eve_relational::ColumnRef> = old
+                    .schema()
+                    .columns()
+                    .iter()
+                    .map(|c| {
+                        if c.column.name == *from {
+                            eve_relational::ColumnRef::bare(to.clone())
+                        } else {
+                            eve_relational::ColumnRef::bare(c.column.name.clone())
+                        }
+                    })
+                    .collect();
+                let mut renamed = eve_relational::algebra::rename_columns(&old, &names)?;
+                renamed.set_name(relation.clone());
+                site.host(renamed, info.blocking_factor)?;
+            }
+            SchemaChange::RenameRelation { from, to } => {
+                let info = self.mkb.relation(from)?;
+                let site_id = info.site.0;
+                let site = self.sites.get_mut(&site_id).ok_or_else(|| Error::State {
+                    detail: format!("unknown site {site_id}"),
+                })?;
+                let mut old = site.drop_relation(from)?;
+                old.set_name(to.clone());
+                site.host(old, info.blocking_factor)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Total block I/Os charged across all sites.
+    #[must_use]
+    pub fn total_io(&self) -> u64 {
+        self.sites.values().map(SimSite::io_count).sum()
+    }
+
+    /// Resets the I/O counters of all sites.
+    pub fn reset_io(&mut self) {
+        for s in self.sites.values_mut() {
+            s.reset_io();
+        }
+    }
+
+    /// Mutable access to the site map (for the experiment harness).
+    pub fn sites_mut(&mut self) -> &mut BTreeMap<u32, SimSite> {
+        &mut self.sites
+    }
+}
+
+
+/// Per-view maintenance cost assessment (analytic, Eq. 24 under the
+/// engine's workload model).
+#[derive(Debug, Clone)]
+pub struct ViewCostReport {
+    /// The view's name.
+    pub view_name: String,
+    /// Cost factors for each possible update origin.
+    pub per_origin: Vec<(String, CostFactors)>,
+    /// Total cost per time unit under the engine's workload model.
+    pub total_cost: f64,
+}
+
+/// Outcome of a cost-driven rebalancing pass for one view.
+#[derive(Debug, Clone)]
+pub struct MigrationReport {
+    /// The view's name.
+    pub view_name: String,
+    /// Whether a migration was committed.
+    pub migrated: bool,
+    /// The relation that was replaced (when migrated).
+    pub from_relation: Option<String>,
+    /// The replacement relation (when migrated).
+    pub to_relation: Option<String>,
+    /// Maintenance cost before the pass.
+    pub old_cost: f64,
+    /// Maintenance cost after the pass.
+    pub new_cost: f64,
+}
+
+impl EveEngine {
+    /// Analytic maintenance cost of every materialized view, per update
+    /// origin and in total under the configured workload model.
+    ///
+    /// # Errors
+    ///
+    /// MKB lookups for unregistered relations.
+    pub fn cost_report(&self) -> Result<Vec<ViewCostReport>> {
+        let mut out = Vec::new();
+        for mv in self.views.values() {
+            let plans = plans_for_view(&mv.def, &self.mkb)?;
+            let per_origin = plans
+                .iter()
+                .map(|(origin, plan)| (origin.clone(), cost_factors(plan, &self.qc_params)))
+                .collect();
+            let total_cost = workload::total_cost(&plans, self.workload, &self.qc_params);
+            out.push(ViewCostReport {
+                view_name: mv.def.name.clone(),
+                per_origin,
+                total_cost,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Cost-driven migration: for each view, considers quality-neutral
+    /// swaps onto *equivalent* replicas
+    /// ([`eve_sync::equivalent_swaps`]) and adopts the cheapest one
+    /// when it strictly undercuts the current maintenance cost. Before
+    /// committing, the candidate's materialized extent is checked to
+    /// coincide with the current one — a safety net against PC constraints
+    /// that disagree with the actual data.
+    ///
+    /// # Errors
+    ///
+    /// Synchronization/plan/state failures.
+    pub fn rebalance_views(&mut self) -> Result<Vec<MigrationReport>> {
+        let mut reports = Vec::new();
+        let names: Vec<String> = self.views.keys().cloned().collect();
+        for name in names {
+            let mv = self.views.get(&name).expect("exists").clone();
+            let current_plans = plans_for_view(&mv.def, &self.mkb)?;
+            let current_cost =
+                workload::total_cost(&current_plans, self.workload, &self.qc_params);
+            let mut best: Option<(f64, eve_sync::LegalRewriting)> = None;
+            for candidate in eve_sync::equivalent_swaps(&mv.def, &self.mkb)? {
+                let plans = plans_for_view(&candidate.view, &self.mkb)?;
+                let cost = workload::total_cost(&plans, self.workload, &self.qc_params);
+                if cost < current_cost - 1e-9
+                    && best.as_ref().is_none_or(|(c, _)| cost < *c)
+                {
+                    best = Some((cost, candidate));
+                }
+            }
+            match best {
+                Some((new_cost, candidate)) => {
+                    // Commit only when the data agrees with the constraint.
+                    let new_extent = self.evaluate(&candidate.view)?;
+                    let matches = eve_relational::common::measure_common_sizes(
+                        &mv.extent,
+                        &new_extent,
+                    )
+                    .map(|s| {
+                        s.original == s.overlap && s.rewriting == s.overlap
+                    })
+                    .unwrap_or(false);
+                    if !matches {
+                        reports.push(MigrationReport {
+                            view_name: name.clone(),
+                            migrated: false,
+                            from_relation: None,
+                            to_relation: None,
+                            old_cost: current_cost,
+                            new_cost: current_cost,
+                        });
+                        continue;
+                    }
+                    let (from_rel, to_rel) = match candidate.provenance.actions.first() {
+                        Some(eve_sync::RewriteAction::SwappedRelation {
+                            old_relation,
+                            new_relation,
+                            ..
+                        }) => (Some(old_relation.clone()), Some(new_relation.clone())),
+                        _ => (None, None),
+                    };
+                    let mut def = candidate.view;
+                    def.name = name.clone();
+                    self.views.insert(
+                        name.clone(),
+                        MaterializedView {
+                            def,
+                            extent: new_extent,
+                        },
+                    );
+                    reports.push(MigrationReport {
+                        view_name: name,
+                        migrated: true,
+                        from_relation: from_rel,
+                        to_relation: to_rel,
+                        old_cost: current_cost,
+                        new_cost,
+                    });
+                }
+                None => reports.push(MigrationReport {
+                    view_name: name,
+                    migrated: false,
+                    from_relation: None,
+                    to_relation: None,
+                    old_cost: current_cost,
+                    new_cost: current_cost,
+                }),
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Removes a materialized view from the warehouse.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::State`] when the view does not exist.
+    pub fn drop_view(&mut self, name: &str) -> Result<MaterializedView> {
+        self.views.remove(name).ok_or_else(|| Error::State {
+            detail: format!("no view named `{name}`"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_misd::{AttributeInfo, PcConstraint, PcRelationship, PcSide};
+    use eve_relational::{tup, DataType, Schema};
+
+    fn engine_with_travel_space() -> EveEngine {
+        let mut e = EveEngine::new();
+        e.add_site(SiteId(1), "customers-src").unwrap();
+        e.add_site(SiteId(2), "flights-src").unwrap();
+        e.add_site(SiteId(3), "tours-src").unwrap();
+
+        let customer_schema =
+            Schema::of(&[("Name", DataType::Text), ("Address", DataType::Text)]).unwrap();
+        e.register_relation(
+            RelationInfo::new(
+                "Customer",
+                SiteId(1),
+                vec![
+                    AttributeInfo::new("Name", DataType::Text),
+                    AttributeInfo::new("Address", DataType::Text),
+                ],
+                3,
+            ),
+            Relation::with_tuples(
+                "Customer",
+                customer_schema,
+                vec![tup!["ann", "12 Elm"], tup!["bob", "9 Oak"], tup!["cho", "3 Pine"]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+        let flight_schema =
+            Schema::of(&[("PName", DataType::Text), ("Dest", DataType::Text)]).unwrap();
+        e.register_relation(
+            RelationInfo::new(
+                "FlightRes",
+                SiteId(2),
+                vec![
+                    AttributeInfo::new("PName", DataType::Text),
+                    AttributeInfo::new("Dest", DataType::Text),
+                ],
+                3,
+            ),
+            Relation::with_tuples(
+                "FlightRes",
+                flight_schema,
+                vec![tup!["ann", "Asia"], tup!["bob", "Europe"], tup!["cho", "Asia"]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+        // A tour-booking source that mirrors customers (replacement pool).
+        let tour_schema =
+            Schema::of(&[("Client", DataType::Text), ("Residence", DataType::Text)]).unwrap();
+        e.register_relation(
+            RelationInfo::new(
+                "TourClient",
+                SiteId(3),
+                vec![
+                    AttributeInfo::new("Client", DataType::Text),
+                    AttributeInfo::new("Residence", DataType::Text),
+                ],
+                3,
+            ),
+            Relation::with_tuples(
+                "TourClient",
+                tour_schema,
+                vec![tup!["ann", "12 Elm"], tup!["bob", "9 Oak"], tup!["cho", "3 Pine"]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        e.mkb_mut()
+            .add_pc_constraint(PcConstraint::new(
+                PcSide::projection("Customer", &["Name", "Address"]),
+                PcRelationship::Equivalent,
+                PcSide::projection("TourClient", &["Client", "Residence"]),
+            ))
+            .unwrap();
+        e
+    }
+
+    const ASIA_VIEW: &str = "CREATE VIEW Asia-Customer (VE = '~') AS \
+        SELECT C.Name, C.Address \
+        FROM Customer C (RR = true), FlightRes F \
+        WHERE (C.Name = F.PName) AND (F.Dest = 'Asia')";
+
+    #[test]
+    fn define_and_query_view() {
+        let mut e = engine_with_travel_space();
+        let mv = e.define_view_sql(ASIA_VIEW).unwrap();
+        assert_eq!(mv.extent.cardinality(), 2);
+        assert!(e.define_view_sql(ASIA_VIEW).is_err(), "duplicate name");
+    }
+
+    #[test]
+    fn view_validation_against_mkb() {
+        let mut e = engine_with_travel_space();
+        let bad = "CREATE VIEW V AS SELECT C.Ghost FROM Customer C";
+        let err = e.define_view_sql(bad).unwrap_err();
+        assert!(err.to_string().contains("no attribute"), "{err}");
+        let bad = "CREATE VIEW V AS SELECT Z.A FROM Zilch Z";
+        assert!(e.define_view_sql(bad).is_err());
+    }
+
+    #[test]
+    fn data_update_maintains_views() {
+        let mut e = engine_with_travel_space();
+        e.define_view_sql(ASIA_VIEW).unwrap();
+        let update = DataUpdate::insert("FlightRes", vec![tup!["bob", "Asia"]]);
+        let traces = e.notify_data_update(&update).unwrap();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].1.view_inserts, 1);
+        assert!(e
+            .view("Asia-Customer")
+            .unwrap()
+            .extent
+            .contains(&tup!["bob", "9 Oak"]));
+    }
+
+    #[test]
+    fn capability_change_evolves_view() {
+        let mut e = engine_with_travel_space();
+        e.define_view_sql(ASIA_VIEW).unwrap();
+        // The Customer source withdraws: EVE swaps in TourClient.
+        let change = SchemaChange::DeleteRelation {
+            relation: "Customer".into(),
+        };
+        let reports = e.notify_capability_change(&change, None).unwrap();
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert!(r.affected && r.survived);
+        assert_eq!(r.candidates, 1);
+        let mv = e.view("Asia-Customer").unwrap();
+        assert!(mv.def.from.iter().any(|f| f.relation == "TourClient"));
+        // Interface preserved: output columns keep their names.
+        assert_eq!(mv.def.output_columns(), vec!["Name", "Address"]);
+        // Extent re-materialized over the substitute (equivalent data).
+        assert_eq!(mv.extent.distinct_cardinality(), 2);
+        assert!(mv.extent.contains(&tup!["ann", "12 Elm"]));
+        // The MKB no longer knows Customer.
+        assert!(!e.mkb().has_relation("Customer"));
+    }
+
+    #[test]
+    fn view_dies_without_replacements() {
+        let mut e = engine_with_travel_space();
+        // FlightRes is strict (not replaceable, not dispensable).
+        e.define_view_sql(ASIA_VIEW).unwrap();
+        let change = SchemaChange::DeleteRelation {
+            relation: "FlightRes".into(),
+        };
+        let reports = e.notify_capability_change(&change, None).unwrap();
+        assert!(reports[0].affected);
+        assert!(!reports[0].survived);
+        assert!(e.view("Asia-Customer").is_err(), "dead view dropped");
+    }
+
+    #[test]
+    fn unaffected_views_stay_put() {
+        let mut e = engine_with_travel_space();
+        e.define_view_sql(ASIA_VIEW).unwrap();
+        let change = SchemaChange::DeleteRelation {
+            relation: "TourClient".into(),
+        };
+        let reports = e.notify_capability_change(&change, None).unwrap();
+        assert!(!reports[0].affected);
+        assert!(reports[0].survived);
+        assert!(e.view("Asia-Customer").is_ok());
+    }
+
+    #[test]
+    fn rename_relation_keeps_view_running() {
+        let mut e = engine_with_travel_space();
+        e.define_view_sql(ASIA_VIEW).unwrap();
+        let change = SchemaChange::RenameRelation {
+            from: "FlightRes".into(),
+            to: "Bookings".into(),
+        };
+        let reports = e.notify_capability_change(&change, None).unwrap();
+        assert!(reports[0].survived);
+        let mv = e.view("Asia-Customer").unwrap();
+        assert!(mv.def.from.iter().any(|f| f.relation == "Bookings"));
+        assert_eq!(mv.extent.distinct_cardinality(), 2);
+        // Data updates keep flowing under the new name.
+        let update = DataUpdate::insert("Bookings", vec![tup!["bob", "Asia"]]);
+        let traces = e.notify_data_update(&update).unwrap();
+        assert_eq!(traces[0].1.view_inserts, 1);
+    }
+
+    #[test]
+    fn delete_attribute_projects_site_extent() {
+        let mut e = engine_with_travel_space();
+        let change = SchemaChange::DeleteAttribute {
+            relation: "TourClient".into(),
+            attribute: "Residence".into(),
+        };
+        e.notify_capability_change(&change, None).unwrap();
+        let site = &e.sites[&3];
+        assert_eq!(site.relation("TourClient").unwrap().schema().arity(), 1);
+    }
+
+    #[test]
+    fn add_relation_requires_extent() {
+        let mut e = engine_with_travel_space();
+        let change = SchemaChange::AddRelation {
+            relation: RelationInfo::new(
+                "Hotel",
+                SiteId(1),
+                vec![AttributeInfo::new("Name", DataType::Text)],
+                0,
+            ),
+        };
+        assert!(e.notify_capability_change(&change, None).is_err());
+        let extent = Relation::empty("Hotel", Schema::of(&[("Name", DataType::Text)]).unwrap());
+        let reports = e
+            .notify_capability_change(&change, Some(extent))
+            .unwrap();
+        assert!(reports.is_empty() || reports.iter().all(|r| !r.affected));
+        assert!(e.mkb().has_relation("Hotel"));
+    }
+
+    #[test]
+    fn add_attribute_backfills_defaults() {
+        let mut e = engine_with_travel_space();
+        let change = SchemaChange::AddAttribute {
+            relation: "Customer".into(),
+            attribute: AttributeInfo::new("Age", DataType::Int),
+        };
+        e.notify_capability_change(&change, None).unwrap();
+        let site = &e.sites[&1];
+        let rel = site.relation("Customer").unwrap();
+        assert_eq!(rel.schema().arity(), 3);
+        assert_eq!(rel.tuples()[0].get(2), &Value::Int(0));
+    }
+
+
+    #[test]
+    fn cost_report_covers_every_view_and_origin() {
+        let mut e = engine_with_travel_space();
+        e.define_view_sql(ASIA_VIEW).unwrap();
+        e.define_view_sql("CREATE VIEW Just (VE = '~') AS SELECT C.Name FROM Customer C")
+            .unwrap();
+        let report = e.cost_report().unwrap();
+        assert_eq!(report.len(), 2);
+        let asia = report
+            .iter()
+            .find(|r| r.view_name == "Asia-Customer")
+            .unwrap();
+        assert_eq!(asia.per_origin.len(), 2); // Customer + FlightRes origins
+        assert!(asia.total_cost > 0.0);
+        for (_, f) in &asia.per_origin {
+            assert!(f.messages >= 1.0);
+            assert!(f.transfer > 0.0);
+        }
+        // The single-relation view is cheaper to maintain than the join.
+        let just = report.iter().find(|r| r.view_name == "Just").unwrap();
+        assert!(just.total_cost < asia.total_cost);
+    }
+
+    #[test]
+    fn rebalance_migrates_to_cheaper_colocated_replica() {
+        let mut e = engine_with_travel_space();
+        e.define_view_sql(ASIA_VIEW).unwrap();
+        let before_extent = e.view("Asia-Customer").unwrap().extent.clone();
+
+        // No strictly cheaper equivalent exists yet: TourClient mirrors
+        // Customer at an equally-distant site.
+        let reports = e.rebalance_views().unwrap();
+        assert!(reports.iter().all(|r| !r.migrated));
+
+        // A new replica arrives with *narrower declared attributes* (a
+        // compact encoding): maintaining the view over it ships fewer bytes
+        // per delta, so it is strictly cheaper.
+        let passengers_schema =
+            Schema::of(&[("PName2", DataType::Text), ("PAddr", DataType::Text)]).unwrap();
+        e.notify_capability_change(
+            &SchemaChange::AddRelation {
+                relation: RelationInfo::new(
+                    "Passengers",
+                    SiteId(2),
+                    vec![
+                        AttributeInfo::sized("PName2", DataType::Text, 5),
+                        AttributeInfo::sized("PAddr", DataType::Text, 5),
+                    ],
+                    3,
+                ),
+            },
+            Some(
+                Relation::with_tuples(
+                    "Passengers",
+                    passengers_schema,
+                    vec![
+                        tup!["ann", "12 Elm"],
+                        tup!["bob", "9 Oak"],
+                        tup!["cho", "3 Pine"],
+                    ],
+                )
+                .unwrap(),
+            ),
+        )
+        .unwrap();
+        e.mkb_mut()
+            .add_pc_constraint(PcConstraint::new(
+                PcSide::projection("Customer", &["Name", "Address"]),
+                PcRelationship::Equivalent,
+                PcSide::projection("Passengers", &["PName2", "PAddr"]),
+            ))
+            .unwrap();
+
+        let reports = e.rebalance_views().unwrap();
+        let r = reports
+            .iter()
+            .find(|r| r.view_name == "Asia-Customer")
+            .unwrap();
+        assert!(r.migrated, "{r:?}");
+        assert_eq!(r.from_relation.as_deref(), Some("Customer"));
+        assert_eq!(r.to_relation.as_deref(), Some("Passengers"));
+        assert!(r.new_cost < r.old_cost);
+
+        // Interface and extent preserved.
+        let after = e.view("Asia-Customer").unwrap();
+        assert_eq!(after.def.output_columns(), vec!["Name", "Address"]);
+        assert_eq!(
+            before_extent.distinct().tuples(),
+            after.extent.distinct().tuples()
+        );
+        // The migrated view keeps working for updates.
+        let update = DataUpdate::insert("FlightRes", vec![tup!["bob", "Asia"]]);
+        let traces = e.notify_data_update(&update).unwrap();
+        assert_eq!(traces[0].1.view_inserts, 1);
+    }
+
+    #[test]
+    fn drop_view_removes_and_errors_on_missing() {
+        let mut e = engine_with_travel_space();
+        e.define_view_sql(ASIA_VIEW).unwrap();
+        let dropped = e.drop_view("Asia-Customer").unwrap();
+        assert_eq!(dropped.def.name, "Asia-Customer");
+        assert!(e.view("Asia-Customer").is_err());
+        assert!(e.drop_view("Asia-Customer").is_err());
+    }
+
+
+    #[test]
+    fn batch_updates_merge_traces() {
+        let mut e = engine_with_travel_space();
+        e.define_view_sql(ASIA_VIEW).unwrap();
+        let updates = [
+            DataUpdate::insert("FlightRes", vec![tup!["bob", "Asia"]]),
+            DataUpdate::insert("Customer", vec![tup!["eli", "5 Ash"]]),
+            DataUpdate::insert("FlightRes", vec![tup!["eli", "Asia"]]),
+        ];
+        let merged = e.notify_data_updates(&updates).unwrap();
+        let trace = &merged["Asia-Customer"];
+        assert_eq!(trace.view_inserts, 2); // bob and eli join the view
+        assert!(trace.messages >= 3); // at least one notification each
+        assert!(e
+            .view("Asia-Customer")
+            .unwrap()
+            .extent
+            .contains(&tup!["eli", "5 Ash"]));
+    }
+
+    #[test]
+    fn first_found_strategy_is_respected() {
+        let mut e = engine_with_travel_space();
+        e.strategy = SelectionStrategy::FirstFound;
+        e.define_view_sql(ASIA_VIEW).unwrap();
+        let change = SchemaChange::DeleteRelation {
+            relation: "Customer".into(),
+        };
+        let reports = e.notify_capability_change(&change, None).unwrap();
+        let adopted = reports[0].adopted.as_ref().unwrap();
+        assert_eq!(adopted.index, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # eve-system
+//!
+//! The executable EVE runtime (paper Fig. 1): a simulated multi-site
+//! information space with a materialized-view warehouse on top.
+//!
+//! Where `eve-qc` *predicts* maintenance costs analytically, this crate
+//! *executes* them: base relations live at [`site::SimSite`]s, views are
+//! evaluated by a real query processor ([`query`]), and data updates are
+//! propagated by the incremental view-maintenance walk of Algorithm 1
+//! ([`maintainer`]) while counting actual messages, bytes and block I/Os —
+//! the measured counterpart used to validate the analytic `CF_M`/`CF_T`/
+//! `CF_IO` factors.
+//!
+//! [`engine::EveEngine`] wires everything together: IS registration into the
+//! MKB, E-SQL view definition, update notifications routed to the view
+//! maintainer, and capability-change notifications routed through view
+//! synchronization + QC-Model ranking to adopt the best legal rewriting
+//! (completing the paper's Fig. 1 loop).
+//!
+//! [`scenario`] builds deterministic synthetic information spaces whose
+//! *measured* statistics (join matches per key, selectivities) equal the
+//! *declared* MKB statistics, so measured and analytic costs can be compared
+//! exactly.
+
+pub mod engine;
+pub mod error;
+pub mod maintainer;
+pub mod query;
+pub mod scenario;
+pub mod shell;
+pub mod site;
+
+pub use engine::{EveEngine, EvolutionReport};
+pub use error::{Error, Result};
+pub use maintainer::{DataUpdate, MaintenanceTrace};
+pub use shell::Shell;
+pub use site::SimSite;

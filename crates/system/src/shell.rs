@@ -1,0 +1,610 @@
+//! A line-oriented command interpreter over [`EveEngine`] — the interactive
+//! front-end used by `examples/eve_shell.rs`, and a convenient scripting
+//! surface for demos and tests.
+//!
+//! ```text
+//! site 1 customers
+//! relation Customer @1 (Name:text, City:text)
+//! insert Customer ('ann', 'Boston')
+//! pc Customer (Name, City) = Mirror (FullName, Town)
+//! view CREATE VIEW V (VE = '~') AS SELECT C.Name FROM Customer C (RR = true)
+//! update Customer insert ('bob', 'Worcester')
+//! change delete-relation Customer
+//! show views
+//! query V
+//! costs
+//! rebalance
+//! ```
+
+use eve_misd::{AttributeInfo, RelationInfo, SchemaChange, SiteId};
+use eve_relational::{ColumnDef, ColumnRef, DataType, Relation, Schema, Tuple, Value};
+
+use crate::engine::EveEngine;
+use crate::error::{Error, Result};
+use crate::maintainer::DataUpdate;
+
+/// The interactive shell: an [`EveEngine`] plus a command interpreter.
+#[derive(Debug, Default)]
+pub struct Shell {
+    engine: EveEngine,
+}
+
+impl Shell {
+    /// A shell over a fresh engine.
+    #[must_use]
+    pub fn new() -> Shell {
+        Shell {
+            engine: EveEngine::new(),
+        }
+    }
+
+    /// The wrapped engine.
+    #[must_use]
+    pub fn engine(&self) -> &EveEngine {
+        &self.engine
+    }
+
+    /// Mutable engine access.
+    pub fn engine_mut(&mut self) -> &mut EveEngine {
+        &mut self.engine
+    }
+
+    /// Executes one command line, returning the text to display.
+    ///
+    /// # Errors
+    ///
+    /// Any engine error; unknown commands and malformed arguments surface as
+    /// [`Error::State`] with a usage hint.
+    pub fn execute(&mut self, line: &str) -> Result<String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(String::new());
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd.to_ascii_lowercase().as_str() {
+            "help" => Ok(HELP.trim().to_owned()),
+            "site" => self.cmd_site(rest),
+            "relation" => self.cmd_relation(rest),
+            "insert" => self.cmd_seed(rest),
+            "pc" => self.cmd_pc(rest),
+            "jc" => self.cmd_jc(rest),
+            "view" => self.cmd_view(rest),
+            "update" => self.cmd_update(rest),
+            "change" => self.cmd_change(rest),
+            "query" => self.cmd_query(rest),
+            "show" => self.cmd_show(rest),
+            "costs" => self.cmd_costs(),
+            "rebalance" => self.cmd_rebalance(),
+            other => Err(usage(&format!(
+                "unknown command `{other}` — try `help`"
+            ))),
+        }
+    }
+
+    fn cmd_site(&mut self, rest: &str) -> Result<String> {
+        let mut parts = rest.split_whitespace();
+        let id: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| usage("site <id> <name>"))?;
+        let name = parts.next().ok_or_else(|| usage("site <id> <name>"))?;
+        self.engine.add_site(SiteId(id), name)?;
+        Ok(format!("registered site {id} ({name})"))
+    }
+
+    /// `relation Name @site (attr:type[:bytes], …) [sel=σ] [bfr=n]`
+    fn cmd_relation(&mut self, rest: &str) -> Result<String> {
+        const USAGE: &str = "relation <Name> @<site> (<attr>:<type>[:bytes], ...) [sel=σ] [bfr=n]";
+        let (head, attrs_and_opts) = rest.split_once('(').ok_or_else(|| usage(USAGE))?;
+        let mut head_parts = head.split_whitespace();
+        let name = head_parts.next().ok_or_else(|| usage(USAGE))?.to_owned();
+        let site: u32 = head_parts
+            .next()
+            .and_then(|s| s.strip_prefix('@'))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| usage(USAGE))?;
+        let (attr_list, opts) = attrs_and_opts.split_once(')').ok_or_else(|| usage(USAGE))?;
+
+        let mut attributes = Vec::new();
+        for spec in attr_list.split(',') {
+            let mut f = spec.trim().split(':');
+            let attr_name = f.next().filter(|s| !s.is_empty()).ok_or_else(|| usage(USAGE))?;
+            let ty = match f.next().map(str::to_ascii_lowercase).as_deref() {
+                Some("int") | None => DataType::Int,
+                Some("float") => DataType::Float,
+                Some("bool") => DataType::Bool,
+                Some("text") => DataType::Text,
+                Some(other) => return Err(usage(&format!("unknown type `{other}`"))),
+            };
+            let attr = match f.next() {
+                Some(bytes) => AttributeInfo::sized(
+                    attr_name,
+                    ty,
+                    bytes.trim().parse().map_err(|_| usage(USAGE))?,
+                ),
+                None => AttributeInfo::new(attr_name, ty),
+            };
+            attributes.push(attr);
+        }
+
+        let mut info = RelationInfo::new(name.clone(), SiteId(site), attributes, 0);
+        for opt in opts.split_whitespace() {
+            if let Some(v) = opt.strip_prefix("sel=") {
+                info.selectivity = v.parse().map_err(|_| usage(USAGE))?;
+            } else if let Some(v) = opt.strip_prefix("bfr=") {
+                info.blocking_factor = v.parse().map_err(|_| usage(USAGE))?;
+            } else if !opt.is_empty() {
+                return Err(usage(USAGE));
+            }
+        }
+
+        let schema = Schema::new(
+            info.attributes
+                .iter()
+                .map(|a| ColumnDef::sized(ColumnRef::bare(a.name.clone()), a.ty, a.byte_size))
+                .collect(),
+        )?;
+        let extent = Relation::empty(name.clone(), schema);
+        self.engine.register_relation(info, extent)?;
+        Ok(format!("registered relation {name} @ site {site}"))
+    }
+
+    /// Parses `('ann', 3, true)` into a tuple (types checked on insert).
+    fn parse_tuple(text: &str) -> Result<Tuple> {
+        let inner = text
+            .trim()
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+            .ok_or_else(|| usage("tuple must be parenthesized: (v1, v2, ...)"))?;
+        let mut values = Vec::new();
+        for field in split_top_level(inner) {
+            let f = field.trim();
+            let value = if let Some(s) = f.strip_prefix('\'').and_then(|s| s.strip_suffix('\'')) {
+                Value::Text(s.to_owned())
+            } else if f.eq_ignore_ascii_case("true") {
+                Value::Bool(true)
+            } else if f.eq_ignore_ascii_case("false") {
+                Value::Bool(false)
+            } else if let Ok(i) = f.parse::<i64>() {
+                Value::Int(i)
+            } else if let Ok(x) = f.parse::<f64>() {
+                Value::float(x)?
+            } else {
+                return Err(usage(&format!("cannot parse value `{f}`")));
+            };
+            values.push(value);
+        }
+        Ok(Tuple::new(values))
+    }
+
+    /// `insert <Relation> (v1, v2, …)` — seeds base data *without* view
+    /// maintenance (initial loading).
+    fn cmd_seed(&mut self, rest: &str) -> Result<String> {
+        let (rel, tuple_text) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| usage("insert <Relation> (v1, v2, ...)"))?;
+        let tuple = Self::parse_tuple(tuple_text)?;
+        let info = self.engine.mkb().relation(rel)?;
+        let site = info.site.0;
+        self.engine
+            .sites_mut()
+            .get_mut(&site)
+            .ok_or_else(|| Error::State {
+                detail: format!("unknown site {site}"),
+            })?
+            .apply_update(rel, &[tuple], &[])?;
+        Ok(format!("seeded 1 tuple into {rel}"))
+    }
+
+    /// `pc A (x, y) <=|=|>= B (u, v)` — containment constraint.
+    fn cmd_pc(&mut self, rest: &str) -> Result<String> {
+        const USAGE: &str = "pc <A> (attrs) <= | = | >= <B> (attrs)";
+        let (left, op, right) = split_constraint(rest).ok_or_else(|| usage(USAGE))?;
+        let parse_side = |s: &str| -> Result<eve_misd::PcSide> {
+            let (rel, attrs) = s.split_once('(').ok_or_else(|| usage(USAGE))?;
+            let attrs = attrs.trim().strip_suffix(')').ok_or_else(|| usage(USAGE))?;
+            let names: Vec<&str> = attrs.split(',').map(str::trim).collect();
+            Ok(eve_misd::PcSide::projection(rel.trim(), &names))
+        };
+        let relationship = match op {
+            "<=" => eve_misd::PcRelationship::Subset,
+            "=" => eve_misd::PcRelationship::Equivalent,
+            ">=" => eve_misd::PcRelationship::Superset,
+            _ => return Err(usage(USAGE)),
+        };
+        self.engine.mkb_mut().add_pc_constraint(eve_misd::PcConstraint::new(
+            parse_side(left)?,
+            relationship,
+            parse_side(right)?,
+        ))?;
+        Ok("registered PC constraint".to_owned())
+    }
+
+    /// `jc A.x = B.y`
+    fn cmd_jc(&mut self, rest: &str) -> Result<String> {
+        const USAGE: &str = "jc <A>.<x> = <B>.<y>";
+        let (l, r) = rest.split_once('=').ok_or_else(|| usage(USAGE))?;
+        let lref = ColumnRef::parse(l.trim());
+        let rref = ColumnRef::parse(r.trim());
+        let (Some(lq), Some(rq)) = (lref.qualifier.clone(), rref.qualifier.clone()) else {
+            return Err(usage(USAGE));
+        };
+        self.engine
+            .mkb_mut()
+            .add_join_constraint(eve_misd::JoinConstraint::new(
+                lq,
+                rq,
+                vec![eve_relational::PrimitiveClause::eq(lref, rref)],
+            ))?;
+        Ok("registered join constraint".to_owned())
+    }
+
+    fn cmd_view(&mut self, rest: &str) -> Result<String> {
+        let mv = self.engine.define_view_sql(rest)?;
+        Ok(format!(
+            "materialized view {} with {} rows",
+            mv.def.name,
+            mv.extent.cardinality()
+        ))
+    }
+
+    /// `update <Relation> insert|delete (v1, …)`
+    fn cmd_update(&mut self, rest: &str) -> Result<String> {
+        const USAGE: &str = "update <Relation> insert|delete (v1, v2, ...)";
+        let mut parts = rest.splitn(3, char::is_whitespace);
+        let rel = parts.next().ok_or_else(|| usage(USAGE))?;
+        let kind = parts.next().ok_or_else(|| usage(USAGE))?;
+        let tuple = Self::parse_tuple(parts.next().ok_or_else(|| usage(USAGE))?)?;
+        let update = match kind.to_ascii_lowercase().as_str() {
+            "insert" => DataUpdate::insert(rel, vec![tuple]),
+            "delete" => DataUpdate::delete(rel, vec![tuple]),
+            _ => return Err(usage(USAGE)),
+        };
+        let traces = self.engine.notify_data_update(&update)?;
+        let mut out = format!("update applied to {rel}");
+        for (view, t) in traces {
+            out.push_str(&format!(
+                "\n  {view}: {} msgs, {} bytes, {} I/Os, +{} −{} rows",
+                t.messages, t.bytes, t.ios, t.view_inserts, t.view_deletes
+            ));
+        }
+        Ok(out)
+    }
+
+    /// `change delete-relation R | delete-attribute R.A |
+    ///  rename-relation A B | rename-attribute R.A B`
+    fn cmd_change(&mut self, rest: &str) -> Result<String> {
+        const USAGE: &str = "change delete-relation <R> | delete-attribute <R>.<A> | \
+             rename-relation <A> <B> | rename-attribute <R>.<A> <B>";
+        let mut parts = rest.split_whitespace();
+        let kind = parts.next().ok_or_else(|| usage(USAGE))?;
+        let change = match kind.to_ascii_lowercase().as_str() {
+            "delete-relation" => SchemaChange::DeleteRelation {
+                relation: parts.next().ok_or_else(|| usage(USAGE))?.to_owned(),
+            },
+            "delete-attribute" => {
+                let c = ColumnRef::parse(parts.next().ok_or_else(|| usage(USAGE))?);
+                SchemaChange::DeleteAttribute {
+                    relation: c.qualifier.ok_or_else(|| usage(USAGE))?,
+                    attribute: c.name,
+                }
+            }
+            "rename-relation" => SchemaChange::RenameRelation {
+                from: parts.next().ok_or_else(|| usage(USAGE))?.to_owned(),
+                to: parts.next().ok_or_else(|| usage(USAGE))?.to_owned(),
+            },
+            "rename-attribute" => {
+                let c = ColumnRef::parse(parts.next().ok_or_else(|| usage(USAGE))?);
+                SchemaChange::RenameAttribute {
+                    relation: c.qualifier.ok_or_else(|| usage(USAGE))?,
+                    from: c.name,
+                    to: parts.next().ok_or_else(|| usage(USAGE))?.to_owned(),
+                }
+            }
+            _ => return Err(usage(USAGE)),
+        };
+        let reports = self.engine.notify_capability_change(&change, None)?;
+        let mut out = format!("applied {change}");
+        for r in reports {
+            if !r.affected {
+                continue;
+            }
+            if let Some(adopted) = &r.adopted {
+                out.push_str(&format!(
+                    "\n  {}: adopted rewriting (QC {:.4}, DD {:.4}) — {}",
+                    r.view_name, adopted.qc, adopted.divergence.dd, adopted.rewriting.provenance
+                ));
+            } else {
+                out.push_str(&format!("\n  {}: no legal rewriting — dropped", r.view_name));
+            }
+        }
+        Ok(out)
+    }
+
+    fn cmd_query(&mut self, rest: &str) -> Result<String> {
+        let mv = self.engine.view(rest.trim())?;
+        Ok(mv.extent.distinct().to_string())
+    }
+
+    fn cmd_show(&mut self, rest: &str) -> Result<String> {
+        match rest.trim().to_ascii_lowercase().as_str() {
+            "views" => {
+                let mut out = String::new();
+                for mv in self.engine.views() {
+                    out.push_str(&format!(
+                        "{} [{} rows]\n{}\n",
+                        mv.def.name,
+                        mv.extent.cardinality(),
+                        mv.def
+                    ));
+                }
+                Ok(if out.is_empty() { "(no views)".into() } else { out })
+            }
+            "relations" => {
+                let mut out = String::new();
+                for info in self.engine.mkb().relations() {
+                    out.push_str(&format!("{info}\n"));
+                }
+                Ok(if out.is_empty() { "(no relations)".into() } else { out })
+            }
+            "constraints" => {
+                let mut out = String::new();
+                for pc in self.engine.mkb().pc_constraints() {
+                    out.push_str(&format!("{pc}\n"));
+                }
+                for jc in self.engine.mkb().join_constraints() {
+                    out.push_str(&format!("{jc}\n"));
+                }
+                Ok(if out.is_empty() { "(no constraints)".into() } else { out })
+            }
+            other => Err(usage(&format!(
+                "show views|relations|constraints (got `{other}`)"
+            ))),
+        }
+    }
+
+    fn cmd_costs(&mut self) -> Result<String> {
+        let mut out = String::new();
+        for report in self.engine.cost_report()? {
+            out.push_str(&format!(
+                "{}: total {:.1}\n",
+                report.view_name, report.total_cost
+            ));
+            for (origin, f) in report.per_origin {
+                out.push_str(&format!(
+                    "  origin {origin}: CF_M {:.0}, CF_T {:.0}, CF_IO {:.0}\n",
+                    f.messages, f.transfer, f.io
+                ));
+            }
+        }
+        Ok(if out.is_empty() { "(no views)".into() } else { out })
+    }
+
+    fn cmd_rebalance(&mut self) -> Result<String> {
+        let mut out = String::new();
+        for r in self.engine.rebalance_views()? {
+            if r.migrated {
+                out.push_str(&format!(
+                    "{}: migrated {} → {} (cost {:.1} → {:.1})\n",
+                    r.view_name,
+                    r.from_relation.unwrap_or_default(),
+                    r.to_relation.unwrap_or_default(),
+                    r.old_cost,
+                    r.new_cost
+                ));
+            } else {
+                out.push_str(&format!("{}: no cheaper equivalent source\n", r.view_name));
+            }
+        }
+        Ok(if out.is_empty() { "(no views)".into() } else { out })
+    }
+}
+
+fn usage(msg: &str) -> Error {
+    Error::State {
+        detail: format!("usage: {msg}"),
+    }
+}
+
+/// Splits on commas that are not inside single quotes.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '\'' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() || !out.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Splits `A (…) OP B (…)` on the constraint operator outside parentheses.
+fn split_constraint(s: &str) -> Option<(&str, &str, &str)> {
+    let mut depth = 0i32;
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => depth -= 1,
+            b'<' | b'>' if depth == 0 && i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                return Some((&s[..i], &s[i..i + 2], &s[i + 2..]));
+            }
+            b'=' if depth == 0 => {
+                return Some((&s[..i], "=", &s[i + 1..]));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+const HELP: &str = "
+EVE shell commands:
+  site <id> <name>                         register an information source
+  relation <N> @<site> (a:type[:bytes], …) register a relation (empty extent)
+  insert <N> (v1, v2, …)                   seed base data (no maintenance)
+  pc <A> (attrs) <=|=|>= <B> (attrs)       containment constraint
+  jc <A>.<x> = <B>.<y>                     join constraint
+  view CREATE VIEW …                       define an E-SQL view
+  update <N> insert|delete (v1, …)         data update + view maintenance
+  change delete-relation <R> | delete-attribute <R>.<A>
+         | rename-relation <A> <B> | rename-attribute <R>.<A> <B>
+  query <View>                             print a view's extent
+  show views|relations|constraints         inspect the warehouse / MKB
+  costs                                    per-view analytic maintenance cost
+  rebalance                                migrate views to cheaper replicas
+  help                                     this text
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_shell() -> Shell {
+        let mut sh = Shell::new();
+        for cmd in [
+            "site 1 customers",
+            "site 2 flights",
+            "relation Customer @1 (Name:text, City:text)",
+            "relation FlightRes @2 (PName:text, Dest:text)",
+            "insert Customer ('ann', 'Boston')",
+            "insert Customer ('bob', 'Worcester')",
+            "insert FlightRes ('ann', 'Asia')",
+            "view CREATE VIEW V (VE = '~') AS SELECT C.Name FROM Customer C (RR = true), \
+             FlightRes F WHERE (C.Name = F.PName) AND (F.Dest = 'Asia')",
+        ] {
+            sh.execute(cmd).unwrap_or_else(|e| panic!("{cmd}: {e}"));
+        }
+        sh
+    }
+
+    #[test]
+    fn full_session_flows() {
+        let mut sh = seeded_shell();
+        let out = sh.execute("query V").unwrap();
+        assert!(out.contains("'ann'"), "{out}");
+        assert!(!out.contains("'bob'"));
+
+        let out = sh.execute("update FlightRes insert ('bob', 'Asia')").unwrap();
+        assert!(out.contains("+1"), "{out}");
+        assert!(sh.execute("query V").unwrap().contains("'bob'"));
+
+        let out = sh.execute("show views").unwrap();
+        assert!(out.contains("CREATE VIEW V"));
+        let out = sh.execute("show relations").unwrap();
+        assert!(out.contains("Customer"));
+        let out = sh.execute("costs").unwrap();
+        assert!(out.contains("V: total"));
+    }
+
+    #[test]
+    fn capability_change_through_shell() {
+        let mut sh = seeded_shell();
+        for cmd in [
+            "site 3 mirror",
+            "relation Members @3 (FullName:text, Town:text)",
+            "insert Members ('ann', 'Boston')",
+            "insert Members ('bob', 'Worcester')",
+            "pc Customer (Name, City) = Members (FullName, Town)",
+        ] {
+            sh.execute(cmd).unwrap();
+        }
+        let out = sh.execute("change delete-relation Customer").unwrap();
+        assert!(out.contains("adopted rewriting"), "{out}");
+        let out = sh.execute("query V").unwrap();
+        assert!(out.contains("'ann'"), "{out}");
+        let out = sh.execute("show constraints").unwrap();
+        assert!(!out.contains("Customer"), "constraints evolved: {out}");
+    }
+
+    #[test]
+    fn rename_and_delete_attribute_commands() {
+        let mut sh = seeded_shell();
+        let out = sh
+            .execute("change rename-attribute FlightRes.Dest Target")
+            .unwrap();
+        assert!(out.contains("change-attribute-name"), "{out}");
+        assert!(sh.execute("query V").unwrap().contains("'ann'"));
+        sh.execute("change rename-relation FlightRes Bookings").unwrap();
+        assert!(sh
+            .engine()
+            .mkb()
+            .has_relation("Bookings"));
+    }
+
+    #[test]
+    fn tuple_parsing_accepts_all_types() {
+        let t = Shell::parse_tuple("( 'a, b' , 7, -3, 2.5, true, false )").unwrap();
+        assert_eq!(t.arity(), 6);
+        assert_eq!(t.get(0), &Value::Text("a, b".into()));
+        assert_eq!(t.get(1), &Value::Int(7));
+        assert_eq!(t.get(2), &Value::Int(-3));
+        assert_eq!(t.get(3), &Value::Float(2.5));
+        assert_eq!(t.get(4), &Value::Bool(true));
+    }
+
+    #[test]
+    fn errors_carry_usage_hints() {
+        let mut sh = Shell::new();
+        for bad in [
+            "frobnicate",
+            "site one two",
+            "relation Broken",
+            "pc A B",
+            "update X teleport (1)",
+            "change explode R",
+            "show everything",
+        ] {
+            let err = sh.execute(bad).unwrap_err().to_string();
+            assert!(
+                err.contains("usage:") || err.contains("unknown"),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let mut sh = Shell::new();
+        assert_eq!(sh.execute("").unwrap(), "");
+        assert_eq!(sh.execute("   # a comment").unwrap(), "");
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let mut sh = Shell::new();
+        let help = sh.execute("help").unwrap();
+        for kw in ["site", "relation", "view", "update", "change", "rebalance"] {
+            assert!(help.contains(kw));
+        }
+    }
+
+    #[test]
+    fn relation_options_parse() {
+        let mut sh = Shell::new();
+        sh.execute("site 1 s").unwrap();
+        sh.execute("relation R @1 (K:int:50, P:float) sel=0.25 bfr=20")
+            .unwrap();
+        let info = sh.engine().mkb().relation("R").unwrap();
+        assert_eq!(info.attributes[0].byte_size, 50);
+        assert_eq!(info.attributes[1].ty, DataType::Float);
+        assert!((info.selectivity - 0.25).abs() < 1e-12);
+        assert_eq!(info.blocking_factor, 20);
+    }
+}

@@ -1,0 +1,54 @@
+//! Interactive EVE shell: drive the whole system from stdin.
+//!
+//! ```bash
+//! cargo run --example eve_shell
+//! # or scripted:
+//! cargo run --example eve_shell < script.eve
+//! ```
+//!
+//! Type `help` for the command list. A short session:
+//!
+//! ```text
+//! > site 1 customers
+//! > relation Customer @1 (Name:text, City:text)
+//! > insert Customer ('ann', 'Boston')
+//! > view CREATE VIEW V (VE = '~') AS SELECT C.Name FROM Customer C (RR = true)
+//! > query V
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use eve::system::Shell;
+
+fn main() -> io::Result<()> {
+    let mut shell = Shell::new();
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    let interactive = atty_guess();
+
+    if interactive {
+        println!("EVE shell — type `help` for commands, ctrl-D to exit.");
+    }
+    loop {
+        if interactive {
+            print!("> ");
+            stdout.flush()?;
+        }
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        match shell.execute(&line) {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) => println!("{out}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+/// Crude interactivity guess without extra dependencies: honour an explicit
+/// environment override, default to printing prompts.
+fn atty_guess() -> bool {
+    std::env::var("EVE_SHELL_QUIET").is_err()
+}

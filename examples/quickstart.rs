@@ -1,0 +1,138 @@
+//! Quickstart: the complete EVE loop in one sitting.
+//!
+//! 1. Register two information sources with data.
+//! 2. Define an E-SQL view with evolution preferences.
+//! 3. Push a data update through incremental view maintenance.
+//! 4. Let a source delete a relation and watch EVE synchronize the view,
+//!    rank the legal rewritings with the QC-Model and adopt the best one.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use eve::misd::{AttributeInfo, PcConstraint, PcRelationship, PcSide, RelationInfo, SchemaChange, SiteId};
+use eve::relational::{tup, DataType, Relation, Schema};
+use eve::system::{DataUpdate, EveEngine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut eve = EveEngine::new();
+
+    // ----- 1. Information sources register themselves ------------------
+    eve.add_site(SiteId(1), "customer-source")?;
+    eve.add_site(SiteId(2), "booking-source")?;
+    eve.add_site(SiteId(3), "loyalty-source")?;
+
+    eve.register_relation(
+        RelationInfo::new(
+            "Customer",
+            SiteId(1),
+            vec![
+                AttributeInfo::new("Name", DataType::Text),
+                AttributeInfo::new("City", DataType::Text),
+            ],
+            4,
+        ),
+        Relation::with_tuples(
+            "Customer",
+            Schema::of(&[("Name", DataType::Text), ("City", DataType::Text)])?,
+            vec![
+                tup!["ann", "Boston"],
+                tup!["bob", "Worcester"],
+                tup!["cho", "Ann Arbor"],
+                tup!["dee", "Boston"],
+            ],
+        )?,
+    )?;
+
+    eve.register_relation(
+        RelationInfo::new(
+            "FlightRes",
+            SiteId(2),
+            vec![
+                AttributeInfo::new("PName", DataType::Text),
+                AttributeInfo::new("Dest", DataType::Text),
+            ],
+            3,
+        ),
+        Relation::with_tuples(
+            "FlightRes",
+            Schema::of(&[("PName", DataType::Text), ("Dest", DataType::Text)])?,
+            vec![
+                tup!["ann", "Asia"],
+                tup!["bob", "Europe"],
+                tup!["cho", "Asia"],
+            ],
+        )?,
+    )?;
+
+    // A loyalty program mirrors the customer master data — recorded as a PC
+    // constraint so EVE can use it as a replacement pool.
+    eve.register_relation(
+        RelationInfo::new(
+            "Member",
+            SiteId(3),
+            vec![
+                AttributeInfo::new("FullName", DataType::Text),
+                AttributeInfo::new("Hometown", DataType::Text),
+            ],
+            4,
+        ),
+        Relation::with_tuples(
+            "Member",
+            Schema::of(&[("FullName", DataType::Text), ("Hometown", DataType::Text)])?,
+            vec![
+                tup!["ann", "Boston"],
+                tup!["bob", "Worcester"],
+                tup!["cho", "Ann Arbor"],
+                tup!["dee", "Boston"],
+            ],
+        )?,
+    )?;
+    eve.mkb_mut().add_pc_constraint(PcConstraint::new(
+        PcSide::projection("Customer", &["Name", "City"]),
+        PcRelationship::Equivalent,
+        PcSide::projection("Member", &["FullName", "Hometown"]),
+    ))?;
+
+    // ----- 2. A user defines an evolvable view --------------------------
+    let mv = eve.define_view_sql(
+        "CREATE VIEW Asia-Customer (VE = '~') AS \
+         SELECT C.Name, C.City (AD = true, AR = true) \
+         FROM Customer C (RR = true), FlightRes F \
+         WHERE (C.Name = F.PName) AND (F.Dest = 'Asia') (CD = true)",
+    )?;
+    println!("Materialized view:\n{}", mv.extent);
+
+    // ----- 3. Data updates flow through incremental maintenance ---------
+    let traces = eve.notify_data_update(&DataUpdate::insert(
+        "FlightRes",
+        vec![tup!["dee", "Asia"]],
+    ))?;
+    for (view, trace) in &traces {
+        println!(
+            "update propagated to `{view}`: {} messages, {} bytes, {} I/Os, +{} rows",
+            trace.messages, trace.bytes, trace.ios, trace.view_inserts
+        );
+    }
+    println!("\nAfter dee's booking:\n{}", eve.view("Asia-Customer")?.extent);
+
+    // ----- 4. A capability change hits the Customer source --------------
+    let reports = eve.notify_capability_change(
+        &SchemaChange::DeleteRelation {
+            relation: "Customer".into(),
+        },
+        None,
+    )?;
+    for report in &reports {
+        println!(
+            "view `{}`: affected={}, candidates={}, survived={}",
+            report.view_name, report.affected, report.candidates, report.survived
+        );
+        if let Some(adopted) = &report.adopted {
+            println!(
+                "adopted rewriting (QC = {:.4}, DD = {:.4}):\n{}",
+                adopted.qc, adopted.divergence.dd, adopted.rewriting.view
+            );
+        }
+    }
+    println!("\nView survives on the loyalty mirror:\n{}", eve.view("Asia-Customer")?.extent);
+    Ok(())
+}

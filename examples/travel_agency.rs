@@ -1,0 +1,188 @@
+//! The paper's motivating scenario (§1): a travel service aggregating
+//! flight and hotel information from autonomous WWW sources.
+//!
+//! "It is likely that one of the participants in the system (e.g., an
+//! airline company or a hotel chain) changes the type of services it
+//! supports. This would cause our algorithms to generate a number of
+//! suggestions for a new view query […] which would have to be compared
+//! against each other."
+//!
+//! Here two airlines and two hotel chains register overlapping inventories;
+//! the `AsiaTrips` package view survives an airline dropping its
+//! reservation feed, with the QC-Model choosing between replacement feeds of
+//! different size and placement. Run with `cargo run --example travel_agency`.
+
+use eve::misd::{
+    AttributeInfo, PcConstraint, PcRelationship, PcSide, RelationInfo, SchemaChange, SiteId,
+};
+use eve::qc::SelectionStrategy;
+use eve::relational::{tup, DataType, Relation, Schema};
+use eve::system::EveEngine;
+
+fn text_attr(name: &str) -> AttributeInfo {
+    AttributeInfo::new(name, DataType::Text)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut eve = EveEngine::new();
+    eve.add_site(SiteId(1), "pacific-air")?;
+    eve.add_site(SiteId(2), "global-air")?;
+    eve.add_site(SiteId(3), "lotus-hotels")?;
+    eve.add_site(SiteId(4), "sakura-hotels")?;
+
+    // Pacific Air: the primary flight feed.
+    eve.register_relation(
+        RelationInfo::new(
+            "PacificFlights",
+            SiteId(1),
+            vec![text_attr("Passenger"), text_attr("City")],
+            4,
+        ),
+        Relation::with_tuples(
+            "PacificFlights",
+            Schema::of(&[("Passenger", DataType::Text), ("City", DataType::Text)])?,
+            vec![
+                tup!["ann", "Tokyo"],
+                tup!["bob", "Kyoto"],
+                tup!["cho", "Tokyo"],
+                tup!["dee", "Osaka"],
+            ],
+        )?,
+    )?;
+
+    // Global Air code-shares a superset of Pacific's bookings.
+    eve.register_relation(
+        RelationInfo::new(
+            "GlobalFlights",
+            SiteId(2),
+            vec![text_attr("Traveller"), text_attr("Town")],
+            6,
+        ),
+        Relation::with_tuples(
+            "GlobalFlights",
+            Schema::of(&[("Traveller", DataType::Text), ("Town", DataType::Text)])?,
+            vec![
+                tup!["ann", "Tokyo"],
+                tup!["bob", "Kyoto"],
+                tup!["cho", "Tokyo"],
+                tup!["dee", "Osaka"],
+                tup!["eli", "Tokyo"],
+                tup!["fay", "Nara"],
+            ],
+        )?,
+    )?;
+    eve.mkb_mut().add_pc_constraint(PcConstraint::new(
+        PcSide::projection("PacificFlights", &["Passenger", "City"]),
+        PcRelationship::Subset,
+        PcSide::projection("GlobalFlights", &["Traveller", "Town"]),
+    ))?;
+
+    // Two hotel chains; Lotus covers the cities Pacific flies to.
+    eve.register_relation(
+        RelationInfo::new(
+            "LotusHotels",
+            SiteId(3),
+            vec![text_attr("HotelCity"), text_attr("Hotel")],
+            4,
+        ),
+        Relation::with_tuples(
+            "LotusHotels",
+            Schema::of(&[("HotelCity", DataType::Text), ("Hotel", DataType::Text)])?,
+            vec![
+                tup!["Tokyo", "Lotus Ginza"],
+                tup!["Kyoto", "Lotus Gion"],
+                tup!["Osaka", "Lotus Namba"],
+                tup!["Nara", "Lotus Park"],
+            ],
+        )?,
+    )?;
+    eve.register_relation(
+        RelationInfo::new(
+            "SakuraHotels",
+            SiteId(4),
+            vec![text_attr("Place"), text_attr("House")],
+            2,
+        ),
+        Relation::with_tuples(
+            "SakuraHotels",
+            Schema::of(&[("Place", DataType::Text), ("House", DataType::Text)])?,
+            vec![tup!["Tokyo", "Sakura East"], tup!["Kyoto", "Sakura River"]],
+        )?,
+    )?;
+    eve.mkb_mut().add_pc_constraint(PcConstraint::new(
+        PcSide::projection("SakuraHotels", &["Place"]),
+        PcRelationship::Subset,
+        PcSide::projection("LotusHotels", &["HotelCity"]),
+    ))?;
+
+    // The package view: who is flying where, and which hotel awaits them.
+    let mv = eve.define_view_sql(
+        "CREATE VIEW AsiaTrips (VE = '~') AS \
+         SELECT P.Passenger, P.City (AR = true), L.Hotel (AD = true, AR = true) \
+         FROM PacificFlights P (RR = true), LotusHotels L (RR = true) \
+         WHERE P.City = L.HotelCity",
+    )?;
+    println!("AsiaTrips packages:\n{}", mv.extent);
+
+    // Pacific Air discontinues its reservation feed.
+    println!("== capability change: Pacific Air deletes PacificFlights ==");
+    let reports = eve.notify_capability_change(
+        &SchemaChange::DeleteRelation {
+            relation: "PacificFlights".into(),
+        },
+        None,
+    )?;
+    let report = &reports[0];
+    println!(
+        "synchronizer produced {} legal rewriting(s); view survived: {}",
+        report.candidates, report.survived
+    );
+    if let Some(adopted) = &report.adopted {
+        println!(
+            "QC-Model adopted (QC = {:.4}, extent {}):\n{}",
+            adopted.qc, adopted.rewriting.extent, adopted.rewriting.view
+        );
+    }
+    println!(
+        "\nPackages now sourced from the code-share feed (superset — two new travellers appear):\n{}",
+        eve.view("AsiaTrips")?.extent
+    );
+
+    // Compare selection strategies for the next change.
+    println!("== strategy comparison for the Lotus Hotels shutdown ==");
+    for strategy in [
+        SelectionStrategy::QcBest,
+        SelectionStrategy::FirstFound,
+        SelectionStrategy::QualityOnly,
+        SelectionStrategy::CostOnly,
+    ] {
+        let mut probe = eve.clone();
+        probe.strategy = strategy;
+        let reports = probe.notify_capability_change(
+            &SchemaChange::DeleteRelation {
+                relation: "LotusHotels".into(),
+            },
+            None,
+        )?;
+        let report = &reports[0];
+        let choice = report
+            .adopted
+            .as_ref()
+            .map(|a| {
+                format!(
+                    "{} (QC {:.4})",
+                    a.rewriting
+                        .view
+                        .from
+                        .iter()
+                        .map(|f| f.relation.clone())
+                        .collect::<Vec<_>>()
+                        .join("⋈"),
+                    a.qc
+                )
+            })
+            .unwrap_or_else(|| "view dropped".to_owned());
+        println!("{strategy:?}: {choice}");
+    }
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! # EVE — Evolvable View Environment
+//!
+//! Facade crate for the reproduction of *"Data Warehouse Evolution:
+//! Trade-offs between Quality and Cost of Query Rewritings"* (Lee, Koeller,
+//! Nica, Rundensteiner; ICDE 1999).
+//!
+//! Re-exports every subsystem crate under one roof:
+//!
+//! * [`relational`] — in-memory relational engine substrate,
+//! * [`esql`] — the E-SQL view definition language with evolution preferences,
+//! * [`misd`] — information source descriptions and the Meta Knowledge Base,
+//! * [`sync`] — view synchronization (legal rewriting generation),
+//! * [`qc`] — the QC-Model ranking rewritings by quality and cost,
+//! * [`system`] — the simulated multi-site EVE runtime.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use eve_esql as esql;
+pub use eve_misd as misd;
+pub use eve_qc as qc;
+pub use eve_relational as relational;
+pub use eve_sync as sync;
+pub use eve_system as system;

@@ -1,0 +1,337 @@
+//! End-to-end engine scenarios spanning all crates: multiple views, mixed
+//! update/change streams, strategy effects, and maintenance consistency.
+
+use eve::misd::{
+    AttributeInfo, PcConstraint, PcRelationship, PcSide, RelationInfo, SchemaChange, SiteId,
+};
+use eve::qc::SelectionStrategy;
+use eve::relational::{tup, DataType, Relation, Schema, Tuple};
+use eve::system::{DataUpdate, EveEngine};
+
+fn text(name: &str) -> AttributeInfo {
+    AttributeInfo::new(name, DataType::Text)
+}
+
+fn int(name: &str) -> AttributeInfo {
+    AttributeInfo::new(name, DataType::Int)
+}
+
+/// Builds a three-source retail space: Orders (site 1), Items (site 2),
+/// ItemsMirror ⊇ Items (site 3).
+fn retail_engine() -> EveEngine {
+    let mut e = EveEngine::new();
+    e.add_site(SiteId(1), "orders").unwrap();
+    e.add_site(SiteId(2), "items").unwrap();
+    e.add_site(SiteId(3), "mirror").unwrap();
+
+    e.register_relation(
+        RelationInfo::new(
+            "Orders",
+            SiteId(1),
+            vec![int("Id"), text("Item"), int("Qty")],
+            4,
+        ),
+        Relation::with_tuples(
+            "Orders",
+            Schema::of(&[
+                ("Id", DataType::Int),
+                ("Item", DataType::Text),
+                ("Qty", DataType::Int),
+            ])
+            .unwrap(),
+            vec![
+                tup![1, "apple", 3],
+                tup![2, "pear", 1],
+                tup![3, "apple", 2],
+                tup![4, "plum", 9],
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+
+    let items_rows = vec![tup!["apple", 10], tup!["pear", 20], tup!["plum", 30]];
+    e.register_relation(
+        RelationInfo::new("Items", SiteId(2), vec![text("Name"), int("Price")], 3),
+        Relation::with_tuples(
+            "Items",
+            Schema::of(&[("Name", DataType::Text), ("Price", DataType::Int)]).unwrap(),
+            items_rows.clone(),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+
+    let mut mirror_rows = items_rows;
+    mirror_rows.push(tup!["quince", 40]);
+    e.register_relation(
+        RelationInfo::new(
+            "ItemsMirror",
+            SiteId(3),
+            vec![text("Label"), int("Cost")],
+            4,
+        ),
+        Relation::with_tuples(
+            "ItemsMirror",
+            Schema::of(&[("Label", DataType::Text), ("Cost", DataType::Int)]).unwrap(),
+            mirror_rows,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    e.mkb_mut()
+        .add_pc_constraint(PcConstraint::new(
+            PcSide::projection("Items", &["Name", "Price"]),
+            PcRelationship::Subset,
+            PcSide::projection("ItemsMirror", &["Label", "Cost"]),
+        ))
+        .unwrap();
+    e
+}
+
+const PRICED_ORDERS: &str = "CREATE VIEW PricedOrders (VE = '>=') AS \
+    SELECT O.Id, O.Item, I.Price (AR = true) \
+    FROM Orders O, Items I (RR = true) \
+    WHERE O.Item = I.Name";
+
+#[test]
+fn multiple_views_share_update_stream() {
+    let mut e = retail_engine();
+    e.define_view_sql(PRICED_ORDERS).unwrap();
+    e.define_view_sql(
+        "CREATE VIEW BigOrders (VE = '~') AS \
+         SELECT O.Id, O.Qty FROM Orders O WHERE O.Qty > 2",
+    )
+    .unwrap();
+
+    let traces = e
+        .notify_data_update(&DataUpdate::insert(
+            "Orders",
+            vec![tup![5, "pear", 7]],
+        ))
+        .unwrap();
+    assert_eq!(traces.len(), 2);
+    // Both views gained a row.
+    for (name, trace) in &traces {
+        assert_eq!(trace.view_inserts, 1, "{name}");
+    }
+    assert!(e.view("BigOrders").unwrap().extent.contains(&tup![5, 7]));
+    assert!(e
+        .view("PricedOrders")
+        .unwrap()
+        .extent
+        .contains(&tup![5, "pear", 20]));
+}
+
+#[test]
+fn incremental_maintenance_tracks_recomputation_across_mixed_stream() {
+    let mut e = retail_engine();
+    e.define_view_sql(PRICED_ORDERS).unwrap();
+    let updates = [
+        DataUpdate::insert("Orders", vec![tup![5, "quince", 1]]), // no price yet
+        DataUpdate::insert("Items", vec![tup!["quince", 40]]),    // now it joins 5
+        DataUpdate::delete("Orders", vec![tup![2, "pear", 1]]),
+        DataUpdate::insert("Orders", vec![tup![6, "apple", 5]]),
+    ];
+    for u in &updates {
+        e.notify_data_update(u).unwrap();
+    }
+    let maintained = e.view("PricedOrders").unwrap().extent.clone();
+    let recomputed = e.evaluate(&e.view("PricedOrders").unwrap().def).unwrap();
+    let mut a: Vec<Tuple> = maintained.tuples().to_vec();
+    let mut b: Vec<Tuple> = recomputed.tuples().to_vec();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+    // Note: the quince order joins only after the item appears.
+    assert!(maintained.contains(&tup![5, "quince", 40]));
+    assert!(!maintained.contains(&tup![2, "pear", 20]));
+}
+
+#[test]
+fn capability_change_preserves_subsequent_maintenance() {
+    let mut e = retail_engine();
+    e.define_view_sql(PRICED_ORDERS).unwrap();
+    // Items shuts down; the mirror takes over (superset — legal for VE ⊇).
+    let reports = e
+        .notify_capability_change(
+            &SchemaChange::DeleteRelation {
+                relation: "Items".into(),
+            },
+            None,
+        )
+        .unwrap();
+    assert!(reports[0].survived);
+    let def = e.view("PricedOrders").unwrap().def.clone();
+    assert!(def.from.iter().any(|f| f.relation == "ItemsMirror"));
+    // Updates against the new source still maintain the view.
+    e.notify_data_update(&DataUpdate::insert(
+        "ItemsMirror",
+        vec![tup!["rhubarb", 50]],
+    ))
+    .unwrap();
+    e.notify_data_update(&DataUpdate::insert(
+        "Orders",
+        vec![tup![7, "rhubarb", 2]],
+    ))
+    .unwrap();
+    assert!(e
+        .view("PricedOrders")
+        .unwrap()
+        .extent
+        .contains(&tup![7, "rhubarb", 50]));
+    // And incremental still equals recomputation.
+    let recomputed = e.evaluate(&e.view("PricedOrders").unwrap().def).unwrap();
+    assert_eq!(
+        e.view("PricedOrders").unwrap().extent.distinct().tuples(),
+        recomputed.distinct().tuples()
+    );
+}
+
+#[test]
+fn strategies_can_disagree_and_qc_best_wins_on_score() {
+    // A space where the quality-best and cost-best substitutes differ:
+    // big mirror (superset, pricey to maintain) vs small subset cache.
+    let mut e = retail_engine();
+    e.add_site(SiteId(4), "cache").unwrap();
+    e.register_relation(
+        RelationInfo::new(
+            "ItemsCache",
+            SiteId(4),
+            vec![text("CName"), int("CPrice")],
+            2,
+        ),
+        Relation::with_tuples(
+            "ItemsCache",
+            Schema::of(&[("CName", DataType::Text), ("CPrice", DataType::Int)]).unwrap(),
+            vec![tup!["apple", 10], tup!["pear", 20]],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    e.mkb_mut()
+        .add_pc_constraint(PcConstraint::new(
+            PcSide::projection("ItemsCache", &["CName", "CPrice"]),
+            PcRelationship::Subset,
+            PcSide::projection("Items", &["Name", "Price"]),
+        ))
+        .unwrap();
+
+    // VE '~' so both directions are legal.
+    let view_sql = "CREATE VIEW PricedOrders (VE = '~') AS \
+        SELECT O.Id, O.Item, I.Price (AR = true) \
+        FROM Orders O, Items I (RR = true) \
+        WHERE O.Item = I.Name";
+    let change = SchemaChange::DeleteRelation {
+        relation: "Items".into(),
+    };
+
+    let run = |strategy: SelectionStrategy| -> (String, f64) {
+        let mut probe = retail_space_with_cache();
+        probe.strategy = strategy;
+        probe.define_view_sql(view_sql).unwrap();
+        let reports = probe.notify_capability_change(&change, None).unwrap();
+        let adopted = reports[0].adopted.as_ref().unwrap();
+        let source = adopted
+            .rewriting
+            .view
+            .from
+            .iter()
+            .find(|f| f.relation != "Orders")
+            .unwrap()
+            .relation
+            .clone();
+        (source, adopted.qc)
+    };
+
+    fn retail_space_with_cache() -> EveEngine {
+        let mut e = retail_engine();
+        e.add_site(SiteId(4), "cache").unwrap();
+        e.register_relation(
+            RelationInfo::new(
+                "ItemsCache",
+                SiteId(4),
+                vec![text("CName"), int("CPrice")],
+                2,
+            ),
+            Relation::with_tuples(
+                "ItemsCache",
+                Schema::of(&[("CName", DataType::Text), ("CPrice", DataType::Int)]).unwrap(),
+                vec![tup!["apple", 10], tup!["pear", 20]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        e.mkb_mut()
+            .add_pc_constraint(PcConstraint::new(
+                PcSide::projection("ItemsCache", &["CName", "CPrice"]),
+                PcRelationship::Subset,
+                PcSide::projection("Items", &["Name", "Price"]),
+            ))
+            .unwrap();
+        e
+    }
+
+    let (qc_source, qc_score) = run(SelectionStrategy::QcBest);
+    let (cost_source, cost_score) = run(SelectionStrategy::CostOnly);
+    let (quality_source, _) = run(SelectionStrategy::QualityOnly);
+    // Quality-only prefers the larger (superset) mirror; cost-only the
+    // smaller cache.
+    assert_eq!(quality_source, "ItemsMirror");
+    assert_eq!(cost_source, "ItemsCache");
+    // QC-best never scores below any other strategy's pick.
+    assert!(qc_score >= cost_score, "{qc_source} vs {cost_source}");
+}
+
+#[test]
+fn dead_views_do_not_block_other_views() {
+    let mut e = retail_engine();
+    e.define_view_sql(PRICED_ORDERS).unwrap();
+    // This one depends strictly on Orders only.
+    e.define_view_sql(
+        "CREATE VIEW JustQty (VE = '~') AS SELECT O.Qty FROM Orders O",
+    )
+    .unwrap();
+    // Orders disappears: PricedOrders (strict Orders) and JustQty both die…
+    let reports = e
+        .notify_capability_change(
+            &SchemaChange::DeleteRelation {
+                relation: "Orders".into(),
+            },
+            None,
+        )
+        .unwrap();
+    assert_eq!(reports.len(), 2);
+    for r in &reports {
+        assert!(r.affected);
+        assert!(!r.survived, "{}", r.view_name);
+    }
+    assert!(e.view("PricedOrders").is_err());
+    assert!(e.view("JustQty").is_err());
+    // …but the engine remains usable.
+    e.define_view_sql("CREATE VIEW Prices (VE = '~') AS SELECT I.Price FROM Items I")
+        .unwrap();
+    assert_eq!(e.view("Prices").unwrap().extent.cardinality(), 3);
+}
+
+#[test]
+fn attribute_rename_is_transparent_to_users() {
+    let mut e = retail_engine();
+    e.define_view_sql(PRICED_ORDERS).unwrap();
+    let before = e.view("PricedOrders").unwrap().extent.clone();
+    let reports = e
+        .notify_capability_change(
+            &SchemaChange::RenameAttribute {
+                relation: "Items".into(),
+                from: "Price".into(),
+                to: "UnitPrice".into(),
+            },
+            None,
+        )
+        .unwrap();
+    assert!(reports[0].survived);
+    let after = e.view("PricedOrders").unwrap();
+    // Same data, same interface.
+    assert_eq!(after.extent.distinct().tuples(), before.distinct().tuples());
+    assert_eq!(after.def.output_columns(), vec!["Id", "Item", "Price"]);
+}

@@ -1,0 +1,266 @@
+//! The paper's worked examples (1–4), executed end-to-end across crates.
+
+use eve::esql::{parse_view, ViewExtent};
+use eve::misd::{
+    AttributeInfo, Mkb, PcConstraint, PcRelationship, PcSide, RelationInfo, SchemaChange, SiteId,
+};
+use eve::qc::quality::{dd_attr, interface_quality};
+use eve::qc::{rank_rewritings, QcParams, WorkloadModel};
+use eve::relational::{tup, DataType, Relation, Schema};
+use eve::sync::{synchronize, ExtentRelationship, SyncOptions};
+
+fn int_attr(name: &str) -> AttributeInfo {
+    AttributeInfo::new(name, DataType::Int)
+}
+
+/// Example 1 (§5.1): deleting `R.C` with no substitute drops the attribute;
+/// `V2` (also dropping the dispensable `B`) is dominated per §5.1's
+/// information-preservation order.
+#[test]
+fn example_1_drop_spectrum() {
+    let mut mkb = Mkb::new();
+    mkb.register_site(SiteId(1), "one").unwrap();
+    mkb.register_relation(RelationInfo::new(
+        "R",
+        SiteId(1),
+        vec![int_attr("A"), int_attr("B"), int_attr("C")],
+        100,
+    ))
+    .unwrap();
+    let v = parse_view(
+        "CREATE VIEW V (VE = '=') AS \
+         SELECT A, B (AD = true, AR = true), C (AD = true, AR = true) \
+         FROM R \
+         WHERE R.A > 10",
+    )
+    .unwrap();
+    let change = SchemaChange::DeleteAttribute {
+        relation: "R".into(),
+        attribute: "C".into(),
+    };
+    // Default options: only the maximal rewriting V1 (paper footnote 2
+    // marks the sub-drops as dominated).
+    let outcome = synchronize(&v, &change, &mkb, &SyncOptions::default()).unwrap();
+    assert_eq!(outcome.rewritings.len(), 1);
+    let v1 = &outcome.rewritings[0];
+    assert_eq!(v1.view.output_columns(), vec!["A", "B"]);
+    assert_eq!(v1.extent, ExtentRelationship::Equal); // legal under VE '='
+
+    // CVS-style enumeration also yields V2 = SELECT A.
+    let outcome = synchronize(
+        &v,
+        &change,
+        &mkb,
+        &SyncOptions {
+            enumerate_dispensable_drops: true,
+            ..SyncOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(outcome
+        .rewritings
+        .iter()
+        .any(|r| r.view.output_columns() == vec!["A"]));
+
+    // Example 3 (§5.4.1): DD_attr(V1) = 0.5 < DD_attr(V2) = 1 with the
+    // default weights.
+    let v1 = outcome
+        .rewritings
+        .iter()
+        .find(|r| r.view.output_columns() == vec!["A", "B"])
+        .unwrap();
+    let v2 = outcome
+        .rewritings
+        .iter()
+        .find(|r| r.view.output_columns() == vec!["A"])
+        .unwrap();
+    assert!((interface_quality(&v, 0.7, 0.3) - 1.4).abs() < 1e-12);
+    assert!((dd_attr(&v, &v1.view, 0.7, 0.3) - 0.5).abs() < 1e-12);
+    assert!((dd_attr(&v, &v2.view, 0.7, 0.3) - 1.0).abs() < 1e-12);
+}
+
+/// Example 2 (§5.1): interfaces and extents can rank incomparably — V1
+/// preserves fewer attributes but introduces less surplus; V2 preserves
+/// more attributes but more surplus. The QC-Model linearizes the choice.
+#[test]
+fn example_2_incomparable_rewritings_get_linearized() {
+    // Build V, V1, V2 extents as in our Fig. 5 reconstruction.
+    let v_ext = Relation::with_tuples(
+        "V",
+        Schema::of(&[
+            ("A", DataType::Int),
+            ("B", DataType::Int),
+            ("C", DataType::Int),
+            ("D", DataType::Int),
+        ])
+        .unwrap(),
+        vec![
+            tup![1, 1, 1, 2],
+            tup![1, 6, 3, 5],
+            tup![2, 2, 4, 6],
+            tup![2, 3, 1, 3],
+            tup![3, 9, 7, 9],
+            tup![3, 6, 5, 0],
+        ],
+    )
+    .unwrap();
+    let v1_ext = Relation::with_tuples(
+        "V1",
+        Schema::of(&[("A", DataType::Int), ("B", DataType::Int)]).unwrap(),
+        vec![tup![1, 1], tup![1, 6], tup![2, 2], tup![6, 4]],
+    )
+    .unwrap();
+    let v2_ext = Relation::with_tuples(
+        "V2",
+        Schema::of(&[
+            ("B", DataType::Int),
+            ("C", DataType::Int),
+            ("D", DataType::Int),
+        ])
+        .unwrap(),
+        vec![
+            tup![1, 1, 2],
+            tup![6, 3, 5],
+            tup![2, 4, 6],
+            tup![7, 6, 7],
+            tup![8, 1, 7],
+            tup![8, 7, 2],
+            tup![6, 4, 6],
+        ],
+    )
+    .unwrap();
+
+    let original = parse_view(
+        "CREATE VIEW V (VE = '~') AS \
+         SELECT R.A (AD = true, AR = true), R.B (AR = true), \
+                R.C (AD = true, AR = true), R.D (AD = true, AR = true) \
+         FROM R (RD = true, RR = true)",
+    )
+    .unwrap();
+    let v1_def = parse_view(
+        "CREATE VIEW V1 (VE = '~') AS \
+         SELECT S.A (AD = true, AR = true), S.B (AR = true) \
+         FROM S (RD = true, RR = true)",
+    )
+    .unwrap();
+    let v2_def = parse_view(
+        "CREATE VIEW V2 (VE = '~') AS \
+         SELECT T.B (AR = true), T.C (AD = true, AR = true), T.D (AD = true, AR = true) \
+         FROM T (RD = true, RR = true)",
+    )
+    .unwrap();
+
+    let params = QcParams::default();
+    let rep1 = eve::qc::quality::degree_of_divergence_measured(
+        &original, &v1_def, &v_ext, &v1_ext, &params,
+    )
+    .unwrap();
+    let rep2 = eve::qc::quality::degree_of_divergence_measured(
+        &original, &v2_def, &v_ext, &v2_ext, &params,
+    )
+    .unwrap();
+
+    // Interface: V2 preserves more (C and D are category 1; A too).
+    assert!(rep2.dd_attr < rep1.dd_attr, "{rep1:?} vs {rep2:?}");
+    // Extent: V1 introduces less surplus.
+    assert!(rep1.dd_ext < rep2.dd_ext, "{rep1:?} vs {rep2:?}");
+    // The combined DD linearizes the trade-off (with the default ρ_attr
+    // weighting, interface wins → V2 preferred).
+    assert!(rep2.dd < rep1.dd);
+}
+
+/// Example 4 (§5.4.3): `delete-relation R` repaired by swapping in `T` via
+/// the JC with `S`; the overlap estimate follows `js·|R ∩~ T|·|S|`.
+#[test]
+fn example_4_swap_through_join() {
+    let mut mkb = Mkb::new();
+    mkb.register_site(SiteId(1), "one").unwrap();
+    mkb.register_site(SiteId(2), "two").unwrap();
+    mkb.register_relation(RelationInfo::new("R", SiteId(1), vec![int_attr("A")], 1000))
+        .unwrap();
+    mkb.register_relation(RelationInfo::new(
+        "S",
+        SiteId(2),
+        vec![int_attr("A"), int_attr("B")],
+        2000,
+    ))
+    .unwrap();
+    mkb.register_relation(RelationInfo::new("T", SiteId(2), vec![int_attr("A")], 1500))
+        .unwrap();
+    // PC: R ⊆ T on A (T can replace R); JCs as in the example.
+    mkb.add_pc_constraint(PcConstraint::new(
+        PcSide::projection("R", &["A"]),
+        PcRelationship::Subset,
+        PcSide::projection("T", &["A"]),
+    ))
+    .unwrap();
+
+    let v = parse_view(
+        "CREATE VIEW V (VE = '>=') AS \
+         SELECT R.A (AR = true), S.B \
+         FROM R (RR = true), S \
+         WHERE R.A = S.A (CR = true)",
+    )
+    .unwrap();
+    assert_eq!(v.ve, ViewExtent::Superset);
+    let change = SchemaChange::DeleteRelation {
+        relation: "R".into(),
+    };
+    let outcome = synchronize(&v, &change, &mkb, &SyncOptions::default()).unwrap();
+    assert_eq!(outcome.rewritings.len(), 1);
+    let rw = &outcome.rewritings[0];
+    // The rewriting of Eq. 19: SELECT T.A, S.B FROM T, S WHERE T.A = S.A.
+    assert!(rw.view.from.iter().any(|f| f.relation == "T"));
+    assert_eq!(rw.view.conditions[0].clause.to_string(), "T.A = S.A");
+    // R ⊆ T ⇒ the new extent is a superset — exactly what VE '⊇' allows.
+    assert_eq!(rw.extent, ExtentRelationship::Superset);
+
+    // Extent divergence via the MKB estimate: D1 = 0 (superset),
+    // D2 = 1 − |R|/|T| = 1 − 1000/1500 = 1/3; DD_ext = ρ2 · 1/3.
+    let params = QcParams::default();
+    let rep =
+        eve::qc::quality::degree_of_divergence(&v, rw, &mkb, &params).unwrap();
+    assert!((rep.dd_ext - 0.5 / 3.0).abs() < 1e-9, "dd_ext = {}", rep.dd_ext);
+
+    // And the full ranking machinery accepts the single candidate.
+    let scored =
+        rank_rewritings(&v, &outcome.rewritings, &mkb, &params, WorkloadModel::SingleUpdate)
+            .unwrap();
+    assert_eq!(scored.len(), 1);
+    assert!(scored[0].qc > 0.9, "qc = {}", scored[0].qc);
+}
+
+/// The `VE` parameter gates legality exactly as Fig. 8/§5.4.2 prescribe.
+#[test]
+fn ve_legality_gates_example_4() {
+    let mut mkb = Mkb::new();
+    mkb.register_site(SiteId(1), "one").unwrap();
+    mkb.register_relation(RelationInfo::new("R", SiteId(1), vec![int_attr("A")], 1000))
+        .unwrap();
+    mkb.register_relation(RelationInfo::new("T", SiteId(1), vec![int_attr("A")], 1500))
+        .unwrap();
+    mkb.add_pc_constraint(PcConstraint::new(
+        PcSide::projection("R", &["A"]),
+        PcRelationship::Subset,
+        PcSide::projection("T", &["A"]),
+    ))
+    .unwrap();
+    let change = SchemaChange::DeleteRelation {
+        relation: "R".into(),
+    };
+    // The swap to T yields a superset extent: legal for VE ∈ {≈, ⊇},
+    // illegal for VE ∈ {≡, ⊆}.
+    for (ve, expect) in [("'~'", true), ("'>='", true), ("'='", false), ("'<='", false)] {
+        let v = parse_view(&format!(
+            "CREATE VIEW V (VE = {ve}) AS SELECT R.A (AR = true) FROM R (RR = true)"
+        ))
+        .unwrap();
+        let outcome = synchronize(&v, &change, &mkb, &SyncOptions::default()).unwrap();
+        assert_eq!(
+            !outcome.rewritings.is_empty(),
+            expect,
+            "VE {ve} should{} admit the superset swap",
+            if expect { "" } else { " not" }
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! Cross-crate property-based tests (proptest) on the model's invariants.
+
+use proptest::prelude::*;
+
+use eve::esql::{parse_view, AttrEvolution, CondEvolution, RelEvolution, ViewDef, ViewExtent};
+use eve::misd::{
+    AttributeInfo, Mkb, PcConstraint, PcRelationship, PcSide, RelationInfo, SchemaChange, SiteId,
+};
+use eve::qc::cost::{cf_io, cf_messages, cf_transfer};
+use eve::qc::rank::normalize_costs;
+use eve::qc::{rank_rewritings, IoBound, MaintenancePlan, QcParams, WorkloadModel};
+use eve::relational::{ColumnRef, CompOp, DataType, PrimitiveClause, Value};
+use eve::sync::{synchronize, SyncOptions};
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Z][a-z0-9]{0,6}".prop_map(|s| s)
+}
+
+fn attr_evolution() -> impl Strategy<Value = AttrEvolution> {
+    (any::<bool>(), any::<bool>()).prop_map(|(d, r)| AttrEvolution {
+        dispensable: d,
+        replaceable: r,
+    })
+}
+
+fn view_extent() -> impl Strategy<Value = ViewExtent> {
+    prop_oneof![
+        Just(ViewExtent::Approximate),
+        Just(ViewExtent::Equal),
+        Just(ViewExtent::Superset),
+        Just(ViewExtent::Subset),
+    ]
+}
+
+/// A random single-relation view over R(A0..A5) with random evolution
+/// parameters and conditions.
+fn arbitrary_view() -> impl Strategy<Value = ViewDef> {
+    (
+        ident(),
+        view_extent(),
+        prop::collection::vec((0usize..6, attr_evolution()), 1..5),
+        prop::collection::vec((0usize..6, 0i64..100, any::<bool>(), any::<bool>()), 0..3),
+    )
+        .prop_map(|(name, ve, attrs, conds)| {
+            let mut seen = std::collections::BTreeSet::new();
+            let select: Vec<eve::esql::SelectItem> = attrs
+                .into_iter()
+                .filter(|(i, _)| seen.insert(*i))
+                .map(|(i, ev)| eve::esql::SelectItem {
+                    attr: ColumnRef::qualified("R", format!("A{i}")),
+                    alias: None,
+                    evolution: ev,
+                })
+                .collect();
+            let conditions = conds
+                .into_iter()
+                .map(|(i, v, cd, cr)| eve::esql::ConditionItem {
+                    clause: PrimitiveClause::lit(
+                        ColumnRef::qualified("R", format!("A{i}")),
+                        CompOp::Gt,
+                        Value::Int(v),
+                    ),
+                    evolution: CondEvolution {
+                        dispensable: cd,
+                        replaceable: cr,
+                    },
+                })
+                .collect();
+            ViewDef {
+                name,
+                column_names: None,
+                ve,
+                select,
+                from: vec![eve::esql::FromItem {
+                    relation: "R".into(),
+                    alias: None,
+                    evolution: RelEvolution {
+                        dispensable: false,
+                        replaceable: true,
+                    },
+                }],
+                conditions,
+            }
+        })
+}
+
+/// An MKB with R(A0..A5) plus `replicas` PC partners covering all attrs.
+fn mkb_with_replicas(replicas: usize) -> Mkb {
+    let mut mkb = Mkb::new();
+    mkb.register_site(SiteId(1), "one").unwrap();
+    let attrs = || {
+        (0..6)
+            .map(|i| AttributeInfo::new(format!("A{i}"), DataType::Int))
+            .collect::<Vec<_>>()
+    };
+    mkb.register_relation(RelationInfo::new("R", SiteId(1), attrs(), 400))
+        .unwrap();
+    let names: Vec<String> = (0..6).map(|i| format!("A{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    for r in 0..replicas {
+        let site = SiteId(u32::try_from(r).unwrap() + 2);
+        mkb.register_site(site, format!("rep{r}")).unwrap();
+        let rel_name = format!("Rep{r}");
+        mkb.register_relation(RelationInfo::new(
+            &rel_name,
+            site,
+            attrs(),
+            400 + 100 * (r as u64),
+        ))
+        .unwrap();
+        mkb.add_pc_constraint(PcConstraint::new(
+            PcSide::projection("R", &name_refs),
+            PcRelationship::Equivalent,
+            PcSide::projection(&rel_name, &name_refs),
+        ))
+        .unwrap();
+    }
+    mkb
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // -------------------------------------------------------------------
+    // Parser: printing then reparsing is the identity.
+    // -------------------------------------------------------------------
+    #[test]
+    fn parser_roundtrip(view in arbitrary_view()) {
+        let printed = view.to_string();
+        let reparsed = parse_view(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(view, reparsed);
+    }
+
+    // -------------------------------------------------------------------
+    // Cost model: all factors are non-negative and finite; transfer and
+    // messages are monotone in the number of populated sites.
+    // -------------------------------------------------------------------
+    #[test]
+    fn cost_factors_are_finite_and_nonnegative(
+        dist in prop::collection::vec(1usize..5, 1..5),
+        js in 1e-4f64..0.02,
+    ) {
+        let plan = MaintenancePlan::uniform(&dist, js).unwrap();
+        for v in [
+            cf_messages(&plan, true),
+            cf_transfer(&plan),
+            cf_io(&plan, IoBound::Lower),
+            cf_io(&plan, IoBound::Upper),
+        ] {
+            prop_assert!(v.is_finite() && v >= 0.0, "factor {v}");
+        }
+        prop_assert!(cf_io(&plan, IoBound::Lower) <= cf_io(&plan, IoBound::Upper) + 1e-12);
+        prop_assert!(
+            cf_io(&plan, IoBound::Midpoint) <= cf_io(&plan, IoBound::Upper) + 1e-12
+        );
+    }
+
+    #[test]
+    fn splitting_a_site_never_reduces_transfer(
+        dist in prop::collection::vec(1usize..4, 2..5),
+    ) {
+        // Moving the last site's relations out to a fresh site adds a round
+        // trip: CF_T must not decrease.
+        let merged = {
+            let mut d = dist.clone();
+            let last = d.pop().unwrap();
+            *d.last_mut().unwrap() += last;
+            d
+        };
+        let split_plan = MaintenancePlan::uniform(&dist, 0.005).unwrap();
+        let merged_plan = MaintenancePlan::uniform(&merged, 0.005).unwrap();
+        prop_assert!(cf_transfer(&merged_plan) <= cf_transfer(&split_plan) + 1e-9);
+        prop_assert!(
+            cf_messages(&merged_plan, true) <= cf_messages(&split_plan, true) + 1e-9
+        );
+    }
+
+    // -------------------------------------------------------------------
+    // Normalization: outputs in [0, 1], min → 0, max → 1, order-preserving.
+    // -------------------------------------------------------------------
+    #[test]
+    fn normalization_bounds_and_monotonicity(
+        costs in prop::collection::vec(0.0f64..1e6, 1..10),
+    ) {
+        let normalized = normalize_costs(&costs);
+        prop_assert_eq!(normalized.len(), costs.len());
+        for v in &normalized {
+            prop_assert!((0.0..=1.0).contains(v), "normalized {v}");
+        }
+        for i in 0..costs.len() {
+            for j in 0..costs.len() {
+                if costs[i] < costs[j] {
+                    prop_assert!(normalized[i] <= normalized[j]);
+                }
+            }
+        }
+    }
+
+    // -------------------------------------------------------------------
+    // Synchronize + rank: every emitted rewriting is VE-legal, scores lie
+    // in [0, 1], the ranking is sorted, and all indispensable attributes
+    // survive in every rewriting.
+    // -------------------------------------------------------------------
+    #[test]
+    fn synchronization_and_ranking_invariants(
+        view in arbitrary_view(),
+        replicas in 0usize..3,
+        drop_attr in 0usize..6,
+    ) {
+        let mkb = mkb_with_replicas(replicas);
+        let change = SchemaChange::DeleteAttribute {
+            relation: "R".into(),
+            attribute: format!("A{drop_attr}"),
+        };
+        let outcome = synchronize(&view, &change, &mkb, &SyncOptions::default()).unwrap();
+        let params = QcParams::default();
+        let scored = rank_rewritings(
+            &view,
+            &outcome.rewritings,
+            &mkb,
+            &params,
+            WorkloadModel::SingleUpdate,
+        )
+        .unwrap();
+
+        // Indispensable attributes must survive in every rewriting.
+        let indispensable: Vec<&str> = view
+            .select
+            .iter()
+            .filter(|s| !s.evolution.dispensable)
+            .map(|s| s.output_name())
+            .collect();
+        for rw in &outcome.rewritings {
+            let outputs = rw.view.output_columns();
+            for attr in &indispensable {
+                prop_assert!(
+                    outputs.iter().any(|o| o == attr),
+                    "indispensable `{attr}` lost in {}",
+                    rw.view
+                );
+            }
+            prop_assert!(rw.extent.satisfies(view.ve), "illegal extent {}", rw.extent);
+        }
+
+        // Scores bounded and sorted.
+        let mut last = f64::INFINITY;
+        for s in &scored {
+            prop_assert!((0.0..=1.0).contains(&s.qc), "qc {}", s.qc);
+            prop_assert!((0.0..=1.0).contains(&s.divergence.dd));
+            prop_assert!((0.0..=1.0).contains(&s.divergence.dd_attr));
+            prop_assert!((0.0..=1.0).contains(&s.divergence.dd_ext));
+            prop_assert!((0.0..=1.0).contains(&s.normalized_cost));
+            prop_assert!(s.cost >= 0.0 && s.cost.is_finite());
+            prop_assert!(s.qc <= last + 1e-12, "not sorted");
+            last = s.qc;
+        }
+    }
+
+    // -------------------------------------------------------------------
+    // Renames are always survivable and quality-neutral.
+    // -------------------------------------------------------------------
+    #[test]
+    fn renames_are_lossless(view in arbitrary_view(), idx in 0usize..6) {
+        let mkb = mkb_with_replicas(0);
+        let change = SchemaChange::RenameAttribute {
+            relation: "R".into(),
+            from: format!("A{idx}"),
+            to: "Renamed".into(),
+        };
+        let outcome = synchronize(&view, &change, &mkb, &SyncOptions::default()).unwrap();
+        if outcome.affected {
+            prop_assert_eq!(outcome.rewritings.len(), 1);
+            let rw = &outcome.rewritings[0];
+            prop_assert_eq!(rw.extent, eve::sync::ExtentRelationship::Equal);
+            // Interface is fully preserved.
+            prop_assert_eq!(rw.view.output_columns(), view.output_columns());
+        }
+        prop_assert!(outcome.survives());
+    }
+
+    // -------------------------------------------------------------------
+    // More replicas never hurt: the rewriting count under delete-relation
+    // is monotone in the number of equivalent replicas.
+    // -------------------------------------------------------------------
+    #[test]
+    fn redundancy_is_monotone(view in arbitrary_view(), n in 1usize..3) {
+        let change = SchemaChange::DeleteRelation { relation: "R".into() };
+        let smaller = synchronize(
+            &view, &change, &mkb_with_replicas(n), &SyncOptions::default()
+        ).unwrap();
+        let larger = synchronize(
+            &view, &change, &mkb_with_replicas(n + 1), &SyncOptions::default()
+        ).unwrap();
+        prop_assert!(larger.rewritings.len() >= smaller.rewritings.len());
+    }
+}

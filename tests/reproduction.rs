@@ -1,0 +1,123 @@
+//! Reproduction assertions: the paper's tables and figures, to the digit
+//! where the paper pins digits, to the documented shape otherwise.
+//! (EXPERIMENTS.md records paper-vs-measured for each artifact.)
+
+use eve_bench::experiments::{
+    exp1_survival, exp2_sites, exp3_distribution, exp4_cardinality, exp5_workload, heuristics,
+    validation,
+};
+
+#[test]
+fn table4_qc_scores_exact() {
+    let rows = exp4_cardinality::table4(0.9, 0.1).unwrap();
+    let expected_qc = [0.9325, 0.94125, 0.95, 0.898, 0.855];
+    let expected_rating = [3, 2, 1, 4, 5];
+    for (i, row) in rows.iter().enumerate() {
+        assert!(
+            (row.qc - expected_qc[i]).abs() < 1e-9,
+            "{}: {} vs {}",
+            row.rewriting,
+            row.qc,
+            expected_qc[i]
+        );
+        assert_eq!(row.rating, expected_rating[i], "{}", row.rewriting);
+    }
+}
+
+#[test]
+fn table6_totals_exact() {
+    let rows = exp5_workload::table6(10.0);
+    let expected = [
+        (10.0, 30.0, 8000.0, 310.0),
+        (20.0, 92.0, 27200.0, 620.0),
+        (30.0, 186.0, 57600.0, 930.0),
+        (40.0, 312.0, 99200.0, 1240.0),
+        (50.0, 470.0, 152000.0, 1550.0),
+        (60.0, 660.0, 216000.0, 1860.0),
+    ];
+    for (row, (upd, m, t, io)) in rows.iter().zip(expected) {
+        assert!((row.updates - upd).abs() < 1e-9);
+        assert!((row.cf_m - m).abs() < 1e-6, "m={}: {}", row.sites, row.cf_m);
+        assert!((row.cf_t - t).abs() < 1e-6, "m={}: {}", row.sites, row.cf_t);
+        assert!((row.cf_io - io).abs() < 1e-6, "m={}: {}", row.sites, row.cf_io);
+    }
+}
+
+#[test]
+fn figure13_shape_messages_bytes_rise_io_flat() {
+    let rows = exp2_sites::figure13(&exp2_sites::Table1::default());
+    for w in rows.windows(2) {
+        assert!(w[0].messages < w[1].messages);
+        assert!(w[0].bytes < w[1].bytes);
+        assert!((w[0].io_lower - w[1].io_lower).abs() < 1e-9);
+    }
+    // Magnitudes as charted: bytes from ~800 to ~4000, messages 3 to 11.
+    assert!((rows[0].bytes - 800.0).abs() < 1e-9);
+    assert!(rows[5].bytes > 3000.0 && rows[5].bytes < 4000.0);
+}
+
+#[test]
+fn figure14_crossover_between_js_regimes() {
+    // js = 0.005: even 3/3 has the lowest worst-case; js = 0.001: the
+    // skewed group's average beats the even one.
+    let grow = exp3_distribution::figure14(0.005);
+    let g = |rows: &[exp3_distribution::Fig14Group], l: &str| {
+        rows.iter().find(|x| x.label == l).unwrap().clone()
+    };
+    assert!(g(&grow, "3/3").worst < g(&grow, "1/5").worst);
+    let shrink = exp3_distribution::figure14(0.001);
+    assert!(g(&shrink, "1/5").average < g(&shrink, "3/3").average);
+}
+
+#[test]
+fn figure15_winner_flips_with_trade_off() {
+    let fig = exp4_cardinality::figure15().unwrap();
+    let winner = |case: usize| -> &str {
+        fig.iter()
+            .max_by(|a, b| a.1[case].partial_cmp(&b.1[case]).unwrap())
+            .map(|(n, _)| n.as_str())
+            .unwrap()
+    };
+    assert_eq!(winner(0), "V3"); // quality-dominant
+    assert_eq!(winner(1), "V1"); // mixed
+    assert_eq!(winner(2), "V1"); // cost-heavy
+}
+
+#[test]
+fn figure12_replaceability_extends_lifetime() {
+    let steps = exp1_survival::figure12();
+    let w1_life = steps.iter().filter(|s| s.choice_w1.is_some()).count();
+    let w2_life = steps.iter().filter(|s| s.choice_w2.is_some()).count();
+    assert!(w1_life > w2_life);
+}
+
+#[test]
+fn table5_m1_keeps_table4_ranking() {
+    let rows = exp5_workload::table5().unwrap();
+    let best = rows.iter().find(|r| r.rating == 1).unwrap();
+    assert_eq!(best.rewriting, "V3");
+    assert_eq!(rows.iter().map(|r| r.rating).collect::<Vec<_>>(), vec![3, 2, 1, 4, 5]);
+}
+
+#[test]
+fn section_7_6_heuristics_all_hold() {
+    for check in heuristics::all_checks().unwrap() {
+        assert!(check.holds, "{}: {}", check.name, check.evidence);
+    }
+}
+
+#[test]
+fn measured_system_matches_analytic_model() {
+    for row in validation::validate_costs().unwrap() {
+        assert_eq!(row.messages.0, row.messages.1, "{}", row.distribution);
+        assert_eq!(row.bytes.0, row.bytes.1, "{}", row.distribution);
+        assert_eq!(row.io.0, row.io.1, "{}", row.distribution);
+    }
+}
+
+#[test]
+fn estimated_quality_matches_measured_on_chains() {
+    for row in validation::validate_quality(123).unwrap() {
+        assert!((row.estimated - row.measured).abs() < 1e-9, "{row:?}");
+    }
+}
