@@ -19,8 +19,14 @@ fn bench_fig15(c: &mut Criterion) {
         let params = QcParams::experiment4(0.9, 0.1);
         b.iter(|| {
             std::hint::black_box(
-                rank_rewritings(&view, &rewritings, &mkb, &params, WorkloadModel::SingleUpdate)
-                    .unwrap(),
+                rank_rewritings(
+                    &view,
+                    &rewritings,
+                    &mkb,
+                    &params,
+                    WorkloadModel::SingleUpdate,
+                )
+                .unwrap(),
             )
         });
     });

@@ -50,9 +50,7 @@ fn bench_maintenance(c: &mut Criterion) {
                 let (mut engine, view) = build_uniform_space(spec).unwrap();
                 let mkb = engine.mkb().clone();
                 b.iter(|| {
-                    std::hint::black_box(
-                        recompute_view(&view, engine.sites_mut(), &mkb).unwrap(),
-                    )
+                    std::hint::black_box(recompute_view(&view, engine.sites_mut(), &mkb).unwrap())
                 });
             },
         );

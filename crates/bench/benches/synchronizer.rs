@@ -56,19 +56,13 @@ fn bench_synchronizer(c: &mut Criterion) {
     let mut group = c.benchmark_group("synchronize/by_replicas");
     for replicas in [1usize, 4, 16, 64] {
         let mkb = space(replicas);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(replicas),
-            &mkb,
-            |b, mkb| {
-                let options = SyncOptions {
-                    max_rewritings: 256,
-                    ..SyncOptions::default()
-                };
-                b.iter(|| {
-                    std::hint::black_box(synchronize(&view, &change, mkb, &options).unwrap())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(replicas), &mkb, |b, mkb| {
+            let options = SyncOptions {
+                max_rewritings: 256,
+                ..SyncOptions::default()
+            };
+            b.iter(|| std::hint::black_box(synchronize(&view, &change, mkb, &options).unwrap()));
+        });
     }
     group.finish();
 

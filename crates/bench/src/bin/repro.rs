@@ -95,12 +95,19 @@ fn exp2() {
             .map(|d| {
                 format!(
                     "({})",
-                    d.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+                    d.iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",")
                 )
             })
             .collect::<Vec<_>>()
             .join(" ");
-        t.row(vec![m.to_string(), dists.len().to_string(), examples + " …"]);
+        t.row(vec![
+            m.to_string(),
+            dists.len().to_string(),
+            examples + " …",
+        ]);
     }
     println!("{}", t.render());
     println!("Figure 13 — per-update cost factors (averaged over distributions):");
@@ -137,7 +144,13 @@ fn exp3() {
     heading("Experiment 3 — Relation Distribution (Figure 14)");
     for js in exp3_distribution::FIG14_JS {
         println!("\nFigure 14, js = {js}:");
-        let mut t = TextTable::new(&["sites", "distribution", "best CF_T", "worst CF_T", "avg CF_T"]);
+        let mut t = TextTable::new(&[
+            "sites",
+            "distribution",
+            "best CF_T",
+            "worst CF_T",
+            "avg CF_T",
+        ]);
         for g in exp3_distribution::figure14(js) {
             t.row(vec![
                 g.sites.to_string(),
@@ -211,7 +224,15 @@ fn exp4() {
 fn exp5() {
     heading("Experiment 5 — Workload Models (Tables 5–6, Figure 16)");
     println!("Table 5 — workload model M1 (1 update per 100 tuples):");
-    let mut t = TextTable::new(&["rewriting", "DD", "cost/update", "#updates", "cost*", "QC", "rating"]);
+    let mut t = TextTable::new(&[
+        "rewriting",
+        "DD",
+        "cost/update",
+        "#updates",
+        "cost*",
+        "QC",
+        "rating",
+    ]);
     match exp5_workload::table5() {
         Ok(rows) => {
             for r in rows {
@@ -250,7 +271,11 @@ fn heuristics_report() {
         Ok(checks) => {
             let mut t = TextTable::new(&["heuristic", "holds", "evidence"]);
             for c in checks {
-                t.row(vec![c.name, if c.holds { "yes" } else { "NO" }.into(), c.evidence]);
+                t.row(vec![
+                    c.name,
+                    if c.holds { "yes" } else { "NO" }.into(),
+                    c.evidence,
+                ]);
             }
             println!("{}", t.render());
         }
@@ -319,7 +344,12 @@ fn regret() {
     heading("Strategy regret — QC-Model vs the pre-QC prototype (extension)");
     match strategy_regret::regret_report(60, 2024) {
         Ok(r) => {
-            let names = ["QC-best", "first-found (old prototype)", "quality-only", "cost-only"];
+            let names = [
+                "QC-best",
+                "first-found (old prototype)",
+                "quality-only",
+                "cost-only",
+            ];
             let mut t = TextTable::new(&["strategy", "mean QC", "mean regret vs QC-best"]);
             for (i, name) in names.iter().enumerate() {
                 t.row(vec![

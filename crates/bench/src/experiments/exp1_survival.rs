@@ -173,10 +173,19 @@ pub fn figure12() -> Vec<Fig12Step> {
     let track_w1 = run(0.7, 0.3);
     let track_w2 = run(0.3, 0.7);
     let len = track_w1.len().max(track_w2.len());
-    let labels = ["delete-attribute R.A", "delete adopted source", "delete adopted source", "delete adopted source"];
+    let labels = [
+        "delete-attribute R.A",
+        "delete adopted source",
+        "delete adopted source",
+        "delete adopted source",
+    ];
     for i in 0..len {
         steps.push(Fig12Step {
-            change: labels.get(i).copied().unwrap_or("delete adopted source").to_owned(),
+            change: labels
+                .get(i)
+                .copied()
+                .unwrap_or("delete adopted source")
+                .to_owned(),
             choice_w1: track_w1.get(i).cloned().flatten(),
             choice_w2: track_w2.get(i).cloned().flatten(),
         });

@@ -111,7 +111,6 @@ pub fn plan_for(distribution: &[usize], params: &Table1) -> MaintenancePlan {
     plan
 }
 
-
 /// One sensitivity-sweep row (extension): Fig. 13's bytes series under
 /// varied join selectivity and cardinality.
 #[derive(Debug, Clone, PartialEq)]
@@ -181,7 +180,12 @@ mod tests {
         // distribution: 31 I/Os per update at the Eq. 33 lower bound.
         let rows = figure13(&Table1::default());
         for r in &rows {
-            assert!((r.io_lower - 31.0).abs() < 1e-9, "m = {}: {}", r.sites, r.io_lower);
+            assert!(
+                (r.io_lower - 31.0).abs() < 1e-9,
+                "m = {}: {}",
+                r.sites,
+                r.io_lower
+            );
             assert!((r.io_upper - 62.0).abs() < 1e-9);
         }
     }
@@ -205,7 +209,6 @@ mod tests {
         assert_eq!(counts, vec![1, 5, 10, 10, 5, 1]);
     }
 
-
     #[test]
     fn sensitivity_shape_tracks_delta_growth() {
         let rows = sensitivity(&[0.001, 0.005], &[100.0, 400.0, 1600.0]);
@@ -213,10 +216,7 @@ mod tests {
         for row in &rows {
             assert_eq!(row.bytes_by_sites.len(), 6);
             let growth = 0.5 * row.js * row.cardinality; // σ·js·|R|
-            let increasing = row
-                .bytes_by_sites
-                .windows(2)
-                .all(|w| w[0] <= w[1] + 1e-9);
+            let increasing = row.bytes_by_sites.windows(2).all(|w| w[0] <= w[1] + 1e-9);
             if growth >= 1.0 {
                 assert!(increasing, "growth {growth}: {row:?}");
             }
@@ -224,8 +224,14 @@ mod tests {
             assert!(row.bytes_by_sites.iter().all(|&b| b >= 100.0));
         }
         // Bigger relations cost strictly more at every m (fixed js ≥ 1/σ|R|).
-        let small = rows.iter().find(|r| r.js == 0.005 && r.cardinality == 400.0).unwrap();
-        let big = rows.iter().find(|r| r.js == 0.005 && r.cardinality == 1600.0).unwrap();
+        let small = rows
+            .iter()
+            .find(|r| r.js == 0.005 && r.cardinality == 400.0)
+            .unwrap();
+        let big = rows
+            .iter()
+            .find(|r| r.js == 0.005 && r.cardinality == 1600.0)
+            .unwrap();
         for (a, b) in small.bytes_by_sites.iter().zip(&big.bytes_by_sites) {
             assert!(a < b);
         }

@@ -123,7 +123,13 @@ fn substitute_of(rw: &LegalRewriting) -> String {
 pub fn table4(rho_quality: f64, rho_cost: f64) -> eve_qc::Result<Vec<Table4Row>> {
     let (view, rewritings, mkb) = setup();
     let params = QcParams::experiment4(rho_quality, rho_cost);
-    let scored = rank_rewritings(&view, &rewritings, &mkb, &params, WorkloadModel::SingleUpdate)?;
+    let scored = rank_rewritings(
+        &view,
+        &rewritings,
+        &mkb,
+        &params,
+        WorkloadModel::SingleUpdate,
+    )?;
     // Ratings from the QC order; rows presented in V1..V5 order.
     let mut rows: Vec<Table4Row> = Vec::new();
     for (rank, s) in scored.iter().enumerate() {

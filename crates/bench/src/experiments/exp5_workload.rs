@@ -91,9 +91,11 @@ pub fn table6(updates_per_site: f64) -> Vec<Table6Row> {
                     // first; remaining sites keep their relative order.
                     let mut rotated: Vec<usize> = Vec::with_capacity(m);
                     rotated.push(d[origin_site]);
-                    rotated.extend(d.iter().enumerate().filter_map(|(i, &c)| {
-                        (i != origin_site).then_some(c)
-                    }));
+                    rotated.extend(
+                        d.iter()
+                            .enumerate()
+                            .filter_map(|(i, &c)| (i != origin_site).then_some(c)),
+                    );
                     let plan = plan_for(&rotated, &params);
                     messages += cf_messages(&plan, true);
                     bytes += cf_transfer(&plan);
@@ -123,8 +125,14 @@ pub fn model_update_counts(distribution: &[usize]) -> Vec<(&'static str, f64)> {
     let plan = MaintenancePlan::uniform(distribution, 0.005).expect("valid");
     let n = distribution.iter().sum::<usize>();
     let models: [(&'static str, WorkloadModel); 4] = [
-        ("M1 (1/100 tuples)", WorkloadModel::TuplesProportional { per_tuple: 0.01 }),
-        ("M2 (u = 10/relation)", WorkloadModel::PerRelation { updates: 10.0 }),
+        (
+            "M1 (1/100 tuples)",
+            WorkloadModel::TuplesProportional { per_tuple: 0.01 },
+        ),
+        (
+            "M2 (u = 10/relation)",
+            WorkloadModel::PerRelation { updates: 10.0 },
+        ),
         ("M3 (u = 10/site)", WorkloadModel::PerSite { updates: 10.0 }),
         ("M4 (u = 10 total)", WorkloadModel::Fixed { updates: 10.0 }),
     ];
@@ -154,9 +162,21 @@ mod tests {
         for (row, (m, upd, cfm, cft, cfio)) in rows.iter().zip(expected) {
             assert_eq!(row.sites, m);
             assert!((row.updates - upd).abs() < 1e-9, "m={m} updates");
-            assert!((row.cf_m - cfm).abs() < 1e-6, "m={m}: CF_M {} vs {cfm}", row.cf_m);
-            assert!((row.cf_t - cft).abs() < 1e-6, "m={m}: CF_T {} vs {cft}", row.cf_t);
-            assert!((row.cf_io - cfio).abs() < 1e-6, "m={m}: CF_IO {} vs {cfio}", row.cf_io);
+            assert!(
+                (row.cf_m - cfm).abs() < 1e-6,
+                "m={m}: CF_M {} vs {cfm}",
+                row.cf_m
+            );
+            assert!(
+                (row.cf_t - cft).abs() < 1e-6,
+                "m={m}: CF_T {} vs {cft}",
+                row.cf_t
+            );
+            assert!(
+                (row.cf_io - cfio).abs() < 1e-6,
+                "m={m}: CF_IO {} vs {cfio}",
+                row.cf_io
+            );
         }
     }
 

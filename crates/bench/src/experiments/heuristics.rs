@@ -29,7 +29,10 @@ pub fn h1_fewer_sites_cheaper() -> HeuristicCheck {
     let mut avgs = Vec::new();
     for m in 1..=params.relations {
         let dists = compositions(params.relations, m);
-        let total: f64 = dists.iter().map(|d| cf_transfer(&plan_for(d, &params))).sum();
+        let total: f64 = dists
+            .iter()
+            .map(|d| cf_transfer(&plan_for(d, &params)))
+            .sum();
         #[allow(clippy::cast_precision_loss)]
         avgs.push(total / dists.len() as f64);
     }

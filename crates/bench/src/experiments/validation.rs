@@ -38,7 +38,13 @@ pub struct CostValidationRow {
 /// Engine/scenario failures.
 pub fn validate_costs() -> eve_system::Result<Vec<CostValidationRow>> {
     let mut out = Vec::new();
-    for distribution in [vec![6], vec![1, 5], vec![3, 3], vec![2, 2, 2], vec![1, 1, 1, 1, 1, 1]] {
+    for distribution in [
+        vec![6],
+        vec![1, 5],
+        vec![3, 3],
+        vec![2, 2, 2],
+        vec![1, 1, 1, 1, 1, 1],
+    ] {
         let spec = UniformSpaceSpec {
             distribution: distribution.clone(),
             inverse_selectivity: 0, // σ = 1
@@ -62,7 +68,10 @@ pub fn validate_costs() -> eve_system::Result<Vec<CostValidationRow>> {
                 .map(ToString::to_string)
                 .collect::<Vec<_>>()
                 .join(","),
-            messages: (trace.messages as f64, cf_messages(&plan, params.count_notification)),
+            messages: (
+                trace.messages as f64,
+                cf_messages(&plan, params.count_notification),
+            ),
             bytes: (trace.bytes as f64, cf_transfer(&plan)),
             io: (trace.ios as f64, cf_io(&plan, IoBound::Lower)),
         });
@@ -237,10 +246,7 @@ mod tests {
     #[test]
     fn incremental_is_cheaper_than_recompute() {
         for row in recompute_vs_incremental().unwrap() {
-            assert!(
-                row.incremental_bytes < row.recompute_bytes,
-                "{row:?}"
-            );
+            assert!(row.incremental_bytes < row.recompute_bytes, "{row:?}");
         }
     }
 

@@ -109,7 +109,10 @@ mod tests {
         for (card, want) in [(2000.0, 10.0), (4000.0, 20.0), (6000.0, 30.0)] {
             let mut p = plan(&[1, 1]);
             p.sites[1].relations[0].cardinality = card;
-            assert!((cf_io(&p, IoBound::Upper) - want).abs() < 1e-9, "card {card}");
+            assert!(
+                (cf_io(&p, IoBound::Upper) - want).abs() < 1e-9,
+                "card {card}"
+            );
         }
     }
 

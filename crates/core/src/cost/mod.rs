@@ -91,13 +91,7 @@ mod tests {
         assert_eq!(counts, vec![1, 5, 10, 10, 5, 1]);
         assert_eq!(
             compositions(6, 2),
-            vec![
-                vec![1, 5],
-                vec![2, 4],
-                vec![3, 3],
-                vec![4, 2],
-                vec![5, 1]
-            ]
+            vec![vec![1, 5], vec![2, 4], vec![3, 3], vec![4, 2], vec![5, 1]]
         );
         assert!(compositions(2, 3).is_empty());
         assert!(compositions(3, 0).is_empty());

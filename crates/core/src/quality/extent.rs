@@ -202,11 +202,10 @@ pub fn estimate_extent_sizes(
                 if *relationship == eve_misd::PcRelationship::Superset {
                     // Old fragment ⊇ new: tuples with values outside the new
                     // fragment are lost.
-                    let old_rel = binding_relation(original, &old.0).ok_or_else(|| {
-                        Error::BadView {
+                    let old_rel =
+                        binding_relation(original, &old.0).ok_or_else(|| Error::BadView {
                             detail: format!("unknown binding `{}` in original view", old.0),
-                        }
-                    })?;
+                        })?;
                     #[allow(clippy::cast_precision_loss)]
                     let old_card = mkb.relation(&old_rel)?.cardinality as f64;
                     let (_, est) = mkb.relation_overlap(&old_rel, &new.0)?;
@@ -245,9 +244,7 @@ pub fn estimate_extent_sizes(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eve_misd::{
-        AttributeInfo, PcConstraint, PcRelationship, PcSide, RelationInfo, SiteId,
-    };
+    use eve_misd::{AttributeInfo, PcConstraint, PcRelationship, PcSide, RelationInfo, SiteId};
     use eve_relational::{DataType, Schema, Tuple, Value};
     use eve_sync::{ExtentRelationship, Provenance};
 
@@ -294,7 +291,9 @@ mod tests {
             Relation::with_tuples(
                 name,
                 Schema::of(&[("A", DataType::Int)]).unwrap(),
-                vals.iter().map(|&v| Tuple::new(vec![Value::Int(v)])).collect(),
+                vals.iter()
+                    .map(|&v| Tuple::new(vec![Value::Int(v)]))
+                    .collect(),
             )
             .unwrap()
         };
@@ -348,7 +347,11 @@ mod tests {
         m
     }
 
-    fn swap_rewriting(target: &str, rel: PcRelationship, ext: ExtentRelationship) -> LegalRewriting {
+    fn swap_rewriting(
+        target: &str,
+        rel: PcRelationship,
+        ext: ExtentRelationship,
+    ) -> LegalRewriting {
         let view = eve_esql::parse_view(&format!(
             "CREATE VIEW V (VE = '~') AS SELECT R1.X, {target}.A (AR = true) FROM R1, {target} (RR = true)"
         ))
@@ -376,11 +379,36 @@ mod tests {
         )
         .unwrap();
         let cases = [
-            ("S1", PcRelationship::Superset, ExtentRelationship::Subset, 0.25),
-            ("S2", PcRelationship::Superset, ExtentRelationship::Subset, 0.125),
-            ("S3", PcRelationship::Equivalent, ExtentRelationship::Equal, 0.0),
-            ("S4", PcRelationship::Subset, ExtentRelationship::Superset, 0.1),
-            ("S5", PcRelationship::Subset, ExtentRelationship::Superset, 1.0 / 6.0),
+            (
+                "S1",
+                PcRelationship::Superset,
+                ExtentRelationship::Subset,
+                0.25,
+            ),
+            (
+                "S2",
+                PcRelationship::Superset,
+                ExtentRelationship::Subset,
+                0.125,
+            ),
+            (
+                "S3",
+                PcRelationship::Equivalent,
+                ExtentRelationship::Equal,
+                0.0,
+            ),
+            (
+                "S4",
+                PcRelationship::Subset,
+                ExtentRelationship::Superset,
+                0.1,
+            ),
+            (
+                "S5",
+                PcRelationship::Subset,
+                ExtentRelationship::Superset,
+                1.0 / 6.0,
+            ),
         ];
         for (target, rel, ext, want) in cases {
             let rw = swap_rewriting(target, rel, ext);
@@ -423,10 +451,9 @@ mod tests {
     #[test]
     fn replaced_attribute_superset_fragment_loses_tuples() {
         let mkb = exp4_mkb();
-        let original = eve_esql::parse_view(
-            "CREATE VIEW V (VE = '~') AS SELECT R2.A (AR = true) FROM R2",
-        )
-        .unwrap();
+        let original =
+            eve_esql::parse_view("CREATE VIEW V (VE = '~') AS SELECT R2.A (AR = true) FROM R2")
+                .unwrap();
         let view =
             eve_esql::parse_view("CREATE VIEW V (VE = '~') AS SELECT S1.A (AR = true) FROM S1")
                 .unwrap();

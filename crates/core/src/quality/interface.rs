@@ -71,8 +71,7 @@ mod tests {
              SELECT A, B (AD = true, AR = true) FROM R WHERE R.A > 10",
         )
         .unwrap();
-        let v2 =
-            parse_view("CREATE VIEW V2 (VE = '=') AS SELECT A FROM R WHERE R.A > 10").unwrap();
+        let v2 = parse_view("CREATE VIEW V2 (VE = '=') AS SELECT A FROM R WHERE R.A > 10").unwrap();
         (v, v1, v2)
     }
 
@@ -130,10 +129,8 @@ mod tests {
         // (possible after an attribute gains evolution parameters) clamps to
         // zero rather than going negative.
         let v = parse_view("CREATE VIEW V AS SELECT R.A (AD = true) FROM R").unwrap();
-        let vi = parse_view(
-            "CREATE VIEW V AS SELECT R.A (AD = true), R.B (AD = true) FROM R",
-        )
-        .unwrap();
+        let vi =
+            parse_view("CREATE VIEW V AS SELECT R.A (AD = true), R.B (AD = true) FROM R").unwrap();
         assert_eq!(dd_attr(&v, &vi, 0.7, 0.3), 0.0);
     }
 }

@@ -157,10 +157,9 @@ mod tests {
     #[test]
     fn identity_rewriting_has_zero_divergence() {
         let m = mkb();
-        let original = eve_esql::parse_view(
-            "CREATE VIEW V (VE = '~') AS SELECT R.A (AD = true) FROM R",
-        )
-        .unwrap();
+        let original =
+            eve_esql::parse_view("CREATE VIEW V (VE = '~') AS SELECT R.A (AD = true) FROM R")
+                .unwrap();
         let rw = LegalRewriting {
             view: original.clone(),
             provenance: Provenance::default(),
@@ -185,7 +184,9 @@ mod tests {
             eve_relational::Relation::with_tuples(
                 name,
                 Schema::of(&[("A", DataType::Int)]).unwrap(),
-                vals.iter().map(|&v| Tuple::new(vec![Value::Int(v)])).collect(),
+                vals.iter()
+                    .map(|&v| Tuple::new(vec![Value::Int(v)]))
+                    .collect(),
             )
             .unwrap()
         };

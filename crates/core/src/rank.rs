@@ -94,7 +94,6 @@ pub fn rank_rewritings(
     Ok(scored)
 }
 
-
 /// The quality/cost Pareto front of a scored set: rewritings not dominated
 /// by any other candidate (another candidate dominates when it has
 /// lower-or-equal divergence *and* lower-or-equal cost, at least one
@@ -108,10 +107,8 @@ pub fn pareto_front(scored: &[ScoredRewriting]) -> Vec<&ScoredRewriting> {
         .iter()
         .filter(|a| {
             !scored.iter().any(|b| {
-                let no_worse =
-                    b.divergence.dd <= a.divergence.dd && b.cost <= a.cost;
-                let strictly_better =
-                    b.divergence.dd < a.divergence.dd || b.cost < a.cost;
+                let no_worse = b.divergence.dd <= a.divergence.dd && b.cost <= a.cost;
+                let strictly_better = b.divergence.dd < a.divergence.dd || b.cost < a.cost;
                 no_worse && strictly_better
             })
         })
@@ -140,8 +137,9 @@ impl SelectionStrategy {
             return None;
         }
         let best_by = |cmp: &dyn Fn(&ScoredRewriting, &ScoredRewriting) -> bool| {
-            scored.iter().fold(None::<&ScoredRewriting>, |acc, x| {
-                match acc {
+            scored
+                .iter()
+                .fold(None::<&ScoredRewriting>, |acc, x| match acc {
                     None => Some(x),
                     Some(best) => {
                         if cmp(x, best) {
@@ -150,13 +148,12 @@ impl SelectionStrategy {
                             Some(best)
                         }
                     }
-                }
-            })
+                })
         };
         match self {
-            SelectionStrategy::QcBest => best_by(&|x, best| {
-                x.qc > best.qc || (x.qc == best.qc && x.index < best.index)
-            }),
+            SelectionStrategy::QcBest => {
+                best_by(&|x, best| x.qc > best.qc || (x.qc == best.qc && x.index < best.index))
+            }
             SelectionStrategy::FirstFound => best_by(&|x, best| x.index < best.index),
             SelectionStrategy::QualityOnly => best_by(&|x, best| {
                 x.divergence.dd < best.divergence.dd
@@ -248,7 +245,6 @@ mod tests {
         }
     }
 
-
     mod pareto {
         use super::super::*;
         use eve_esql::parse_view;
@@ -313,8 +309,7 @@ mod tests {
                 scored(2, 0.25, 55.0),
                 scored(3, 0.4, 80.0), // dominated by 2? dd 0.4>0.25, cost 80>55 → dominated
             ];
-            let front_ids: Vec<usize> =
-                pareto_front(&set).iter().map(|s| s.index).collect();
+            let front_ids: Vec<usize> = pareto_front(&set).iter().map(|s| s.index).collect();
             let normalized = normalize_costs(&set.iter().map(|s| s.cost).collect::<Vec<_>>());
             for q in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
                 let best = set
@@ -345,8 +340,7 @@ mod tests {
     mod end_to_end {
         use super::super::*;
         use eve_misd::{
-            AttributeInfo, PcConstraint, PcRelationship, PcSide, RelationInfo, SchemaChange,
-            SiteId,
+            AttributeInfo, PcConstraint, PcRelationship, PcSide, RelationInfo, SchemaChange, SiteId,
         };
         use eve_relational::DataType;
         use eve_sync::{synchronize, SyncOptions};
@@ -452,11 +446,7 @@ mod tests {
                 ("S5", 0.855),
             ] {
                 let s = by_target(t).unwrap();
-                assert!(
-                    (s.qc - qc).abs() < 1e-6,
-                    "{t}: qc {} vs paper {qc}",
-                    s.qc
-                );
+                assert!((s.qc - qc).abs() < 1e-6, "{t}: qc {} vs paper {qc}", s.qc);
             }
         }
 

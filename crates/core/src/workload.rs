@@ -44,9 +44,7 @@ impl WorkloadModel {
         #[allow(clippy::cast_precision_loss)]
         match self {
             WorkloadModel::SingleUpdate => 1.0 / total_relations.max(1) as f64,
-            WorkloadModel::TuplesProportional { per_tuple } => {
-                per_tuple * plan.origin.cardinality
-            }
+            WorkloadModel::TuplesProportional { per_tuple } => per_tuple * plan.origin.cardinality,
             WorkloadModel::PerRelation { updates } => *updates,
             WorkloadModel::PerSite { updates } => {
                 // u updates per site, split among the site's relations (the

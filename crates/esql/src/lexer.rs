@@ -277,7 +277,11 @@ pub fn tokenize(src: &str) -> ParseResult<Vec<Token>> {
                 push!(TokenKind::Ident(text), tl, tc);
             }
             other => {
-                return Err(ParseError::new(tl, tc, format!("unexpected character `{other}`")));
+                return Err(ParseError::new(
+                    tl,
+                    tc,
+                    format!("unexpected character `{other}`"),
+                ));
             }
         }
     }

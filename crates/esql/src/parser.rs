@@ -266,9 +266,7 @@ impl Parser {
             match name.as_str() {
                 "AD" => ev.dispensable = value,
                 "AR" => ev.replaceable = value,
-                other => {
-                    return Err(self.error(format!("`{other}` is not valid on a SELECT item")))
-                }
+                other => return Err(self.error(format!("`{other}` is not valid on a SELECT item"))),
             }
         }
         Ok(ev)
@@ -534,8 +532,8 @@ mod tests {
 
     #[test]
     fn unparenthesized_condition() {
-        let v = parse_view("CREATE VIEW V AS SELECT R.A FROM R WHERE R.A >= 3 AND R.A < 9")
-            .unwrap();
+        let v =
+            parse_view("CREATE VIEW V AS SELECT R.A FROM R WHERE R.A >= 3 AND R.A < 9").unwrap();
         assert_eq!(v.conditions.len(), 2);
         assert_eq!(v.conditions[0].clause.op, CompOp::Ge);
         assert_eq!(v.conditions[1].clause.op, CompOp::Lt);
@@ -567,8 +565,8 @@ mod tests {
 
     #[test]
     fn wrong_prop_on_condition_rejected() {
-        let e = parse_view("CREATE VIEW V AS SELECT R.A FROM R WHERE R.A > 1 (AD = true)")
-            .unwrap_err();
+        let e =
+            parse_view("CREATE VIEW V AS SELECT R.A FROM R WHERE R.A > 1 (AD = true)").unwrap_err();
         assert!(e.message.contains("not valid on a condition"), "{e}");
     }
 

@@ -52,11 +52,24 @@ fn rich_view() -> impl Strategy<Value = ViewDef> {
         view_extent(),
         prop::collection::vec((ident(), any::<bool>(), any::<bool>(), any::<bool>()), 1..4),
         prop::collection::vec(
-            (0usize..4, ident(), prop::option::of(ident()), any::<bool>(), any::<bool>()),
+            (
+                0usize..4,
+                ident(),
+                prop::option::of(ident()),
+                any::<bool>(),
+                any::<bool>(),
+            ),
             1..5,
         ),
         prop::collection::vec(
-            (0usize..4, ident(), comp_op(), literal(), any::<bool>(), any::<bool>()),
+            (
+                0usize..4,
+                ident(),
+                comp_op(),
+                literal(),
+                any::<bool>(),
+                any::<bool>(),
+            ),
             0..4,
         ),
     )

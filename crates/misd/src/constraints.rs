@@ -88,11 +88,7 @@ impl PcSide {
 
     /// Side with a selection condition.
     #[must_use]
-    pub fn selected(
-        relation: impl Into<String>,
-        attrs: &[&str],
-        selection: Predicate,
-    ) -> PcSide {
+    pub fn selected(relation: impl Into<String>, attrs: &[&str], selection: Predicate) -> PcSide {
         PcSide {
             relation: relation.into(),
             attrs: attrs.iter().map(|s| (*s).to_owned()).collect(),

@@ -73,7 +73,10 @@ impl std::fmt::Display for SchemaChange {
                 attribute,
             } => write!(f, "add-attribute {relation}.{}", attribute.name),
             SchemaChange::RenameAttribute { relation, from, to } => {
-                write!(f, "change-attribute-name {relation}.{from} -> {relation}.{to}")
+                write!(
+                    f,
+                    "change-attribute-name {relation}.{from} -> {relation}.{to}"
+                )
             }
             SchemaChange::DeleteRelation { relation } => write!(f, "delete-relation {relation}"),
             SchemaChange::AddRelation { relation } => write!(f, "add-relation {}", relation.name),
@@ -356,7 +359,10 @@ pub fn check_consistency(mkb: &Mkb) -> Vec<Inconsistency> {
         }
         for side in [&pc.left, &pc.right] {
             if !mkb.has_relation(&side.relation) {
-                push(format!("{pc} references missing relation `{}`", side.relation));
+                push(format!(
+                    "{pc} references missing relation `{}`",
+                    side.relation
+                ));
                 continue;
             }
             for a in &side.attrs {

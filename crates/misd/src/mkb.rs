@@ -9,7 +9,6 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-
 use crate::constraints::{JoinConstraint, PcConstraint, PcRelationship};
 use crate::error::{Error, Result};
 use crate::overlap::{estimate_overlap, OverlapEstimate, OverlapInputs};
@@ -135,9 +134,11 @@ impl Mkb {
     ///
     /// [`Error::UnknownRelation`].
     pub fn relation(&self, name: &str) -> Result<&RelationInfo> {
-        self.relations.get(name).ok_or_else(|| Error::UnknownRelation {
-            relation: name.to_owned(),
-        })
+        self.relations
+            .get(name)
+            .ok_or_else(|| Error::UnknownRelation {
+                relation: name.to_owned(),
+            })
     }
 
     /// Whether a relation is registered.
@@ -237,12 +238,12 @@ impl Mkb {
                 detail: format!("JC[{}, {}] has no clauses", jc.left, jc.right),
             });
         }
-        let combined = left
-            .schema()
-            .concat(&right.schema())
-            .map_err(|e| Error::InvalidConstraint {
-                detail: format!("JC[{}, {}]: {e}", jc.left, jc.right),
-            })?;
+        let combined =
+            left.schema()
+                .concat(&right.schema())
+                .map_err(|e| Error::InvalidConstraint {
+                    detail: format!("JC[{}, {}]: {e}", jc.left, jc.right),
+                })?;
         jc.predicate()
             .type_check(&combined, &format!("JC[{}, {}]", jc.left, jc.right))
             .map_err(|e| Error::InvalidConstraint {

@@ -192,10 +192,7 @@ fn check_compatible(a: &Relation, b: &Relation, op: &str) -> Result<()> {
 /// [`Error::SchemaMismatch`] for incompatible schemas.
 pub fn union(a: &Relation, b: &Relation) -> Result<Relation> {
     check_compatible(a, b, "union")?;
-    let mut out = Relation::empty(
-        format!("{}∪{}", a.name(), b.name()),
-        a.schema().clone(),
-    );
+    let mut out = Relation::empty(format!("{}∪{}", a.name(), b.name()), a.schema().clone());
     for t in a.tuples().iter().chain(b.tuples()) {
         // Positional compatibility may still mean differing declared byte
         // sizes; tuples type-check against `a`'s schema.
@@ -212,10 +209,7 @@ pub fn union(a: &Relation, b: &Relation) -> Result<Relation> {
 pub fn intersect(a: &Relation, b: &Relation) -> Result<Relation> {
     check_compatible(a, b, "intersect")?;
     let b_set: std::collections::BTreeSet<&Tuple> = b.tuples().iter().collect();
-    let mut out = Relation::empty(
-        format!("{}∩{}", a.name(), b.name()),
-        a.schema().clone(),
-    );
+    let mut out = Relation::empty(format!("{}∩{}", a.name(), b.name()), a.schema().clone());
     for t in a.tuples() {
         if b_set.contains(t) {
             out.insert(t.clone())?;
@@ -232,10 +226,7 @@ pub fn intersect(a: &Relation, b: &Relation) -> Result<Relation> {
 pub fn difference(a: &Relation, b: &Relation) -> Result<Relation> {
     check_compatible(a, b, "difference")?;
     let b_set: std::collections::BTreeSet<&Tuple> = b.tuples().iter().collect();
-    let mut out = Relation::empty(
-        format!("{}−{}", a.name(), b.name()),
-        a.schema().clone(),
-    );
+    let mut out = Relation::empty(format!("{}−{}", a.name(), b.name()), a.schema().clone());
     for t in a.tuples() {
         if !b_set.contains(t) {
             out.insert(t.clone())?;
@@ -359,7 +350,11 @@ mod tests {
 
     #[test]
     fn union_intersect_difference() {
-        let a = rel("A", &[("X", DataType::Int)], vec![tup![1], tup![2], tup![2]]);
+        let a = rel(
+            "A",
+            &[("X", DataType::Int)],
+            vec![tup![1], tup![2], tup![2]],
+        );
         let b = rel("B", &[("X", DataType::Int)], vec![tup![2], tup![3]]);
         assert_eq!(union(&a, &b).unwrap().cardinality(), 3);
         assert_eq!(intersect(&a, &b).unwrap().cardinality(), 1);

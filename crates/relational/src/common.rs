@@ -139,7 +139,10 @@ pub struct CommonExtentSizes {
 /// # Errors
 ///
 /// Propagates projection/compatibility failures.
-pub fn measure_common_sizes(original: &Relation, rewriting: &Relation) -> Result<CommonExtentSizes> {
+pub fn measure_common_sizes(
+    original: &Relation,
+    rewriting: &Relation,
+) -> Result<CommonExtentSizes> {
     let (po, pr) = common_pair(original, rewriting)?;
     let overlap = crate::algebra::intersect(&po, &pr)?.cardinality();
     Ok(CommonExtentSizes {
@@ -240,7 +243,10 @@ mod tests {
         let (v, _, v2) = example2();
         let inter = cs_intersect(&v, &v2).unwrap();
         assert_eq!(inter.cardinality(), 3);
-        assert_eq!(inter.tuples(), &[tup![1, 1, 2], tup![2, 4, 6], tup![6, 3, 5]]);
+        assert_eq!(
+            inter.tuples(),
+            &[tup![1, 1, 2], tup![2, 4, 6], tup![6, 3, 5]]
+        );
         let surplus = cs_minus(&v2, &v).unwrap();
         assert_eq!(surplus.cardinality(), 4);
     }

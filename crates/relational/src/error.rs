@@ -82,7 +82,10 @@ impl fmt::Display for Error {
                 write!(f, "type mismatch in {context}: {left} vs {right}")
             }
             Error::ArityMismatch { expected, got } => {
-                write!(f, "tuple arity {got} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {got} does not match schema arity {expected}"
+                )
             }
             Error::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
             Error::NotComparable => write!(f, "values are not comparable (NaN)"),

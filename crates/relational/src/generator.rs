@@ -120,10 +120,9 @@ pub fn generate(spec: &RelationSpec, seed: u64) -> Result<Relation> {
                 })
                 .collect(),
         );
-        if spec.distinct
-            && !seen.insert(tuple.clone()) {
-                continue;
-            }
+        if spec.distinct && !seen.insert(tuple.clone()) {
+            continue;
+        }
         rel.insert(tuple)?;
     }
     Ok(rel)
@@ -136,7 +135,12 @@ pub fn generate(spec: &RelationSpec, seed: u64) -> Result<Relation> {
 /// # Errors
 ///
 /// [`Error::Generator`] if `base` holds fewer distinct tuples than requested.
-pub fn generate_subset(base: &Relation, name: &str, cardinality: usize, seed: u64) -> Result<Relation> {
+pub fn generate_subset(
+    base: &Relation,
+    name: &str,
+    cardinality: usize,
+    seed: u64,
+) -> Result<Relation> {
     let distinct = base.distinct();
     if cardinality > distinct.cardinality() {
         return Err(Error::Generator {
@@ -316,8 +320,7 @@ mod tests {
     #[test]
     fn containment_chain_realizes_experiment4() {
         // Experiment 4 cardinalities scaled down: 20 ⊆ 30 ⊆ 40 ⊆ 50 ⊆ 60.
-        let chain =
-            generate_containment_chain(&spec(0), "S", &[20, 30, 40, 50, 60], 11).unwrap();
+        let chain = generate_containment_chain(&spec(0), "S", &[20, 30, 40, 50, 60], 11).unwrap();
         assert_eq!(chain.len(), 5);
         for (i, r) in chain.iter().enumerate() {
             assert_eq!(r.cardinality(), 20 + 10 * i);
@@ -339,12 +342,20 @@ mod tests {
         use crate::predicate::{Predicate, PrimitiveClause};
         // Two relations with a key over domain 100 ⇒ expected js ≈ 1/100.
         let a = generate(
-            &RelationSpec::new("A", vec![AttrSpec::new("K", 100), AttrSpec::new("P", 1_000_000)], 200),
+            &RelationSpec::new(
+                "A",
+                vec![AttrSpec::new("K", 100), AttrSpec::new("P", 1_000_000)],
+                200,
+            ),
             5,
         )
         .unwrap();
         let b = generate(
-            &RelationSpec::new("B", vec![AttrSpec::new("K", 100), AttrSpec::new("Q", 1_000_000)], 200),
+            &RelationSpec::new(
+                "B",
+                vec![AttrSpec::new("K", 100), AttrSpec::new("Q", 1_000_000)],
+                200,
+            ),
             6,
         )
         .unwrap();

@@ -322,7 +322,12 @@ mod tests {
     use crate::types::DataType;
 
     fn schema() -> Schema {
-        Schema::of(&[("A", DataType::Int), ("B", DataType::Int), ("C", DataType::Text)]).unwrap()
+        Schema::of(&[
+            ("A", DataType::Int),
+            ("B", DataType::Int),
+            ("C", DataType::Text),
+        ])
+        .unwrap()
     }
 
     #[test]

@@ -180,7 +180,13 @@ impl Relation {
 
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{}{} [{} tuples]", self.name, self.schema, self.tuples.len())?;
+        writeln!(
+            f,
+            "{}{} [{} tuples]",
+            self.name,
+            self.schema,
+            self.tuples.len()
+        )?;
         for t in &self.tuples {
             writeln!(f, "  {t}")?;
         }
@@ -207,7 +213,13 @@ mod tests {
     fn insert_validates_arity() {
         let mut rel = r();
         let e = rel.insert(tup![1]).unwrap_err();
-        assert!(matches!(e, Error::ArityMismatch { expected: 2, got: 1 }));
+        assert!(matches!(
+            e,
+            Error::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
     }
 
     #[test]

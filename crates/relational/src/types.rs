@@ -303,9 +303,6 @@ mod tests {
     #[test]
     fn equal_values_hash_equal() {
         assert_eq!(hash_of(&Value::Int(3)), hash_of(&Value::Int(3)));
-        assert_eq!(
-            hash_of(&Value::from("abc")),
-            hash_of(&Value::from("abc"))
-        );
+        assert_eq!(hash_of(&Value::from("abc")), hash_of(&Value::from("abc")));
     }
 }

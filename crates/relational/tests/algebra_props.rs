@@ -11,31 +11,29 @@ use eve_relational::{
 };
 
 fn small_relation(name: &'static str, cols: usize) -> impl Strategy<Value = Relation> {
-    prop::collection::vec(
-        prop::collection::vec(-5i64..5, cols..=cols),
-        0..12,
+    prop::collection::vec(prop::collection::vec(-5i64..5, cols..=cols), 0..12).prop_map(
+        move |rows| {
+            let schema = Schema::new(
+                (0..cols)
+                    .map(|i| {
+                        eve_relational::ColumnDef::new(
+                            ColumnRef::qualified(name, format!("C{i}")),
+                            DataType::Int,
+                        )
+                    })
+                    .collect(),
+            )
+            .unwrap();
+            Relation::with_tuples(
+                name,
+                schema,
+                rows.into_iter()
+                    .map(|vals| Tuple::new(vals.into_iter().map(Value::Int).collect()))
+                    .collect(),
+            )
+            .unwrap()
+        },
     )
-    .prop_map(move |rows| {
-        let schema = Schema::new(
-            (0..cols)
-                .map(|i| {
-                    eve_relational::ColumnDef::new(
-                        ColumnRef::qualified(name, format!("C{i}")),
-                        DataType::Int,
-                    )
-                })
-                .collect(),
-        )
-        .unwrap();
-        Relation::with_tuples(
-            name,
-            schema,
-            rows.into_iter()
-                .map(|vals| Tuple::new(vals.into_iter().map(Value::Int).collect()))
-                .collect(),
-        )
-        .unwrap()
-    })
 }
 
 fn threshold_pred(name: &'static str, col: usize, v: i64) -> Predicate {

@@ -204,8 +204,8 @@ pub fn synchronize_heuristic(
             relation,
             attribute,
         } => {
-            let view = eve_esql::validate::validate(view)
-                .map_err(|e| SyncError::Validation(e.message))?;
+            let view =
+                eve_esql::validate::validate(view).map_err(|e| SyncError::Validation(e.message))?;
             let bindings: Vec<String> = view
                 .from
                 .iter()
@@ -229,8 +229,8 @@ pub fn synchronize_heuristic(
             Ok(finish(&view, candidates, &sync_opts))
         }
         SchemaChange::DeleteRelation { relation } => {
-            let view = eve_esql::validate::validate(view)
-                .map_err(|e| SyncError::Validation(e.message))?;
+            let view =
+                eve_esql::validate::validate(view).map_err(|e| SyncError::Validation(e.message))?;
             let bindings: Vec<String> = view
                 .from
                 .iter()

@@ -123,7 +123,10 @@ mod tests {
         assert_eq!(swaps[0].view.from[0].relation, "Mirror");
         assert_eq!(swaps[0].extent, ExtentRelationship::Equal);
         assert_eq!(swaps[0].view.output_columns(), vec!["A", "B"]);
-        assert_eq!(swaps[0].view.conditions[0].clause.to_string(), "Mirror.B > 3");
+        assert_eq!(
+            swaps[0].view.conditions[0].clause.to_string(),
+            "Mirror.B > 3"
+        );
     }
 
     #[test]

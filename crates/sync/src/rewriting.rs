@@ -163,7 +163,11 @@ pub struct LegalRewriting {
 
 impl fmt::Display for LegalRewriting {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "-- extent: {}; repairs: {}", self.extent, self.provenance)?;
+        writeln!(
+            f,
+            "-- extent: {}; repairs: {}",
+            self.extent, self.provenance
+        )?;
         write!(f, "{}", self.view)
     }
 }

@@ -282,13 +282,19 @@ pub(crate) fn repair_bindings(
 
 /// Final filtering: structural sanity, `VE` legality, dedup, cap, optional
 /// dispensable-drop spectrum.
-pub(crate) fn finish(original: &ViewDef, candidates: Vec<Candidate>, options: &SyncOptions) -> SyncOutcome {
+pub(crate) fn finish(
+    original: &ViewDef,
+    candidates: Vec<Candidate>,
+    options: &SyncOptions,
+) -> SyncOutcome {
     let mut rewritings: Vec<LegalRewriting> = Vec::new();
     let mut seen: BTreeSet<String> = BTreeSet::new();
 
-    let push = |view: ViewDef, actions: Vec<RewriteAction>, extent: ExtentRelationship,
-                    rewritings: &mut Vec<LegalRewriting>,
-                    seen: &mut BTreeSet<String>| {
+    let push = |view: ViewDef,
+                actions: Vec<RewriteAction>,
+                extent: ExtentRelationship,
+                rewritings: &mut Vec<LegalRewriting>,
+                seen: &mut BTreeSet<String>| {
         if rewritings.len() >= options.max_rewritings {
             return;
         }
@@ -461,10 +467,7 @@ pub(crate) fn delete_attribute_candidates(
     let partners = pc_partners(mkb, &relation);
 
     // (a) attribute replacement keeping the relation.
-    for partner in partners
-        .iter()
-        .filter(|p| p.attr_map.contains_key(attr))
-    {
+    for partner in partners.iter().filter(|p| p.attr_map.contains_key(attr)) {
         if let Some(c) = build_attr_replacement(view, binding, attr, partner, mkb) {
             out.push(c);
         }
@@ -576,61 +579,60 @@ fn build_attr_replacement(
     let mut actions: Vec<RewriteAction> = Vec::new();
     let mut extent = ExtentRelationship::from_attr_replacement(partner.relationship);
 
-    let host = match existing {
-        Some(b) => b,
-        None => {
-            // Need a join constraint connecting the partner to the damaged
-            // relation to stitch it into the query meaningfully.
-            let jc = mkb.join_constraint_between(&partner.relation, relation)?;
-            let host = fresh_binding(&v, &partner.relation);
-            v.from.push(FromItem {
-                relation: partner.relation.clone(),
-                alias: if host == partner.relation {
-                    None
-                } else {
-                    Some(host.clone())
-                },
-                evolution: RelEvolution {
-                    dispensable: false,
-                    replaceable: true,
-                },
-            });
-            let mut join_clauses = Vec::new();
-            for clause in &jc.condition {
-                // Skip clauses over the deleted attribute itself.
-                if clause
-                    .columns()
-                    .iter()
-                    .any(|c| c.qualifier.as_deref() == Some(relation.as_str()) && c.name == attr)
-                {
-                    return None; // the join itself relied on the deleted attribute
-                }
-                let mapped = clause.map_columns(&mut |c| {
-                    if c.qualifier.as_deref() == Some(relation.as_str()) {
-                        ColumnRef::qualified(binding, c.name.clone())
-                    } else if c.qualifier.as_deref() == Some(partner.relation.as_str()) {
-                        ColumnRef::qualified(host.clone(), c.name.clone())
+    let host =
+        match existing {
+            Some(b) => b,
+            None => {
+                // Need a join constraint connecting the partner to the damaged
+                // relation to stitch it into the query meaningfully.
+                let jc = mkb.join_constraint_between(&partner.relation, relation)?;
+                let host = fresh_binding(&v, &partner.relation);
+                v.from.push(FromItem {
+                    relation: partner.relation.clone(),
+                    alias: if host == partner.relation {
+                        None
                     } else {
-                        c.clone()
-                    }
+                        Some(host.clone())
+                    },
+                    evolution: RelEvolution {
+                        dispensable: false,
+                        replaceable: true,
+                    },
                 });
-                join_clauses.push(mapped);
+                let mut join_clauses = Vec::new();
+                for clause in &jc.condition {
+                    // Skip clauses over the deleted attribute itself.
+                    if clause.columns().iter().any(|c| {
+                        c.qualifier.as_deref() == Some(relation.as_str()) && c.name == attr
+                    }) {
+                        return None; // the join itself relied on the deleted attribute
+                    }
+                    let mapped = clause.map_columns(&mut |c| {
+                        if c.qualifier.as_deref() == Some(relation.as_str()) {
+                            ColumnRef::qualified(binding, c.name.clone())
+                        } else if c.qualifier.as_deref() == Some(partner.relation.as_str()) {
+                            ColumnRef::qualified(host.clone(), c.name.clone())
+                        } else {
+                            c.clone()
+                        }
+                    });
+                    join_clauses.push(mapped);
+                }
+                let join_display = join_clauses
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" AND ");
+                for clause in join_clauses {
+                    v.conditions.push(ConditionItem::new(clause));
+                }
+                actions.push(RewriteAction::AddedJoinRelation {
+                    relation: partner.relation.clone(),
+                    join: join_display,
+                });
+                host
             }
-            let join_display = join_clauses
-                .iter()
-                .map(ToString::to_string)
-                .collect::<Vec<_>>()
-                .join(" AND ");
-            for clause in join_clauses {
-                v.conditions.push(ConditionItem::new(clause));
-            }
-            actions.push(RewriteAction::AddedJoinRelation {
-                relation: partner.relation.clone(),
-                join: join_display,
-            });
-            host
-        }
-    };
+        };
 
     // Rewrite SELECT items.
     for item in &mut v.select {
@@ -696,7 +698,11 @@ fn build_attr_replacement(
 // delete-attribute)
 // ----------------------------------------------------------------------
 
-pub(crate) fn delete_relation_candidates(view: &ViewDef, binding: &str, mkb: &Mkb) -> Vec<Candidate> {
+pub(crate) fn delete_relation_candidates(
+    view: &ViewDef,
+    binding: &str,
+    mkb: &Mkb,
+) -> Vec<Candidate> {
     let mut out = Vec::new();
     let Some(from_item) = view.from_item(binding) else {
         return out;
@@ -959,10 +965,20 @@ mod tests {
             400,
         ))
         .unwrap();
-        m.register_relation(RelationInfo::new("S", SiteId(2), vec![attr("A"), attr("C")], 400))
-            .unwrap();
-        m.register_relation(RelationInfo::new("T", SiteId(3), vec![attr("A"), attr("D")], 400))
-            .unwrap();
+        m.register_relation(RelationInfo::new(
+            "S",
+            SiteId(2),
+            vec![attr("A"), attr("C")],
+            400,
+        ))
+        .unwrap();
+        m.register_relation(RelationInfo::new(
+            "T",
+            SiteId(3),
+            vec![attr("A"), attr("D")],
+            400,
+        ))
+        .unwrap();
         for s in ["S", "T"] {
             m.add_pc_constraint(PcConstraint::new(
                 PcSide::projection("R", &["A"]),
@@ -991,8 +1007,7 @@ mod tests {
             relation: "R".into(),
             attribute: "A".into(),
         };
-        let outcome =
-            synchronize(&view, &change, &mkb, &SyncOptions::default()).unwrap();
+        let outcome = synchronize(&view, &change, &mkb, &SyncOptions::default()).unwrap();
         assert!(outcome.affected);
         let texts: Vec<String> = outcome
             .rewritings
@@ -1085,8 +1100,8 @@ mod tests {
     fn dead_view_when_nothing_dispensable_or_replaceable() {
         // V3 = SELECT R.B FROM R with strict B: deleting R.B kills the view.
         let mkb = experiment1_mkb();
-        let view = parse_view("CREATE VIEW V3 (VE = '~') AS SELECT R.B FROM R (RR = true)")
-            .unwrap();
+        let view =
+            parse_view("CREATE VIEW V3 (VE = '~') AS SELECT R.B FROM R (RR = true)").unwrap();
         let change = SchemaChange::DeleteAttribute {
             relation: "R".into(),
             attribute: "B".into(),
@@ -1206,7 +1221,13 @@ mod tests {
         );
         // Extent relationships per Experiment 4's two regimes.
         for r in &outcome.rewritings {
-            let target = &r.view.from.iter().find(|f| f.relation != "R1").unwrap().relation;
+            let target = &r
+                .view
+                .from
+                .iter()
+                .find(|f| f.relation != "R1")
+                .unwrap()
+                .relation;
             let expected = match target.as_str() {
                 "S1" | "S2" => ExtentRelationship::Subset,
                 "S3" => ExtentRelationship::Equal,
@@ -1271,10 +1292,20 @@ mod tests {
         let mut m = Mkb::new();
         m.register_site(SiteId(1), "one").unwrap();
         m.register_site(SiteId(2), "two").unwrap();
-        m.register_relation(RelationInfo::new("R", SiteId(1), vec![attr("A"), attr("B")], 100))
-            .unwrap();
-        m.register_relation(RelationInfo::new("S", SiteId(2), vec![attr("A"), attr("C")], 100))
-            .unwrap();
+        m.register_relation(RelationInfo::new(
+            "R",
+            SiteId(1),
+            vec![attr("A"), attr("B")],
+            100,
+        ))
+        .unwrap();
+        m.register_relation(RelationInfo::new(
+            "S",
+            SiteId(2),
+            vec![attr("A"), attr("C")],
+            100,
+        ))
+        .unwrap();
         m.add_pc_constraint(PcConstraint::new(
             PcSide::projection("R", &["A"]),
             PcRelationship::Equivalent,
@@ -1491,7 +1522,6 @@ mod tests {
         assert_eq!(outcome.rewritings.len(), 2);
     }
 
-
     #[test]
     fn self_join_delete_relation_repairs_both_bindings() {
         // A view binding the deleted relation twice: both bindings must be
@@ -1522,8 +1552,7 @@ mod tests {
         }
         // Combinations include mixed sources (X from S, Y from T).
         let mixed = outcome.rewritings.iter().any(|rw| {
-            let rels: BTreeSet<&str> =
-                rw.view.from.iter().map(|f| f.relation.as_str()).collect();
+            let rels: BTreeSet<&str> = rw.view.from.iter().map(|f| f.relation.as_str()).collect();
             rels.len() == 2
         });
         assert!(mixed, "expected at least one mixed-source repair");
@@ -1557,10 +1586,8 @@ mod tests {
     fn pc_partner_chain_composition() {
         let mkb = experiment4_mkb();
         let partners = pc_partners(&mkb, "R2");
-        let by_name: BTreeMap<&str, &PcPartner> = partners
-            .iter()
-            .map(|p| (p.relation.as_str(), p))
-            .collect();
+        let by_name: BTreeMap<&str, &PcPartner> =
+            partners.iter().map(|p| (p.relation.as_str(), p)).collect();
         assert_eq!(by_name["S3"].relationship, PcRelationship::Equivalent);
         assert_eq!(by_name["S4"].relationship, PcRelationship::Subset);
         assert_eq!(by_name["S5"].relationship, PcRelationship::Subset);

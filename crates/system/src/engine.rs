@@ -156,7 +156,10 @@ impl EveEngine {
             let site = self.sites.get(&info.site.0).ok_or_else(|| Error::State {
                 detail: format!("unknown site {}", info.site),
             })?;
-            resolved.insert(item.relation.clone(), site.relation(&item.relation)?.clone());
+            resolved.insert(
+                item.relation.clone(),
+                site.relation(&item.relation)?.clone(),
+            );
         }
         Ok(resolved)
     }
@@ -179,8 +182,7 @@ impl EveEngine {
     ///
     /// [`Error::Validation`] with the first problem found.
     pub fn check_view(&self, view: &ViewDef) -> Result<ViewDef> {
-        let view =
-            eve_esql::validate::validate(view).map_err(|e| Error::Validation(e.message))?;
+        let view = eve_esql::validate::validate(view).map_err(|e| Error::Validation(e.message))?;
         for item in &view.from {
             let info = self.mkb.relation(&item.relation)?;
             for sel in view.select_items_of(item.binding_name()) {
@@ -290,7 +292,6 @@ impl EveEngine {
         }
         Ok(traces)
     }
-
 
     /// Applies a batch of data updates in order, merging the per-view
     /// traces (the paper's "cost for multiple updates can then be computed
@@ -566,7 +567,6 @@ impl EveEngine {
     }
 }
 
-
 /// Per-view maintenance cost assessment (analytic, Eq. 24 under the
 /// engine's workload model).
 #[derive(Debug, Clone)]
@@ -638,15 +638,12 @@ impl EveEngine {
         for name in names {
             let mv = self.views.get(&name).expect("exists").clone();
             let current_plans = plans_for_view(&mv.def, &self.mkb)?;
-            let current_cost =
-                workload::total_cost(&current_plans, self.workload, &self.qc_params);
+            let current_cost = workload::total_cost(&current_plans, self.workload, &self.qc_params);
             let mut best: Option<(f64, eve_sync::LegalRewriting)> = None;
             for candidate in eve_sync::equivalent_swaps(&mv.def, &self.mkb)? {
                 let plans = plans_for_view(&candidate.view, &self.mkb)?;
                 let cost = workload::total_cost(&plans, self.workload, &self.qc_params);
-                if cost < current_cost - 1e-9
-                    && best.as_ref().is_none_or(|(c, _)| cost < *c)
-                {
+                if cost < current_cost - 1e-9 && best.as_ref().is_none_or(|(c, _)| cost < *c) {
                     best = Some((cost, candidate));
                 }
             }
@@ -654,14 +651,10 @@ impl EveEngine {
                 Some((new_cost, candidate)) => {
                     // Commit only when the data agrees with the constraint.
                     let new_extent = self.evaluate(&candidate.view)?;
-                    let matches = eve_relational::common::measure_common_sizes(
-                        &mv.extent,
-                        &new_extent,
-                    )
-                    .map(|s| {
-                        s.original == s.overlap && s.rewriting == s.overlap
-                    })
-                    .unwrap_or(false);
+                    let matches =
+                        eve_relational::common::measure_common_sizes(&mv.extent, &new_extent)
+                            .map(|s| s.original == s.overlap && s.rewriting == s.overlap)
+                            .unwrap_or(false);
                     if !matches {
                         reports.push(MigrationReport {
                             view_name: name.clone(),
@@ -751,7 +744,11 @@ mod tests {
             Relation::with_tuples(
                 "Customer",
                 customer_schema,
-                vec![tup!["ann", "12 Elm"], tup!["bob", "9 Oak"], tup!["cho", "3 Pine"]],
+                vec![
+                    tup!["ann", "12 Elm"],
+                    tup!["bob", "9 Oak"],
+                    tup!["cho", "3 Pine"],
+                ],
             )
             .unwrap(),
         )
@@ -772,7 +769,11 @@ mod tests {
             Relation::with_tuples(
                 "FlightRes",
                 flight_schema,
-                vec![tup!["ann", "Asia"], tup!["bob", "Europe"], tup!["cho", "Asia"]],
+                vec![
+                    tup!["ann", "Asia"],
+                    tup!["bob", "Europe"],
+                    tup!["cho", "Asia"],
+                ],
             )
             .unwrap(),
         )
@@ -794,7 +795,11 @@ mod tests {
             Relation::with_tuples(
                 "TourClient",
                 tour_schema,
-                vec![tup!["ann", "12 Elm"], tup!["bob", "9 Oak"], tup!["cho", "3 Pine"]],
+                vec![
+                    tup!["ann", "12 Elm"],
+                    tup!["bob", "9 Oak"],
+                    tup!["cho", "3 Pine"],
+                ],
             )
             .unwrap(),
         )
@@ -942,9 +947,7 @@ mod tests {
         };
         assert!(e.notify_capability_change(&change, None).is_err());
         let extent = Relation::empty("Hotel", Schema::of(&[("Name", DataType::Text)]).unwrap());
-        let reports = e
-            .notify_capability_change(&change, Some(extent))
-            .unwrap();
+        let reports = e.notify_capability_change(&change, Some(extent)).unwrap();
         assert!(reports.is_empty() || reports.iter().all(|r| !r.affected));
         assert!(e.mkb().has_relation("Hotel"));
     }
@@ -962,7 +965,6 @@ mod tests {
         assert_eq!(rel.schema().arity(), 3);
         assert_eq!(rel.tuples()[0].get(2), &Value::Int(0));
     }
-
 
     #[test]
     fn cost_report_covers_every_view_and_origin() {
@@ -1069,7 +1071,6 @@ mod tests {
         assert!(e.view("Asia-Customer").is_err());
         assert!(e.drop_view("Asia-Customer").is_err());
     }
-
 
     #[test]
     fn batch_updates_merge_traces() {

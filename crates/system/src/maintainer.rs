@@ -228,8 +228,7 @@ fn propagate(
             .filter(|f| f.binding_name() != origin_binding)
             .filter_map(|f| {
                 let site = mkb.relation(&f.relation).ok().map(|r| r.site)?;
-                (site == *site_id)
-                    .then(|| (f.binding_name().to_owned(), f.relation.clone()))
+                (site == *site_id).then(|| (f.binding_name().to_owned(), f.relation.clone()))
             })
             .collect();
         if bindings.is_empty() {
@@ -411,13 +410,21 @@ mod tests {
         let customer = Relation::with_tuples(
             "Customer",
             Schema::of(&[("Name", DataType::Text), ("Address", DataType::Text)]).unwrap(),
-            vec![tup!["ann", "12 Elm"], tup!["bob", "9 Oak"], tup!["cho", "3 Pine"]],
+            vec![
+                tup!["ann", "12 Elm"],
+                tup!["bob", "9 Oak"],
+                tup!["cho", "3 Pine"],
+            ],
         )
         .unwrap();
         let flights = Relation::with_tuples(
             "FlightRes",
             Schema::of(&[("PName", DataType::Text), ("Dest", DataType::Text)]).unwrap(),
-            vec![tup!["ann", "Asia"], tup!["bob", "Europe"], tup!["cho", "Asia"]],
+            vec![
+                tup!["ann", "Asia"],
+                tup!["bob", "Europe"],
+                tup!["cho", "Asia"],
+            ],
         )
         .unwrap();
         let mut sites = BTreeMap::new();
@@ -549,10 +556,7 @@ mod tests {
              WHERE X.Name = Y.Name",
         )
         .unwrap();
-        let mut extent = Relation::empty(
-            "V",
-            Schema::of(&[("Name", DataType::Text)]).unwrap(),
-        );
+        let mut extent = Relation::empty("V", Schema::of(&[("Name", DataType::Text)]).unwrap());
         let update = DataUpdate::insert("Customer", vec![tup!["zed", "1 Elm"]]);
         let e = maintain_view(&view, &mut extent, &update, &mut sites, &mkb).unwrap_err();
         assert!(e.to_string().contains("self-joins"));
@@ -567,7 +571,7 @@ mod tests {
         let (rel, trace) = recompute_view(&view, &mut sites, &mkb).unwrap();
         assert_eq!(rel.cardinality(), 2);
         assert_eq!(trace.messages, 4); // two sites × (query + answer)
-        // 3 Customer rows × 40 bytes + 3 FlightRes rows × 40 bytes.
+                                       // 3 Customer rows × 40 bytes + 3 FlightRes rows × 40 bytes.
         assert_eq!(trace.bytes, 240);
         assert!(trace.ios >= 2); // at least one block per relation
     }

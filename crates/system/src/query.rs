@@ -23,7 +23,11 @@ use crate::error::{Error, Result};
 /// Schema manipulation failures.
 pub fn bind_relation(rel: &Relation, binding: &str) -> Result<Relation> {
     let schema = rel.schema().unqualify()?.qualify(binding);
-    Ok(Relation::with_tuples(binding, schema, rel.tuples().to_vec())?)
+    Ok(Relation::with_tuples(
+        binding,
+        schema,
+        rel.tuples().to_vec(),
+    )?)
 }
 
 /// Whether every column of a clause resolves in `schema`.
@@ -156,18 +160,16 @@ mod tests {
 
     #[test]
     fn local_selection_applied_before_join() {
-        let view = parse_view(
-            "CREATE VIEW V AS SELECT F.PName FROM FlightRes F WHERE F.Dest = 'Asia'",
-        )
-        .unwrap();
+        let view =
+            parse_view("CREATE VIEW V AS SELECT F.PName FROM FlightRes F WHERE F.Dest = 'Asia'")
+                .unwrap();
         let out = evaluate_view(&view, &extents()).unwrap();
         assert_eq!(out.cardinality(), 3);
     }
 
     #[test]
     fn aliases_rename_output_columns() {
-        let view =
-            parse_view("CREATE VIEW V AS SELECT C.Name AS Who FROM Customer C").unwrap();
+        let view = parse_view("CREATE VIEW V AS SELECT C.Name AS Who FROM Customer C").unwrap();
         let out = evaluate_view(&view, &extents()).unwrap();
         assert_eq!(out.schema().column(0).column, ColumnRef::bare("Who"));
     }
@@ -175,8 +177,7 @@ mod tests {
     #[test]
     fn explicit_column_list_renames() {
         let view =
-            parse_view("CREATE VIEW V (X, Y) AS SELECT C.Name, C.Address FROM Customer C")
-                .unwrap();
+            parse_view("CREATE VIEW V (X, Y) AS SELECT C.Name, C.Address FROM Customer C").unwrap();
         let out = evaluate_view(&view, &extents()).unwrap();
         assert_eq!(out.schema().column(0).column, ColumnRef::bare("X"));
         assert_eq!(out.schema().column(1).column, ColumnRef::bare("Y"));
@@ -237,17 +238,15 @@ mod tests {
         // Condition references a binding that exists but with an unknown
         // attribute — surfaces as a relational error at join time, or as a
         // validation error if it never resolves.
-        let view = parse_view("CREATE VIEW V AS SELECT C.Name FROM Customer C WHERE C.Ghost = 1")
-            .unwrap();
+        let view =
+            parse_view("CREATE VIEW V AS SELECT C.Name FROM Customer C WHERE C.Ghost = 1").unwrap();
         assert!(evaluate_view(&view, &extents()).is_err());
     }
 
     #[test]
     fn literal_types_checked() {
-        let view = parse_view(
-            "CREATE VIEW V AS SELECT C.Name FROM Customer C WHERE C.Name = 42",
-        )
-        .unwrap();
+        let view =
+            parse_view("CREATE VIEW V AS SELECT C.Name FROM Customer C WHERE C.Name = 42").unwrap();
         let e = evaluate_view(&view, &extents()).unwrap_err();
         assert!(matches!(e, Error::Relational(_)));
     }

@@ -235,14 +235,8 @@ mod tests {
             // key (key 0), which joins the declared js·|R| tuples per hop.
             let update = DataUpdate::insert("R1_1", vec![tup![0, 0]]);
             let mkb = engine.mkb().clone();
-            let trace = maintain_view(
-                &view,
-                &mut extent,
-                &update,
-                engine.sites_mut(),
-                &mkb,
-            )
-            .unwrap();
+            let trace =
+                maintain_view(&view, &mut extent, &update, engine.sites_mut(), &mkb).unwrap();
 
             let plan = MaintenancePlan::uniform(&distribution, spec.join_selectivity()).unwrap();
             let params = QcParams::default();
@@ -313,13 +307,15 @@ mod tests {
         engine.reset_io();
         let update = DataUpdate::insert("R1_1", vec![tup![0, 0]]);
         let mkb = engine.mkb().clone();
-        let trace =
-            maintain_view(&view, &mut extent, &update, engine.sites_mut(), &mkb).unwrap();
+        let trace = maintain_view(&view, &mut extent, &update, engine.sites_mut(), &mkb).unwrap();
         let plan = MaintenancePlan::uniform(&[6], spec.join_selectivity()).unwrap();
         let lower = eve_qc::cost::cf_io(&plan, IoBound::Lower);
         #[allow(clippy::cast_precision_loss)]
         let measured = trace.ios as f64;
-        assert!(measured < lower, "measured {measured} vs σ-free lower {lower}");
+        assert!(
+            measured < lower,
+            "measured {measured} vs σ-free lower {lower}"
+        );
     }
 
     #[test]

@@ -78,9 +78,7 @@ impl Shell {
             "show" => self.cmd_show(rest),
             "costs" => self.cmd_costs(),
             "rebalance" => self.cmd_rebalance(),
-            other => Err(usage(&format!(
-                "unknown command `{other}` — try `help`"
-            ))),
+            other => Err(usage(&format!("unknown command `{other}` — try `help`"))),
         }
     }
 
@@ -111,7 +109,10 @@ impl Shell {
         let mut attributes = Vec::new();
         for spec in attr_list.split(',') {
             let mut f = spec.trim().split(':');
-            let attr_name = f.next().filter(|s| !s.is_empty()).ok_or_else(|| usage(USAGE))?;
+            let attr_name = f
+                .next()
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| usage(USAGE))?;
             let ty = match f.next().map(str::to_ascii_lowercase).as_deref() {
                 Some("int") | None => DataType::Int,
                 Some("float") => DataType::Float,
@@ -215,11 +216,13 @@ impl Shell {
             ">=" => eve_misd::PcRelationship::Superset,
             _ => return Err(usage(USAGE)),
         };
-        self.engine.mkb_mut().add_pc_constraint(eve_misd::PcConstraint::new(
-            parse_side(left)?,
-            relationship,
-            parse_side(right)?,
-        ))?;
+        self.engine
+            .mkb_mut()
+            .add_pc_constraint(eve_misd::PcConstraint::new(
+                parse_side(left)?,
+                relationship,
+                parse_side(right)?,
+            ))?;
         Ok("registered PC constraint".to_owned())
     }
 
@@ -318,7 +321,10 @@ impl Shell {
                     r.view_name, adopted.qc, adopted.divergence.dd, adopted.rewriting.provenance
                 ));
             } else {
-                out.push_str(&format!("\n  {}: no legal rewriting — dropped", r.view_name));
+                out.push_str(&format!(
+                    "\n  {}: no legal rewriting — dropped",
+                    r.view_name
+                ));
             }
         }
         Ok(out)
@@ -341,14 +347,22 @@ impl Shell {
                         mv.def
                     ));
                 }
-                Ok(if out.is_empty() { "(no views)".into() } else { out })
+                Ok(if out.is_empty() {
+                    "(no views)".into()
+                } else {
+                    out
+                })
             }
             "relations" => {
                 let mut out = String::new();
                 for info in self.engine.mkb().relations() {
                     out.push_str(&format!("{info}\n"));
                 }
-                Ok(if out.is_empty() { "(no relations)".into() } else { out })
+                Ok(if out.is_empty() {
+                    "(no relations)".into()
+                } else {
+                    out
+                })
             }
             "constraints" => {
                 let mut out = String::new();
@@ -358,7 +372,11 @@ impl Shell {
                 for jc in self.engine.mkb().join_constraints() {
                     out.push_str(&format!("{jc}\n"));
                 }
-                Ok(if out.is_empty() { "(no constraints)".into() } else { out })
+                Ok(if out.is_empty() {
+                    "(no constraints)".into()
+                } else {
+                    out
+                })
             }
             other => Err(usage(&format!(
                 "show views|relations|constraints (got `{other}`)"
@@ -380,7 +398,11 @@ impl Shell {
                 ));
             }
         }
-        Ok(if out.is_empty() { "(no views)".into() } else { out })
+        Ok(if out.is_empty() {
+            "(no views)".into()
+        } else {
+            out
+        })
     }
 
     fn cmd_rebalance(&mut self) -> Result<String> {
@@ -399,7 +421,11 @@ impl Shell {
                 out.push_str(&format!("{}: no cheaper equivalent source\n", r.view_name));
             }
         }
-        Ok(if out.is_empty() { "(no views)".into() } else { out })
+        Ok(if out.is_empty() {
+            "(no views)".into()
+        } else {
+            out
+        })
     }
 }
 
@@ -501,7 +527,9 @@ mod tests {
         assert!(out.contains("'ann'"), "{out}");
         assert!(!out.contains("'bob'"));
 
-        let out = sh.execute("update FlightRes insert ('bob', 'Asia')").unwrap();
+        let out = sh
+            .execute("update FlightRes insert ('bob', 'Asia')")
+            .unwrap();
         assert!(out.contains("+1"), "{out}");
         assert!(sh.execute("query V").unwrap().contains("'bob'"));
 
@@ -541,11 +569,9 @@ mod tests {
             .unwrap();
         assert!(out.contains("change-attribute-name"), "{out}");
         assert!(sh.execute("query V").unwrap().contains("'ann'"));
-        sh.execute("change rename-relation FlightRes Bookings").unwrap();
-        assert!(sh
-            .engine()
-            .mkb()
-            .has_relation("Bookings"));
+        sh.execute("change rename-relation FlightRes Bookings")
+            .unwrap();
+        assert!(sh.engine().mkb().has_relation("Bookings"));
     }
 
     #[test]

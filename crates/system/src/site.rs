@@ -159,7 +159,12 @@ impl SimSite {
     /// # Errors
     ///
     /// [`Error::State`] / validation failures.
-    pub fn apply_update(&mut self, relation: &str, inserts: &[Tuple], deletes: &[Tuple]) -> Result<()> {
+    pub fn apply_update(
+        &mut self,
+        relation: &str,
+        inserts: &[Tuple],
+        deletes: &[Tuple],
+    ) -> Result<()> {
         let rel = self.relation_mut(relation)?;
         for t in inserts {
             rel.insert(t.clone())?;

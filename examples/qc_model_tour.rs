@@ -9,9 +9,7 @@ use eve::misd::{
     AttributeInfo, Mkb, PcConstraint, PcRelationship, PcSide, RelationInfo, SchemaChange, SiteId,
 };
 use eve::qc::cost::{cf_io, cf_messages, cf_transfer};
-use eve::qc::{
-    plans_for_view, rank_rewritings, IoBound, MaintenancePlan, QcParams, WorkloadModel,
-};
+use eve::qc::{plans_for_view, rank_rewritings, IoBound, MaintenancePlan, QcParams, WorkloadModel};
 use eve::relational::DataType;
 use eve::sync::{synchronize, SyncOptions};
 
@@ -48,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .iter()
     .enumerate()
     {
-        let site = if *name == "R2" { SiteId(1) } else { SiteId(u32::try_from(i)?) };
+        let site = if *name == "R2" {
+            SiteId(1)
+        } else {
+            SiteId(u32::try_from(i)?)
+        };
         mkb.register_relation(RelationInfo::new(*name, site, abc(), *card))?;
     }
     let proj = |r: &str| PcSide::projection(r, &["A", "B", "C"]);
@@ -75,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         relation: "R2".into(),
     };
     let outcome = synchronize(&view, &change, &mkb, &SyncOptions::default())?;
-    println!("delete-relation R2 ⇒ {} legal rewritings:", outcome.rewritings.len());
+    println!(
+        "delete-relation R2 ⇒ {} legal rewritings:",
+        outcome.rewritings.len()
+    );
     for rw in &outcome.rewritings {
         println!("  · extent {}, repairs: {}", rw.extent, rw.provenance);
     }
@@ -129,11 +134,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .unwrap_or("?");
             println!(
                 "  {target}: DD = {:.4} (attr {:.2}, ext {:.4}), cost* = {:.2}, QC = {:.5}",
-                s.divergence.dd,
-                s.divergence.dd_attr,
-                s.divergence.dd_ext,
-                s.normalized_cost,
-                s.qc
+                s.divergence.dd, s.divergence.dd_attr, s.divergence.dd_ext, s.normalized_cost, s.qc
             );
         }
         println!(

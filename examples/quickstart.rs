@@ -8,7 +8,9 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use eve::misd::{AttributeInfo, PcConstraint, PcRelationship, PcSide, RelationInfo, SchemaChange, SiteId};
+use eve::misd::{
+    AttributeInfo, PcConstraint, PcRelationship, PcSide, RelationInfo, SchemaChange, SiteId,
+};
 use eve::relational::{tup, DataType, Relation, Schema};
 use eve::system::{DataUpdate, EveEngine};
 
@@ -102,17 +104,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Materialized view:\n{}", mv.extent);
 
     // ----- 3. Data updates flow through incremental maintenance ---------
-    let traces = eve.notify_data_update(&DataUpdate::insert(
-        "FlightRes",
-        vec![tup!["dee", "Asia"]],
-    ))?;
+    let traces =
+        eve.notify_data_update(&DataUpdate::insert("FlightRes", vec![tup!["dee", "Asia"]]))?;
     for (view, trace) in &traces {
         println!(
             "update propagated to `{view}`: {} messages, {} bytes, {} I/Os, +{} rows",
             trace.messages, trace.bytes, trace.ios, trace.view_inserts
         );
     }
-    println!("\nAfter dee's booking:\n{}", eve.view("Asia-Customer")?.extent);
+    println!(
+        "\nAfter dee's booking:\n{}",
+        eve.view("Asia-Customer")?.extent
+    );
 
     // ----- 4. A capability change hits the Customer source --------------
     let reports = eve.notify_capability_change(
@@ -133,6 +136,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    println!("\nView survives on the loyalty mirror:\n{}", eve.view("Asia-Customer")?.extent);
+    println!(
+        "\nView survives on the loyalty mirror:\n{}",
+        eve.view("Asia-Customer")?.extent
+    );
     Ok(())
 }

@@ -45,10 +45,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut eve = EveEngine::new();
 
     // Five warehouses mirror each other's stock feeds to varying degrees.
-    for (i, name) in ["east", "west", "north", "south", "central"].iter().enumerate() {
+    for (i, name) in ["east", "west", "north", "south", "central"]
+        .iter()
+        .enumerate()
+    {
         eve.add_site(SiteId(u32::try_from(i)? + 1), *name)?;
     }
-    let feeds = ["StockEast", "StockWest", "StockNorth", "StockSouth", "StockCentral"];
+    let feeds = [
+        "StockEast",
+        "StockWest",
+        "StockNorth",
+        "StockSouth",
+        "StockCentral",
+    ];
     for (i, feed) in feeds.iter().enumerate() {
         let rows = stock_rows(0, 40 + 5 * i64::try_from(i)?);
         eve.register_relation(
@@ -123,7 +132,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("maintenance traffic: {total_messages} messages, {total_bytes} bytes");
     println!(
         "final view definition:\n{}",
-        eve.view("LowStock").map(|v| v.def.to_string()).unwrap_or_else(|_| "(dropped)".into())
+        eve.view("LowStock")
+            .map(|v| v.def.to_string())
+            .unwrap_or_else(|_| "(dropped)".into())
     );
     Ok(())
 }

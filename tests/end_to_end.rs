@@ -105,10 +105,7 @@ fn multiple_views_share_update_stream() {
     .unwrap();
 
     let traces = e
-        .notify_data_update(&DataUpdate::insert(
-            "Orders",
-            vec![tup![5, "pear", 7]],
-        ))
+        .notify_data_update(&DataUpdate::insert("Orders", vec![tup![5, "pear", 7]]))
         .unwrap();
     assert_eq!(traces.len(), 2);
     // Both views gained a row.
@@ -170,11 +167,8 @@ fn capability_change_preserves_subsequent_maintenance() {
         vec![tup!["rhubarb", 50]],
     ))
     .unwrap();
-    e.notify_data_update(&DataUpdate::insert(
-        "Orders",
-        vec![tup![7, "rhubarb", 2]],
-    ))
-    .unwrap();
+    e.notify_data_update(&DataUpdate::insert("Orders", vec![tup![7, "rhubarb", 2]]))
+        .unwrap();
     assert!(e
         .view("PricedOrders")
         .unwrap()
@@ -288,10 +282,8 @@ fn dead_views_do_not_block_other_views() {
     let mut e = retail_engine();
     e.define_view_sql(PRICED_ORDERS).unwrap();
     // This one depends strictly on Orders only.
-    e.define_view_sql(
-        "CREATE VIEW JustQty (VE = '~') AS SELECT O.Qty FROM Orders O",
-    )
-    .unwrap();
+    e.define_view_sql("CREATE VIEW JustQty (VE = '~') AS SELECT O.Qty FROM Orders O")
+        .unwrap();
     // Orders disappears: PricedOrders (strict Orders) and JustQty both die…
     let reports = e
         .notify_capability_change(

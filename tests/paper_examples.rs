@@ -218,14 +218,22 @@ fn example_4_swap_through_join() {
     // Extent divergence via the MKB estimate: D1 = 0 (superset),
     // D2 = 1 − |R|/|T| = 1 − 1000/1500 = 1/3; DD_ext = ρ2 · 1/3.
     let params = QcParams::default();
-    let rep =
-        eve::qc::quality::degree_of_divergence(&v, rw, &mkb, &params).unwrap();
-    assert!((rep.dd_ext - 0.5 / 3.0).abs() < 1e-9, "dd_ext = {}", rep.dd_ext);
+    let rep = eve::qc::quality::degree_of_divergence(&v, rw, &mkb, &params).unwrap();
+    assert!(
+        (rep.dd_ext - 0.5 / 3.0).abs() < 1e-9,
+        "dd_ext = {}",
+        rep.dd_ext
+    );
 
     // And the full ranking machinery accepts the single candidate.
-    let scored =
-        rank_rewritings(&v, &outcome.rewritings, &mkb, &params, WorkloadModel::SingleUpdate)
-            .unwrap();
+    let scored = rank_rewritings(
+        &v,
+        &outcome.rewritings,
+        &mkb,
+        &params,
+        WorkloadModel::SingleUpdate,
+    )
+    .unwrap();
     assert_eq!(scored.len(), 1);
     assert!(scored[0].qc > 0.9, "qc = {}", scored[0].qc);
 }
@@ -250,7 +258,12 @@ fn ve_legality_gates_example_4() {
     };
     // The swap to T yields a superset extent: legal for VE ∈ {≈, ⊇},
     // illegal for VE ∈ {≡, ⊆}.
-    for (ve, expect) in [("'~'", true), ("'>='", true), ("'='", false), ("'<='", false)] {
+    for (ve, expect) in [
+        ("'~'", true),
+        ("'>='", true),
+        ("'='", false),
+        ("'<='", false),
+    ] {
         let v = parse_view(&format!(
             "CREATE VIEW V (VE = {ve}) AS SELECT R.A (AR = true) FROM R (RR = true)"
         ))

@@ -39,7 +39,12 @@ fn table6_totals_exact() {
         assert!((row.updates - upd).abs() < 1e-9);
         assert!((row.cf_m - m).abs() < 1e-6, "m={}: {}", row.sites, row.cf_m);
         assert!((row.cf_t - t).abs() < 1e-6, "m={}: {}", row.sites, row.cf_t);
-        assert!((row.cf_io - io).abs() < 1e-6, "m={}: {}", row.sites, row.cf_io);
+        assert!(
+            (row.cf_io - io).abs() < 1e-6,
+            "m={}: {}",
+            row.sites,
+            row.cf_io
+        );
     }
 }
 
@@ -96,7 +101,10 @@ fn table5_m1_keeps_table4_ranking() {
     let rows = exp5_workload::table5().unwrap();
     let best = rows.iter().find(|r| r.rating == 1).unwrap();
     assert_eq!(best.rewriting, "V3");
-    assert_eq!(rows.iter().map(|r| r.rating).collect::<Vec<_>>(), vec![3, 2, 1, 4, 5]);
+    assert_eq!(
+        rows.iter().map(|r| r.rating).collect::<Vec<_>>(),
+        vec![3, 2, 1, 4, 5]
+    );
 }
 
 #[test]

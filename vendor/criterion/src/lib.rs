@@ -1,0 +1,206 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! The build environment has no registry access, so the six benches compile
+//! against this stand-in. It implements real (if simple) wall-clock
+//! measurement: each benchmark warms up, then times `sample_size` samples
+//! and prints the mean/min/max per iteration to stdout.
+//!
+//! Set `CRITERION_SHIM_SAMPLES` to override every bench's sample count
+//! (e.g. `CRITERION_SHIM_SAMPLES=1` for a smoke run).
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver, configured via builder methods.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(self, id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A named benchmark parameter, displayed as part of the benchmark id.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Id from the parameter alone (grouped benches).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benches `f` against `input` under the given id.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.text);
+        let config = self.criterion.clone();
+        run_one(&config, &full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs a plain benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        let config = self.criterion.clone();
+        run_one(&config, &full, &mut |b| f(b));
+        self
+    }
+
+    /// Ends the group (formatting no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` performs the timed runs.
+pub struct Bencher {
+    samples: usize,
+    warm_up: Duration,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one duration per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            if start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.results.push(t0.elapsed());
+        }
+    }
+}
+
+fn resolve_samples(configured: usize) -> usize {
+    match std::env::var("CRITERION_SHIM_SAMPLES") {
+        Ok(v) => v.trim().parse().unwrap_or(configured).max(1),
+        Err(_) => configured,
+    }
+}
+
+fn run_one(config: &Criterion, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: resolve_samples(config.sample_size),
+        warm_up: config.warm_up_time,
+        results: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.results.is_empty() {
+        println!("{id}: no samples recorded");
+        return;
+    }
+    let total: Duration = bencher.results.iter().sum();
+    let mean = total / u32::try_from(bencher.results.len()).unwrap_or(1);
+    let min = bencher.results.iter().min().unwrap();
+    let max = bencher.results.iter().max().unwrap();
+    println!(
+        "{id}: mean {mean:?} (min {min:?}, max {max:?}, {} samples)",
+        bencher.results.len()
+    );
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,63 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Inclusive length bounds for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Minimum length (inclusive).
+    pub min: usize,
+    /// Maximum length (inclusive).
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of `element` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.min + rng.below(self.size.max - self.size.min + 1);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

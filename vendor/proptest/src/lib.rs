@@ -1,0 +1,159 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! The build environment has no registry access, so this crate stands in for
+//! the real `proptest`. It keeps the same surface syntax — the [`proptest!`]
+//! macro, `prop_assert*` macros, [`strategy::Strategy`] with `prop_map`,
+//! `prop_oneof!`, `Just`, `any::<T>()`, regex-string strategies,
+//! `prop::collection::vec` and `prop::option::of` — backed by a simple
+//! seeded generator **without shrinking**: a failing case panics with the
+//! case's seed so it can be replayed deterministically.
+//!
+//! Case counts honour the `PROPTEST_CASES` environment variable, which
+//! overrides every suite's `ProptestConfig::with_cases(..)` value; this is
+//! the tier-1 lever keeping property runs fast (see README).
+
+pub mod bool;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod arbitrary;
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Alias so `prop::collection::vec(..)` etc. resolve, as in proptest.
+    pub use crate as prop;
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The `proptest!` block: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` seeded iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let cases = $crate::test_runner::resolve_cases(config.cases);
+            let mut seed = $crate::test_runner::base_seed(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < cases {
+                attempts += 1;
+                assert!(
+                    attempts <= cases.saturating_mul(20).max(1000),
+                    "proptest: too many rejected cases (prop_assume) in {}",
+                    stringify!($name)
+                );
+                seed = $crate::test_runner::next_seed(seed);
+                let mut runner_rng = $crate::test_runner::TestRng::from_seed(seed);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut runner_rng);)*
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { { $body } ::core::result::Result::Ok(()) })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                        panic!(
+                            "proptest case failed in {} (case seed {seed:#x}): {message}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}

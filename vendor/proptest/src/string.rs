@@ -1,0 +1,283 @@
+//! String generation from the regex subset used as proptest string
+//! strategies in this workspace.
+//!
+//! Supported syntax: literal characters, character classes `[...]` (with
+//! `a-z` ranges and a trailing or leading literal `-`), groups `(...)` with
+//! alternation `|`, and the quantifiers `?`, `*`, `+`, `{n}`, `{n,m}`.
+//! Unbounded quantifiers are capped at 8 repetitions.
+
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+/// One parsed regex element.
+#[derive(Debug, Clone)]
+enum Node {
+    /// A literal character.
+    Literal(char),
+    /// A character class: the flattened set of candidate characters.
+    Class(Vec<char>),
+    /// A group of alternatives, each a sequence.
+    Group(Vec<Vec<Node>>),
+    /// A repeated node with inclusive bounds.
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// A compiled pattern: a sequence of nodes.
+#[derive(Debug, Clone)]
+pub struct StringPattern {
+    seq: Vec<Node>,
+}
+
+impl StringPattern {
+    /// Compiles `pattern`, failing on syntax outside the supported subset.
+    pub fn compile(pattern: &str) -> Result<StringPattern, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0usize;
+        let alternatives = parse_alternatives(&chars, &mut pos)?;
+        if pos != chars.len() {
+            return Err(format!("unexpected `{}` at {pos}", chars[pos]));
+        }
+        let seq = if alternatives.len() == 1 {
+            alternatives.into_iter().next().unwrap()
+        } else {
+            vec![Node::Group(alternatives)]
+        };
+        Ok(StringPattern { seq })
+    }
+
+    /// Generates one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for node in &self.seq {
+            emit(node, rng, &mut out);
+        }
+        out
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(set) => out.push(set[rng.below(set.len())]),
+        Node::Group(alts) => {
+            let alt = &alts[rng.below(alts.len())];
+            for n in alt {
+                emit(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = lo + (rng.below((hi - lo + 1) as usize) as u32);
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Parses `|`-separated sequences until end of input or an unmatched `)`.
+fn parse_alternatives(chars: &[char], pos: &mut usize) -> Result<Vec<Vec<Node>>, String> {
+    let mut alternatives = Vec::new();
+    let mut current = Vec::new();
+    while *pos < chars.len() {
+        match chars[*pos] {
+            ')' => break,
+            '|' => {
+                *pos += 1;
+                alternatives.push(std::mem::take(&mut current));
+            }
+            _ => {
+                let atom = parse_atom(chars, pos)?;
+                current.push(parse_quantifier(chars, pos, atom)?);
+            }
+        }
+    }
+    alternatives.push(current);
+    Ok(alternatives)
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+    match chars[*pos] {
+        '[' => {
+            *pos += 1;
+            parse_class(chars, pos)
+        }
+        '(' => {
+            *pos += 1;
+            let alts = parse_alternatives(chars, pos)?;
+            if *pos >= chars.len() || chars[*pos] != ')' {
+                return Err("unclosed group".to_owned());
+            }
+            *pos += 1;
+            Ok(Node::Group(alts))
+        }
+        '\\' => {
+            *pos += 1;
+            if *pos >= chars.len() {
+                return Err("dangling escape".to_owned());
+            }
+            let c = chars[*pos];
+            *pos += 1;
+            Ok(Node::Literal(c))
+        }
+        '.' => {
+            *pos += 1;
+            Ok(Node::Class((' '..='~').collect()))
+        }
+        c @ ('?' | '*' | '+' | '{') => Err(format!("dangling quantifier `{c}`")),
+        c => {
+            *pos += 1;
+            Ok(Node::Literal(c))
+        }
+    }
+}
+
+/// Parses the body of a `[...]` class, `pos` just past the `[`.
+fn parse_class(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+    let mut set = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let c = if chars[*pos] == '\\' {
+            *pos += 1;
+            if *pos >= chars.len() {
+                return Err("dangling escape in class".to_owned());
+            }
+            chars[*pos]
+        } else {
+            chars[*pos]
+        };
+        *pos += 1;
+        // A `-` between two characters denotes a range; a leading/trailing
+        // `-` is literal.
+        if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+            let hi = chars[*pos + 1];
+            *pos += 2;
+            if c > hi {
+                return Err(format!("inverted class range {c}-{hi}"));
+            }
+            set.extend(c..=hi);
+        } else {
+            set.push(c);
+        }
+    }
+    if *pos >= chars.len() {
+        return Err("unclosed character class".to_owned());
+    }
+    *pos += 1; // consume `]`
+    if set.is_empty() {
+        return Err("empty character class".to_owned());
+    }
+    Ok(Node::Class(set))
+}
+
+/// Wraps `atom` in a repeat node when a quantifier follows.
+fn parse_quantifier(chars: &[char], pos: &mut usize, atom: Node) -> Result<Node, String> {
+    if *pos >= chars.len() {
+        return Ok(atom);
+    }
+    match chars[*pos] {
+        '?' => {
+            *pos += 1;
+            Ok(Node::Repeat(Box::new(atom), 0, 1))
+        }
+        '*' => {
+            *pos += 1;
+            Ok(Node::Repeat(Box::new(atom), 0, UNBOUNDED_CAP))
+        }
+        '+' => {
+            *pos += 1;
+            Ok(Node::Repeat(Box::new(atom), 1, UNBOUNDED_CAP))
+        }
+        '{' => {
+            *pos += 1;
+            let mut lo = String::new();
+            while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                lo.push(chars[*pos]);
+                *pos += 1;
+            }
+            let lo: u32 = lo.parse().map_err(|_| "bad repetition count".to_owned())?;
+            let hi = if *pos < chars.len() && chars[*pos] == ',' {
+                *pos += 1;
+                let mut hi = String::new();
+                while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                    hi.push(chars[*pos]);
+                    *pos += 1;
+                }
+                hi.parse().map_err(|_| "bad repetition count".to_owned())?
+            } else {
+                lo
+            };
+            if *pos >= chars.len() || chars[*pos] != '}' {
+                return Err("unclosed repetition".to_owned());
+            }
+            *pos += 1;
+            if lo > hi {
+                return Err(format!("inverted repetition {{{lo},{hi}}}"));
+            }
+            Ok(Node::Repeat(Box::new(atom), lo, hi))
+        }
+        _ => Ok(atom),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_many(pattern: &str) -> Vec<String> {
+        let compiled = StringPattern::compile(pattern).unwrap();
+        let mut rng = TestRng::from_seed(42);
+        (0..200).map(|_| compiled.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn ident_pattern_shapes() {
+        for s in gen_many("[A-Z][A-Za-z0-9_]{0,8}") {
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            let mut it = s.chars();
+            assert!(it.next().unwrap().is_ascii_uppercase());
+            assert!(it.all(|c| c.is_ascii_alphanumeric() || c == '_'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn hyphen_group_pattern() {
+        for s in gen_many("[A-Z][a-z]{1,5}(-[a-z]{1,4})?") {
+            let parts: Vec<&str> = s.split('-').collect();
+            assert!(parts.len() <= 2, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        for s in gen_many("[ -~]{0,6}") {
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_prefix_kept() {
+        for s in gen_many("CREATE VIEW [A-Z]{1,3} AS SELECT [a-z.,( ]{0,20}") {
+            assert!(s.starts_with("CREATE VIEW "), "{s:?}");
+            assert!(s.contains(" AS SELECT "), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_literal_punctuation() {
+        for s in gen_many("[a-z.,( ]{0,20}") {
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || ".,( ".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn alternation_in_groups() {
+        for s in gen_many("(ab|cd)+") {
+            assert!(!s.is_empty() && s.len() % 2 == 0, "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Self-tests for the shim's runner: a failing property must fail the test,
+//! and `prop_assume!` must filter cases without failing.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failing_property_panics(v in 10i64..20) {
+        prop_assert!(v < 11, "got {v}");
+    }
+
+    #[test]
+    fn assume_filters_without_failing(v in 0i64..100) {
+        prop_assume!(v % 2 == 0);
+        prop_assert!(v % 2 == 0);
+    }
+
+    #[test]
+    fn tuples_ranges_and_strings_generate(
+        (a, b) in (0usize..5, -3i64..3),
+        s in "[A-Z][a-z]{1,5}(-[a-z]{1,4})?",
+        flag in proptest::bool::ANY,
+        v in prop::collection::vec(0u8..4, 2..6),
+        opt in prop::option::of(0i32..10),
+    ) {
+        prop_assert!(a < 5 && (-3..3).contains(&b));
+        prop_assert!(s.chars().next().unwrap().is_ascii_uppercase());
+        let _: bool = flag;
+        prop_assert!((2..6).contains(&v.len()) && v.iter().all(|&x| x < 4));
+        if let Some(x) = opt {
+            prop_assert!((0..10).contains(&x));
+        }
+    }
+
+    #[test]
+    fn oneof_and_filter_compose(
+        pick in prop_oneof![Just(1u8), Just(2u8), Just(3u8)],
+        odd in (0i64..100).prop_filter("odd", |v| v % 2 == 1),
+    ) {
+        prop_assert!((1..=3).contains(&pick));
+        prop_assert_eq!(odd % 2, 1);
+        prop_assert_ne!(odd % 2, 0);
+    }
+}
