@@ -1,0 +1,49 @@
+//! Criterion bench for the batched evolution pipeline: `apply_batch` vs
+//! the legacy op-by-op application on the 50-site / 200-op workload (and a
+//! smaller point for shape). The acceptance bar — batched ≥ 2× faster at
+//! 50/200 — is recorded in EXPERIMENTS.md; `repro batch` prints the same
+//! comparison with an equivalence assertion between the arms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use eve_bench::experiments::batch_pipeline::{build_workload, run_sequential};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_pipeline");
+    for (sites, ops) in [(10u32, 50usize), (50, 200)] {
+        let (engine, workload) = build_workload(sites, ops, 2024).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("sequential", format!("{sites}x{ops}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let mut e = engine.clone();
+                    run_sequential(&mut e, &workload).unwrap();
+                    std::hint::black_box(e.total_io())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batched", format!("{sites}x{ops}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let mut e = engine.clone();
+                    let outcome = e.apply_batch(workload.clone()).unwrap();
+                    std::hint::black_box((e.total_io(), outcome.max_width))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    targets = bench_pipeline
+}
+criterion_main!(benches);

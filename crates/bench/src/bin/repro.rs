@@ -5,8 +5,8 @@
 //! ```
 
 use eve_bench::experiments::{
-    exp1_survival, exp2_sites, exp3_distribution, exp4_cardinality, exp5_workload, heuristics,
-    strategy_regret, validation,
+    batch_pipeline, exp1_survival, exp2_sites, exp3_distribution, exp4_cardinality, exp5_workload,
+    heuristics, strategy_regret, validation,
 };
 use eve_bench::table::{num, TextTable};
 
@@ -46,9 +46,15 @@ fn main() {
         regret();
         ran = true;
     }
+    // Wall-clock-dependent, so not part of `all` (keeps `all` output
+    // deterministic for the golden-file regression tests).
+    if arg == "batch" {
+        batch();
+        ran = true;
+    }
     if !ran {
         eprintln!("unknown experiment `{arg}`");
-        eprintln!("usage: repro [exp1|exp2|exp3|exp4|exp5|heuristics|validate|regret|all]");
+        eprintln!("usage: repro [exp1|exp2|exp3|exp4|exp5|heuristics|validate|regret|batch|all]");
         std::process::exit(2);
     }
 }
@@ -174,32 +180,8 @@ fn exp4() {
     }
     println!("{}", t.render());
     println!("Table 4 — ranking under case 1 (ρ_quality=0.9, ρ_cost=0.1):");
-    let mut t = TextTable::new(&[
-        "rewriting",
-        "DD_attr",
-        "DD_ext",
-        "DD",
-        "cost",
-        "cost*",
-        "QC",
-        "rating",
-    ]);
-    match exp4_cardinality::table4(0.9, 0.1) {
-        Ok(rows) => {
-            for r in rows {
-                t.row(vec![
-                    r.rewriting,
-                    num(r.dd_attr, 4),
-                    num(r.dd_ext, 4),
-                    num(r.dd, 4),
-                    num(r.cost, 1),
-                    num(r.normalized_cost, 2),
-                    num(r.qc, 5),
-                    r.rating.to_string(),
-                ]);
-            }
-            println!("{}", t.render());
-        }
+    match eve_bench::report::table4_text() {
+        Ok(text) => println!("{text}"),
         Err(e) => println!("error: {e}"),
     }
     println!("Figure 15 — QC per rewriting across the trade-off cases:");
@@ -251,17 +233,7 @@ fn exp5() {
         Err(e) => println!("error: {e}"),
     }
     println!("Table 6 / Figure 16 — workload model M3 (u = 10 updates per IS):");
-    let mut t = TextTable::new(&["sites", "#updates", "CF_M", "CF_T", "CF_IO"]);
-    for r in exp5_workload::table6(10.0) {
-        t.row(vec![
-            r.sites.to_string(),
-            num(r.updates, 0),
-            num(r.cf_m, 0),
-            num(r.cf_t, 0),
-            num(r.cf_io, 0),
-        ]);
-    }
-    println!("{}", t.render());
+    println!("{}", eve_bench::report::table6_text());
     println!("Paper values (Table 6): 30/92/186/312/470/660; 8000..216000; 310..1860 — reproduced exactly.");
 }
 
@@ -338,6 +310,41 @@ fn validate() {
         }
         Err(e) => println!("error: {e}"),
     }
+}
+
+fn batch() {
+    heading("Batched multi-site pipeline vs op-by-op application (extension)");
+    let mut t = TextTable::new(&[
+        "sites",
+        "ops",
+        "sequential ms",
+        "batched ms",
+        "speedup",
+        "max width",
+        "I/O",
+        "messages",
+        "analytic cost",
+    ]);
+    for (sites, ops) in [(10u32, 50usize), (25, 100), (50, 200)] {
+        match batch_pipeline::compare(sites, ops, 2024) {
+            Ok(r) => {
+                t.row(vec![
+                    r.sites.to_string(),
+                    r.ops.to_string(),
+                    num(r.sequential_ms, 1),
+                    num(r.batched_ms, 1),
+                    format!("{:.1}x", r.speedup),
+                    r.max_width.to_string(),
+                    r.total_io.to_string(),
+                    r.total_messages.to_string(),
+                    num(r.analytic_cost, 0),
+                ]);
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("{}", t.render());
+    println!("Both arms are asserted to reach identical extents, verdicts and measured costs.");
 }
 
 fn regret() {

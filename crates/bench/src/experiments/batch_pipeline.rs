@@ -1,0 +1,281 @@
+//! The batched multi-site synchronization pipeline vs. the legacy op-by-op
+//! loop (extension; ROADMAP "batching" direction).
+//!
+//! Workload shape: `sites` independent information sources, each hosting a
+//! two-relation join view `V{i} = R{i}_a ⋈ R{i}_b`, a selection view
+//! `W{i}` over the colocated equivalent replica `R{i}_c ≡ R{i}_b`. The op
+//! stream interleaves data updates (inserts/deletes across all sites) with
+//! capability changes — relation drops repaired by swapping onto the
+//! replica, and relation renames — in a deterministic seeded mix.
+//!
+//! Both arms execute the *same* ops to the *same* final state (asserted,
+//! together with identical measured I/O + messages); only the scheduling
+//! differs. The batched arm uses [`EveEngine::apply_batch`], the
+//! sequential arm the legacy per-op paths. The analytic batch cost
+//! (`eve_qc::workload::batch_total_cost`) is reported alongside, priced
+//! per update origin over the initial views.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use eve_misd::{AttributeInfo, PcConstraint, PcRelationship, PcSide, RelationInfo, SiteId};
+use eve_qc::{plans_for_view, workload, QcParams};
+use eve_relational::{DataType, Relation, Schema, Tuple, Value};
+use eve_system::{DataUpdate, EveEngine, EvolutionOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of one batched-vs-sequential comparison.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Number of sites (and views) in the space.
+    pub sites: u32,
+    /// Ops in the workload.
+    pub ops: usize,
+    /// Data ops among them.
+    pub data_ops: usize,
+    /// Capability ops among them.
+    pub capability_ops: usize,
+    /// Wall-clock of the sequential arm, milliseconds.
+    pub sequential_ms: f64,
+    /// Wall-clock of the batched arm, milliseconds.
+    pub batched_ms: f64,
+    /// `sequential_ms / batched_ms`.
+    pub speedup: f64,
+    /// Widest data stage of the batched plan (concurrency opportunity).
+    pub max_width: usize,
+    /// Measured block I/Os (identical across arms — asserted).
+    pub total_io: u64,
+    /// Measured messages (identical across arms — asserted).
+    pub total_messages: u64,
+    /// Analytic cost of the batch's data updates over the initial views
+    /// (Eq. 24 summed per origin, `eve_qc::workload::batch_total_cost`).
+    pub analytic_cost: f64,
+}
+
+fn tuple(k: i64) -> Tuple {
+    Tuple::new(vec![Value::Int(k), Value::Int(k % 5)])
+}
+
+/// Builds the canonical `sites`-site space: per site, relations `R{i}_a`,
+/// `R{i}_b` and the equivalent replica `R{i}_c ≡ R{i}_b` (all 40 rows),
+/// the join view `V{i} = R{i}_a ⋈ R{i}_b` and the selection view `W{i}`
+/// over the replica. Shared between the bench workload and the root
+/// differential property suite so every batched-pipeline harness exercises
+/// the same space.
+///
+/// # Errors
+///
+/// Engine construction failures.
+pub fn build_space(sites: u32) -> eve_system::Result<EveEngine> {
+    let mut engine = EveEngine::new();
+    let schema = Schema::of(&[("K", DataType::Int), ("P", DataType::Int)])?;
+    let attrs = || {
+        vec![
+            AttributeInfo::new("K", DataType::Int),
+            AttributeInfo::new("P", DataType::Int),
+        ]
+    };
+    for i in 1..=sites {
+        engine.add_site(SiteId(i), format!("IS{i}"))?;
+        for suffix in ["a", "b", "c"] {
+            let name = format!("R{i}_{suffix}");
+            let rows: Vec<Tuple> = (0..40i64).map(tuple).collect();
+            engine.register_relation(
+                RelationInfo::new(&name, SiteId(i), attrs(), 10),
+                Relation::with_tuples(&name, schema.clone(), rows)?,
+            )?;
+        }
+        engine.mkb_mut().add_pc_constraint(PcConstraint::new(
+            PcSide::projection(format!("R{i}_b"), &["K", "P"]),
+            PcRelationship::Equivalent,
+            PcSide::projection(format!("R{i}_c"), &["K", "P"]),
+        ))?;
+        engine.define_view_sql(&format!(
+            "CREATE VIEW V{i} (VE = '~') AS SELECT A.K, B.P AS BP \
+             FROM R{i}_a A, R{i}_b B (RR = true) WHERE A.K = B.K"
+        ))?;
+        engine.define_view_sql(&format!(
+            "CREATE VIEW W{i} (VE = '~') AS SELECT C.K FROM R{i}_c C (RR = true) \
+             WHERE C.P = 0 (CD = true)"
+        ))?;
+    }
+    Ok(engine)
+}
+
+/// Builds the `sites`-site information space and a seeded `op_count`-op
+/// workload over it.
+///
+/// # Errors
+///
+/// Engine construction failures.
+pub fn build_workload(
+    sites: u32,
+    op_count: usize,
+    seed: u64,
+) -> eve_system::Result<(EveEngine, Vec<EvolutionOp>)> {
+    let engine = build_space(sites)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dropped_b = vec![false; sites as usize + 1];
+    let mut renamed_a = vec![false; sites as usize + 1];
+    let mut ops = Vec::with_capacity(op_count);
+    for n in 0..op_count {
+        let i = rng.gen_range(1..=sites) as usize;
+        // Capability changes roughly every 25th op; the rest is data.
+        if n % 25 == 24 {
+            if !dropped_b[i] {
+                dropped_b[i] = true;
+                ops.push(EvolutionOp::change(
+                    eve_misd::SchemaChange::DeleteRelation {
+                        relation: format!("R{i}_b"),
+                    },
+                ));
+                continue;
+            }
+            if !renamed_a[i] {
+                renamed_a[i] = true;
+                ops.push(EvolutionOp::change(
+                    eve_misd::SchemaChange::RenameRelation {
+                        from: format!("R{i}_a"),
+                        to: format!("R{i}_ax"),
+                    },
+                ));
+                continue;
+            }
+        }
+        let k = rng.gen_range(0i64..200);
+        let a = if renamed_a[i] {
+            format!("R{i}_ax")
+        } else {
+            format!("R{i}_a")
+        };
+        let b = if dropped_b[i] {
+            format!("R{i}_c")
+        } else {
+            format!("R{i}_b")
+        };
+        match rng.gen_range(0u8..4) {
+            0 => ops.push(EvolutionOp::insert(b, vec![tuple(k)])),
+            1 => ops.push(EvolutionOp::delete(a, vec![tuple(k % 40)])),
+            _ => ops.push(EvolutionOp::insert(a, vec![tuple(k)])),
+        }
+    }
+    Ok((engine, ops))
+}
+
+/// Applies `ops` through the legacy per-op paths.
+///
+/// # Errors
+///
+/// Engine failures.
+pub fn run_sequential(engine: &mut EveEngine, ops: &[EvolutionOp]) -> eve_system::Result<()> {
+    for op in ops {
+        match op {
+            EvolutionOp::Data {
+                relation,
+                inserts,
+                deletes,
+            } => {
+                engine.notify_data_update(&DataUpdate {
+                    relation: relation.clone(),
+                    inserts: inserts.clone(),
+                    deletes: deletes.clone(),
+                })?;
+            }
+            EvolutionOp::Capability { change, new_extent } => {
+                engine.notify_capability_change_sequential(change, new_extent.clone())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs both arms over the 50-site-style workload and reports timings,
+/// asserting observational equivalence along the way.
+///
+/// # Errors
+///
+/// Engine failures, or divergence between the two arms.
+pub fn compare(sites: u32, op_count: usize, seed: u64) -> eve_system::Result<PipelineReport> {
+    let (base, ops) = build_workload(sites, op_count, seed)?;
+    let data_ops = ops.iter().filter(|o| o.is_data()).count();
+
+    // Analytic accounting of the data portion over the initial views.
+    let params = QcParams::default();
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for op in &ops {
+        if let EvolutionOp::Data { relation, .. } = op {
+            *counts.entry(relation.clone()).or_default() += 1;
+        }
+    }
+    let mut analytic_cost = 0.0;
+    for mv in base.views() {
+        let plans = plans_for_view(&mv.def, base.mkb())?;
+        analytic_cost += workload::batch_total_cost(&plans, &counts, &params);
+    }
+
+    let mut sequential = base.clone();
+    sequential.reset_io();
+    let started = Instant::now();
+    run_sequential(&mut sequential, &ops)?;
+    let sequential_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let mut batched = base;
+    batched.reset_io();
+    let started = Instant::now();
+    let outcome = batched.apply_batch(ops.clone())?;
+    let batched_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Equivalence gate: same state, same measured costs.
+    let defs = |e: &EveEngine| -> Vec<String> { e.views().map(|mv| mv.def.to_string()).collect() };
+    if defs(&sequential) != defs(&batched)
+        || sequential.total_io() != batched.total_io()
+        || sequential.total_messages() != batched.total_messages()
+        || sequential
+            .views()
+            .zip(batched.views())
+            .any(|(s, b)| s.extent.tuples() != b.extent.tuples())
+    {
+        return Err(eve_system::Error::State {
+            detail: "batched and sequential arms diverged".into(),
+        });
+    }
+
+    Ok(PipelineReport {
+        sites,
+        ops: ops.len(),
+        data_ops,
+        capability_ops: ops.len() - data_ops,
+        sequential_ms,
+        batched_ms,
+        speedup: sequential_ms / batched_ms.max(1e-9),
+        max_width: outcome.max_width,
+        total_io: batched.total_io(),
+        total_messages: batched.total_messages(),
+        analytic_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arms_agree_on_a_small_workload() {
+        let report = compare(6, 40, 7).unwrap();
+        assert_eq!(report.ops, 40);
+        assert!(report.data_ops > 0 && report.capability_ops > 0);
+        assert!(report.max_width > 1, "independent sites overlap");
+        assert!(report.total_io > 0 && report.total_messages > 0);
+        assert!(report.analytic_cost > 0.0);
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let (_, a) = build_workload(4, 30, 42).unwrap();
+        let (_, b) = build_workload(4, 30, 42).unwrap();
+        let fmt =
+            |ops: &[EvolutionOp]| -> Vec<String> { ops.iter().map(|o| format!("{o:?}")).collect() };
+        assert_eq!(fmt(&a), fmt(&b));
+    }
+}

@@ -1,5 +1,6 @@
 //! Experiment implementations, one module per §7 experiment.
 
+pub mod batch_pipeline;
 pub mod exp1_survival;
 pub mod exp2_sites;
 pub mod exp3_distribution;

@@ -17,4 +17,5 @@
 //! `benches/` time the underlying computations.
 
 pub mod experiments;
+pub mod report;
 pub mod table;

@@ -1,0 +1,116 @@
+//! Integration coverage of `esql::validate`'s error paths. The unit tests
+//! exercise the happy path and a few rejections; this suite pins every
+//! error branch, including the ones only reachable through hand-built ASTs
+//! and through condition columns on either operand side.
+
+use eve_esql::validate::validate;
+use eve_esql::{parse_view, FromItem, SelectItem, ViewDef};
+use eve_relational::{ColumnRef, CompOp, Operand, PrimitiveClause};
+
+fn err(view: &ViewDef) -> String {
+    validate(view).unwrap_err().message
+}
+
+#[test]
+fn empty_from_and_empty_select_are_rejected_in_that_order() {
+    // No FROM at all.
+    let v = ViewDef::new(
+        "V",
+        vec![SelectItem::new(ColumnRef::parse("R.A"))],
+        Vec::new(),
+    );
+    assert!(err(&v).contains("no FROM items"));
+    // FROM present, SELECT empty: reported as the select problem.
+    let v = ViewDef::new("V", Vec::new(), vec![FromItem::new("R")]);
+    assert!(err(&v).contains("selects no attributes"));
+    // Both empty: FROM wins (checked first).
+    let v = ViewDef::new("V", Vec::new(), Vec::new());
+    assert!(err(&v).contains("no FROM items"));
+}
+
+#[test]
+fn duplicate_bindings_are_rejected_for_aliases_too() {
+    // Same alias twice over different relations.
+    let v = parse_view("CREATE VIEW V AS SELECT X.A FROM R X, S X").unwrap();
+    assert!(err(&v).contains("duplicate FROM binding `X`"));
+    // Alias colliding with another item's bare relation name.
+    let v = parse_view("CREATE VIEW V AS SELECT R.A FROM R, S R").unwrap();
+    assert!(err(&v).contains("duplicate FROM binding `R`"));
+}
+
+#[test]
+fn duplicate_output_columns_cover_aliases_and_column_lists() {
+    // Via aliases.
+    let v = parse_view("CREATE VIEW V AS SELECT R.A AS X, R.B AS X FROM R").unwrap();
+    assert!(err(&v).contains("duplicate output column `X`"));
+    // Via an explicit column-name list.
+    let mut v = parse_view("CREATE VIEW V AS SELECT R.A, R.B FROM R").unwrap();
+    v.column_names = Some(vec!["C".into(), "C".into()]);
+    assert!(err(&v).contains("duplicate output column `C`"));
+}
+
+#[test]
+fn select_items_must_reference_known_bindings() {
+    let v = parse_view("CREATE VIEW V AS SELECT Ghost.A FROM R, S").unwrap();
+    let e = err(&v);
+    assert!(e.contains("SELECT item"), "{e}");
+    assert!(e.contains("unknown FROM binding `Ghost`"), "{e}");
+}
+
+#[test]
+fn condition_columns_are_checked_on_both_operand_sides() {
+    // Unknown binding on the left.
+    let v = parse_view("CREATE VIEW V AS SELECT R.A FROM R, S WHERE Ghost.A > 1").unwrap();
+    let e = err(&v);
+    assert!(e.contains("condition column"), "{e}");
+    assert!(e.contains("`Ghost`"), "{e}");
+    // Unknown binding on the right (column-to-column comparison).
+    let v = parse_view("CREATE VIEW V AS SELECT R.A FROM R, S WHERE R.A = Ghost.B").unwrap();
+    let e = err(&v);
+    assert!(e.contains("condition column"), "{e}");
+    assert!(e.contains("`Ghost`"), "{e}");
+}
+
+#[test]
+fn bare_columns_are_ambiguous_with_multiple_from_items() {
+    // In SELECT.
+    let v = parse_view("CREATE VIEW V AS SELECT A FROM R, S").unwrap();
+    assert!(err(&v).contains("unqualified but the view has 2 FROM items"));
+    // In WHERE, left side.
+    let v = parse_view("CREATE VIEW V AS SELECT R.A FROM R, S WHERE A > 1").unwrap();
+    assert!(err(&v).contains("unqualified"));
+    // In WHERE, right side.
+    let mut v = parse_view("CREATE VIEW V AS SELECT R.A FROM R, S").unwrap();
+    v.conditions
+        .push(eve_esql::ConditionItem::new(PrimitiveClause {
+            left: ColumnRef::parse("R.A"),
+            op: CompOp::Eq,
+            right: Operand::Column(ColumnRef::bare("B")),
+        }));
+    assert!(err(&v).contains("unqualified"));
+}
+
+#[test]
+fn normalization_qualifies_every_bare_reference() {
+    let v = parse_view("CREATE VIEW V AS SELECT A, B FROM R WHERE (A > 1) AND (B = A)").unwrap();
+    let n = validate(&v).unwrap();
+    for item in &n.select {
+        assert_eq!(item.attr.qualifier.as_deref(), Some("R"));
+    }
+    for cond in &n.conditions {
+        for col in cond.clause.columns() {
+            assert_eq!(col.qualifier.as_deref(), Some("R"), "{col}");
+        }
+    }
+    // Idempotent: validating the normalized view is the identity.
+    assert_eq!(validate(&n).unwrap(), n);
+}
+
+#[test]
+fn relation_name_does_not_leak_past_an_alias_in_conditions() {
+    // `Customer` is aliased to `C`, so qualifying by the relation name in
+    // WHERE must fail just as it does in SELECT.
+    let v = parse_view("CREATE VIEW V AS SELECT C.Name FROM Customer C WHERE Customer.Name = 'x'")
+        .unwrap();
+    assert!(err(&v).contains("unknown FROM binding `Customer`"));
+}

@@ -52,6 +52,7 @@ pub struct Mkb {
     pc_constraints: Vec<PcConstraint>,
     join_selectivities: BTreeMap<(String, String), f64>,
     default_join_selectivity: f64,
+    generation: u64,
 }
 
 fn js_key(a: &str, b: &str) -> (String, String) {
@@ -73,6 +74,19 @@ impl Mkb {
         }
     }
 
+    /// The MKB's mutation generation: incremented whenever the registry,
+    /// constraint store or statistics change. Caches of anything derived
+    /// from the MKB (PC-partner closures, rewriting enumerations) key their
+    /// entries on this counter and invalidate when it moves.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn bump_generation(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+    }
+
     // ------------------------------------------------------------------
     // Registration
     // ------------------------------------------------------------------
@@ -89,6 +103,7 @@ impl Mkb {
             });
         }
         self.sites.insert(site.0, name.into());
+        self.bump_generation();
         Ok(())
     }
 
@@ -116,6 +131,7 @@ impl Mkb {
             }
         }
         self.relations.insert(info.name.clone(), info);
+        self.bump_generation();
         Ok(())
     }
 
@@ -175,19 +191,27 @@ impl Mkb {
         Ok(self.relation(relation)?.site)
     }
 
+    // The in-crate mutable accessors (used by the evolver) bump the
+    // generation on *access*: over-invalidating derived caches is safe,
+    // missing a mutation is not.
+
     pub(crate) fn relations_mut(&mut self) -> &mut BTreeMap<String, RelationInfo> {
+        self.bump_generation();
         &mut self.relations
     }
 
     pub(crate) fn join_constraints_mut(&mut self) -> &mut Vec<JoinConstraint> {
+        self.bump_generation();
         &mut self.join_constraints
     }
 
     pub(crate) fn pc_constraints_mut(&mut self) -> &mut Vec<PcConstraint> {
+        self.bump_generation();
         &mut self.pc_constraints
     }
 
     pub(crate) fn join_selectivities_mut(&mut self) -> &mut BTreeMap<(String, String), f64> {
+        self.bump_generation();
         &mut self.join_selectivities
     }
 
@@ -198,6 +222,7 @@ impl Mkb {
     /// Sets the global default join selectivity.
     pub fn set_default_join_selectivity(&mut self, js: f64) {
         self.default_join_selectivity = js;
+        self.bump_generation();
     }
 
     /// The global default join selectivity.
@@ -209,6 +234,7 @@ impl Mkb {
     /// Registers a pair-specific join selectivity.
     pub fn set_join_selectivity(&mut self, a: &str, b: &str, js: f64) {
         self.join_selectivities.insert(js_key(a, b), js);
+        self.bump_generation();
     }
 
     /// Join selectivity for a pair (pair-specific value or the default).
@@ -250,6 +276,7 @@ impl Mkb {
                 detail: e.to_string(),
             })?;
         self.join_constraints.push(jc);
+        self.bump_generation();
         Ok(())
     }
 
@@ -307,6 +334,7 @@ impl Mkb {
             }
         }
         self.pc_constraints.push(pc);
+        self.bump_generation();
         Ok(())
     }
 
@@ -762,6 +790,33 @@ mod tests {
         assert!((mkb.join_selectivity("R", "S") - 0.001).abs() < 1e-12);
         mkb.set_default_join_selectivity(0.0022);
         assert!((mkb.join_selectivity("R", "T") - 0.0022).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generation_moves_on_every_mutation() {
+        use crate::SchemaChange;
+        let mut mkb = sample();
+        let g0 = mkb.generation();
+        // Read-only access leaves the generation alone.
+        let _ = mkb.relation("R").unwrap();
+        let _ = mkb.pc_constraints_of("R");
+        assert_eq!(mkb.generation(), g0);
+        // Every mutator moves it.
+        mkb.set_join_selectivity("R", "S", 0.001);
+        let g1 = mkb.generation();
+        assert_ne!(g1, g0);
+        mkb.set_default_join_selectivity(0.01);
+        let g2 = mkb.generation();
+        assert_ne!(g2, g1);
+        mkb.apply_change(&SchemaChange::DeleteAttribute {
+            relation: "R".into(),
+            attribute: "B".into(),
+        })
+        .unwrap();
+        assert_ne!(mkb.generation(), g2);
+        // Clones carry the counter (a cloned MKB is the same knowledge).
+        let clone = mkb.clone();
+        assert_eq!(clone.generation(), mkb.generation());
     }
 
     #[test]

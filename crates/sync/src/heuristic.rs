@@ -29,8 +29,8 @@ use eve_esql::ViewDef;
 use eve_misd::{Mkb, SchemaChange, SiteId};
 
 use crate::synchronizer::{
-    build_drop_relation, build_swap, delete_attribute_candidates, finish, pc_partners,
-    repair_bindings, synchronize, Candidate, PcPartner, SyncError, SyncOptions, SyncOutcome,
+    build_drop_relation, build_swap, delete_attribute_candidates, finish, repair_bindings,
+    synchronize, Candidate, PartnerCache, PcPartner, SyncError, SyncOptions, SyncOutcome,
 };
 
 /// Options for the pruned search.
@@ -94,6 +94,7 @@ fn ordered_partners(
     relation: &str,
     mkb: &Mkb,
     options: &HeuristicOptions,
+    cache: &mut PartnerCache,
 ) -> Vec<PcPartner> {
     #[allow(clippy::cast_precision_loss)]
     let old_card = mkb
@@ -101,7 +102,7 @@ fn ordered_partners(
         .map(|r| r.cardinality as f64)
         .unwrap_or(0.0);
     let existing = view_sites(view, mkb, binding);
-    let mut partners = pc_partners(mkb, relation);
+    let mut partners = cache.partners(mkb, relation);
     partners.sort_by(|a, b| {
         let sa = partner_score(a, old_card, &existing, mkb, options);
         let sb = partner_score(b, old_card, &existing, mkb, options);
@@ -118,6 +119,7 @@ fn pruned_candidates(
     change: &SchemaChange,
     mkb: &Mkb,
     options: &HeuristicOptions,
+    cache: &mut PartnerCache,
 ) -> Vec<Candidate> {
     let Some(from_item) = view.from_item(binding) else {
         return Vec::new();
@@ -128,7 +130,7 @@ fn pruned_candidates(
     match change {
         SchemaChange::DeleteRelation { .. } => {
             if from_item.evolution.replaceable {
-                for partner in ordered_partners(view, binding, &relation, mkb, options) {
+                for partner in ordered_partners(view, binding, &relation, mkb, options, cache) {
                     if out.len() >= options.max_candidates {
                         return out;
                     }
@@ -147,7 +149,7 @@ fn pruned_candidates(
             // Reuse the exhaustive generator but reorder its swap options by
             // re-scoring, then truncate. (Attribute repairs are cheap to
             // build; the pruning value is in not *ranking* the tail.)
-            let mut all = delete_attribute_candidates(view, binding, attribute, mkb);
+            let mut all = delete_attribute_candidates(view, binding, attribute, mkb, cache);
             let existing = view_sites(view, mkb, binding);
             #[allow(clippy::cast_precision_loss)]
             let old_card = mkb
@@ -223,8 +225,9 @@ pub fn synchronize_heuristic(
                 max_rewritings: options.max_candidates,
                 ..SyncOptions::default()
             };
+            let mut cache = PartnerCache::new();
             let candidates = repair_bindings(&view, &bindings, mkb, &sync_opts, |v, b| {
-                pruned_candidates(v, b, change, mkb, options)
+                pruned_candidates(v, b, change, mkb, options, &mut cache)
             });
             Ok(finish(&view, candidates, &sync_opts))
         }
@@ -247,8 +250,9 @@ pub fn synchronize_heuristic(
                 max_rewritings: options.max_candidates,
                 ..SyncOptions::default()
             };
+            let mut cache = PartnerCache::new();
             let candidates = repair_bindings(&view, &bindings, mkb, &sync_opts, |v, b| {
-                pruned_candidates(v, b, change, mkb, options)
+                pruned_candidates(v, b, change, mkb, options, &mut cache)
             });
             Ok(finish(&view, candidates, &sync_opts))
         }

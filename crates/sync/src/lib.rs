@@ -27,14 +27,16 @@
 //! the first legal view rewriting it discovered", §8) and serves as the
 //! baseline selection strategy in the benchmarks.
 
+pub mod batch;
 pub mod extent;
 pub mod heuristic;
 pub mod migration;
 pub mod rewriting;
 pub mod synchronizer;
 
+pub use batch::{partition_stage, BatchPlan, EvolutionOp, RewriteCache, Stage, ViewFootprint};
 pub use extent::ExtentRelationship;
 pub use heuristic::{synchronize_heuristic, HeuristicOptions};
 pub use migration::equivalent_swaps;
 pub use rewriting::{LegalRewriting, Provenance, RewriteAction};
-pub use synchronizer::{synchronize, SyncOptions, SyncOutcome};
+pub use synchronizer::{synchronize, PartnerCache, SyncOptions, SyncOutcome};

@@ -24,7 +24,7 @@
 //! pre-QC-Model baseline pick), deduplicated, capped by
 //! [`SyncOptions::max_rewritings`].
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 
 use eve_esql::{ConditionItem, FromItem, RelEvolution, ViewDef};
@@ -183,6 +183,62 @@ pub fn pc_partners(mkb: &Mkb, rel: &str) -> Vec<PcPartner> {
     out
 }
 
+/// Memoizes [`pc_partners`] closures per relation. The BFS over PC
+/// constraints is the dominant cost when many views reference the same
+/// relations; within one MKB generation the closure is a pure function of
+/// the relation name, so batch pipelines share one cache across views.
+///
+/// The cache does **not** watch the MKB itself — callers must [`clear`] it
+/// (or key it on [`Mkb::generation`], as [`crate::batch::RewriteCache`]
+/// does) when the MKB changes.
+///
+/// [`clear`]: PartnerCache::clear
+#[derive(Debug, Clone, Default)]
+pub struct PartnerCache {
+    map: HashMap<String, Vec<PcPartner>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PartnerCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> PartnerCache {
+        PartnerCache::default()
+    }
+
+    /// The PC partners of `rel`, computed on first request and replayed
+    /// afterwards.
+    #[must_use]
+    pub fn partners(&mut self, mkb: &Mkb, rel: &str) -> Vec<PcPartner> {
+        if let Some(found) = self.map.get(rel) {
+            self.hits += 1;
+            return found.clone();
+        }
+        self.misses += 1;
+        let computed = pc_partners(mkb, rel);
+        self.map.insert(rel.to_owned(), computed.clone());
+        computed
+    }
+
+    /// Drops all memoized closures (required after any MKB mutation).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Number of requests served from memory.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of requests that ran the BFS.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
 /// Synchronizes a view with a capability change against the *pre-change*
 /// MKB, producing all legal rewritings.
 ///
@@ -194,6 +250,22 @@ pub fn synchronize(
     change: &SchemaChange,
     mkb: &Mkb,
     options: &SyncOptions,
+) -> Result<SyncOutcome, SyncError> {
+    synchronize_with(view, change, mkb, options, &mut PartnerCache::new())
+}
+
+/// [`synchronize`] with an externally owned [`PartnerCache`], so repeated
+/// synchronizations against one MKB state share partner closures.
+///
+/// # Errors
+///
+/// [`SyncError::Validation`] when the view is structurally invalid.
+pub fn synchronize_with(
+    view: &ViewDef,
+    change: &SchemaChange,
+    mkb: &Mkb,
+    options: &SyncOptions,
+    partners: &mut PartnerCache,
 ) -> Result<SyncOutcome, SyncError> {
     let view = eve_esql::validate::validate(view).map_err(|e| SyncError::Validation(e.message))?;
 
@@ -220,7 +292,7 @@ pub fn synchronize(
                 return Ok(SyncOutcome::unaffected());
             }
             let candidates = repair_bindings(&view, &bindings, mkb, options, |v, b| {
-                delete_attribute_candidates(v, b, attribute, mkb)
+                delete_attribute_candidates(v, b, attribute, mkb, partners)
             });
             Ok(finish(&view, candidates, options))
         }
@@ -235,7 +307,7 @@ pub fn synchronize(
                 return Ok(SyncOutcome::unaffected());
             }
             let candidates = repair_bindings(&view, &bindings, mkb, options, |v, b| {
-                delete_relation_candidates(v, b, mkb)
+                delete_relation_candidates(v, b, mkb, partners)
             });
             Ok(finish(&view, candidates, options))
         }
@@ -255,7 +327,7 @@ pub(crate) fn repair_bindings(
     bindings: &[String],
     _mkb: &Mkb,
     options: &SyncOptions,
-    gen: impl Fn(&ViewDef, &str) -> Vec<Candidate>,
+    mut gen: impl FnMut(&ViewDef, &str) -> Vec<Candidate>,
 ) -> Vec<Candidate> {
     let mut results: Vec<Candidate> = vec![(view.clone(), Vec::new(), ExtentRelationship::Equal)];
     for b in bindings {
@@ -458,13 +530,14 @@ pub(crate) fn delete_attribute_candidates(
     binding: &str,
     attr: &str,
     mkb: &Mkb,
+    partner_cache: &mut PartnerCache,
 ) -> Vec<Candidate> {
     let mut out = Vec::new();
     let relation = match view.from_item(binding) {
         Some(f) => f.relation.clone(),
         None => return out,
     };
-    let partners = pc_partners(mkb, &relation);
+    let partners = partner_cache.partners(mkb, &relation);
 
     // (a) attribute replacement keeping the relation.
     for partner in partners.iter().filter(|p| p.attr_map.contains_key(attr)) {
@@ -702,6 +775,7 @@ pub(crate) fn delete_relation_candidates(
     view: &ViewDef,
     binding: &str,
     mkb: &Mkb,
+    partner_cache: &mut PartnerCache,
 ) -> Vec<Candidate> {
     let mut out = Vec::new();
     let Some(from_item) = view.from_item(binding) else {
@@ -711,7 +785,7 @@ pub(crate) fn delete_relation_candidates(
 
     // (a) swap for each PC partner.
     if from_item.evolution.replaceable {
-        for partner in pc_partners(mkb, &relation) {
+        for partner in partner_cache.partners(mkb, &relation) {
             if let Some(c) = build_swap(view, binding, &partner) {
                 out.push(c);
             }

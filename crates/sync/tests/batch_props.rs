@@ -1,0 +1,252 @@
+//! Differential property tests of the batch planner and the memoized
+//! rewriting cache: caching must be invisible (identical outcomes to the
+//! uncached synchronizer, across generations), and plans must be faithful
+//! regroupings of their op sequences (every op exactly once, order
+//! preserved, partitions pairwise disjoint).
+
+use proptest::prelude::*;
+
+use eve_misd::{
+    AttributeInfo, Mkb, PcConstraint, PcRelationship, PcSide, RelationInfo, SchemaChange, SiteId,
+};
+use eve_relational::{tup, DataType};
+use eve_sync::batch::{partition_stage, plan, EvolutionOp, RewriteCache, Stage, ViewFootprint};
+use eve_sync::{synchronize, SyncOptions, SyncOutcome};
+
+const RELATIONS: usize = 4;
+
+/// An information space with `RELATIONS` base relations `R0..` spread over
+/// that many sites, plus `replicas` equivalent replicas of each (PC
+/// constraints over all attributes).
+fn space(replicas: usize) -> Mkb {
+    let mut mkb = Mkb::new();
+    let attrs = || {
+        vec![
+            AttributeInfo::new("A", DataType::Int),
+            AttributeInfo::new("B", DataType::Int),
+        ]
+    };
+    let mut site = 1u32;
+    for r in 0..RELATIONS {
+        mkb.register_site(SiteId(site), format!("IS{site}"))
+            .unwrap();
+        mkb.register_relation(RelationInfo::new(
+            format!("R{r}"),
+            SiteId(site),
+            attrs(),
+            400,
+        ))
+        .unwrap();
+        site += 1;
+    }
+    for r in 0..RELATIONS {
+        for k in 0..replicas {
+            mkb.register_site(SiteId(site), format!("IS{site}"))
+                .unwrap();
+            let name = format!("R{r}_rep{k}");
+            mkb.register_relation(RelationInfo::new(&name, SiteId(site), attrs(), 400))
+                .unwrap();
+            mkb.add_pc_constraint(PcConstraint::new(
+                PcSide::projection(format!("R{r}"), &["A", "B"]),
+                PcRelationship::Equivalent,
+                PcSide::projection(&name, &["A", "B"]),
+            ))
+            .unwrap();
+            site += 1;
+        }
+    }
+    mkb
+}
+
+fn view_over(rel: usize, name: &str) -> eve_esql::ViewDef {
+    eve_esql::parse_view(&format!(
+        "CREATE VIEW {name} (VE = '~') AS \
+         SELECT R{rel}.A (AD = true, AR = true), R{rel}.B (AD = true) \
+         FROM R{rel} (RR = true) \
+         WHERE R{rel}.A > 3 (CD = true)"
+    ))
+    .unwrap()
+}
+
+fn change_for(kind: usize, rel: usize) -> SchemaChange {
+    let relation = format!("R{rel}");
+    match kind % 4 {
+        0 => SchemaChange::DeleteRelation { relation },
+        1 => SchemaChange::DeleteAttribute {
+            relation,
+            attribute: "A".into(),
+        },
+        2 => SchemaChange::RenameAttribute {
+            relation,
+            from: "A".into(),
+            to: "A2".into(),
+        },
+        _ => SchemaChange::RenameRelation {
+            from: relation,
+            to: format!("R{rel}x"),
+        },
+    }
+}
+
+fn assert_same_outcome(a: &SyncOutcome, b: &SyncOutcome) {
+    assert_eq!(a.affected, b.affected);
+    assert_eq!(a.survives(), b.survives());
+    let texts = |o: &SyncOutcome| -> Vec<(String, String)> {
+        o.rewritings
+            .iter()
+            .map(|r| (r.view.to_string(), r.extent.to_string()))
+            .collect()
+    };
+    assert_eq!(texts(a), texts(b));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache is invisible: for any op sequence interleaving
+    /// synchronizations and MKB mutations, the cached outcome equals a
+    /// fresh uncached synchronization at every step.
+    #[test]
+    fn cached_synchronize_is_equivalent_to_uncached(
+        replicas in 0usize..3,
+        steps in prop::collection::vec((0usize..4, 0usize..RELATIONS, any::<bool>()), 1..12),
+    ) {
+        let mut mkb = space(replicas);
+        let mut cache = RewriteCache::new();
+        let options = SyncOptions::default();
+        let mut selectivity_step = 0u32;
+        for (kind, rel, mutate) in steps {
+            if mutate {
+                // A statistics tweak: semantically irrelevant to the
+                // rewriting set here, but it moves the generation, so the
+                // cache must transparently recompute.
+                selectivity_step += 1;
+                mkb.set_join_selectivity(
+                    "R0",
+                    "R1",
+                    0.001 * f64::from(selectivity_step % 7 + 1),
+                );
+            }
+            let view = view_over(rel, "V");
+            let change = change_for(kind, rel);
+            let cached = cache.synchronize(&view, &change, &mkb, &options).unwrap();
+            let fresh = synchronize(&view, &change, &mkb, &options).unwrap();
+            assert_same_outcome(&cached, &fresh);
+        }
+        // The cache actually caches: re-running the last query is a hit.
+        let before = cache.hits();
+        let view = view_over(0, "V");
+        let change = change_for(0, 0);
+        cache.synchronize(&view, &change, &mkb, &options).unwrap();
+        cache.synchronize(&view, &change, &mkb, &options).unwrap();
+        prop_assert!(cache.hits() > before);
+    }
+
+    /// Partitioning is a faithful regrouping: every op appears in exactly
+    /// one partition, ops inside a partition keep their relative order, and
+    /// partitions are pairwise disjoint in sites and views.
+    #[test]
+    fn partitions_are_disjoint_and_complete(
+        ops_spec in prop::collection::vec(0usize..RELATIONS, 1..20),
+        join_views in any::<bool>(),
+    ) {
+        let ops: Vec<EvolutionOp> = ops_spec
+            .iter()
+            .map(|&r| EvolutionOp::insert(format!("R{r}"), vec![tup![1, 2]]))
+            .collect();
+        let refs: Vec<&EvolutionOp> = ops.iter().collect();
+        let views: Vec<ViewFootprint> = if join_views {
+            // One view joins R0 and R1, chaining their partitions.
+            vec![
+                ViewFootprint { name: "J".into(), relations: vec!["R0".into(), "R1".into()] },
+                ViewFootprint { name: "V2".into(), relations: vec!["R2".into()] },
+            ]
+        } else {
+            (0..RELATIONS)
+                .map(|r| ViewFootprint {
+                    name: format!("V{r}"),
+                    relations: vec![format!("R{r}")],
+                })
+                .collect()
+        };
+        let mkb = space(0);
+        let parts = partition_stage(&refs, &views, |rel| {
+            mkb.relation(rel).ok().map(|i| i.site.0)
+        });
+
+        // Completeness and uniqueness.
+        let mut seen = vec![false; ops.len()];
+        for p in &parts {
+            for &idx in &p.ops {
+                prop_assert!(!seen[idx], "op {idx} in two partitions");
+                seen[idx] = true;
+            }
+            // Order preserved.
+            prop_assert!(p.ops.windows(2).all(|w| w[0] < w[1]));
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+
+        // Pairwise disjoint sites and views.
+        for (i, a) in parts.iter().enumerate() {
+            for b in parts.iter().skip(i + 1) {
+                prop_assert!(a.sites.iter().all(|s| !b.sites.contains(s)));
+                prop_assert!(a.views.iter().all(|v| !b.views.contains(v)));
+            }
+        }
+
+        // Conflicting ops stayed together.
+        if join_views {
+            let part_of = |rel: &str| {
+                parts.iter().position(|p| {
+                    p.ops.iter().any(|&i| ops_spec[i] == rel[1..].parse::<usize>().unwrap())
+                })
+            };
+            if let (Some(p0), Some(p1)) = (part_of("R0"), part_of("R1")) {
+                prop_assert_eq!(p0, p1, "ops joined by a view share a partition");
+            }
+        }
+    }
+
+    /// Whole-batch planning: capability ops are barriers; data runs around
+    /// them are partitioned with batch-relative indices.
+    #[test]
+    fn plan_respects_barriers(
+        prefix in 1usize..6,
+        suffix in 1usize..6,
+    ) {
+        let mut ops: Vec<EvolutionOp> = (0..prefix)
+            .map(|k| EvolutionOp::insert(format!("R{}", k % RELATIONS), vec![tup![1, 2]]))
+            .collect();
+        ops.push(EvolutionOp::change(SchemaChange::DeleteRelation {
+            relation: "R0".into(),
+        }));
+        ops.extend(
+            (0..suffix)
+                .map(|k| EvolutionOp::insert(format!("R{}", 1 + k % (RELATIONS - 1)), vec![tup![1, 2]])),
+        );
+        let views: Vec<ViewFootprint> = (0..RELATIONS)
+            .map(|r| ViewFootprint {
+                name: format!("V{r}"),
+                relations: vec![format!("R{r}")],
+            })
+            .collect();
+        let mkb = space(0);
+        let p = plan(&ops, &views, |rel| mkb.relation(rel).ok().map(|i| i.site.0));
+        prop_assert_eq!(p.stages.len(), 3);
+        prop_assert_eq!(&p.stages[1], &Stage::Capability { op: prefix });
+        let mut covered: Vec<usize> = Vec::new();
+        for stage in &p.stages {
+            match stage {
+                Stage::Data { partitions } => {
+                    for part in partitions {
+                        covered.extend(&part.ops);
+                    }
+                }
+                Stage::Capability { op } => covered.push(*op),
+            }
+        }
+        covered.sort_unstable();
+        prop_assert_eq!(covered, (0..ops.len()).collect::<Vec<_>>());
+        prop_assert!(p.max_width() >= 1);
+    }
+}

@@ -16,7 +16,7 @@ use eve_qc::{
     WorkloadModel,
 };
 use eve_relational::{Relation, Value};
-use eve_sync::{synchronize, SyncOptions};
+use eve_sync::{synchronize, EvolutionOp, RewriteCache, SyncOptions, SyncOutcome};
 
 use crate::error::{Error, Result};
 use crate::maintainer::{maintain_view, DataUpdate, MaintenanceTrace};
@@ -29,6 +29,31 @@ pub struct MaterializedView {
     pub def: ViewDef,
     /// Materialized extent (bag semantics).
     pub extent: Relation,
+}
+
+/// Outcome of one [`EveEngine::apply_batch`] call.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutcome {
+    /// Merged per-view maintenance traces of all data ops (only views the
+    /// batch actually maintained appear).
+    pub traces: BTreeMap<String, MaintenanceTrace>,
+    /// Evolution reports of all capability ops, in op order (one entry per
+    /// view per capability op, exactly as the per-change notification
+    /// emits them).
+    pub reports: Vec<EvolutionReport>,
+    /// Number of data ops processed.
+    pub data_ops: usize,
+    /// Number of capability ops processed.
+    pub capability_ops: usize,
+    /// Number of data stages (runs between capability barriers).
+    pub data_stages: usize,
+    /// Widest data stage: how many partitions were eligible to run
+    /// concurrently.
+    pub max_width: usize,
+    /// Rewriting-cache hits during this batch.
+    pub rewrite_hits: u64,
+    /// Rewriting-cache misses during this batch.
+    pub rewrite_misses: u64,
 }
 
 /// Outcome of a capability change for one view.
@@ -49,9 +74,12 @@ pub struct EvolutionReport {
 /// The EVE engine.
 #[derive(Debug, Clone)]
 pub struct EveEngine {
-    mkb: Mkb,
-    sites: BTreeMap<u32, SimSite>,
-    views: BTreeMap<String, MaterializedView>,
+    pub(crate) mkb: Mkb,
+    pub(crate) sites: BTreeMap<u32, SimSite>,
+    pub(crate) views: BTreeMap<String, MaterializedView>,
+    /// Memoized rewriting enumeration, keyed on the MKB generation (shared
+    /// by the batched pipeline and the single-change notification path).
+    pub(crate) rewrite_cache: RewriteCache,
     /// Synchronizer options.
     pub sync_options: SyncOptions,
     /// QC-Model parameters.
@@ -76,6 +104,7 @@ impl EveEngine {
             mkb: Mkb::new(),
             sites: BTreeMap::new(),
             views: BTreeMap::new(),
+            rewrite_cache: RewriteCache::new(),
             sync_options: SyncOptions::default(),
             qc_params: QcParams::default(),
             workload: WorkloadModel::SingleUpdate,
@@ -293,30 +322,27 @@ impl EveEngine {
         Ok(traces)
     }
 
-    /// Applies a batch of data updates in order, merging the per-view
-    /// traces (the paper's "cost for multiple updates can then be computed
-    /// by summing over all individual costs", §6.1).
+    /// Applies a batch of data updates through the batched pipeline
+    /// ([`EveEngine::apply_batch`]), merging the per-view traces (the
+    /// paper's "cost for multiple updates can then be computed by summing
+    /// over all individual costs", §6.1).
     ///
     /// # Errors
     ///
-    /// Fails on the first problematic update, leaving earlier ones applied.
+    /// State/validation failures; the batch validates its relations before
+    /// applying anything.
     pub fn notify_data_updates(
         &mut self,
         updates: &[DataUpdate],
     ) -> Result<BTreeMap<String, MaintenanceTrace>> {
-        let mut merged: BTreeMap<String, MaintenanceTrace> = BTreeMap::new();
-        for update in updates {
-            for (view, trace) in self.notify_data_update(update)? {
-                let entry = merged.entry(view).or_default();
-                *entry = entry.merged(trace);
-            }
-        }
-        Ok(merged)
+        let ops: Vec<EvolutionOp> = updates.iter().cloned().map(EvolutionOp::from).collect();
+        Ok(self.apply_batch(ops)?.traces)
     }
 
     /// Processes a capability change end-to-end (the paper's Fig. 1 loop):
     ///
-    /// 1. every view is synchronized against the *pre-change* MKB,
+    /// 1. every affected view is synchronized against the *pre-change* MKB
+    ///    (through the engine's memoized [`RewriteCache`]),
     /// 2. legal rewritings are ranked by the QC-Model and one is selected
     ///    per the engine's [`SelectionStrategy`],
     /// 3. the change is applied to the MKB and the hosting site
@@ -324,6 +350,11 @@ impl EveEngine {
     ///    attributes backfill with type defaults),
     /// 4. adopted rewritings are re-materialized; views with no legal
     ///    rewriting are dropped from the warehouse.
+    ///
+    /// This routes through [`EveEngine::apply_batch`] as a single-op batch;
+    /// [`EveEngine::notify_capability_change_sequential`] keeps the
+    /// uncached all-views reference implementation that the differential
+    /// test harness compares against.
     ///
     /// # Errors
     ///
@@ -333,9 +364,77 @@ impl EveEngine {
         change: &SchemaChange,
         new_extent: Option<Relation>,
     ) -> Result<Vec<EvolutionReport>> {
-        // Ranking needs statistics for everything rewritings may reference:
-        // the pre-change MKB covers deleted components; renames additionally
-        // need the *new* name registered with the old statistics.
+        let outcome = self.apply_batch(vec![EvolutionOp::Capability {
+            change: change.clone(),
+            new_extent,
+        }])?;
+        Ok(outcome.reports)
+    }
+
+    /// The legacy capability-change path: synchronizes **every** view with
+    /// the uncached synchronizer and always builds the ranking MKB. Kept as
+    /// the reference implementation the differential property suite holds
+    /// the batched pipeline against.
+    ///
+    /// # Errors
+    ///
+    /// Synchronization, ranking, MKB or state failures.
+    pub fn notify_capability_change_sequential(
+        &mut self,
+        change: &SchemaChange,
+        new_extent: Option<Relation>,
+    ) -> Result<Vec<EvolutionReport>> {
+        let rank_mkb = self.build_rank_mkb(change)?;
+        let mut decisions: Vec<(String, EvolutionReport, Option<ViewDef>)> = Vec::new();
+        for (name, mv) in &self.views {
+            let outcome = synchronize(&mv.def, change, &self.mkb, &self.sync_options)?;
+            decisions.push(self.decide(name, &mv.def, &outcome, &rank_mkb)?);
+        }
+        self.commit_capability_change(change, new_extent, decisions)
+    }
+
+    /// The batched capability-change primitive: skips views that cannot
+    /// reference the changed relation, synchronizes the rest through the
+    /// [`RewriteCache`], and builds the ranking MKB only when some view is
+    /// actually affected. Verdicts are identical to the sequential path —
+    /// the prefilter is a sound superset of the synchronizer's own
+    /// affectedness notion.
+    pub(crate) fn capability_change_batched(
+        &mut self,
+        change: &SchemaChange,
+        new_extent: Option<Relation>,
+    ) -> Result<Vec<EvolutionReport>> {
+        let touched = eve_sync::batch::touched_relation(change);
+        let mut rank_mkb: Option<Mkb> = None;
+        let mut decisions: Vec<(String, EvolutionReport, Option<ViewDef>)> = Vec::new();
+        for (name, mv) in &self.views {
+            let candidate =
+                touched.is_some_and(|rel| mv.def.from.iter().any(|f| f.relation == rel));
+            if !candidate {
+                decisions.push((name.clone(), Self::unaffected_report(name), None));
+                continue;
+            }
+            let outcome =
+                self.rewrite_cache
+                    .synchronize(&mv.def, change, &self.mkb, &self.sync_options)?;
+            if !outcome.affected {
+                decisions.push((name.clone(), Self::unaffected_report(name), None));
+                continue;
+            }
+            if rank_mkb.is_none() {
+                rank_mkb = Some(self.build_rank_mkb(change)?);
+            }
+            let rmkb = rank_mkb.as_ref().expect("just built");
+            decisions.push(self.decide(name, &mv.def, &outcome, rmkb)?);
+        }
+        self.commit_capability_change(change, new_extent, decisions)
+    }
+
+    /// Builds the MKB used for ranking: statistics for everything a
+    /// rewriting may reference. The pre-change MKB covers deleted
+    /// components; renames additionally need the *new* name registered with
+    /// the old statistics.
+    fn build_rank_mkb(&self, change: &SchemaChange) -> Result<Mkb> {
         let mut rank_mkb = self.mkb.clone();
         match change {
             SchemaChange::RenameRelation { from, to } => {
@@ -362,52 +461,64 @@ impl EveEngine {
             }
             _ => {}
         }
+        Ok(rank_mkb)
+    }
 
-        // Phase 1: synchronize + rank against the pre-change MKB.
-        let mut decisions: Vec<(String, EvolutionReport, Option<ViewDef>)> = Vec::new();
-        for (name, mv) in &self.views {
-            let outcome = synchronize(&mv.def, change, &self.mkb, &self.sync_options)?;
-            if !outcome.affected {
-                decisions.push((
-                    name.clone(),
-                    EvolutionReport {
-                        view_name: name.clone(),
-                        affected: false,
-                        survived: true,
-                        candidates: 0,
-                        adopted: None,
-                    },
-                    None,
-                ));
-                continue;
-            }
-            let scored = rank_rewritings(
-                &mv.def,
-                &outcome.rewritings,
-                &rank_mkb,
-                &self.qc_params,
-                self.workload,
-            )?;
-            let chosen = self.strategy.select(&scored).cloned();
-            let new_def = chosen.as_ref().map(|c| c.rewriting.view.clone());
-            decisions.push((
-                name.clone(),
-                EvolutionReport {
-                    view_name: name.clone(),
-                    affected: true,
-                    survived: chosen.is_some(),
-                    candidates: scored.len(),
-                    adopted: chosen,
-                },
-                new_def,
-            ));
+    fn unaffected_report(name: &str) -> EvolutionReport {
+        EvolutionReport {
+            view_name: name.to_owned(),
+            affected: false,
+            survived: true,
+            candidates: 0,
+            adopted: None,
         }
+    }
 
-        // Phase 2: evolve the MKB and the information space.
+    /// Ranks an affected view's rewritings and selects one, yielding the
+    /// report and the adopted definition (or `None` when the view dies).
+    fn decide(
+        &self,
+        name: &str,
+        def: &ViewDef,
+        outcome: &SyncOutcome,
+        rank_mkb: &Mkb,
+    ) -> Result<(String, EvolutionReport, Option<ViewDef>)> {
+        if !outcome.affected {
+            return Ok((name.to_owned(), Self::unaffected_report(name), None));
+        }
+        let scored = rank_rewritings(
+            def,
+            &outcome.rewritings,
+            rank_mkb,
+            &self.qc_params,
+            self.workload,
+        )?;
+        let chosen = self.strategy.select(&scored).cloned();
+        let new_def = chosen.as_ref().map(|c| c.rewriting.view.clone());
+        Ok((
+            name.to_owned(),
+            EvolutionReport {
+                view_name: name.to_owned(),
+                affected: true,
+                survived: chosen.is_some(),
+                candidates: scored.len(),
+                adopted: chosen,
+            },
+            new_def,
+        ))
+    }
+
+    /// Phases 2–3 of the Fig. 1 loop: evolve the MKB and the information
+    /// space, then adopt or drop each view per the phase-1 decisions.
+    fn commit_capability_change(
+        &mut self,
+        change: &SchemaChange,
+        new_extent: Option<Relation>,
+        decisions: Vec<(String, EvolutionReport, Option<ViewDef>)>,
+    ) -> Result<Vec<EvolutionReport>> {
         self.apply_change_to_space(change, new_extent)?;
         self.mkb.apply_change(change)?;
 
-        // Phase 3: adopt or drop.
         let mut reports = Vec::new();
         for (name, report, new_def) in decisions {
             if !report.affected {
@@ -554,7 +665,19 @@ impl EveEngine {
         self.sites.values().map(SimSite::io_count).sum()
     }
 
-    /// Resets the I/O counters of all sites.
+    /// Total messages charged across all sites (update notifications plus
+    /// maintenance query/answer pairs). Together with [`total_io`], this
+    /// makes batched and sequential cost reports comparable: both paths
+    /// charge the same sites for the same traffic.
+    ///
+    /// [`total_io`]: EveEngine::total_io
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.sites.values().map(SimSite::message_count).sum()
+    }
+
+    /// Resets every site's resource accounting — I/O **and** message
+    /// counters — so reports taken after the reset compare like for like.
     pub fn reset_io(&mut self) {
         for s in self.sites.values_mut() {
             s.reset_io();
@@ -1090,6 +1213,25 @@ mod tests {
             .unwrap()
             .extent
             .contains(&tup!["eli", "5 Ash"]));
+    }
+
+    #[test]
+    fn reset_io_clears_io_and_message_accounting_together() {
+        let mut e = engine_with_travel_space();
+        e.define_view_sql(ASIA_VIEW).unwrap();
+        e.reset_io();
+        let update = DataUpdate::insert("FlightRes", vec![tup!["bob", "Asia"]]);
+        let traces = e.notify_data_update(&update).unwrap();
+        // Invariant: every message a trace reports was charged to a site,
+        // so site-level and trace-level accounting agree — which is what
+        // makes batched and sequential cost reports comparable.
+        let trace_messages: u64 = traces.iter().map(|(_, t)| t.messages).sum();
+        assert!(trace_messages > 0);
+        assert_eq!(e.total_messages(), trace_messages);
+        assert!(e.total_io() > 0);
+        e.reset_io();
+        assert_eq!(e.total_io(), 0);
+        assert_eq!(e.total_messages(), 0, "reset_io clears messages too");
     }
 
     #[test]

@@ -17,11 +17,18 @@
 //! synchronization + QC-Model ranking to adopt the best legal rewriting
 //! (completing the paper's Fig. 1 loop).
 //!
+//! [`batch`] scales that loop to bursts: [`engine::EveEngine::apply_batch`]
+//! takes a whole evolution workload, partitions independent sites and
+//! processes them concurrently, memoizing rewriting enumeration per MKB
+//! generation — observationally identical to the op-by-op paths (the
+//! differential property suite pins this) but substantially faster.
+//!
 //! [`scenario`] builds deterministic synthetic information spaces whose
 //! *measured* statistics (join matches per key, selectivities) equal the
 //! *declared* MKB statistics, so measured and analytic costs can be compared
 //! exactly.
 
+pub mod batch;
 pub mod engine;
 pub mod error;
 pub mod maintainer;
@@ -30,8 +37,9 @@ pub mod scenario;
 pub mod shell;
 pub mod site;
 
-pub use engine::{EveEngine, EvolutionReport};
+pub use engine::{BatchOutcome, EveEngine, EvolutionReport};
 pub use error::{Error, Result};
+pub use eve_sync::EvolutionOp;
 pub use maintainer::{DataUpdate, MaintenanceTrace};
 pub use shell::Shell;
 pub use site::SimSite;

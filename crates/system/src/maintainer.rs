@@ -245,6 +245,7 @@ fn propagate(
         let site = sites.get_mut(&site_id.0).ok_or_else(|| Error::State {
             detail: format!("unknown site {site_id}"),
         })?;
+        site.charge_messages(2);
 
         for (binding, relation) in bindings {
             let hosted = site.relation(&relation)?.clone();
@@ -324,6 +325,14 @@ pub fn maintain_view(
         messages: 1, // the update notification
         ..MaintenanceTrace::default()
     };
+    // The notification is sent by the updated relation's source site.
+    let origin_site = mkb.relation(&update.relation)?.site;
+    sites
+        .get_mut(&origin_site.0)
+        .ok_or_else(|| Error::State {
+            detail: format!("unknown site {origin_site}"),
+        })?
+        .charge_messages(1);
 
     if !update.inserts.is_empty() {
         let added = propagate(&view, binding, &update.inserts, sites, mkb, &mut trace)?;
@@ -367,6 +376,7 @@ pub fn recompute_view(
         if !visited_sites.contains(&info.site.0) {
             visited_sites.push(info.site.0);
             trace.messages += 2;
+            site.charge_messages(2);
         }
         extents.entry(item.relation.clone()).or_insert(rel);
     }

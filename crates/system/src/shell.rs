@@ -77,6 +77,7 @@ impl Shell {
             "query" => self.cmd_query(rest),
             "show" => self.cmd_show(rest),
             "costs" => self.cmd_costs(),
+            "stats" => Ok(self.cmd_stats()),
             "rebalance" => self.cmd_rebalance(),
             other => Err(usage(&format!("unknown command `{other}` — try `help`"))),
         }
@@ -405,6 +406,16 @@ impl Shell {
         })
     }
 
+    /// `stats` — measured resource accounting since the last reset.
+    fn cmd_stats(&mut self) -> String {
+        let (hits, misses) = self.engine.rewrite_cache_stats();
+        format!(
+            "total I/O: {} blocks\ntotal messages: {}\nrewrite cache: {hits} hits, {misses} misses",
+            self.engine.total_io(),
+            self.engine.total_messages()
+        )
+    }
+
     fn cmd_rebalance(&mut self) -> Result<String> {
         let mut out = String::new();
         for r in self.engine.rebalance_views()? {
@@ -494,6 +505,7 @@ EVE shell commands:
   query <View>                             print a view's extent
   show views|relations|constraints         inspect the warehouse / MKB
   costs                                    per-view analytic maintenance cost
+  stats                                    measured I/O + message accounting
   rebalance                                migrate views to cheaper replicas
   help                                     this text
 ";
@@ -539,6 +551,10 @@ mod tests {
         assert!(out.contains("Customer"));
         let out = sh.execute("costs").unwrap();
         assert!(out.contains("V: total"));
+        let out = sh.execute("stats").unwrap();
+        assert!(out.contains("total I/O"), "{out}");
+        assert!(out.contains("total messages"), "{out}");
+        assert!(out.contains("rewrite cache"), "{out}");
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub struct SimSite {
     relations: BTreeMap<String, Relation>,
     blocking_factors: BTreeMap<String, u64>,
     io_count: u64,
+    message_count: u64,
 }
 
 impl SimSite {
@@ -35,6 +36,7 @@ impl SimSite {
             relations: BTreeMap::new(),
             blocking_factors: BTreeMap::new(),
             io_count: 0,
+            message_count: 0,
         }
     }
 
@@ -107,9 +109,24 @@ impl SimSite {
         self.io_count
     }
 
-    /// Resets the I/O counter (between experiments).
+    /// Total messages this site has sent or received so far (update
+    /// notifications plus maintenance query/answer pairs).
+    #[must_use]
+    pub fn message_count(&self) -> u64 {
+        self.message_count
+    }
+
+    /// Charges `n` messages against this site's accounting.
+    pub fn charge_messages(&mut self, n: u64) {
+        self.message_count += n;
+    }
+
+    /// Resets the resource accounting — I/O *and* message counters — so
+    /// cost reports taken after the reset are comparable regardless of how
+    /// the preceding work was scheduled (between experiments).
     pub fn reset_io(&mut self) {
         self.io_count = 0;
+        self.message_count = 0;
     }
 
     /// Charges the I/O cost of probing `relation` with `probe_count` delta
@@ -214,6 +231,18 @@ mod tests {
         assert_eq!(s.io_count(), 3); // ⌈25/10⌉
         s.reset_io();
         assert_eq!(s.io_count(), 0);
+    }
+
+    #[test]
+    fn reset_clears_io_and_messages_together() {
+        let mut s = site_with_r();
+        s.scan("R").unwrap();
+        s.charge_messages(2);
+        assert_eq!(s.message_count(), 2);
+        assert!(s.io_count() > 0);
+        s.reset_io();
+        assert_eq!(s.io_count(), 0);
+        assert_eq!(s.message_count(), 0, "messages reset with I/O");
     }
 
     #[test]

@@ -327,3 +327,58 @@ fn attribute_rename_is_transparent_to_users() {
     assert_eq!(after.extent.distinct().tuples(), before.distinct().tuples());
     assert_eq!(after.def.output_columns(), vec!["Id", "Item", "Price"]);
 }
+
+#[test]
+fn engine_rejects_malformed_registrations_and_views() {
+    let mut e = retail_engine();
+
+    // Unknown relation in a view definition.
+    let err = e
+        .define_view_sql("CREATE VIEW V AS SELECT Z.A FROM Zilch Z")
+        .unwrap_err();
+    assert!(err.to_string().contains("Zilch"), "{err}");
+
+    // Extent arity mismatching the declared attributes.
+    let err = e
+        .register_relation(
+            RelationInfo::new("Short", SiteId(1), vec![int("A"), int("B")], 4),
+            Relation::empty("Short", Schema::of(&[("A", DataType::Int)]).unwrap()),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("has 1 columns"), "{err}");
+    assert!(
+        !e.mkb().has_relation("Short"),
+        "failed registration must not leak into the MKB"
+    );
+
+    // Extent column type mismatching the declaration.
+    let err = e
+        .register_relation(
+            RelationInfo::new("Typed", SiteId(1), vec![int("A")], 4),
+            Relation::empty("Typed", Schema::of(&[("A", DataType::Text)]).unwrap()),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("declared"), "{err}");
+
+    // Duplicate view name.
+    e.define_view_sql("CREATE VIEW Dup AS SELECT I.Price FROM Items I")
+        .unwrap();
+    let err = e
+        .define_view_sql("CREATE VIEW Dup AS SELECT I.Name FROM Items I")
+        .unwrap_err();
+    assert!(err.to_string().contains("already defined"), "{err}");
+    // The original survives untouched.
+    assert_eq!(e.view("Dup").unwrap().def.output_columns(), vec!["Price"]);
+
+    // Unknown attribute against the MKB.
+    let err = e
+        .define_view_sql("CREATE VIEW V AS SELECT I.Ghost FROM Items I")
+        .unwrap_err();
+    assert!(err.to_string().contains("no attribute"), "{err}");
+
+    // Unknown attribute referenced only in WHERE.
+    let err = e
+        .define_view_sql("CREATE VIEW V AS SELECT I.Price FROM Items I WHERE I.Ghost > 1")
+        .unwrap_err();
+    assert!(err.to_string().contains("no attribute"), "{err}");
+}

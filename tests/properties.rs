@@ -9,8 +9,9 @@ use eve::misd::{
 use eve::qc::cost::{cf_io, cf_messages, cf_transfer};
 use eve::qc::rank::normalize_costs;
 use eve::qc::{rank_rewritings, IoBound, MaintenancePlan, QcParams, WorkloadModel};
-use eve::relational::{ColumnRef, CompOp, DataType, PrimitiveClause, Value};
-use eve::sync::{synchronize, SyncOptions};
+use eve::relational::{tup, ColumnRef, CompOp, DataType, PrimitiveClause, Value};
+use eve::sync::{synchronize, EvolutionOp, SyncOptions};
+use eve::system::{DataUpdate, EveEngine};
 
 // ---------------------------------------------------------------------
 // Generators
@@ -122,8 +123,127 @@ fn mkb_with_replicas(replicas: usize) -> Mkb {
     mkb
 }
 
+// ---------------------------------------------------------------------
+// Differential harness: batched pipeline vs the legacy op-by-op paths.
+// ---------------------------------------------------------------------
+
+/// The canonical multi-site space, shared with the bench harness so the
+/// differential suite and the speedup comparison exercise one workload
+/// shape: per site, `R{i}_a ⋈ R{i}_b` under view `V{i}`, a selection view
+/// `W{i}` over the colocated equivalent replica `R{i}_c ≡ R{i}_b`.
+fn multi_site_engine(sites: u32) -> EveEngine {
+    eve_bench::experiments::batch_pipeline::build_space(sites).unwrap()
+}
+
+/// Translates `(site, kind, k)` specs into a valid-by-construction op
+/// sequence: data ops only ever target live relations, `R{i}_b` is dropped
+/// at most once per site, and renames of `R{i}_a` thread the current name.
+fn realize_ops(sites: u32, specs: &[(u32, u8, i64)]) -> Vec<EvolutionOp> {
+    let mut dropped_b = vec![false; sites as usize + 1];
+    let mut a_name: Vec<String> = (0..=sites).map(|i| format!("R{i}_a")).collect();
+    let mut ops = Vec::new();
+    for &(site, kind, k) in specs {
+        let i = (site % sites + 1) as usize;
+        match kind % 8 {
+            0..=2 => ops.push(EvolutionOp::insert(a_name[i].clone(), vec![tup![k, k % 5]])),
+            3 => ops.push(EvolutionOp::delete(
+                a_name[i].clone(),
+                vec![tup![k % 20, (k % 20) % 5]],
+            )),
+            4 | 5 => {
+                let target = if dropped_b[i] {
+                    format!("R{i}_c")
+                } else {
+                    format!("R{i}_b")
+                };
+                ops.push(EvolutionOp::insert(target, vec![tup![k, k % 5]]));
+            }
+            6 => {
+                if !dropped_b[i] {
+                    dropped_b[i] = true;
+                    ops.push(EvolutionOp::change(SchemaChange::DeleteRelation {
+                        relation: format!("R{i}_b"),
+                    }));
+                } else {
+                    ops.push(EvolutionOp::insert(format!("R{i}_c"), vec![tup![k, k % 5]]));
+                }
+            }
+            _ => {
+                let from = a_name[i].clone();
+                let to = format!("{from}x");
+                a_name[i] = to.clone();
+                ops.push(EvolutionOp::change(SchemaChange::RenameRelation {
+                    from,
+                    to,
+                }));
+            }
+        }
+    }
+    ops
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // -------------------------------------------------------------------
+    // Differential: `apply_batch(ops)` is observationally identical to the
+    // legacy op-by-op paths — byte-identical view extents, identical
+    // survival verdicts and identical total I/O + message accounting.
+    // -------------------------------------------------------------------
+    #[test]
+    fn apply_batch_equals_sequential_application(
+        sites in 2u32..4,
+        specs in prop::collection::vec((0u32..8, 0u8..8, 0i64..60), 1..16),
+    ) {
+        let base = multi_site_engine(sites);
+        let ops = realize_ops(sites, &specs);
+
+        let mut batched = base.clone();
+        batched.reset_io();
+        let outcome = batched.apply_batch(ops.clone()).unwrap();
+
+        let mut sequential = base;
+        sequential.reset_io();
+        let mut sequential_reports = Vec::new();
+        for op in ops {
+            match op {
+                EvolutionOp::Data { relation, inserts, deletes } => {
+                    sequential
+                        .notify_data_update(&DataUpdate { relation, inserts, deletes })
+                        .unwrap();
+                }
+                EvolutionOp::Capability { change, new_extent } => {
+                    sequential_reports.extend(
+                        sequential
+                            .notify_capability_change_sequential(&change, new_extent)
+                            .unwrap(),
+                    );
+                }
+            }
+        }
+
+        // Survival verdicts and adopted definitions.
+        let defs = |e: &EveEngine| -> Vec<String> {
+            e.views().map(|mv| mv.def.to_string()).collect()
+        };
+        prop_assert_eq!(defs(&batched), defs(&sequential));
+        // Byte-identical extents (same tuples in the same order).
+        for (b, s) in batched.views().zip(sequential.views()) {
+            prop_assert_eq!(b.extent.tuples(), s.extent.tuples(), "extent of {}", b.def.name);
+            prop_assert_eq!(b.extent.schema(), s.extent.schema());
+        }
+        // Identical measured cost totals.
+        prop_assert_eq!(batched.total_io(), sequential.total_io());
+        prop_assert_eq!(batched.total_messages(), sequential.total_messages());
+        // Identical evolution verdicts, report for report.
+        prop_assert_eq!(outcome.reports.len(), sequential_reports.len());
+        for (b, s) in outcome.reports.iter().zip(&sequential_reports) {
+            prop_assert_eq!(&b.view_name, &s.view_name);
+            prop_assert_eq!(b.affected, s.affected);
+            prop_assert_eq!(b.survived, s.survived);
+            prop_assert_eq!(b.candidates, s.candidates);
+        }
+    }
 
     // -------------------------------------------------------------------
     // Parser: printing then reparsing is the identity.

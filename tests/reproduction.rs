@@ -7,6 +7,40 @@ use eve_bench::experiments::{
     validation,
 };
 
+/// Golden-file check: the rendered table must match the snapshot byte for
+/// byte. Regenerate deliberately with `UPDATE_GOLDEN=1 cargo test --test
+/// reproduction` after verifying a change is intentional.
+fn assert_golden(name: &str, expected: &str, actual: &str) {
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from tests/golden/{name}; if intentional, regenerate \
+         with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn table4_rendering_matches_golden_file() {
+    assert_golden(
+        "table4.txt",
+        include_str!("golden/table4.txt"),
+        &eve_bench::report::table4_text().unwrap(),
+    );
+}
+
+#[test]
+fn table6_rendering_matches_golden_file() {
+    assert_golden(
+        "table6.txt",
+        include_str!("golden/table6.txt"),
+        &eve_bench::report::table6_text(),
+    );
+}
+
 #[test]
 fn table4_qc_scores_exact() {
     let rows = exp4_cardinality::table4(0.9, 0.1).unwrap();
