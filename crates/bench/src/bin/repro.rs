@@ -6,8 +6,9 @@
 
 use eve_bench::experiments::{
     batch_pipeline, exp1_survival, exp2_sites, exp3_distribution, exp4_cardinality, exp5_workload,
-    heuristics, strategy_regret, validation,
+    heuristics, strategy_regret, validation, view_exec,
 };
+use eve_bench::report::{write_bench_json, Json};
 use eve_bench::table::{num, TextTable};
 
 fn main() {
@@ -47,14 +48,21 @@ fn main() {
         ran = true;
     }
     // Wall-clock-dependent, so not part of `all` (keeps `all` output
-    // deterministic for the golden-file regression tests).
+    // deterministic for the golden-file regression tests). Both emit
+    // machine-readable BENCH_*.json perf reports alongside the tables.
     if arg == "batch" {
         batch();
         ran = true;
     }
+    if arg == "view-exec" || arg == "view_exec" {
+        view_exec_report();
+        ran = true;
+    }
     if !ran {
         eprintln!("unknown experiment `{arg}`");
-        eprintln!("usage: repro [exp1|exp2|exp3|exp4|exp5|heuristics|validate|regret|batch|all]");
+        eprintln!(
+            "usage: repro [exp1|exp2|exp3|exp4|exp5|heuristics|validate|regret|batch|view-exec|all]"
+        );
         std::process::exit(2);
     }
 }
@@ -325,6 +333,7 @@ fn batch() {
         "messages",
         "analytic cost",
     ]);
+    let mut json_rows = Vec::new();
     for (sites, ops) in [(10u32, 50usize), (25, 100), (50, 200)] {
         match batch_pipeline::compare(sites, ops, 2024) {
             Ok(r) => {
@@ -339,12 +348,111 @@ fn batch() {
                     r.total_messages.to_string(),
                     num(r.analytic_cost, 0),
                 ]);
+                json_rows.push(Json::obj(vec![
+                    ("sites", u64::from(r.sites).into()),
+                    ("ops", r.ops.into()),
+                    ("sequential_ms", r.sequential_ms.into()),
+                    ("batched_ms", r.batched_ms.into()),
+                    ("speedup", r.speedup.into()),
+                    ("max_width", r.max_width.into()),
+                    ("total_io", r.total_io.into()),
+                    ("total_messages", r.total_messages.into()),
+                    ("analytic_cost", r.analytic_cost.into()),
+                ]));
             }
-            Err(e) => println!("error: {e}"),
+            Err(e) => {
+                // Divergence between the arms (or any engine failure) must
+                // fail the invocation — CI relies on the exit code.
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
         }
     }
     println!("{}", t.render());
     println!("Both arms are asserted to reach identical extents, verdicts and measured costs.");
+    emit_json(
+        "batch_pipeline",
+        Json::obj(vec![
+            ("bench", "batch_pipeline".into()),
+            ("gate", Json::obj(vec![("min_speedup", Json::Num(2.0))])),
+            ("rows", Json::Arr(json_rows)),
+        ]),
+    );
+}
+
+fn view_exec_report() {
+    heading("Cost-ordered planner vs naive evaluator (extension)");
+    let mut t = TextTable::new(&[
+        "workload",
+        "rels",
+        "naive ms",
+        "planned ms",
+        "speedup",
+        "est rows",
+        "actual rows",
+        "est IO",
+        "analytic IO",
+        "est cost",
+    ]);
+    let mut json_rows = Vec::new();
+    // A planned-vs-naive bag divergence surfaces as Err from compare();
+    // it must fail the invocation — CI relies on the exit code.
+    let rows = view_exec::compare(3).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    for r in rows {
+        t.row(vec![
+            r.workload.clone(),
+            r.relations.to_string(),
+            num(r.naive_ms, 2),
+            num(r.planned_ms, 2),
+            format!("{:.1}x", r.speedup),
+            num(r.est_rows, 0),
+            r.actual_rows.to_string(),
+            num(r.est_io_blocks, 0),
+            num(r.analytic_io, 0),
+            num(r.est_total, 0),
+        ]);
+        json_rows.push(Json::obj(vec![
+            ("workload", r.workload.into()),
+            ("relations", r.relations.into()),
+            ("naive_ms", r.naive_ms.into()),
+            ("planned_ms", r.planned_ms.into()),
+            ("speedup", r.speedup.into()),
+            ("est_rows", r.est_rows.into()),
+            ("actual_rows", r.actual_rows.into()),
+            ("est_io_blocks", r.est_io_blocks.into()),
+            ("analytic_io", r.analytic_io.into()),
+            ("est_total", r.est_total.into()),
+        ]));
+    }
+    println!("{}", t.render());
+    println!(
+        "Both arms are asserted to produce identical bags; planner scan I/O \
+         coincides with eve-core's analytic recompute I/O."
+    );
+    emit_json(
+        "view_exec",
+        Json::obj(vec![
+            ("bench", "view_exec".into()),
+            (
+                "gate",
+                Json::obj(vec![
+                    ("workload", "wide_join".into()),
+                    ("min_speedup", Json::Num(3.0)),
+                ]),
+            ),
+            ("rows", Json::Arr(json_rows)),
+        ]),
+    );
+}
+
+fn emit_json(name: &str, value: Json) {
+    match write_bench_json(name, &value) {
+        Ok(path) => println!("perf report written to {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_{name}.json: {e}"),
+    }
 }
 
 fn regret() {

@@ -9,3 +9,4 @@ pub mod exp5_workload;
 pub mod heuristics;
 pub mod strategy_regret;
 pub mod validation;
+pub mod view_exec;

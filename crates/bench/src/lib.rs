@@ -12,6 +12,7 @@
 //! | [`experiments::exp5_workload`] | Experiment 5, Tables 5–6, Fig. 16 |
 //! | [`experiments::heuristics`] | §7.6 heuristics checks |
 //! | [`experiments::validation`] | measured-vs-analytic cross-validation (extension) |
+//! | [`experiments::view_exec`] | cost-ordered planner vs naive evaluator (extension) |
 //!
 //! The `repro` binary prints them all; the Criterion benches under
 //! `benches/` time the underlying computations.

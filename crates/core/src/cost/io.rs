@@ -56,6 +56,20 @@ pub fn cf_io(plan: &MaintenancePlan, bound: IoBound) -> f64 {
     total
 }
 
+/// Analytic I/O of the one-time view *recomputation* baseline: every
+/// referenced relation is scanned in full at its source, `Σ ⌈|R|/bfr⌉`
+/// (Eq. 32's full-scan term per relation, the \[ZGMHW95\]-style ablation of
+/// §6.1). This is also exactly the I/O the physical planner's
+/// `PlanEstimate::io_blocks` charges for its scans, which is what the
+/// `view_exec` bench experiment cross-checks.
+#[must_use]
+pub fn cf_recompute_io(relations: &[crate::plan::RelSpec]) -> f64 {
+    relations
+        .iter()
+        .map(|r| ceil_div(r.cardinality, r.blocking_factor))
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +114,19 @@ mod tests {
         let full_scan = 40.0; // ⌈400/10⌉
         assert_eq!(cf_io(&p, IoBound::Upper), full_scan);
         assert_eq!(cf_io(&p, IoBound::Lower), full_scan);
+    }
+
+    #[test]
+    fn recompute_io_sums_full_scans() {
+        use crate::plan::RelSpec;
+        // Table 1 relations: ⌈400/10⌉ = 40 blocks each.
+        let rels = vec![RelSpec::table1("A"), RelSpec::table1("B")];
+        assert!((cf_recompute_io(&rels) - 80.0).abs() < 1e-9);
+        assert_eq!(cf_recompute_io(&[]), 0.0);
+        // Partial blocks round up.
+        let mut odd = RelSpec::table1("C");
+        odd.cardinality = 401.0;
+        assert!((cf_recompute_io(&[odd]) - 41.0).abs() < 1e-9);
     }
 
     #[test]

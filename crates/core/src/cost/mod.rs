@@ -8,7 +8,7 @@ pub mod io;
 pub mod messages;
 pub mod transfer;
 
-pub use io::cf_io;
+pub use io::{cf_io, cf_recompute_io};
 pub use messages::cf_messages;
 pub use transfer::{cf_transfer, cf_transfer_uniform_closed_form};
 

@@ -79,7 +79,8 @@ pub fn rename_columns(rel: &Relation, names: &[ColumnRef]) -> Result<Relation> {
             .map(|(c, n)| crate::schema::ColumnDef::sized(n.clone(), c.ty, c.byte_size))
             .collect(),
     )?;
-    Relation::with_tuples(rel.name(), schema, rel.tuples().to_vec())
+    // Types and sizes are untouched, so the rename shares tuple storage.
+    rel.rebind(rel.name(), schema)
 }
 
 /// × — cartesian product.
@@ -187,21 +188,28 @@ fn check_compatible(a: &Relation, b: &Relation, op: &str) -> Result<()> {
 
 /// ∪ — set union (duplicates removed, positional compatibility).
 ///
+/// Deduplicates directly into the (canonically sorted) output: compatibility
+/// is checked once on the schemas — `union_compatible` already guarantees
+/// positional type equality, so no per-tuple re-validation or intermediate
+/// bag materialization happens. This path is hot in the extent comparison
+/// operators of [`crate::common`].
+///
 /// # Errors
 ///
 /// [`Error::SchemaMismatch`] for incompatible schemas.
 pub fn union(a: &Relation, b: &Relation) -> Result<Relation> {
     check_compatible(a, b, "union")?;
-    let mut out = Relation::empty(format!("{}∪{}", a.name(), b.name()), a.schema().clone());
-    for t in a.tuples().iter().chain(b.tuples()) {
-        // Positional compatibility may still mean differing declared byte
-        // sizes; tuples type-check against `a`'s schema.
-        out.insert(t.clone())?;
-    }
-    Ok(out.distinct())
+    let set: std::collections::BTreeSet<Tuple> =
+        a.tuples().iter().chain(b.tuples()).cloned().collect();
+    Ok(Relation::from_validated(
+        format!("{}∪{}", a.name(), b.name()),
+        a.schema().clone(),
+        set.into_iter().collect(),
+    ))
 }
 
-/// ∩ — set intersection.
+/// ∩ — set intersection (canonically sorted output, as
+/// [`Relation::distinct`] would produce).
 ///
 /// # Errors
 ///
@@ -209,16 +217,20 @@ pub fn union(a: &Relation, b: &Relation) -> Result<Relation> {
 pub fn intersect(a: &Relation, b: &Relation) -> Result<Relation> {
     check_compatible(a, b, "intersect")?;
     let b_set: std::collections::BTreeSet<&Tuple> = b.tuples().iter().collect();
-    let mut out = Relation::empty(format!("{}∩{}", a.name(), b.name()), a.schema().clone());
-    for t in a.tuples() {
-        if b_set.contains(t) {
-            out.insert(t.clone())?;
-        }
-    }
-    Ok(out.distinct())
+    let set: std::collections::BTreeSet<Tuple> = a
+        .tuples()
+        .iter()
+        .filter(|t| b_set.contains(t))
+        .cloned()
+        .collect();
+    Ok(Relation::from_validated(
+        format!("{}∩{}", a.name(), b.name()),
+        a.schema().clone(),
+        set.into_iter().collect(),
+    ))
 }
 
-/// − (set difference): tuples of `a` not in `b`.
+/// − (set difference): tuples of `a` not in `b` (canonically sorted output).
 ///
 /// # Errors
 ///
@@ -226,13 +238,17 @@ pub fn intersect(a: &Relation, b: &Relation) -> Result<Relation> {
 pub fn difference(a: &Relation, b: &Relation) -> Result<Relation> {
     check_compatible(a, b, "difference")?;
     let b_set: std::collections::BTreeSet<&Tuple> = b.tuples().iter().collect();
-    let mut out = Relation::empty(format!("{}−{}", a.name(), b.name()), a.schema().clone());
-    for t in a.tuples() {
-        if !b_set.contains(t) {
-            out.insert(t.clone())?;
-        }
-    }
-    Ok(out.distinct())
+    let set: std::collections::BTreeSet<Tuple> = a
+        .tuples()
+        .iter()
+        .filter(|t| !b_set.contains(t))
+        .cloned()
+        .collect();
+    Ok(Relation::from_validated(
+        format!("{}−{}", a.name(), b.name()),
+        a.schema().clone(),
+        set.into_iter().collect(),
+    ))
 }
 
 #[cfg(test)]

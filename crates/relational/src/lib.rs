@@ -15,6 +15,9 @@
 //!   `θ ∈ {<, ≤, =, ≥, >}` ([`predicate`]),
 //! * the relational algebra used by view queries and the view-maintenance
 //!   algorithm ([`algebra`]),
+//! * a cost-ordered physical query layer: statistics-driven planning with
+//!   pushed-down selections and greedy join reordering ([`plan`]) and a
+//!   zero-copy executor over the `Arc`-shared tuple storage ([`exec`]),
 //! * the *common-subset-of-attributes* operators of Fig. 7 (`=~`, `⊆~`, `∩~`,
 //!   `\~`) used to compare extents of views with different interfaces
 //!   ([`common`]),
@@ -31,7 +34,9 @@
 pub mod algebra;
 pub mod common;
 pub mod error;
+pub mod exec;
 pub mod generator;
+pub mod plan;
 pub mod predicate;
 pub mod relation;
 pub mod schema;
@@ -40,6 +45,7 @@ pub mod tuple;
 pub mod types;
 
 pub use error::{Error, Result};
+pub use plan::{PhysicalPlan, PlanEstimate, QueryInput, QuerySpec};
 pub use predicate::{CompOp, Operand, Predicate, PrimitiveClause};
 pub use relation::Relation;
 pub use schema::{ColumnDef, ColumnRef, Schema};

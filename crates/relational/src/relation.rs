@@ -1,7 +1,8 @@
-//! Named, typed, in-memory relations.
+//! Named, typed, in-memory relations over shared tuple storage.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 use crate::error::{Error, Result};
 use crate::schema::Schema;
@@ -13,11 +14,18 @@ use crate::types::Value;
 /// Tuples are stored in insertion order; [`Relation::distinct`] produces the
 /// set semantics the paper uses when comparing view extents ("with duplicates
 /// removed first", §5.4.2).
+///
+/// Tuple storage is `Arc`-shared with copy-on-write semantics: cloning a
+/// relation (site scans, warehouse extents, plan-time bindings) shares the
+/// underlying tuple vector, and the first mutation through
+/// [`Relation::insert`] / [`Relation::delete`] detaches a private copy. This
+/// is what lets the physical execution layer ([`crate::plan`] /
+/// [`crate::exec`]) pass extents around without ever copying tuple data.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Relation {
     name: String,
     schema: Schema,
-    tuples: Vec<Tuple>,
+    tuples: Arc<Vec<Tuple>>,
 }
 
 impl Relation {
@@ -27,7 +35,7 @@ impl Relation {
         Relation {
             name: name.into(),
             schema,
-            tuples: Vec::new(),
+            tuples: Arc::new(Vec::new()),
         }
     }
 
@@ -42,10 +50,70 @@ impl Relation {
         tuples: Vec<Tuple>,
     ) -> Result<Relation> {
         let mut r = Relation::empty(name, schema);
-        for t in tuples {
-            r.insert(t)?;
+        for t in &tuples {
+            r.validate(t)?;
         }
+        r.tuples = Arc::new(tuples);
         Ok(r)
+    }
+
+    /// Internal constructor for tuples already known to satisfy `schema`
+    /// (outputs of algebra operators and plan execution). Skips per-tuple
+    /// validation.
+    pub(crate) fn from_validated(
+        name: impl Into<String>,
+        schema: Schema,
+        tuples: Vec<Tuple>,
+    ) -> Relation {
+        Relation {
+            name: name.into(),
+            schema,
+            tuples: Arc::new(tuples),
+        }
+    }
+
+    /// Zero-copy re-labelling: a new relation over the **same** shared tuple
+    /// storage, under a different name and schema. The new schema must be
+    /// positionally identical in types and declared sizes (only column
+    /// names/qualifiers may change) — this is the cheap path behind view
+    /// bindings and column renames.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SchemaMismatch`] when arity, a column type, or a declared
+    /// byte size differs.
+    pub fn rebind(&self, name: impl Into<String>, schema: Schema) -> Result<Relation> {
+        if schema.arity() != self.schema.arity() {
+            return Err(Error::SchemaMismatch {
+                detail: format!(
+                    "rebind expects arity {}, got {}",
+                    self.schema.arity(),
+                    schema.arity()
+                ),
+            });
+        }
+        for (old, new) in self.schema.columns().iter().zip(schema.columns()) {
+            if old.ty != new.ty || old.byte_size != new.byte_size {
+                return Err(Error::SchemaMismatch {
+                    detail: format!(
+                        "rebind changes column `{}` ({}/{}B) to `{}` ({}/{}B)",
+                        old.column, old.ty, old.byte_size, new.column, new.ty, new.byte_size
+                    ),
+                });
+            }
+        }
+        Ok(Relation {
+            name: name.into(),
+            schema,
+            tuples: Arc::clone(&self.tuples),
+        })
+    }
+
+    /// Whether two relations alias the same shared tuple storage (no data
+    /// comparison). Diagnostic hook for the copy-on-write contract.
+    #[must_use]
+    pub fn shares_tuples_with(&self, other: &Relation) -> bool {
+        Arc::ptr_eq(&self.tuples, &other.tuples)
     }
 
     /// Relation name.
@@ -57,12 +125,6 @@ impl Relation {
     /// Renames the relation.
     pub fn set_name(&mut self, name: impl Into<String>) {
         self.name = name.into();
-    }
-
-    /// The schema.
-    #[must_use]
-    pub fn schema(&self) -> &Schema {
-        &self.schema
     }
 
     /// Number of tuples — the paper's cardinality `|R|` (§6.1 statistic 1).
@@ -77,33 +139,62 @@ impl Relation {
         self.tuples.is_empty()
     }
 
+    /// The schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
     /// The tuples in insertion order.
     #[must_use]
     pub fn tuples(&self) -> &[Tuple] {
         &self.tuples
     }
 
-    /// Inserts a tuple after validating arity and column types.
+    /// Inserts a tuple after validating arity and column types. Detaches a
+    /// private copy of the tuple storage when it is currently shared.
     ///
     /// # Errors
     ///
     /// [`Error::ArityMismatch`] or [`Error::TypeMismatch`].
     pub fn insert(&mut self, tuple: Tuple) -> Result<()> {
         self.validate(&tuple)?;
-        self.tuples.push(tuple);
+        Arc::make_mut(&mut self.tuples).push(tuple);
         Ok(())
     }
 
     /// Deletes (one occurrence of) every tuple in `tuples` that is present.
     /// Returns how many tuples were actually removed.
+    ///
+    /// Runs in one pass over the relation: the requested deletions are
+    /// counted into a map first, then each stored tuple consumes at most one
+    /// pending request — for each distinct requested tuple the *earliest*
+    /// occurrences are removed, matching the former per-tuple scan exactly.
     pub fn delete(&mut self, tuples: &[Tuple]) -> usize {
-        let mut removed = 0;
-        for t in tuples {
-            if let Some(pos) = self.tuples.iter().position(|x| x == t) {
-                self.tuples.remove(pos);
-                removed += 1;
-            }
+        if tuples.is_empty() || self.tuples.is_empty() {
+            return 0;
         }
+        let mut pending: HashMap<&Tuple, usize> = HashMap::with_capacity(tuples.len());
+        for t in tuples {
+            *pending.entry(t).or_insert(0) += 1;
+        }
+        let matches: usize = self
+            .tuples
+            .iter()
+            .map(|t| usize::from(pending.contains_key(t)))
+            .sum();
+        if matches == 0 {
+            return 0; // no copy-on-write detach for a no-op delete
+        }
+        let mut removed = 0;
+        Arc::make_mut(&mut self.tuples).retain(|t| match pending.get_mut(t) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                removed += 1;
+                false
+            }
+            _ => true,
+        });
         removed
     }
 
@@ -139,7 +230,7 @@ impl Relation {
         Relation {
             name: self.name.clone(),
             schema: self.schema.clone(),
-            tuples: set.into_iter().collect(),
+            tuples: Arc::new(set.into_iter().collect()),
         }
     }
 
@@ -187,7 +278,7 @@ impl fmt::Display for Relation {
             self.schema,
             self.tuples.len()
         )?;
-        for t in &self.tuples {
+        for t in self.tuples.iter() {
             writeln!(f, "  {t}")?;
         }
         Ok(())
@@ -248,6 +339,28 @@ mod tests {
     }
 
     #[test]
+    fn delete_honors_request_multiplicity() {
+        let mut rel = r();
+        // Two requests for (1, 'x') remove both occurrences; the extra
+        // request for (2, 'y') removes its single occurrence once.
+        let removed = rel.delete(&[tup![1, "x"], tup![2, "y"], tup![1, "x"], tup![2, "y"]]);
+        assert_eq!(removed, 3);
+        assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn delete_removes_earliest_occurrences_in_order() {
+        let mut rel = Relation::with_tuples(
+            "R",
+            Schema::of(&[("A", DataType::Int)]).unwrap(),
+            vec![tup![1], tup![2], tup![1], tup![3], tup![1]],
+        )
+        .unwrap();
+        assert_eq!(rel.delete(&[tup![1], tup![1]]), 2);
+        assert_eq!(rel.tuples(), &[tup![2], tup![3], tup![1]]);
+    }
+
+    #[test]
     fn contains_checks_membership() {
         let rel = r();
         assert!(rel.contains(&tup![2, "y"]));
@@ -271,5 +384,59 @@ mod tests {
         .unwrap();
         let d = rel.distinct();
         assert_eq!(d.tuples(), &[tup![1], tup![2], tup![3]]);
+    }
+
+    #[test]
+    fn clone_shares_storage_until_mutation() {
+        let original = r();
+        let mut copy = original.clone();
+        assert!(copy.shares_tuples_with(&original), "clone is zero-copy");
+
+        copy.insert(tup![7, "z"]).unwrap();
+        assert!(
+            !copy.shares_tuples_with(&original),
+            "insert detaches a private copy"
+        );
+        assert_eq!(original.cardinality(), 3, "original unaffected");
+        assert_eq!(copy.cardinality(), 4);
+    }
+
+    #[test]
+    fn delete_copy_on_write_semantics() {
+        let original = r();
+        let mut copy = original.clone();
+        // A delete that matches nothing must not detach the storage.
+        assert_eq!(copy.delete(&[tup![9, "q"]]), 0);
+        assert!(copy.shares_tuples_with(&original));
+        // A real delete detaches and leaves the original whole.
+        assert_eq!(copy.delete(&[tup![2, "y"]]), 1);
+        assert!(!copy.shares_tuples_with(&original));
+        assert!(original.contains(&tup![2, "y"]));
+        assert!(!copy.contains(&tup![2, "y"]));
+    }
+
+    #[test]
+    fn rebind_shares_storage_and_checks_types() {
+        let rel = r();
+        let bound = rel
+            .rebind(
+                "X",
+                Schema::of(&[("A", DataType::Int), ("B", DataType::Text)])
+                    .unwrap()
+                    .qualify("X"),
+            )
+            .unwrap();
+        assert!(bound.shares_tuples_with(&rel));
+        assert_eq!(bound.name(), "X");
+        // Arity and type changes are rejected.
+        assert!(rel
+            .rebind("X", Schema::of(&[("A", DataType::Int)]).unwrap())
+            .is_err());
+        assert!(rel
+            .rebind(
+                "X",
+                Schema::of(&[("A", DataType::Text), ("B", DataType::Text)]).unwrap()
+            )
+            .is_err());
     }
 }

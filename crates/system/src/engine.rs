@@ -194,14 +194,37 @@ impl EveEngine {
     }
 
     /// Evaluates a view definition against the current information space
-    /// (no materialization, no accounting).
+    /// (no materialization, no accounting). Execution goes through the
+    /// physical planner, steered by the MKB's declared §6.1 statistics
+    /// (cardinality, selectivity, blocking factor); relations the MKB does
+    /// not know fall back to measured statistics.
     ///
     /// # Errors
     ///
     /// Validation/state/relational failures.
     pub fn evaluate(&self, view: &ViewDef) -> Result<Relation> {
         let extents = self.extents_for(view)?;
-        crate::query::evaluate_view(view, &extents)
+        crate::query::evaluate_view_with_stats(view, &extents, &self.declared_stats(view))
+    }
+
+    /// Declared [`eve_relational::RelationStats`] for every FROM relation
+    /// of `view` the MKB knows about.
+    fn declared_stats(&self, view: &ViewDef) -> BTreeMap<String, eve_relational::RelationStats> {
+        let mut stats = BTreeMap::new();
+        for item in &view.from {
+            if let Ok(info) = self.mkb.relation(&item.relation) {
+                stats.insert(
+                    item.relation.clone(),
+                    eve_relational::RelationStats {
+                        cardinality: info.cardinality,
+                        tuple_bytes: info.tuple_bytes(),
+                        selectivity: info.selectivity,
+                        blocking_factor: info.blocking_factor,
+                    },
+                );
+            }
+        }
+        stats
     }
 
     /// Validates a view against the MKB: relations registered, attributes

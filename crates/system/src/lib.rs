@@ -17,6 +17,13 @@
 //! synchronization + QC-Model ranking to adopt the best legal rewriting
 //! (completing the paper's Fig. 1 loop).
 //!
+//! Every evaluation path — view definition, capability-change
+//! re-materialization, recomputation baselines and the maintainer's delta
+//! joins — executes through the cost-ordered physical layer of
+//! [`eve_relational::plan`]/[`eve_relational::exec`];
+//! [`query::evaluate_view_naive`] keeps the historical left-to-right fold
+//! as the reference the differential suites compare against.
+//!
 //! [`batch`] scales that loop to bursts: [`engine::EveEngine::apply_batch`]
 //! takes a whole evolution workload, partitions independent sites and
 //! processes them concurrently, memoizing rewriting enumeration per MKB

@@ -12,14 +12,17 @@
 //! same conventions (declared tuple widths; probe I/Os
 //! `max(1, ⌈matches/bfr⌉)` capped by a full scan; notification counted as
 //! one message).
+//!
+//! The per-site delta joins execute through the physical layer's
+//! [`eve_relational::exec::join_with_counts`], and the recomputation
+//! baseline ([`recompute_view`]) through the cost-ordered planner — both
+//! with traces identical to the historical naive implementations.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use eve_esql::ViewDef;
 use eve_misd::{Mkb, SiteId};
-use eve_relational::{
-    algebra, ColumnRef, CompOp, Operand, Predicate, PrimitiveClause, Relation, Tuple,
-};
+use eve_relational::{algebra, ColumnRef, Predicate, PrimitiveClause, Relation, Tuple};
 
 use crate::error::{Error, Result};
 use crate::query::bind_relation;
@@ -96,76 +99,16 @@ fn resolvable(clause: &PrimitiveClause, schema: &eve_relational::Schema) -> bool
 
 /// Joins `delta` with `next`, returning the joined relation together with
 /// the number of `next`-tuples matched by each delta tuple (for I/O
-/// accounting). Equality clauses between the two sides become hash keys;
-/// remaining clauses filter the result. Without any key the join degrades to
-/// a scan (every delta tuple "matches" the full relation).
+/// accounting). Routed through the physical execution layer's
+/// [`eve_relational::exec::join_with_counts`], which preserves the
+/// historical output order and match counts exactly — the maintenance
+/// traces stay byte-identical.
 fn join_with_counts(
     delta: &Relation,
     next: &Relation,
     on: &[PrimitiveClause],
 ) -> Result<(Relation, Vec<usize>)> {
-    let mut keys: Vec<(usize, usize)> = Vec::new();
-    let mut residual: Vec<PrimitiveClause> = Vec::new();
-    for clause in on {
-        if clause.op == CompOp::Eq {
-            if let Operand::Column(rc) = &clause.right {
-                if let (Ok(li), Ok(ri)) = (
-                    delta.schema().resolve(&clause.left, delta.name()),
-                    next.schema().resolve(rc, next.name()),
-                ) {
-                    keys.push((li, ri));
-                    continue;
-                }
-                if let (Ok(ri), Ok(li)) = (
-                    next.schema().resolve(&clause.left, next.name()),
-                    delta.schema().resolve(rc, delta.name()),
-                ) {
-                    keys.push((li, ri));
-                    continue;
-                }
-            }
-        }
-        residual.push(clause.clone());
-    }
-
-    let schema = delta.schema().concat(next.schema())?;
-    let name = format!("{}⋈{}", delta.name(), next.name());
-    let residual_pred = Predicate::new(residual);
-    residual_pred.type_check(&schema, &name)?;
-    let mut out = Relation::empty(name.clone(), schema);
-    let mut counts = Vec::with_capacity(delta.cardinality());
-
-    if keys.is_empty() {
-        for d in delta.tuples() {
-            counts.push(next.cardinality());
-            for n in next.tuples() {
-                let t = d.concat(n);
-                if residual_pred.eval(out.schema(), &t, &name)? {
-                    out.insert(t)?;
-                }
-            }
-        }
-        return Ok((out, counts));
-    }
-
-    let left_idx: Vec<usize> = keys.iter().map(|&(l, _)| l).collect();
-    let right_idx: Vec<usize> = keys.iter().map(|&(_, r)| r).collect();
-    let mut table: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
-    for n in next.tuples() {
-        table.entry(n.project(&right_idx)).or_default().push(n);
-    }
-    for d in delta.tuples() {
-        let key = d.project(&left_idx);
-        let matches = table.get(&key).map_or(&[][..], Vec::as_slice);
-        counts.push(matches.len());
-        for n in matches {
-            let t = d.concat(n);
-            if residual_pred.eval(out.schema(), &t, &name)? {
-                out.insert(t)?;
-            }
-        }
-    }
-    Ok((out, counts))
+    Ok(eve_relational::exec::join_with_counts(delta, next, on)?)
 }
 
 /// One directional pass (inserts or deletes) of Algorithm 1. Returns the

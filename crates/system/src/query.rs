@@ -1,9 +1,18 @@
 //! View query evaluation.
 //!
-//! Executes an E-SQL view definition against a set of base relation extents:
-//! FROM relations are folded left-to-right with the WHERE clauses applied as
-//! early as they become resolvable (local selections before joins, join
-//! clauses at their join), then the SELECT list projects and renames.
+//! [`evaluate_view`] routes every view execution through the physical query
+//! layer: the E-SQL definition is lowered to an
+//! [`eve_relational::QuerySpec`] (scans of the bound extents, the WHERE
+//! conjunction, the SELECT projection), compiled by the cost-ordered
+//! planner ([`eve_relational::plan`]) — pushed-down selections, hash-join
+//! keys resolved at plan time, selectivity-driven greedy join reordering —
+//! and executed over `Arc`-shared storage ([`eve_relational::exec`]).
+//!
+//! [`evaluate_view_naive`] keeps the historical left-to-right fold as the
+//! reference implementation: FROM relations joined in declaration order
+//! with WHERE clauses applied as early as they become resolvable. The
+//! differential property suites hold the planner to `planned ≡ naive` (as
+//! bags — join reordering may permute physical row order).
 //!
 //! The result is a *bag* (duplicates preserved): materialized views keep all
 //! derivations so that incremental deletions remove the right multiplicity;
@@ -12,22 +21,94 @@
 use std::collections::BTreeMap;
 
 use eve_esql::ViewDef;
-use eve_relational::{algebra, ColumnRef, Predicate, PrimitiveClause, Relation, Schema};
+use eve_relational::{
+    algebra, ColumnRef, PhysicalPlan, Predicate, PrimitiveClause, QueryInput, QuerySpec, Relation,
+    RelationStats, Schema,
+};
 
 use crate::error::{Error, Result};
 
 /// Re-qualifies a base relation's columns to a view binding name.
+/// Zero-copy: the bound relation shares the input's tuple storage.
 ///
 /// # Errors
 ///
 /// Schema manipulation failures.
 pub fn bind_relation(rel: &Relation, binding: &str) -> Result<Relation> {
     let schema = rel.schema().unqualify()?.qualify(binding);
-    Ok(Relation::with_tuples(
-        binding,
-        schema,
-        rel.tuples().to_vec(),
-    )?)
+    Ok(rel.rebind(binding, schema)?)
+}
+
+/// Lowers a *validated* view over the given extents into the planner's
+/// neutral query form, attaching declared statistics where provided.
+fn lower(
+    view: &ViewDef,
+    extents: &BTreeMap<String, Relation>,
+    stats: &BTreeMap<String, RelationStats>,
+) -> Result<QuerySpec> {
+    let mut inputs = Vec::with_capacity(view.from.len());
+    for item in &view.from {
+        let rel = extents.get(&item.relation).ok_or_else(|| Error::State {
+            detail: format!("no extent for relation `{}`", item.relation),
+        })?;
+        inputs.push(QueryInput {
+            binding: item.binding_name().to_owned(),
+            relation: bind_relation(rel, item.binding_name())?,
+            stats: stats.get(&item.relation).cloned(),
+        });
+    }
+    Ok(QuerySpec {
+        name: view.name.clone(),
+        inputs,
+        clauses: view.conditions.iter().map(|c| c.clause.clone()).collect(),
+        projection: view.select.iter().map(|s| s.attr.clone()).collect(),
+        output: view
+            .output_columns()
+            .into_iter()
+            .map(ColumnRef::bare)
+            .collect(),
+    })
+}
+
+/// Compiles a view over base extents into a physical plan without executing
+/// it — the estimate inspection hook for benches and cost reports.
+///
+/// # Errors
+///
+/// Validation/state/planning failures.
+pub fn plan_view(
+    view: &ViewDef,
+    extents: &BTreeMap<String, Relation>,
+    stats: &BTreeMap<String, RelationStats>,
+) -> Result<PhysicalPlan> {
+    let view = eve_esql::validate::validate(view).map_err(|e| Error::Validation(e.message))?;
+    Ok(eve_relational::plan::plan(lower(&view, extents, stats)?)?)
+}
+
+/// Evaluates a view over base extents keyed by *relation name*, through the
+/// physical planner (measured-statistics mode).
+///
+/// # Errors
+///
+/// [`Error::State`] for missing extents, planning/validation failures for
+/// clauses that never become resolvable, relational failures otherwise.
+pub fn evaluate_view(view: &ViewDef, extents: &BTreeMap<String, Relation>) -> Result<Relation> {
+    evaluate_view_with_stats(view, extents, &BTreeMap::new())
+}
+
+/// [`evaluate_view`] with declared [`RelationStats`] (keyed by relation
+/// name) steering the planner; relations without an entry fall back to
+/// measured statistics.
+///
+/// # Errors
+///
+/// As [`evaluate_view`].
+pub fn evaluate_view_with_stats(
+    view: &ViewDef,
+    extents: &BTreeMap<String, Relation>,
+    stats: &BTreeMap<String, RelationStats>,
+) -> Result<Relation> {
+    Ok(plan_view(view, extents, stats)?.execute()?)
 }
 
 /// Whether every column of a clause resolves in `schema`.
@@ -46,13 +127,19 @@ fn split_resolvable(
     clauses.into_iter().partition(|c| resolvable(c, schema))
 }
 
-/// Evaluates a view over base extents keyed by *relation name*.
+/// The naive reference evaluator: FROM relations folded left-to-right in
+/// declaration order, WHERE clauses applied as early as they become
+/// resolvable. Kept verbatim as the implementation the differential
+/// property suites compare planned execution against.
 ///
 /// # Errors
 ///
 /// [`Error::State`] for missing extents, [`Error::Validation`] for clauses
 /// that never become resolvable, relational failures otherwise.
-pub fn evaluate_view(view: &ViewDef, extents: &BTreeMap<String, Relation>) -> Result<Relation> {
+pub fn evaluate_view_naive(
+    view: &ViewDef,
+    extents: &BTreeMap<String, Relation>,
+) -> Result<Relation> {
     let view = eve_esql::validate::validate(view).map_err(|e| Error::Validation(e.message))?;
 
     let fetch = |item: &eve_esql::FromItem| -> Result<Relation> {

@@ -154,7 +154,9 @@ impl SimSite {
         Ok(charged)
     }
 
-    /// Executes a local full scan, charging its I/O.
+    /// Executes a local full scan, charging its I/O. The returned relation
+    /// shares the hosted extent's tuple storage (copy-on-write), so a scan
+    /// charges blocks but copies no tuples.
     ///
     /// # Errors
     ///
@@ -231,6 +233,16 @@ mod tests {
         assert_eq!(s.io_count(), 3); // ⌈25/10⌉
         s.reset_io();
         assert_eq!(s.io_count(), 0);
+    }
+
+    #[test]
+    fn scan_shares_extent_storage() {
+        let mut s = site_with_r();
+        let scanned = s.scan("R").unwrap();
+        assert!(
+            scanned.shares_tuples_with(s.relation("R").unwrap()),
+            "scan must not deep-copy the extent"
+        );
     }
 
     #[test]
