@@ -1,0 +1,78 @@
+//! Criterion bench for the rewrite-search policies on the wide-MKB
+//! workload: exhaustive cross-product enumeration (plus post-hoc QC
+//! ranking) versus the QC-bounded best-first search stopping at its first —
+//! already QC-best — emission.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use eve_bench::experiments::search_space;
+use eve_qc::{rank_rewritings, synchronize_qc_best_first, QcGuide, QcParams, WorkloadModel};
+use eve_sync::{synchronize_with_policy, ExplorationPolicy, PartnerCache, SyncOptions};
+
+fn bench_search_space(c: &mut Criterion) {
+    let params = QcParams::default();
+    let workload = WorkloadModel::SingleUpdate;
+
+    let mut group = c.benchmark_group("search/exhaustive_then_rank");
+    for (partners, bindings) in search_space::configurations() {
+        let (mkb, view, change) = search_space::wide_space(partners, bindings).unwrap();
+        let options = SyncOptions {
+            max_rewritings: 256,
+            ..SyncOptions::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{partners}x{bindings}")),
+            &mkb,
+            |b, mkb| {
+                b.iter(|| {
+                    let (outcome, _) = synchronize_with_policy(
+                        &view,
+                        &change,
+                        mkb,
+                        &options,
+                        &ExplorationPolicy::Exhaustive,
+                        &mut PartnerCache::new(),
+                    )
+                    .unwrap();
+                    let scored =
+                        rank_rewritings(&view, &outcome.rewritings, mkb, &params, workload)
+                            .unwrap();
+                    std::hint::black_box(scored.len())
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("search/qc_best_first_first_emission");
+    for (partners, bindings) in search_space::configurations() {
+        let (mkb, view, change) = search_space::wide_space(partners, bindings).unwrap();
+        let options = SyncOptions {
+            max_rewritings: 1,
+            ..SyncOptions::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{partners}x{bindings}")),
+            &mkb,
+            |b, mkb| {
+                let guide = QcGuide::auto(&view, mkb, &params, workload).unwrap();
+                b.iter(|| {
+                    let (outcome, _) =
+                        synchronize_qc_best_first(&view, &change, mkb, &options, &guide).unwrap();
+                    std::hint::black_box(outcome.rewritings.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    targets = bench_search_space
+}
+criterion_main!(benches);

@@ -7,6 +7,7 @@ pub mod exp3_distribution;
 pub mod exp4_cardinality;
 pub mod exp5_workload;
 pub mod heuristics;
+pub mod search_space;
 pub mod strategy_regret;
 pub mod validation;
 pub mod view_exec;

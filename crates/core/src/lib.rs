@@ -30,18 +30,22 @@
 //! baselines (first-found — the pre-QC EVE prototype behaviour — and the
 //! quality-only / cost-only corners).
 
+pub mod bound;
 pub mod cost;
 pub mod error;
 pub mod params;
 pub mod plan;
 pub mod quality;
 pub mod rank;
+pub mod search;
 pub mod workload;
 
+pub use bound::{exact_score, partial_bound, CostBound, PartialScore, ScoreModel};
 pub use cost::{maintenance_cost, CostFactors};
 pub use error::{Error, Result};
 pub use params::{IoBound, QcParams};
 pub use plan::{plans_for_view, MaintenancePlan, RelSpec, SiteSpec};
 pub use quality::{degree_of_divergence, DivergenceReport, ExtentSizes};
 pub use rank::{pareto_front, rank_rewritings, ScoredRewriting, SelectionStrategy};
+pub use search::{synchronize_qc_best_first, QcGuide};
 pub use workload::WorkloadModel;

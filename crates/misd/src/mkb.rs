@@ -8,6 +8,8 @@
 //! view definitions become undefined".
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use crate::constraints::{JoinConstraint, PcConstraint, PcRelationship};
 use crate::error::{Error, Result};
@@ -43,8 +45,25 @@ pub struct RelationReplacement {
     pub constraint: PcConstraint,
 }
 
-/// The Meta Knowledge Base.
+/// Inverted indexes over the PC-constraint store, rebuilt lazily whenever
+/// the MKB's [`generation`](Mkb::generation) moves. Candidate discovery —
+/// the inner loop of view synchronization — reads these maps instead of
+/// linear-scanning (and re-orienting) the whole constraint list per lookup.
 #[derive(Debug, Clone, Default)]
+struct ConstraintIndex {
+    /// relation → PC constraints oriented so that relation is on the left
+    /// (insertion order preserved, matching the historical scan order).
+    pc_by_relation: BTreeMap<String, Vec<PcConstraint>>,
+    /// relation → attribute → single-attribute replacement candidates.
+    attr_replacements: BTreeMap<String, BTreeMap<String, Vec<AttrReplacement>>>,
+    /// relation → whole-relation replacement skeletons carrying the *full*
+    /// attribute correspondence of each oriented constraint; coverage of a
+    /// concrete `needed_attrs` set is checked against the skeleton map.
+    relation_replacements: BTreeMap<String, Vec<RelationReplacement>>,
+}
+
+/// The Meta Knowledge Base.
+#[derive(Debug, Default)]
 pub struct Mkb {
     sites: BTreeMap<u32, String>,
     relations: BTreeMap<String, RelationInfo>,
@@ -53,6 +72,29 @@ pub struct Mkb {
     join_selectivities: BTreeMap<(String, String), f64>,
     default_join_selectivity: f64,
     generation: u64,
+    /// Lazily built inverted indexes for the *current* generation; reset by
+    /// every mutation (see [`Mkb::bump_generation`]). `OnceLock` keeps reads
+    /// shareable across scoped threads without locking on the hot path.
+    index: OnceLock<ConstraintIndex>,
+    index_hits: AtomicU64,
+    index_misses: AtomicU64,
+}
+
+impl Clone for Mkb {
+    fn clone(&self) -> Mkb {
+        Mkb {
+            sites: self.sites.clone(),
+            relations: self.relations.clone(),
+            join_constraints: self.join_constraints.clone(),
+            pc_constraints: self.pc_constraints.clone(),
+            join_selectivities: self.join_selectivities.clone(),
+            default_join_selectivity: self.default_join_selectivity,
+            generation: self.generation,
+            index: self.index.clone(),
+            index_hits: AtomicU64::new(self.index_hits.load(Ordering::Relaxed)),
+            index_misses: AtomicU64::new(self.index_misses.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 fn js_key(a: &str, b: &str) -> (String, String) {
@@ -85,6 +127,80 @@ impl Mkb {
 
     fn bump_generation(&mut self) {
         self.generation = self.generation.wrapping_add(1);
+        // Drop the inverted indexes: they describe the previous generation.
+        // (The crate-internal `*_mut` accessors bump *before* handing out
+        // their `&mut` reference, so the reset always precedes the mutation
+        // and the next read rebuilds against the post-mutation store.)
+        self.index = OnceLock::new();
+    }
+
+    /// The inverted indexes for the current generation, building them on
+    /// first access after a mutation.
+    fn index(&self) -> &ConstraintIndex {
+        if let Some(built) = self.index.get() {
+            self.index_hits.fetch_add(1, Ordering::Relaxed);
+            return built;
+        }
+        self.index_misses.fetch_add(1, Ordering::Relaxed);
+        self.index.get_or_init(|| self.build_index())
+    }
+
+    fn build_index(&self) -> ConstraintIndex {
+        let mut idx = ConstraintIndex::default();
+        let mut insert = |oriented: PcConstraint| {
+            let rel = oriented.left.relation.clone();
+            if oriented.right.relation != rel {
+                // Replacement candidates exclude self-constraints, exactly
+                // as the historical `find_*_replacements` scans did.
+                let by_attr = idx.attr_replacements.entry(rel.clone()).or_default();
+                let mut attr_map: BTreeMap<String, String> = BTreeMap::new();
+                for (i, attr) in oriented.left.attrs.iter().enumerate() {
+                    // Positional correspondence takes the *first* occurrence
+                    // of a repeated attribute (`corresponding_attr`).
+                    if oriented.left.attrs[..i].contains(attr) {
+                        continue;
+                    }
+                    let new_attr = oriented.right.attrs[i].clone();
+                    by_attr
+                        .entry(attr.clone())
+                        .or_default()
+                        .push(AttrReplacement {
+                            relation: oriented.right.relation.clone(),
+                            attribute: new_attr.clone(),
+                            relationship: oriented.relationship,
+                            constraint: oriented.clone(),
+                        });
+                    attr_map.insert(attr.clone(), new_attr);
+                }
+                idx.relation_replacements
+                    .entry(rel.clone())
+                    .or_default()
+                    .push(RelationReplacement {
+                        relation: oriented.right.relation.clone(),
+                        attr_map,
+                        relationship: oriented.relationship,
+                        constraint: oriented.clone(),
+                    });
+            }
+            idx.pc_by_relation.entry(rel).or_default().push(oriented);
+        };
+        for pc in &self.pc_constraints {
+            insert(pc.clone());
+            if pc.left.relation != pc.right.relation {
+                insert(pc.flipped());
+            }
+        }
+        idx
+    }
+
+    /// Inverted-index statistics `(hits, misses)`: lookups served by an
+    /// already-built index versus lazy (re)builds after a mutation.
+    #[must_use]
+    pub fn index_stats(&self) -> (u64, u64) {
+        (
+            self.index_hits.load(Ordering::Relaxed),
+            self.index_misses.load(Ordering::Relaxed),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -366,12 +482,17 @@ impl Mkb {
     }
 
     /// PC constraints involving `rel`, re-oriented so `rel` is on the left.
+    ///
+    /// Served from the generation-keyed inverted index — like
+    /// [`join_constraints_of`](Mkb::join_constraints_of), the result borrows
+    /// instead of cloning constraint payloads per call.
     #[must_use]
-    pub fn pc_constraints_of(&self, rel: &str) -> Vec<PcConstraint> {
-        self.pc_constraints
-            .iter()
-            .filter_map(|pc| pc.oriented_from(rel))
-            .collect()
+    pub fn pc_constraints_of(&self, rel: &str) -> Vec<&PcConstraint> {
+        self.index()
+            .pc_by_relation
+            .get(rel)
+            .map(|oriented| oriented.iter().collect())
+            .unwrap_or_default()
     }
 
     // ------------------------------------------------------------------
@@ -380,28 +501,22 @@ impl Mkb {
 
     /// Finds replacement candidates for a single attribute `rel.attr` via PC
     /// constraints whose `rel`-side projection covers the attribute.
-    /// Candidates from `rel` itself are excluded.
+    /// Candidates from `rel` itself are excluded. Served from the
+    /// `attr → replacements` inverted index.
     #[must_use]
     pub fn find_attr_replacements(&self, rel: &str, attr: &str) -> Vec<AttrReplacement> {
-        let mut out = Vec::new();
-        for pc in self.pc_constraints_of(rel) {
-            if pc.right.relation == rel {
-                continue;
-            }
-            if let Some(new_attr) = pc.corresponding_attr(attr) {
-                out.push(AttrReplacement {
-                    relation: pc.right.relation.clone(),
-                    attribute: new_attr.to_owned(),
-                    relationship: pc.relationship,
-                    constraint: pc.clone(),
-                });
-            }
-        }
-        out
+        self.index()
+            .attr_replacements
+            .get(rel)
+            .and_then(|by_attr| by_attr.get(attr))
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Finds whole-relation replacements for `rel` covering all of
-    /// `needed_attrs` (the attributes of `rel` the view must keep).
+    /// `needed_attrs` (the attributes of `rel` the view must keep). Coverage
+    /// is checked against the `relation → replacements` inverted index; the
+    /// returned `attr_map` is restricted to the requested attributes.
     #[must_use]
     pub fn find_relation_replacements(
         &self,
@@ -409,16 +524,16 @@ impl Mkb {
         needed_attrs: &[String],
     ) -> Vec<RelationReplacement> {
         let mut out = Vec::new();
-        for pc in self.pc_constraints_of(rel) {
-            if pc.right.relation == rel {
-                continue;
-            }
+        let Some(skeletons) = self.index().relation_replacements.get(rel) else {
+            return out;
+        };
+        for skeleton in skeletons {
             let mut attr_map = BTreeMap::new();
             let mut covered = true;
             for a in needed_attrs {
-                match pc.corresponding_attr(a) {
+                match skeleton.attr_map.get(a) {
                     Some(n) => {
-                        attr_map.insert(a.clone(), n.to_owned());
+                        attr_map.insert(a.clone(), n.clone());
                     }
                     None => {
                         covered = false;
@@ -428,10 +543,10 @@ impl Mkb {
             }
             if covered {
                 out.push(RelationReplacement {
-                    relation: pc.right.relation.clone(),
+                    relation: skeleton.relation.clone(),
                     attr_map,
-                    relationship: pc.relationship,
-                    constraint: pc.clone(),
+                    relationship: skeleton.relationship,
+                    constraint: skeleton.constraint.clone(),
                 });
             }
         }
@@ -495,7 +610,7 @@ impl Mkb {
             if pc.right.relation != b {
                 continue;
             }
-            let est = estimate_overlap(&pc, self.overlap_inputs(&pc)?);
+            let est = estimate_overlap(pc, self.overlap_inputs(pc)?);
             let better = match &best {
                 None => true,
                 Some((_, cur)) => {
@@ -817,6 +932,39 @@ mod tests {
         // Clones carry the counter (a cloned MKB is the same knowledge).
         let clone = mkb.clone();
         assert_eq!(clone.generation(), mkb.generation());
+    }
+
+    #[test]
+    fn inverted_index_rebuilds_after_mutations_and_counts_hits() {
+        let mut mkb = sample();
+        // Construction never reads the index.
+        assert_eq!(mkb.index_stats(), (0, 0));
+        // First lookup builds it…
+        assert_eq!(mkb.pc_constraints_of("R").len(), 2);
+        assert_eq!(mkb.index_stats().1, 1, "one lazy build");
+        // …subsequent lookups replay it.
+        assert_eq!(mkb.pc_constraints_of("S").len(), 1);
+        assert!(mkb.find_attr_replacements("R", "A").len() == 2);
+        let (hits, misses) = mkb.index_stats();
+        assert!(hits >= 2, "served from memory: {hits}");
+        assert_eq!(misses, 1);
+        // A mutation invalidates: the next read rebuilds against the new
+        // constraint store.
+        mkb.add_pc_constraint(PcConstraint::new(
+            PcSide::projection("S", &["A"]),
+            PcRelationship::Subset,
+            PcSide::projection("T", &["A"]),
+        ))
+        .unwrap();
+        assert_eq!(mkb.pc_constraints_of("T").len(), 2);
+        assert_eq!(mkb.index_stats().1, 2, "rebuilt once after the mutation");
+        // Orientation inside the index matches the historical scan.
+        let from_t = mkb.pc_constraints_of("T");
+        assert!(from_t.iter().all(|pc| pc.left.relation == "T"));
+        // Clones carry the built index and its counters.
+        let clone = mkb.clone();
+        assert_eq!(clone.pc_constraints_of("R").len(), 2);
+        assert_eq!(clone.index_stats().1, 2);
     }
 
     #[test]

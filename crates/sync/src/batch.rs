@@ -404,12 +404,7 @@ impl RewriteCache {
         mkb: &Mkb,
         options: &SyncOptions,
     ) -> Result<SyncOutcome, SyncError> {
-        let generation = mkb.generation();
-        if self.generation != Some(generation) {
-            self.outcomes.clear();
-            self.partners.clear();
-            self.generation = Some(generation);
-        }
+        self.refresh_generation(mkb);
         let key = (
             view.to_string(),
             change.to_string(),
@@ -424,6 +419,47 @@ impl RewriteCache {
         self.misses += 1;
         self.outcomes.insert(key, outcome.clone());
         Ok(outcome)
+    }
+
+    /// Runs an arbitrary search policy through the cache's shared
+    /// [`PartnerCache`] (generation-keyed like the memoized outcomes), so
+    /// pruned searches across many views reuse one PC-partner closure per
+    /// relation. Unlike [`RewriteCache::synchronize`], the *outcome* is not
+    /// memoized — pruned policies are already cheap and their emissions
+    /// depend on the policy, not just the `(view, change)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of the underlying search driver.
+    pub fn synchronize_with_policy(
+        &mut self,
+        view: &ViewDef,
+        change: &SchemaChange,
+        mkb: &Mkb,
+        options: &SyncOptions,
+        policy: &crate::search::ExplorationPolicy<'_>,
+    ) -> Result<(SyncOutcome, crate::search::SearchStats), SyncError> {
+        self.refresh_generation(mkb);
+        crate::search::synchronize_with_policy(
+            view,
+            change,
+            mkb,
+            options,
+            policy,
+            &mut self.partners,
+        )
+    }
+
+    /// Drops every cached structure when the MKB generation moved since the
+    /// entries were computed — shared by all cache entry points so an
+    /// invalidation change cannot drift between them.
+    fn refresh_generation(&mut self, mkb: &Mkb) {
+        let generation = mkb.generation();
+        if self.generation != Some(generation) {
+            self.outcomes.clear();
+            self.partners.clear();
+            self.generation = Some(generation);
+        }
     }
 
     /// Number of synchronizations served from memory.

@@ -1,5 +1,5 @@
 //! Heuristic view synchronization — the paper's §8 future-work direction,
-//! implemented.
+//! implemented as a *policy* of the streaming search driver.
 //!
 //! The exhaustive synchronizer generates *every* legal rewriting and leaves
 //! ranking to the QC-Model; §8 sketches "a novel heuristic view
@@ -16,30 +16,36 @@
 //! * **H-small** — among otherwise equal candidates, prefer smaller
 //!   relations (cheaper under every workload model).
 //!
-//! PC partners are *sorted by this preference before any rewriting is
-//! built*, and generation stops after `max_candidates` legal rewritings —
-//! the tail of the candidate space is never materialized. The search is
-//! evaluated against the exhaustive synchronizer in
-//! `eve-bench` (`experiments::strategy_regret`): on Experiment 4 the
-//! quality-best rewriting is the *first* candidate emitted.
+//! Historically this was a parallel code path duplicating the candidate
+//! plumbing; it is now [`HeuristicGuide`] plugged into
+//! [`ExplorationPolicy::Beam`]: PC partners are *sorted by the preference
+//! before any rewriting is built*, and generation stops once the beam holds
+//! `max_candidates` repaired candidates per binding level — the tail of the
+//! candidate space is never materialized. The search is evaluated against
+//! the exhaustive synchronizer in `eve-bench`
+//! (`experiments::strategy_regret`): on Experiment 4 the quality-best
+//! rewriting is the *first* candidate emitted.
 
 use std::collections::BTreeSet;
 
 use eve_esql::ViewDef;
 use eve_misd::{Mkb, SchemaChange, SiteId};
 
+use crate::rewriting::RewriteAction;
+use crate::search::{synchronize_with_policy, ExplorationPolicy, SearchGuide, SearchNode};
 use crate::synchronizer::{
-    build_drop_relation, build_swap, delete_attribute_candidates, finish, repair_bindings,
-    synchronize, Candidate, PartnerCache, PcPartner, SyncError, SyncOptions, SyncOutcome,
+    synchronize, PartnerCache, PcPartner, SyncError, SyncOptions, SyncOutcome,
 };
 
 /// Options for the pruned search.
 #[derive(Debug, Clone)]
 pub struct HeuristicOptions {
-    /// Stop once this many legal rewritings have been produced.
+    /// Stop once this many legal rewritings have been produced. Must be at
+    /// least 1 ([`HeuristicOptions::validated`]).
     pub max_candidates: usize,
     /// Weight of the site-count heuristic relative to the size heuristic
     /// (both normalized; 0.5 balances them). §7.3 argues sites dominate.
+    /// Values outside `[0, 1]` are clamped; non-finite values are rejected.
     pub site_weight: f64,
 }
 
@@ -49,6 +55,34 @@ impl Default for HeuristicOptions {
             max_candidates: 3,
             site_weight: 0.7,
         }
+    }
+}
+
+impl HeuristicOptions {
+    /// Validates the options: `max_candidates == 0` would silently emit
+    /// nothing and is rejected; `site_weight` must be a finite number and is
+    /// clamped into `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::Options`] on an empty candidate budget or a non-finite
+    /// site weight.
+    pub fn validated(&self) -> Result<HeuristicOptions, SyncError> {
+        if self.max_candidates == 0 {
+            return Err(SyncError::Options(
+                "max_candidates must be at least 1 (0 would emit no rewriting)".into(),
+            ));
+        }
+        if !self.site_weight.is_finite() {
+            return Err(SyncError::Options(format!(
+                "site_weight must be a finite number in [0, 1], got {}",
+                self.site_weight
+            )));
+        }
+        Ok(HeuristicOptions {
+            max_candidates: self.max_candidates,
+            site_weight: self.site_weight.clamp(0.0, 1.0),
+        })
     }
 }
 
@@ -87,105 +121,91 @@ fn partner_score(
     options.site_weight * new_site + (1.0 - options.site_weight) * size_distance + small_bias
 }
 
-/// Orders the PC partners of `relation` by heuristic preference.
-fn ordered_partners(
-    view: &ViewDef,
-    binding: &str,
-    relation: &str,
-    mkb: &Mkb,
-    options: &HeuristicOptions,
-    cache: &mut PartnerCache,
-) -> Vec<PcPartner> {
-    #[allow(clippy::cast_precision_loss)]
-    let old_card = mkb
-        .relation(relation)
-        .map(|r| r.cardinality as f64)
-        .unwrap_or(0.0);
-    let existing = view_sites(view, mkb, binding);
-    let mut partners = cache.partners(mkb, relation);
-    partners.sort_by(|a, b| {
-        let sa = partner_score(a, old_card, &existing, mkb, options);
-        let sb = partner_score(b, old_card, &existing, mkb, options);
-        sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
-    });
-    partners
+/// The §7.6 heuristics as a [`SearchGuide`]: partner ordering drives the
+/// beam's swap generation, and the node score — the same preference summed
+/// over the repairs a partial rewriting has committed to — ranks the
+/// mixed-kind candidates of attribute repairs before the beam truncates.
+/// The score is a *preference*, not an admissible QC bound — pair the
+/// guide with [`ExplorationPolicy::Beam`], not `BestFirst`, when exactness
+/// matters.
+#[derive(Debug, Clone)]
+pub struct HeuristicGuide {
+    /// Validated heuristic options.
+    options: HeuristicOptions,
 }
 
-/// Per-binding candidate generation with heuristic partner ordering and an
-/// emission cap.
-fn pruned_candidates(
-    view: &ViewDef,
-    binding: &str,
-    change: &SchemaChange,
-    mkb: &Mkb,
-    options: &HeuristicOptions,
-    cache: &mut PartnerCache,
-) -> Vec<Candidate> {
-    let Some(from_item) = view.from_item(binding) else {
-        return Vec::new();
-    };
-    let relation = from_item.relation.clone();
-    let mut out: Vec<Candidate> = Vec::new();
-
-    match change {
-        SchemaChange::DeleteRelation { .. } => {
-            if from_item.evolution.replaceable {
-                for partner in ordered_partners(view, binding, &relation, mkb, options, cache) {
-                    if out.len() >= options.max_candidates {
-                        return out;
-                    }
-                    if let Some(c) = build_swap(view, binding, &partner) {
-                        out.push(c);
-                    }
-                }
-            }
-            if out.len() < options.max_candidates && from_item.evolution.dispensable {
-                if let Some(c) = build_drop_relation(view, binding) {
-                    out.push(c);
-                }
-            }
-        }
-        SchemaChange::DeleteAttribute { attribute, .. } => {
-            // Reuse the exhaustive generator but reorder its swap options by
-            // re-scoring, then truncate. (Attribute repairs are cheap to
-            // build; the pruning value is in not *ranking* the tail.)
-            let mut all = delete_attribute_candidates(view, binding, attribute, mkb, cache);
-            let existing = view_sites(view, mkb, binding);
-            #[allow(clippy::cast_precision_loss)]
-            let old_card = mkb
-                .relation(&relation)
-                .map(|r| r.cardinality as f64)
-                .unwrap_or(0.0);
-            all.sort_by(|a, b| {
-                let score = |c: &Candidate| -> f64 {
-                    // Candidates referencing fewer new sites and
-                    // closer-sized relations first.
-                    let mut s = 0.0;
-                    for f in &c.0.from {
-                        if let Ok(info) = mkb.relation(&f.relation) {
-                            if !existing.contains(&info.site) && f.relation != relation {
-                                s += options.site_weight;
-                            }
-                            #[allow(clippy::cast_precision_loss)]
-                            let card = info.cardinality as f64;
-                            if old_card > 0.0 && f.relation != relation {
-                                s += (1.0 - options.site_weight)
-                                    * ((card - old_card).abs() / old_card).min(1.0);
-                            }
-                        }
-                    }
-                    s
-                };
-                score(a)
-                    .partial_cmp(&score(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-            all.truncate(options.max_candidates);
-            out = all;
-        }
-        _ => {}
+impl HeuristicGuide {
+    /// Builds a guide from validated options.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::Options`] as per [`HeuristicOptions::validated`].
+    pub fn new(options: &HeuristicOptions) -> Result<HeuristicGuide, SyncError> {
+        Ok(HeuristicGuide {
+            options: options.validated()?,
+        })
     }
-    out
+
+    /// The validated options driving the guide.
+    #[must_use]
+    pub fn options(&self) -> &HeuristicOptions {
+        &self.options
+    }
+}
+
+impl SearchGuide for HeuristicGuide {
+    fn score(&self, original: &ViewDef, node: &SearchNode, mkb: &Mkb) -> f64 {
+        // Sites the original view already visits.
+        let existing = view_sites(original, mkb, "");
+        let mut score = 0.0;
+        for action in &node.actions {
+            let (old_relation, new_relation) = match action {
+                RewriteAction::SwappedRelation {
+                    old_relation,
+                    new_relation,
+                    ..
+                } => (Some(old_relation.as_str()), new_relation.as_str()),
+                RewriteAction::AddedJoinRelation { relation, .. } => (None, relation.as_str()),
+                _ => continue,
+            };
+            let Ok(info) = mkb.relation(new_relation) else {
+                score += 1.0;
+                continue;
+            };
+            if !existing.contains(&info.site) {
+                score += self.options.site_weight;
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let card = info.cardinality as f64;
+            #[allow(clippy::cast_precision_loss)]
+            let old_card = old_relation
+                .and_then(|r| mkb.relation(r).ok())
+                .map_or(0.0, |r| r.cardinality as f64);
+            if old_card > 0.0 {
+                score += (1.0 - self.options.site_weight)
+                    * ((card - old_card).abs() / old_card).min(1.0);
+            }
+        }
+        score
+    }
+
+    fn orders_partners(&self) -> bool {
+        true
+    }
+
+    fn order_partners(&self, view: &ViewDef, binding: &str, mkb: &Mkb, partners: &mut [PcPartner]) {
+        #[allow(clippy::cast_precision_loss)]
+        let old_card = view
+            .from_item(binding)
+            .and_then(|f| mkb.relation(&f.relation).ok())
+            .map_or(0.0, |r| r.cardinality as f64);
+        let existing = view_sites(view, mkb, binding);
+        partners.sort_by(|a, b| {
+            let sa = partner_score(a, old_card, &existing, mkb, &self.options);
+            let sb = partner_score(b, old_card, &existing, mkb, &self.options);
+            sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
 }
 
 /// Synchronizes with heuristic pruning: only the most promising
@@ -194,74 +214,39 @@ fn pruned_candidates(
 ///
 /// # Errors
 ///
-/// [`SyncError::Validation`] for structurally invalid views.
+/// [`SyncError::Validation`] for structurally invalid views;
+/// [`SyncError::Options`] for out-of-range options (zero candidate budget,
+/// non-finite site weight).
 pub fn synchronize_heuristic(
     view: &ViewDef,
     change: &SchemaChange,
     mkb: &Mkb,
     options: &HeuristicOptions,
 ) -> Result<SyncOutcome, SyncError> {
+    let guide = HeuristicGuide::new(options)?;
     match change {
-        SchemaChange::DeleteAttribute {
-            relation,
-            attribute,
-        } => {
-            let view =
-                eve_esql::validate::validate(view).map_err(|e| SyncError::Validation(e.message))?;
-            let bindings: Vec<String> = view
-                .from
-                .iter()
-                .filter(|f| &f.relation == relation)
-                .map(|f| f.binding_name().to_owned())
-                .filter(|b| uses(&view, b, attribute))
-                .collect();
-            if bindings.is_empty() {
-                return Ok(SyncOutcome {
-                    affected: false,
-                    rewritings: Vec::new(),
-                });
-            }
+        SchemaChange::DeleteAttribute { .. } | SchemaChange::DeleteRelation { .. } => {
+            let width = guide.options.max_candidates;
             let sync_opts = SyncOptions {
-                max_rewritings: options.max_candidates,
+                max_rewritings: width,
                 ..SyncOptions::default()
             };
-            let mut cache = PartnerCache::new();
-            let candidates = repair_bindings(&view, &bindings, mkb, &sync_opts, |v, b| {
-                pruned_candidates(v, b, change, mkb, options, &mut cache)
-            });
-            Ok(finish(&view, candidates, &sync_opts))
-        }
-        SchemaChange::DeleteRelation { relation } => {
-            let view =
-                eve_esql::validate::validate(view).map_err(|e| SyncError::Validation(e.message))?;
-            let bindings: Vec<String> = view
-                .from
-                .iter()
-                .filter(|f| &f.relation == relation)
-                .map(|f| f.binding_name().to_owned())
-                .collect();
-            if bindings.is_empty() {
-                return Ok(SyncOutcome {
-                    affected: false,
-                    rewritings: Vec::new(),
-                });
-            }
-            let sync_opts = SyncOptions {
-                max_rewritings: options.max_candidates,
-                ..SyncOptions::default()
+            let policy = ExplorationPolicy::Beam {
+                width,
+                guide: &guide,
             };
-            let mut cache = PartnerCache::new();
-            let candidates = repair_bindings(&view, &bindings, mkb, &sync_opts, |v, b| {
-                pruned_candidates(v, b, change, mkb, options, &mut cache)
-            });
-            Ok(finish(&view, candidates, &sync_opts))
+            let (outcome, _stats) = synchronize_with_policy(
+                view,
+                change,
+                mkb,
+                &sync_opts,
+                &policy,
+                &mut PartnerCache::new(),
+            )?;
+            Ok(outcome)
         }
         _ => synchronize(view, change, mkb, &SyncOptions::default()),
     }
-}
-
-fn uses(view: &ViewDef, binding: &str, attr: &str) -> bool {
-    crate::synchronizer::uses_attr(view, binding, attr)
 }
 
 #[cfg(test)]
@@ -438,6 +423,91 @@ mod tests {
     }
 
     #[test]
+    fn attribute_repairs_are_ranked_across_kinds_before_truncation() {
+        // A badly-scored attribute replacement (far, huge partner) must not
+        // win the budget over a perfectly-scored swap just because
+        // replacements are generated first.
+        let mut m = Mkb::new();
+        for i in [1u32, 2, 9] {
+            m.register_site(SiteId(i), format!("IS{i}")).unwrap();
+        }
+        let ab = || {
+            vec![
+                AttributeInfo::new("A", DataType::Int),
+                AttributeInfo::new("B", DataType::Int),
+            ]
+        };
+        m.register_relation(RelationInfo::new("Base", SiteId(1), ab(), 4000))
+            .unwrap();
+        m.register_relation(RelationInfo::new("R", SiteId(2), ab(), 4000))
+            .unwrap();
+        // Same-site (as Base), same-size swap partner covering everything.
+        m.register_relation(RelationInfo::new("NearSwap", SiteId(1), ab(), 4000))
+            .unwrap();
+        m.add_pc_constraint(PcConstraint::new(
+            PcSide::projection("R", &["A", "B"]),
+            PcRelationship::Equivalent,
+            PcSide::projection("NearSwap", &["A", "B"]),
+        ))
+        .unwrap();
+        // Far, huge replacement partner covering only A, joinable via B.
+        m.register_relation(RelationInfo::new(
+            "FarRep",
+            SiteId(9),
+            vec![
+                AttributeInfo::new("A2", DataType::Int),
+                AttributeInfo::new("C", DataType::Int),
+            ],
+            400_000,
+        ))
+        .unwrap();
+        m.add_pc_constraint(PcConstraint::new(
+            PcSide::projection("R", &["A"]),
+            PcRelationship::Equivalent,
+            PcSide::projection("FarRep", &["A2"]),
+        ))
+        .unwrap();
+        m.add_join_constraint(eve_misd::JoinConstraint::new(
+            "R",
+            "FarRep",
+            vec![eve_relational::PrimitiveClause::eq(
+                eve_relational::ColumnRef::parse("R.B"),
+                eve_relational::ColumnRef::parse("FarRep.C"),
+            )],
+        ))
+        .unwrap();
+        let view = eve_esql::parse_view(
+            "CREATE VIEW V (VE = '~') AS \
+             SELECT Base.A AS BA, X.A (AR = true), X.B \
+             FROM Base, R X (RR = true) \
+             WHERE Base.A = X.A (CR = true)",
+        )
+        .unwrap();
+        let change = SchemaChange::DeleteAttribute {
+            relation: "R".into(),
+            attribute: "A".into(),
+        };
+        // Both repair kinds exist in the exhaustive set…
+        let full = synchronize(&view, &change, &m, &SyncOptions::default()).unwrap();
+        assert!(full.rewritings.len() >= 2, "{}", full.rewritings.len());
+        // …and the width-1 beam keeps the better-scored swap, not the
+        // generation-order-first replacement.
+        let pruned = synchronize_heuristic(
+            &view,
+            &change,
+            &m,
+            &HeuristicOptions {
+                max_candidates: 1,
+                site_weight: 0.7,
+            },
+        )
+        .unwrap();
+        assert_eq!(pruned.rewritings.len(), 1);
+        let printed = pruned.rewritings[0].view.to_string();
+        assert!(printed.contains("NearSwap"), "{printed}");
+    }
+
+    #[test]
     fn renames_fall_through_to_exhaustive() {
         let (mkb, view) = space();
         let outcome = synchronize_heuristic(
@@ -453,5 +523,65 @@ mod tests {
         .unwrap();
         assert!(outcome.affected);
         assert_eq!(outcome.rewritings.len(), 1);
+    }
+
+    #[test]
+    fn zero_candidate_budget_is_rejected() {
+        let (mkb, view) = space();
+        let err = synchronize_heuristic(
+            &view,
+            &SchemaChange::DeleteRelation {
+                relation: "R2".into(),
+            },
+            &mkb,
+            &HeuristicOptions {
+                max_candidates: 0,
+                site_weight: 0.7,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SyncError::Options(_)), "{err}");
+        assert!(err.to_string().contains("max_candidates"), "{err}");
+    }
+
+    #[test]
+    fn site_weight_is_clamped_not_rejected() {
+        let (mkb, view) = space();
+        let change = SchemaChange::DeleteRelation {
+            relation: "R2".into(),
+        };
+        // site_weight > 1 behaves exactly like 1 (sites dominate fully).
+        let clamped = synchronize_heuristic(
+            &view,
+            &change,
+            &mkb,
+            &HeuristicOptions {
+                max_candidates: 1,
+                site_weight: 7.5,
+            },
+        )
+        .unwrap();
+        let exact = synchronize_heuristic(
+            &view,
+            &change,
+            &mkb,
+            &HeuristicOptions {
+                max_candidates: 1,
+                site_weight: 1.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            clamped.rewritings[0].view.to_string(),
+            exact.rewritings[0].view.to_string()
+        );
+        // Non-finite weights cannot be clamped meaningfully.
+        let err = HeuristicOptions {
+            max_candidates: 1,
+            site_weight: f64::NAN,
+        }
+        .validated()
+        .unwrap_err();
+        assert!(matches!(err, SyncError::Options(_)));
     }
 }

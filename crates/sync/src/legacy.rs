@@ -1,0 +1,261 @@
+//! The frozen pre-refactor synchronization pipeline.
+//!
+//! Before the streaming search driver ([`crate::search`]) unified the
+//! exhaustive and heuristic paths, [`synchronize`](crate::synchronize)
+//! materialized the full cross product of per-binding repairs
+//! (`repair_bindings`) and then filtered it in one batch (`finish`). This
+//! module keeps that pipeline verbatim as the **reference implementation**
+//! the differential property suite holds the driver's
+//! [`Exhaustive`](crate::search::ExplorationPolicy::Exhaustive) policy
+//! against — byte-identical views, repair actions and extent relationships,
+//! in the same order. It mirrors the precedent of
+//! `EveEngine::notify_capability_change_sequential` for the batched
+//! pipeline.
+//!
+//! Production code must call [`crate::synchronize`] /
+//! [`crate::synchronize_with`]; nothing outside tests and benches should
+//! depend on this module.
+
+use std::collections::BTreeSet;
+
+use eve_esql::ViewDef;
+use eve_misd::{Mkb, SchemaChange};
+
+use crate::extent::ExtentRelationship;
+use crate::rewriting::{LegalRewriting, Provenance, RewriteAction};
+use crate::synchronizer::{
+    build_attr_replacement, build_drop_components, build_drop_relation, build_swap,
+    rename_attribute, rename_relation, structurally_sound, uses_attr, Candidate, PartnerCache,
+    SyncError, SyncOptions, SyncOutcome,
+};
+
+/// The pre-refactor [`crate::synchronize`]: materialize every legal
+/// rewriting, then filter. Kept only as the differential-test oracle.
+///
+/// # Errors
+///
+/// [`SyncError::Validation`] when the view is structurally invalid.
+pub fn synchronize_legacy(
+    view: &ViewDef,
+    change: &SchemaChange,
+    mkb: &Mkb,
+    options: &SyncOptions,
+) -> Result<SyncOutcome, SyncError> {
+    let view = eve_esql::validate::validate(view).map_err(|e| SyncError::Validation(e.message))?;
+    let partners = &mut PartnerCache::new();
+
+    let unaffected = || SyncOutcome {
+        affected: false,
+        rewritings: Vec::new(),
+    };
+    match change {
+        SchemaChange::AddAttribute { .. } | SchemaChange::AddRelation { .. } => Ok(unaffected()),
+        SchemaChange::RenameAttribute { relation, from, to } => {
+            Ok(rename_attribute(&view, relation, from, to))
+        }
+        SchemaChange::RenameRelation { from, to } => Ok(rename_relation(&view, from, to)),
+        SchemaChange::DeleteAttribute {
+            relation,
+            attribute,
+        } => {
+            let bindings: Vec<String> = view
+                .from
+                .iter()
+                .filter(|f| &f.relation == relation)
+                .map(|f| f.binding_name().to_owned())
+                .filter(|b| uses_attr(&view, b, attribute))
+                .collect();
+            if bindings.is_empty() {
+                return Ok(unaffected());
+            }
+            let candidates = repair_bindings(&view, &bindings, options, |v, b| {
+                delete_attribute_candidates(v, b, attribute, mkb, partners)
+            });
+            Ok(finish(&view, candidates, options))
+        }
+        SchemaChange::DeleteRelation { relation } => {
+            let bindings: Vec<String> = view
+                .from
+                .iter()
+                .filter(|f| &f.relation == relation)
+                .map(|f| f.binding_name().to_owned())
+                .collect();
+            if bindings.is_empty() {
+                return Ok(unaffected());
+            }
+            let candidates = repair_bindings(&view, &bindings, options, |v, b| {
+                delete_relation_candidates(v, b, mkb, partners)
+            });
+            Ok(finish(&view, candidates, options))
+        }
+    }
+}
+
+/// Applies a per-binding candidate generator across all affected bindings
+/// (cross product, breadth-capped) — the pre-refactor plumbing.
+fn repair_bindings(
+    view: &ViewDef,
+    bindings: &[String],
+    options: &SyncOptions,
+    mut gen: impl FnMut(&ViewDef, &str) -> Vec<Candidate>,
+) -> Vec<Candidate> {
+    let mut results: Vec<Candidate> = vec![(view.clone(), Vec::new(), ExtentRelationship::Equal)];
+    for b in bindings {
+        let mut next = Vec::new();
+        for (v, actions, ext) in &results {
+            // A previous repair may have removed the binding entirely.
+            if v.from_item(b).is_none() {
+                next.push((v.clone(), actions.clone(), *ext));
+                continue;
+            }
+            for (nv, nactions, next_ext) in gen(v, b) {
+                let mut all = actions.clone();
+                all.extend(nactions);
+                next.push((nv, all, ext.compose(next_ext)));
+                if next.len() >= options.max_rewritings.saturating_mul(4) {
+                    break;
+                }
+            }
+        }
+        results = next;
+    }
+    results
+}
+
+/// Final filtering: structural sanity, `VE` legality, dedup, cap, optional
+/// dispensable-drop spectrum — the pre-refactor batch filter.
+fn finish(original: &ViewDef, candidates: Vec<Candidate>, options: &SyncOptions) -> SyncOutcome {
+    let mut rewritings: Vec<LegalRewriting> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+
+    let push = |view: ViewDef,
+                actions: Vec<RewriteAction>,
+                extent: ExtentRelationship,
+                rewritings: &mut Vec<LegalRewriting>,
+                seen: &mut BTreeSet<String>| {
+        if rewritings.len() >= options.max_rewritings {
+            return;
+        }
+        if !structurally_sound(&view) || !extent.satisfies(original.ve) {
+            return;
+        }
+        let key = view.to_string();
+        if seen.insert(key) {
+            rewritings.push(LegalRewriting {
+                view,
+                provenance: Provenance { actions },
+                extent,
+            });
+        }
+    };
+
+    let base: Vec<Candidate> = candidates;
+    for (view, actions, extent) in &base {
+        push(
+            view.clone(),
+            actions.clone(),
+            *extent,
+            &mut rewritings,
+            &mut seen,
+        );
+    }
+
+    if options.enumerate_dispensable_drops {
+        // One extra level: drop each dispensable attribute of each candidate.
+        for (view, actions, extent) in &base {
+            for (idx, item) in view.select.iter().enumerate() {
+                if !item.evolution.dispensable || view.select.len() <= 1 {
+                    continue;
+                }
+                let mut v = view.clone();
+                let dropped = v.select.remove(idx);
+                if let Some(cols) = &mut v.column_names {
+                    cols.remove(idx);
+                }
+                let mut acts = actions.clone();
+                acts.push(RewriteAction::DroppedAttribute {
+                    binding: dropped.attr.qualifier.clone().unwrap_or_default(),
+                    attribute: dropped.attr.name.clone(),
+                });
+                push(v, acts, *extent, &mut rewritings, &mut seen);
+            }
+        }
+    }
+
+    SyncOutcome {
+        affected: true,
+        rewritings,
+    }
+}
+
+fn delete_attribute_candidates(
+    view: &ViewDef,
+    binding: &str,
+    attr: &str,
+    mkb: &Mkb,
+    partner_cache: &mut PartnerCache,
+) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    let relation = match view.from_item(binding) {
+        Some(f) => f.relation.clone(),
+        None => return out,
+    };
+    let partners = partner_cache.partners(mkb, &relation);
+
+    // (a) attribute replacement keeping the relation.
+    for partner in partners.iter().filter(|p| p.attr_map.contains_key(attr)) {
+        if let Some(c) = build_attr_replacement(view, binding, attr, partner, mkb) {
+            out.push(c);
+        }
+    }
+
+    // (b) whole-relation swap (Experiment 1's V1/V2 route).
+    if view
+        .from_item(binding)
+        .is_some_and(|f| f.evolution.replaceable)
+    {
+        for partner in &partners {
+            if let Some(c) = build_swap(view, binding, partner) {
+                out.push(c);
+            }
+        }
+    }
+
+    // (c) drop every component that used the attribute.
+    if let Some(c) = build_drop_components(view, binding, attr) {
+        out.push(c);
+    }
+
+    out
+}
+
+fn delete_relation_candidates(
+    view: &ViewDef,
+    binding: &str,
+    mkb: &Mkb,
+    partner_cache: &mut PartnerCache,
+) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    let Some(from_item) = view.from_item(binding) else {
+        return out;
+    };
+    let relation = from_item.relation.clone();
+
+    // (a) swap for each PC partner.
+    if from_item.evolution.replaceable {
+        for partner in partner_cache.partners(mkb, &relation) {
+            if let Some(c) = build_swap(view, binding, &partner) {
+                out.push(c);
+            }
+        }
+    }
+
+    // (b) drop the relation and everything derived from it.
+    if from_item.evolution.dispensable {
+        if let Some(c) = build_drop_relation(view, binding) {
+            out.push(c);
+        }
+    }
+
+    out
+}

@@ -30,13 +30,19 @@
 pub mod batch;
 pub mod extent;
 pub mod heuristic;
+pub mod legacy;
 pub mod migration;
 pub mod rewriting;
+pub mod search;
 pub mod synchronizer;
 
 pub use batch::{partition_stage, BatchPlan, EvolutionOp, RewriteCache, Stage, ViewFootprint};
 pub use extent::ExtentRelationship;
-pub use heuristic::{synchronize_heuristic, HeuristicOptions};
+pub use heuristic::{synchronize_heuristic, HeuristicGuide, HeuristicOptions};
 pub use migration::equivalent_swaps;
 pub use rewriting::{LegalRewriting, Provenance, RewriteAction};
+pub use search::{
+    synchronize_streaming, synchronize_with_policy, ExplorationPolicy, SearchGuide, SearchNode,
+    SearchStats,
+};
 pub use synchronizer::{synchronize, PartnerCache, SyncOptions, SyncOutcome};

@@ -41,6 +41,8 @@ pub enum SyncError {
     Validation(String),
     /// An MKB lookup failed.
     Misd(eve_misd::Error),
+    /// Search or heuristic options are out of range.
+    Options(String),
 }
 
 impl fmt::Display for SyncError {
@@ -48,6 +50,7 @@ impl fmt::Display for SyncError {
         match self {
             SyncError::Validation(m) => write!(f, "view validation failed: {m}"),
             SyncError::Misd(e) => write!(f, "MKB error: {e}"),
+            SyncError::Options(m) => write!(f, "invalid search options: {m}"),
         }
     }
 }
@@ -257,6 +260,12 @@ pub fn synchronize(
 /// [`synchronize`] with an externally owned [`PartnerCache`], so repeated
 /// synchronizations against one MKB state share partner closures.
 ///
+/// This is a thin wrapper over the streaming search driver's
+/// [`Exhaustive`](crate::search::ExplorationPolicy::Exhaustive) policy; its
+/// output is byte-identical to the pre-refactor pipeline (kept as
+/// [`crate::legacy::synchronize_legacy`] and pinned by the differential
+/// property suite).
+///
 /// # Errors
 ///
 /// [`SyncError::Validation`] when the view is structurally invalid.
@@ -267,164 +276,27 @@ pub fn synchronize_with(
     options: &SyncOptions,
     partners: &mut PartnerCache,
 ) -> Result<SyncOutcome, SyncError> {
-    let view = eve_esql::validate::validate(view).map_err(|e| SyncError::Validation(e.message))?;
-
-    match change {
-        SchemaChange::AddAttribute { .. } | SchemaChange::AddRelation { .. } => {
-            Ok(SyncOutcome::unaffected())
-        }
-        SchemaChange::RenameAttribute { relation, from, to } => {
-            Ok(rename_attribute(&view, relation, from, to))
-        }
-        SchemaChange::RenameRelation { from, to } => Ok(rename_relation(&view, from, to)),
-        SchemaChange::DeleteAttribute {
-            relation,
-            attribute,
-        } => {
-            let bindings: Vec<String> = view
-                .from
-                .iter()
-                .filter(|f| &f.relation == relation)
-                .map(|f| f.binding_name().to_owned())
-                .filter(|b| uses_attr(&view, b, attribute))
-                .collect();
-            if bindings.is_empty() {
-                return Ok(SyncOutcome::unaffected());
-            }
-            let candidates = repair_bindings(&view, &bindings, mkb, options, |v, b| {
-                delete_attribute_candidates(v, b, attribute, mkb, partners)
-            });
-            Ok(finish(&view, candidates, options))
-        }
-        SchemaChange::DeleteRelation { relation } => {
-            let bindings: Vec<String> = view
-                .from
-                .iter()
-                .filter(|f| &f.relation == relation)
-                .map(|f| f.binding_name().to_owned())
-                .collect();
-            if bindings.is_empty() {
-                return Ok(SyncOutcome::unaffected());
-            }
-            let candidates = repair_bindings(&view, &bindings, mkb, options, |v, b| {
-                delete_relation_candidates(v, b, mkb, partners)
-            });
-            Ok(finish(&view, candidates, options))
-        }
-    }
+    crate::search::synchronize_with_policy(
+        view,
+        change,
+        mkb,
+        options,
+        &crate::search::ExplorationPolicy::Exhaustive,
+        partners,
+    )
+    .map(|(outcome, _stats)| outcome)
 }
 
 // ----------------------------------------------------------------------
-// Candidate plumbing
+// Candidate building blocks (shared by the search driver and the frozen
+// legacy pipeline)
 // ----------------------------------------------------------------------
 
 pub(crate) type Candidate = (ViewDef, Vec<RewriteAction>, ExtentRelationship);
 
-/// Applies a per-binding candidate generator across all affected bindings
-/// (cross product, breadth-capped).
-pub(crate) fn repair_bindings(
-    view: &ViewDef,
-    bindings: &[String],
-    _mkb: &Mkb,
-    options: &SyncOptions,
-    mut gen: impl FnMut(&ViewDef, &str) -> Vec<Candidate>,
-) -> Vec<Candidate> {
-    let mut results: Vec<Candidate> = vec![(view.clone(), Vec::new(), ExtentRelationship::Equal)];
-    for b in bindings {
-        let mut next = Vec::new();
-        for (v, actions, ext) in &results {
-            // A previous repair may have removed the binding entirely.
-            if v.from_item(b).is_none() {
-                next.push((v.clone(), actions.clone(), *ext));
-                continue;
-            }
-            for (nv, nactions, next_ext) in gen(v, b) {
-                let mut all = actions.clone();
-                all.extend(nactions);
-                next.push((nv, all, ext.compose(next_ext)));
-                if next.len() >= options.max_rewritings.saturating_mul(4) {
-                    break;
-                }
-            }
-        }
-        results = next;
-    }
-    results
-}
-
-/// Final filtering: structural sanity, `VE` legality, dedup, cap, optional
-/// dispensable-drop spectrum.
-pub(crate) fn finish(
-    original: &ViewDef,
-    candidates: Vec<Candidate>,
-    options: &SyncOptions,
-) -> SyncOutcome {
-    let mut rewritings: Vec<LegalRewriting> = Vec::new();
-    let mut seen: BTreeSet<String> = BTreeSet::new();
-
-    let push = |view: ViewDef,
-                actions: Vec<RewriteAction>,
-                extent: ExtentRelationship,
-                rewritings: &mut Vec<LegalRewriting>,
-                seen: &mut BTreeSet<String>| {
-        if rewritings.len() >= options.max_rewritings {
-            return;
-        }
-        if !structurally_sound(&view) || !extent.satisfies(original.ve) {
-            return;
-        }
-        let key = view.to_string();
-        if seen.insert(key) {
-            rewritings.push(LegalRewriting {
-                view,
-                provenance: Provenance { actions },
-                extent,
-            });
-        }
-    };
-
-    let base: Vec<Candidate> = candidates;
-    for (view, actions, extent) in &base {
-        push(
-            view.clone(),
-            actions.clone(),
-            *extent,
-            &mut rewritings,
-            &mut seen,
-        );
-    }
-
-    if options.enumerate_dispensable_drops {
-        // One extra level: drop each dispensable attribute of each candidate.
-        for (view, actions, extent) in &base {
-            for (idx, item) in view.select.iter().enumerate() {
-                if !item.evolution.dispensable || view.select.len() <= 1 {
-                    continue;
-                }
-                let mut v = view.clone();
-                let dropped = v.select.remove(idx);
-                if let Some(cols) = &mut v.column_names {
-                    cols.remove(idx);
-                }
-                let mut acts = actions.clone();
-                acts.push(RewriteAction::DroppedAttribute {
-                    binding: dropped.attr.qualifier.clone().unwrap_or_default(),
-                    attribute: dropped.attr.name.clone(),
-                });
-                push(v, acts, *extent, &mut rewritings, &mut seen);
-            }
-        }
-    }
-
-    SyncOutcome {
-        affected: true,
-        rewritings,
-    }
-}
-
 /// Structural sanity of a rewriting: non-empty SELECT/FROM, unique bindings,
 /// all columns bound, no dangling condition references.
-fn structurally_sound(view: &ViewDef) -> bool {
+pub(crate) fn structurally_sound(view: &ViewDef) -> bool {
     eve_esql::validate::validate(view).is_ok()
 }
 
@@ -432,7 +304,12 @@ fn structurally_sound(view: &ViewDef) -> bool {
 // Rename handling
 // ----------------------------------------------------------------------
 
-fn rename_attribute(view: &ViewDef, relation: &str, from: &str, to: &str) -> SyncOutcome {
+pub(crate) fn rename_attribute(
+    view: &ViewDef,
+    relation: &str,
+    from: &str,
+    to: &str,
+) -> SyncOutcome {
     let bindings: Vec<String> = view
         .from
         .iter()
@@ -479,7 +356,7 @@ fn rename_attribute(view: &ViewDef, relation: &str, from: &str, to: &str) -> Syn
     }
 }
 
-fn rename_relation(view: &ViewDef, from: &str, to: &str) -> SyncOutcome {
+pub(crate) fn rename_relation(view: &ViewDef, from: &str, to: &str) -> SyncOutcome {
     if !view.from.iter().any(|f| f.relation == from) {
         return SyncOutcome::unaffected();
     }
@@ -525,50 +402,13 @@ pub(crate) fn uses_attr(view: &ViewDef, binding: &str, attr: &str) -> bool {
         })
 }
 
-pub(crate) fn delete_attribute_candidates(
+/// Drops all SELECT items (`AD` required) and conditions (`CD` required)
+/// referencing `binding.attr`.
+pub(crate) fn build_drop_components(
     view: &ViewDef,
     binding: &str,
     attr: &str,
-    mkb: &Mkb,
-    partner_cache: &mut PartnerCache,
-) -> Vec<Candidate> {
-    let mut out = Vec::new();
-    let relation = match view.from_item(binding) {
-        Some(f) => f.relation.clone(),
-        None => return out,
-    };
-    let partners = partner_cache.partners(mkb, &relation);
-
-    // (a) attribute replacement keeping the relation.
-    for partner in partners.iter().filter(|p| p.attr_map.contains_key(attr)) {
-        if let Some(c) = build_attr_replacement(view, binding, attr, partner, mkb) {
-            out.push(c);
-        }
-    }
-
-    // (b) whole-relation swap (Experiment 1's V1/V2 route).
-    if view
-        .from_item(binding)
-        .is_some_and(|f| f.evolution.replaceable)
-    {
-        for partner in &partners {
-            if let Some(c) = build_swap(view, binding, partner) {
-                out.push(c);
-            }
-        }
-    }
-
-    // (c) drop every component that used the attribute.
-    if let Some(c) = build_drop_components(view, binding, attr) {
-        out.push(c);
-    }
-
-    out
-}
-
-/// Drops all SELECT items (`AD` required) and conditions (`CD` required)
-/// referencing `binding.attr`.
-fn build_drop_components(view: &ViewDef, binding: &str, attr: &str) -> Option<Candidate> {
+) -> Option<Candidate> {
     let mut v = view.clone();
     let mut actions = Vec::new();
     let mut extent = ExtentRelationship::Equal;
@@ -624,7 +464,7 @@ fn build_drop_components(view: &ViewDef, binding: &str, attr: &str) -> Option<Ca
 
 /// Replaces `binding.attr` with `partner.attr_map[attr]`, joining the partner
 /// relation in through a join constraint when it is not already in the view.
-fn build_attr_replacement(
+pub(crate) fn build_attr_replacement(
     view: &ViewDef,
     binding: &str,
     attr: &str,
@@ -770,37 +610,6 @@ fn build_attr_replacement(
 // delete-relation strategies (also used as the swap route for
 // delete-attribute)
 // ----------------------------------------------------------------------
-
-pub(crate) fn delete_relation_candidates(
-    view: &ViewDef,
-    binding: &str,
-    mkb: &Mkb,
-    partner_cache: &mut PartnerCache,
-) -> Vec<Candidate> {
-    let mut out = Vec::new();
-    let Some(from_item) = view.from_item(binding) else {
-        return out;
-    };
-    let relation = from_item.relation.clone();
-
-    // (a) swap for each PC partner.
-    if from_item.evolution.replaceable {
-        for partner in partner_cache.partners(mkb, &relation) {
-            if let Some(c) = build_swap(view, binding, &partner) {
-                out.push(c);
-            }
-        }
-    }
-
-    // (b) drop the relation and everything derived from it.
-    if from_item.evolution.dispensable {
-        if let Some(c) = build_drop_relation(view, binding) {
-            out.push(c);
-        }
-    }
-
-    out
-}
 
 /// Picks a binding name not already used by the view.
 fn fresh_binding(view: &ViewDef, base: &str) -> String {

@@ -16,7 +16,9 @@ use eve_qc::{
     WorkloadModel,
 };
 use eve_relational::{Relation, Value};
-use eve_sync::{synchronize, EvolutionOp, RewriteCache, SyncOptions, SyncOutcome};
+use eve_sync::{
+    synchronize, EvolutionOp, HeuristicOptions, RewriteCache, SyncOptions, SyncOutcome,
+};
 
 use crate::error::{Error, Result};
 use crate::maintainer::{maintain_view, DataUpdate, MaintenanceTrace};
@@ -71,6 +73,27 @@ pub struct EvolutionReport {
     pub adopted: Option<ScoredRewriting>,
 }
 
+/// How the engine explores the rewriting search space when a capability
+/// change arrives (the streaming enumerator's policy, re-exposed without
+/// lifetimes so it can sit in engine state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchMode {
+    /// Materialize every legal rewriting, then rank (the paper's pipeline;
+    /// memoized through the [`RewriteCache`]).
+    #[default]
+    Exhaustive,
+    /// Branch-and-bound best-first search under the QC bounds
+    /// (`eve_qc::search::QcGuide` with an auto normalization scale): the
+    /// engine's candidate set arrives in ascending QC badness and is capped
+    /// at `sync_options.max_rewritings`.
+    BestFirst,
+    /// The §7.6 heuristic beam of the given width.
+    Beam {
+        /// Beam width (candidates generated per binding level).
+        width: usize,
+    },
+}
+
 /// The EVE engine.
 #[derive(Debug, Clone)]
 pub struct EveEngine {
@@ -88,6 +111,8 @@ pub struct EveEngine {
     pub workload: WorkloadModel,
     /// How the engine picks among legal rewritings.
     pub strategy: SelectionStrategy,
+    /// How the engine explores the rewriting search space.
+    pub search: SearchMode,
 }
 
 impl Default for EveEngine {
@@ -109,6 +134,7 @@ impl EveEngine {
             qc_params: QcParams::default(),
             workload: WorkloadModel::SingleUpdate,
             strategy: SelectionStrategy::QcBest,
+            search: SearchMode::default(),
         }
     }
 
@@ -418,10 +444,13 @@ impl EveEngine {
 
     /// The batched capability-change primitive: skips views that cannot
     /// reference the changed relation, synchronizes the rest through the
-    /// [`RewriteCache`], and builds the ranking MKB only when some view is
-    /// actually affected. Verdicts are identical to the sequential path —
-    /// the prefilter is a sound superset of the synchronizer's own
-    /// affectedness notion.
+    /// engine's [`SearchMode`] (the default [`SearchMode::Exhaustive`] goes
+    /// through the [`RewriteCache`]; `BestFirst`/`Beam` run the streaming
+    /// enumerator), and builds the ranking MKB only when some view is
+    /// actually affected. Under the exhaustive mode verdicts are identical
+    /// to the sequential path — the prefilter is a sound superset of the
+    /// synchronizer's own affectedness notion; the pruned modes trade the
+    /// candidate tail for search-time bounds.
     pub(crate) fn capability_change_batched(
         &mut self,
         change: &SchemaChange,
@@ -437,9 +466,51 @@ impl EveEngine {
                 decisions.push((name.clone(), Self::unaffected_report(name), None));
                 continue;
             }
-            let outcome =
-                self.rewrite_cache
-                    .synchronize(&mv.def, change, &self.mkb, &self.sync_options)?;
+            let outcome = match self.search {
+                SearchMode::Exhaustive => self.rewrite_cache.synchronize(
+                    &mv.def,
+                    change,
+                    &self.mkb,
+                    &self.sync_options,
+                )?,
+                SearchMode::BestFirst => {
+                    let guide =
+                        eve_qc::QcGuide::auto(&mv.def, &self.mkb, &self.qc_params, self.workload)?;
+                    // Route through the RewriteCache's shared PartnerCache
+                    // so pruned searches over many views reuse one partner
+                    // closure per relation (outcomes are not memoized).
+                    self.rewrite_cache
+                        .synchronize_with_policy(
+                            &mv.def,
+                            change,
+                            &self.mkb,
+                            &self.sync_options,
+                            &eve_sync::ExplorationPolicy::BestFirst { guide: &guide },
+                        )?
+                        .0
+                }
+                SearchMode::Beam { width } => {
+                    // Drive the beam through the engine's own sync_options
+                    // (max_rewritings, dispensable-drop spectrum) — unlike
+                    // `synchronize_heuristic`, which owns its options.
+                    let guide = eve_sync::HeuristicGuide::new(&HeuristicOptions {
+                        max_candidates: width.max(1),
+                        ..HeuristicOptions::default()
+                    })?;
+                    self.rewrite_cache
+                        .synchronize_with_policy(
+                            &mv.def,
+                            change,
+                            &self.mkb,
+                            &self.sync_options,
+                            &eve_sync::ExplorationPolicy::Beam {
+                                width: width.max(1),
+                                guide: &guide,
+                            },
+                        )?
+                        .0
+                }
+            };
             if !outcome.affected {
                 decisions.push((name.clone(), Self::unaffected_report(name), None));
                 continue;
@@ -710,6 +781,22 @@ impl EveEngine {
     /// Mutable access to the site map (for the experiment harness).
     pub fn sites_mut(&mut self) -> &mut BTreeMap<u32, SimSite> {
         &mut self.sites
+    }
+
+    /// PC-partner closure cache statistics `(hits, misses)` of the engine's
+    /// rewrite cache — how often a BFS over the PC constraints was replayed
+    /// versus recomputed.
+    #[must_use]
+    pub fn partner_cache_stats(&self) -> (u64, u64) {
+        self.rewrite_cache.partner_stats()
+    }
+
+    /// MKB inverted-index statistics `(hits, misses)` — constraint lookups
+    /// served by an already-built index versus lazy rebuilds after MKB
+    /// mutations (see [`Mkb::index_stats`]).
+    #[must_use]
+    pub fn mkb_index_stats(&self) -> (u64, u64) {
+        self.mkb.index_stats()
     }
 }
 
@@ -1255,6 +1342,109 @@ mod tests {
         e.reset_io();
         assert_eq!(e.total_io(), 0);
         assert_eq!(e.total_messages(), 0, "reset_io clears messages too");
+    }
+
+    #[test]
+    fn pruned_search_modes_adopt_the_same_rewriting() {
+        // One legal repair exists (TourClient); every search mode must find
+        // and adopt it — the modes differ in how much of the candidate
+        // space they materialize, not in the winner.
+        let change = SchemaChange::DeleteRelation {
+            relation: "Customer".into(),
+        };
+        let mut adopted = Vec::new();
+        for mode in [
+            SearchMode::Exhaustive,
+            SearchMode::BestFirst,
+            SearchMode::Beam { width: 2 },
+        ] {
+            let mut e = engine_with_travel_space();
+            e.search = mode;
+            e.define_view_sql(ASIA_VIEW).unwrap();
+            let reports = e.notify_capability_change(&change, None).unwrap();
+            assert!(reports[0].survived, "{mode:?}");
+            adopted.push(e.view("Asia-Customer").unwrap().def.to_string());
+        }
+        assert_eq!(adopted[0], adopted[1]);
+        assert_eq!(adopted[0], adopted[2]);
+    }
+
+    #[test]
+    fn beam_mode_honors_engine_sync_options() {
+        // Two equivalent replacement pools for Customer; the beam width
+        // admits both, but the engine's max_rewritings caps the candidate
+        // set the QC ranking sees.
+        let second_mirror = |e: &mut EveEngine| {
+            let schema =
+                Schema::of(&[("CName", DataType::Text), ("CAddr", DataType::Text)]).unwrap();
+            e.register_relation(
+                RelationInfo::new(
+                    "TourClient2",
+                    SiteId(3),
+                    vec![
+                        AttributeInfo::new("CName", DataType::Text),
+                        AttributeInfo::new("CAddr", DataType::Text),
+                    ],
+                    3,
+                ),
+                Relation::with_tuples(
+                    "TourClient2",
+                    schema,
+                    vec![
+                        tup!["ann", "12 Elm"],
+                        tup!["bob", "9 Oak"],
+                        tup!["cho", "3 Pine"],
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+            e.mkb_mut()
+                .add_pc_constraint(PcConstraint::new(
+                    PcSide::projection("Customer", &["Name", "Address"]),
+                    PcRelationship::Equivalent,
+                    PcSide::projection("TourClient2", &["CName", "CAddr"]),
+                ))
+                .unwrap();
+        };
+        let change = SchemaChange::DeleteRelation {
+            relation: "Customer".into(),
+        };
+
+        let mut wide = engine_with_travel_space();
+        second_mirror(&mut wide);
+        wide.search = SearchMode::Beam { width: 3 };
+        wide.define_view_sql(ASIA_VIEW).unwrap();
+        let reports = wide.notify_capability_change(&change, None).unwrap();
+        assert_eq!(reports[0].candidates, 2, "width admits both mirrors");
+
+        let mut capped = engine_with_travel_space();
+        second_mirror(&mut capped);
+        capped.search = SearchMode::Beam { width: 3 };
+        capped.sync_options.max_rewritings = 1;
+        capped.define_view_sql(ASIA_VIEW).unwrap();
+        let reports = capped.notify_capability_change(&change, None).unwrap();
+        assert_eq!(
+            reports[0].candidates, 1,
+            "engine max_rewritings caps the beam's emissions"
+        );
+    }
+
+    #[test]
+    fn stats_accessors_expose_cache_and_index_counters() {
+        let mut e = engine_with_travel_space();
+        e.define_view_sql(ASIA_VIEW).unwrap();
+        let change = SchemaChange::DeleteRelation {
+            relation: "Customer".into(),
+        };
+        e.notify_capability_change(&change, None).unwrap();
+        let (_, pc_misses) = e.partner_cache_stats();
+        assert!(pc_misses >= 1, "synchronization ran a partner BFS");
+        let (ix_hits, ix_misses) = e.mkb_index_stats();
+        assert!(
+            ix_hits + ix_misses >= 1,
+            "constraint lookups went through the index"
+        );
     }
 
     #[test]

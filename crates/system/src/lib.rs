@@ -44,7 +44,7 @@ pub mod scenario;
 pub mod shell;
 pub mod site;
 
-pub use engine::{BatchOutcome, EveEngine, EvolutionReport};
+pub use engine::{BatchOutcome, EveEngine, EvolutionReport, SearchMode};
 pub use error::{Error, Result};
 pub use eve_sync::EvolutionOp;
 pub use maintainer::{DataUpdate, MaintenanceTrace};

@@ -406,11 +406,18 @@ impl Shell {
         })
     }
 
-    /// `stats` — measured resource accounting since the last reset.
+    /// `stats` — measured resource accounting since the last reset, plus
+    /// the cache/index counters of the rewrite-search machinery.
     fn cmd_stats(&mut self) -> String {
-        let (hits, misses) = self.engine.rewrite_cache_stats();
+        let (rw_hits, rw_misses) = self.engine.rewrite_cache_stats();
+        let (pc_hits, pc_misses) = self.engine.partner_cache_stats();
+        let (ix_hits, ix_misses) = self.engine.mkb_index_stats();
         format!(
-            "total I/O: {} blocks\ntotal messages: {}\nrewrite cache: {hits} hits, {misses} misses",
+            "total I/O: {} blocks\n\
+             total messages: {}\n\
+             rewrite cache: {rw_hits} hits, {rw_misses} misses\n\
+             partner cache: {pc_hits} hits, {pc_misses} misses\n\
+             mkb index: {ix_hits} hits, {ix_misses} misses",
             self.engine.total_io(),
             self.engine.total_messages()
         )
@@ -505,7 +512,7 @@ EVE shell commands:
   query <View>                             print a view's extent
   show views|relations|constraints         inspect the warehouse / MKB
   costs                                    per-view analytic maintenance cost
-  stats                                    measured I/O + message accounting
+  stats                                    measured I/O + messages, cache/index counters
   rebalance                                migrate views to cheaper replicas
   help                                     this text
 ";
@@ -555,6 +562,8 @@ mod tests {
         assert!(out.contains("total I/O"), "{out}");
         assert!(out.contains("total messages"), "{out}");
         assert!(out.contains("rewrite cache"), "{out}");
+        assert!(out.contains("partner cache"), "{out}");
+        assert!(out.contains("mkb index"), "{out}");
     }
 
     #[test]
