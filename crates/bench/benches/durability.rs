@@ -1,0 +1,75 @@
+//! Criterion bench for the durable evolution log: fsync'd append
+//! throughput and crash-recovery (snapshot load + log-tail replay) under
+//! the three snapshot policies the `durability` experiment compares.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use eve_bench::experiments::batch_pipeline;
+use eve_bench::experiments::durability::into_batches;
+use eve_system::DurableEngine;
+
+fn scratch(tag: &str, n: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "eve-durability-criterion-{}-{tag}-{n}",
+        std::process::id()
+    ))
+}
+
+fn bench_durability(c: &mut Criterion) {
+    let mut counter = 0u64;
+
+    let mut group = c.benchmark_group("durability/append_fsync");
+    for (sites, ops) in [(5u32, 50usize), (10, 100)] {
+        let (engine, workload) = batch_pipeline::build_workload(sites, ops, 7).unwrap();
+        let batches = into_batches(workload, 8);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{sites}x{ops}")),
+            &batches,
+            |b, batches| {
+                b.iter(|| {
+                    counter += 1;
+                    let dir = scratch("append", counter);
+                    std::fs::remove_dir_all(&dir).ok();
+                    let mut durable = DurableEngine::create_with(&dir, engine.clone()).unwrap();
+                    for batch in batches {
+                        durable.apply_batch(batch.clone()).unwrap();
+                    }
+                    let seq = durable.next_seq();
+                    drop(durable);
+                    std::fs::remove_dir_all(&dir).ok();
+                    std::hint::black_box(seq)
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("durability/recovery");
+    for (label, snapshot_every) in [("replay-all", None), ("snap-every-4", Some(4u64))] {
+        let (engine, workload) = batch_pipeline::build_workload(8, 80, 7).unwrap();
+        let batches = into_batches(workload, 8);
+        counter += 1;
+        let dir = scratch(label, counter);
+        std::fs::remove_dir_all(&dir).ok();
+        let mut durable = DurableEngine::create_with(&dir, engine).unwrap();
+        durable.snapshot_every = snapshot_every;
+        for batch in &batches {
+            durable.apply_batch(batch.clone()).unwrap();
+        }
+        drop(durable); // crash; only the fsync'd store remains
+        group.bench_with_input(BenchmarkId::from_parameter(label), &dir, |b, dir| {
+            b.iter(|| {
+                let (recovered, report) = DurableEngine::open(dir).unwrap();
+                std::hint::black_box((
+                    recovered.engine().mkb().generation(),
+                    report.replayed_records,
+                ))
+            });
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_durability);
+criterion_main!(benches);

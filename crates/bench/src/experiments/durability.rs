@@ -1,0 +1,275 @@
+//! Durable evolution log: append throughput, crash-recovery throughput and
+//! the snapshot-vs-replay crossover (extension; ROADMAP durability
+//! direction).
+//!
+//! Workload shape: the canonical multi-site batched-pipeline space
+//! ([`batch_pipeline::build_workload`]) driven through a
+//! [`DurableEngine`] in fixed-size batches — every batch is one fsync'd
+//! log record. Three store policies are compared on identical op streams:
+//! no checkpoints (recovery replays the whole log), and snapshots every
+//! K batches for two values of K (recovery replays only the tail).
+//!
+//! Every arm ends with a simulated crash (the process state is dropped;
+//! only the fsync'd files survive, exactly what `kill -9` leaves) followed
+//! by [`DurableEngine::open`]; the recovered engine must be byte-identical
+//! to the never-crashed one — [`compare`] returns an error otherwise, and
+//! the `repro durability` gate turns that into a non-zero exit for CI.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use eve_system::{DurableEngine, EveEngine, EvolutionOp};
+
+use super::batch_pipeline;
+
+/// One store policy's measurements.
+#[derive(Debug, Clone)]
+pub struct DurabilityRow {
+    /// Snapshot interval in batches (`None` = bootstrap snapshot only).
+    pub snapshot_every: Option<u64>,
+    /// Batches applied (= log records appended).
+    pub batches: usize,
+    /// Total evolution ops across the batches.
+    pub ops: usize,
+    /// Wall-clock of the apply+append phase, milliseconds.
+    pub append_ms: f64,
+    /// Durable throughput: ops per second through apply+fsync.
+    pub append_ops_per_s: f64,
+    /// Log bytes appended.
+    pub log_bytes: u64,
+    /// Snapshot bytes written (bootstrap + periodic).
+    pub snapshot_bytes: u64,
+    /// Snapshots written in total.
+    pub snapshots: u64,
+    /// Wall-clock of crash recovery (open: snapshot load + tail replay),
+    /// milliseconds.
+    pub recovery_ms: f64,
+    /// Records the recovery replayed.
+    pub replayed_records: u64,
+    /// Recovery throughput in replayed ops/s (0 when nothing replayed).
+    pub recovery_ops_per_s: f64,
+    /// Whether the recovered engine was byte-identical to the uncrashed
+    /// one (always true — a mismatch aborts the experiment).
+    pub identical: bool,
+}
+
+/// The full durability report.
+#[derive(Debug, Clone)]
+pub struct DurabilityReport {
+    /// Sites in the workload space.
+    pub sites: u32,
+    /// One row per snapshot policy.
+    pub rows: Vec<DurabilityRow>,
+    /// Torn-tail smoke: bytes of a partial frame appended to the log were
+    /// detected and truncated, and recovery still reached the exact
+    /// pre-tear state.
+    pub torn_tail_recovered: bool,
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("eve-durability-bench-{}-{tag}", std::process::id()))
+}
+
+/// The canonical "byte-identical" fingerprint of an engine: its full
+/// state under the store's canonical snapshot encoding. Shared by every
+/// durability harness (this experiment, the criterion bench, the root
+/// differential suite and the soak loop) so they all pin the same notion
+/// of identity.
+#[must_use]
+pub fn fingerprint(engine: &EveEngine) -> Vec<u8> {
+    engine.snapshot_state().to_bytes()
+}
+
+/// Groups an op stream into batches of `batch_size` (the last batch may
+/// be short).
+#[must_use]
+pub fn into_batches(ops: Vec<EvolutionOp>, batch_size: usize) -> Vec<Vec<EvolutionOp>> {
+    let mut batches = Vec::new();
+    let mut current = Vec::with_capacity(batch_size);
+    for op in ops {
+        current.push(op);
+        if current.len() == batch_size {
+            batches.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    batches
+}
+
+/// The newest (active) `.evl` log segment in a store directory — the one
+/// crash simulations tear. `None` when the directory holds no segment.
+///
+/// # Errors
+///
+/// Directory listing failures.
+pub fn active_segment(dir: &std::path::Path) -> std::io::Result<Option<PathBuf>> {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "evl"))
+        .collect();
+    segments.sort();
+    Ok(segments.pop())
+}
+
+/// Runs one policy arm: apply all batches durably, crash, recover, verify.
+fn run_arm(
+    tag: &str,
+    engine: EveEngine,
+    batches: &[Vec<EvolutionOp>],
+    snapshot_every: Option<u64>,
+) -> eve_system::Result<DurabilityRow> {
+    let dir = scratch_dir(tag);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut durable = DurableEngine::create_with(&dir, engine)?;
+    durable.snapshot_every = snapshot_every;
+    let ops: usize = batches.iter().map(Vec::len).sum();
+
+    let started = Instant::now();
+    for batch in batches {
+        durable.apply_batch(batch.clone())?;
+    }
+    let append_ms = started.elapsed().as_secs_f64() * 1e3;
+    let stats = durable.store_stats();
+    let expected = fingerprint(durable.engine());
+    drop(durable); // crash: only the fsync'd files survive
+
+    let started = Instant::now();
+    let (recovered, report) = DurableEngine::open(&dir)?;
+    let recovery_ms = started.elapsed().as_secs_f64() * 1e3;
+    let identical = fingerprint(recovered.engine()) == expected;
+    std::fs::remove_dir_all(&dir).ok();
+    if !identical {
+        return Err(eve_system::Error::State {
+            detail: format!(
+                "recovered state diverged from the uncrashed engine (policy {snapshot_every:?})"
+            ),
+        });
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    let recovery_ops_per_s = if report.replayed_records == 0 {
+        0.0
+    } else {
+        // Each replayed record is one batch; convert to ops.
+        let avg_ops_per_batch = ops as f64 / batches.len().max(1) as f64;
+        (report.replayed_records as f64 * avg_ops_per_batch) / (recovery_ms / 1e3).max(1e-9)
+    };
+    #[allow(clippy::cast_precision_loss)]
+    Ok(DurabilityRow {
+        snapshot_every,
+        batches: batches.len(),
+        ops,
+        append_ms,
+        append_ops_per_s: ops as f64 / (append_ms / 1e3).max(1e-9),
+        log_bytes: stats.log_bytes_appended,
+        snapshot_bytes: stats.snapshot_bytes_written,
+        snapshots: stats.snapshots_written, // bootstrap snapshot included
+        recovery_ms,
+        replayed_records: report.replayed_records,
+        recovery_ops_per_s,
+        identical,
+    })
+}
+
+/// Torn-tail smoke: a partial frame at the active tail must be truncated
+/// and recovery must land on the exact pre-tear state.
+fn torn_tail_check(engine: EveEngine, batches: &[Vec<EvolutionOp>]) -> eve_system::Result<bool> {
+    let dir = scratch_dir("torn");
+    std::fs::remove_dir_all(&dir).ok();
+    let mut durable = DurableEngine::create_with(&dir, engine)?;
+    for batch in batches {
+        durable.apply_batch(batch.clone())?;
+    }
+    let expected = fingerprint(durable.engine());
+    drop(durable);
+
+    // Append half a fake frame to the newest segment: a crash mid-write.
+    let active = active_segment(&dir)
+        .map_err(|e| eve_system::Error::State {
+            detail: format!("scratch dir vanished: {e}"),
+        })?
+        .ok_or_else(|| eve_system::Error::State {
+            detail: "no log segment written".into(),
+        })?;
+    let mut bytes = std::fs::read(&active).map_err(|e| eve_system::Error::State {
+        detail: format!("read segment: {e}"),
+    })?;
+    bytes.extend_from_slice(&[0x20u8, 0x00, 0x00, 0x00, 0xde, 0xad]); // len=32, torn
+    std::fs::write(active, &bytes).map_err(|e| eve_system::Error::State {
+        detail: format!("write torn tail: {e}"),
+    })?;
+
+    let (recovered, report) = DurableEngine::open(&dir)?;
+    let ok = report.torn_bytes_truncated == 6 && fingerprint(recovered.engine()) == expected;
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(ok)
+}
+
+/// Runs the full durability comparison: three snapshot policies over the
+/// same seeded workload, plus the torn-tail smoke.
+///
+/// # Errors
+///
+/// Engine/store failures, or any recovered state diverging from its
+/// uncrashed engine.
+pub fn compare(
+    sites: u32,
+    op_count: usize,
+    batch_size: usize,
+    seed: u64,
+) -> eve_system::Result<DurabilityReport> {
+    let (engine, ops) = batch_pipeline::build_workload(sites, op_count, seed)?;
+    let batches = into_batches(ops, batch_size.max(1));
+
+    let mut rows = Vec::new();
+    for (tag, every) in [
+        ("log-only", None),
+        ("snap-8", Some(8u64)),
+        ("snap-2", Some(2u64)),
+    ] {
+        rows.push(run_arm(tag, engine.clone(), &batches, every)?);
+    }
+    let torn_tail_recovered = torn_tail_check(engine, &batches[..batches.len().min(3)])?;
+
+    Ok(DurabilityReport {
+        sites,
+        rows,
+        torn_tail_recovered,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_policies_recover_byte_identically() {
+        let report = compare(3, 30, 5, 11).unwrap();
+        assert_eq!(report.rows.len(), 3);
+        assert!(report.torn_tail_recovered);
+        for row in &report.rows {
+            assert!(row.identical);
+            assert!(row.append_ops_per_s > 0.0);
+            assert!(row.log_bytes > 0);
+            assert_eq!(row.ops, 30);
+        }
+        // Denser snapshots replay fewer records on recovery.
+        let replayed: Vec<u64> = report.rows.iter().map(|r| r.replayed_records).collect();
+        assert!(replayed[0] >= replayed[1], "{replayed:?}");
+        assert!(replayed[1] >= replayed[2], "{replayed:?}");
+        // The log-only arm replays every batch.
+        assert_eq!(replayed[0], report.rows[0].batches as u64);
+    }
+
+    #[test]
+    fn batching_is_exact() {
+        let ops: Vec<EvolutionOp> = (0..7)
+            .map(|k| EvolutionOp::insert("R", vec![eve_relational::tup![k]]))
+            .collect();
+        let batches = into_batches(ops, 3);
+        assert_eq!(batches.iter().map(Vec::len).collect::<Vec<_>>(), [3, 3, 1]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Property suite: pretty-printing a parsed E-SQL view and re-parsing it
+//! yields an identical AST.
+//!
+//! The durable evolution store serializes view definitions, and humans
+//! read the pretty-printed form in `show views` / log inspection — so
+//! `Display` must be a faithful inverse of `parse_view` on every AST the
+//! parser can produce. The generators below cover the parseable surface:
+//! hyphenated identifiers, aliases, explicit column lists, every VE
+//! spelling, all evolution-parameter combinations, and literals of every
+//! type (negative ints, finite decimal floats, escaped-quote strings,
+//! booleans).
+
+use proptest::prelude::*;
+
+use eve_esql::{
+    parse_view, AttrEvolution, CondEvolution, ConditionItem, FromItem, RelEvolution, SelectItem,
+    ViewDef, ViewExtent,
+};
+use eve_relational::{ColumnRef, CompOp, Operand, PrimitiveClause, Value};
+
+/// Keywords and property names the grammar reserves (case-insensitively);
+/// generated identifiers must avoid them, exactly as real schemas do.
+const RESERVED: &[&str] = &[
+    "CREATE", "VIEW", "AS", "SELECT", "FROM", "WHERE", "AND", "VE", "AD", "AR", "RD", "RR", "CD",
+    "CR", "TRUE", "FALSE",
+];
+
+fn ident() -> impl Strategy<Value = String> {
+    // Leading alphabetic, then alphanumerics/underscores/inner hyphens
+    // (the lexer strips a *trailing* hyphen, so end on an alphanumeric).
+    "[A-Za-z][A-Za-z0-9_-]{0,6}[A-Za-z0-9]"
+        .prop_map(|s| s)
+        .prop_filter("reserved word or trailing hyphen", |s| {
+            !s.ends_with('-') && !RESERVED.iter().any(|k| s.eq_ignore_ascii_case(k))
+        })
+}
+
+fn attr_evolution() -> impl Strategy<Value = AttrEvolution> {
+    (any::<bool>(), any::<bool>()).prop_map(|(d, r)| AttrEvolution {
+        dispensable: d,
+        replaceable: r,
+    })
+}
+
+fn rel_evolution() -> impl Strategy<Value = RelEvolution> {
+    (any::<bool>(), any::<bool>()).prop_map(|(d, r)| RelEvolution {
+        dispensable: d,
+        replaceable: r,
+    })
+}
+
+fn cond_evolution() -> impl Strategy<Value = CondEvolution> {
+    (any::<bool>(), any::<bool>()).prop_map(|(d, r)| CondEvolution {
+        dispensable: d,
+        replaceable: r,
+    })
+}
+
+fn view_extent() -> impl Strategy<Value = ViewExtent> {
+    prop_oneof![
+        Just(ViewExtent::Approximate),
+        Just(ViewExtent::Equal),
+        Just(ViewExtent::Superset),
+        Just(ViewExtent::Subset),
+    ]
+}
+
+fn comp_op() -> impl Strategy<Value = CompOp> {
+    // The E-SQL surface produces exactly the paper's five θ operators.
+    prop_oneof![
+        Just(CompOp::Lt),
+        Just(CompOp::Le),
+        Just(CompOp::Eq),
+        Just(CompOp::Ge),
+        Just(CompOp::Gt),
+    ]
+}
+
+/// Literals whose `Display` form the lexer tokenizes back exactly:
+/// decimal integers, halves (finite decimal expansion, no exponent
+/// notation), `''`-escapable strings and booleans.
+fn literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Value::Int),
+        // Odd sixteenths: always a finite decimal expansion with a
+        // fractional part, so `Display` never collapses to an integer
+        // spelling (the lexer would re-tokenize `1` as an Int).
+        (-4000i64..4000).prop_map(|n| Value::Float((2 * n + 1) as f64 / 16.0)),
+        // No `'` inside: the printer does not escape string quotes.
+        "[a-z0-9 ]{0,8}".prop_map(Value::Text),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn column(binding: String) -> impl Strategy<Value = ColumnRef> {
+    (Just(binding), ident(), any::<bool>()).prop_map(|(b, name, qualified)| {
+        if qualified {
+            ColumnRef::qualified(b, name)
+        } else {
+            ColumnRef::bare(name)
+        }
+    })
+}
+
+/// A full random-but-parseable view definition.
+fn arbitrary_view() -> impl Strategy<Value = ViewDef> {
+    let from_items =
+        prop::collection::vec((ident(), prop::option::of(ident()), rel_evolution()), 1..4)
+            .prop_filter("unique binding names", |items| {
+                let mut seen = std::collections::BTreeSet::new();
+                items.iter().all(|(rel, alias, _)| {
+                    seen.insert(alias.clone().unwrap_or_else(|| rel.clone()))
+                })
+            });
+    (ident(), view_extent(), from_items).prop_flat_map(|(name, ve, from_specs)| {
+        let bindings: Vec<String> = from_specs
+            .iter()
+            .map(|(rel, alias, _)| alias.clone().unwrap_or_else(|| rel.clone()))
+            .collect();
+        let pick_binding = prop::sample::select(bindings);
+        let select_item = (
+            pick_binding.clone().prop_flat_map(column),
+            prop::option::of(ident()),
+            attr_evolution(),
+        )
+            .prop_map(|(attr, alias, evolution)| SelectItem {
+                attr,
+                alias,
+                evolution,
+            });
+        let condition = (
+            pick_binding.clone().prop_flat_map(column),
+            comp_op(),
+            prop_oneof![
+                literal().prop_map(Operand::Literal),
+                pick_binding.prop_flat_map(column).prop_map(Operand::Column),
+            ],
+            cond_evolution(),
+        )
+            .prop_map(|(left, op, right, evolution)| ConditionItem {
+                clause: PrimitiveClause { left, op, right },
+                evolution,
+            });
+        (
+            Just(name),
+            Just(ve),
+            prop::collection::vec(select_item, 1..5),
+            Just(from_specs),
+            prop::collection::vec(condition, 0..4),
+            any::<bool>(),
+        )
+            .prop_map(
+                |(name, ve, select, from_specs, conditions, explicit_cols)| {
+                    let column_names = if explicit_cols {
+                        Some(
+                            select
+                                .iter()
+                                .enumerate()
+                                .map(|(i, _)| format!("Out{i}"))
+                                .collect(),
+                        )
+                    } else {
+                        None
+                    };
+                    ViewDef {
+                        name,
+                        column_names,
+                        ve,
+                        select,
+                        from: from_specs
+                            .into_iter()
+                            .map(|(relation, alias, evolution)| FromItem {
+                                relation,
+                                alias,
+                                evolution,
+                            })
+                            .collect(),
+                        conditions,
+                    }
+                },
+            )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(128)
+    ))]
+
+    /// Printing an AST and parsing the text reproduces the AST exactly.
+    #[test]
+    fn display_then_parse_is_identity(view in arbitrary_view()) {
+        let printed = view.to_string();
+        let reparsed = parse_view(&printed)
+            .unwrap_or_else(|e| panic!("printed view failed to parse: {e}\n{printed}"));
+        prop_assert_eq!(&reparsed, &view, "printed form:\n{}", printed);
+    }
+
+    /// Round-tripping is idempotent: a second print/parse cycle is stable
+    /// (no drift between the printer and the parser's normalizations).
+    #[test]
+    fn reprint_is_stable(view in arbitrary_view()) {
+        let once = view.to_string();
+        let twice = parse_view(&once)
+            .unwrap_or_else(|e| panic!("{e}\n{once}"))
+            .to_string();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Source text that parses round-trips through print+parse to the same
+    /// AST — the "parsed, printed, re-parsed" triangle the store relies on.
+    #[test]
+    fn parse_print_parse_triangle(view in arbitrary_view()) {
+        let source = view.to_string();
+        let first = parse_view(&source).unwrap();
+        let second = parse_view(&first.to_string()).unwrap();
+        prop_assert_eq!(first, second);
+    }
+}

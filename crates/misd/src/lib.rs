@@ -30,6 +30,7 @@ pub mod evolver;
 pub mod mkb;
 pub mod overlap;
 pub mod source;
+pub mod state;
 
 pub use constraints::{JoinConstraint, PcConstraint, PcRelationship, PcSide};
 pub use error::{Error, Result};
@@ -37,3 +38,4 @@ pub use evolver::SchemaChange;
 pub use mkb::Mkb;
 pub use overlap::OverlapEstimate;
 pub use source::{AttributeInfo, RelationInfo, SiteId};
+pub use state::MkbState;

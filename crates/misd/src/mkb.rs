@@ -203,6 +203,40 @@ impl Mkb {
         )
     }
 
+    /// Zeroes the inverted-index hit/miss counters (the built index itself
+    /// is kept). Called by the engine's `reset_io` so `stats` deltas taken
+    /// between checkpoints all start from the same origin.
+    pub fn reset_index_stats(&self) {
+        self.index_hits.store(0, Ordering::Relaxed);
+        self.index_misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Pair-specific join-selectivity overrides (keys are sorted pairs), in
+    /// key order. The export half of the [`crate::state`] seam.
+    pub fn join_selectivity_overrides(&self) -> impl Iterator<Item = (&(String, String), f64)> {
+        self.join_selectivities.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// Replaces the statistics store wholesale without touching the
+    /// generation — state restoration pins the generation separately via
+    /// [`Mkb::pin_generation`].
+    pub(crate) fn restore_statistics(
+        &mut self,
+        overrides: BTreeMap<(String, String), f64>,
+        default_js: f64,
+    ) {
+        self.join_selectivities = overrides;
+        self.default_join_selectivity = default_js;
+    }
+
+    /// Pins the mutation generation to an exact value (state restoration).
+    /// The inverted indexes are dropped so the next read rebuilds against
+    /// the restored store.
+    pub(crate) fn pin_generation(&mut self, generation: u64) {
+        self.generation = generation;
+        self.index = OnceLock::new();
+    }
+
     // ------------------------------------------------------------------
     // Registration
     // ------------------------------------------------------------------

@@ -1,0 +1,76 @@
+//! CRC-64 (ECMA-182 polynomial) over byte slices.
+//!
+//! Hand-rolled because the build environment has no registry access; a
+//! table-driven implementation is plenty for the store's torn-write
+//! detection (the adversary is a crashed `write(2)`, not an attacker).
+
+/// The ECMA-182 generator polynomial (normal form).
+const POLY: u64 = 0x42F0_E1EB_A9EA_3693;
+
+/// The 256-entry lookup table, computed at compile time.
+const TABLE: [u64; 256] = build_table();
+
+const fn build_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = (i as u64) << 56;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & (1 << 63) != 0 {
+                (crc << 1) ^ POLY
+            } else {
+                crc << 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-64/ECMA of `bytes` (initial value and final xor of all-ones, so
+/// leading zero bytes and the empty input all checksum distinctly).
+#[must_use]
+pub fn crc64(bytes: &[u8]) -> u64 {
+    let mut crc: u64 = u64::MAX;
+    for &b in bytes {
+        let idx = ((crc >> 56) as u8 ^ b) as usize;
+        crc = TABLE[idx] ^ (crc << 8);
+    }
+    crc ^ u64::MAX
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_stable() {
+        assert_eq!(crc64(&[]), crc64(&[]));
+        assert_ne!(crc64(&[]), crc64(&[0]));
+    }
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        let a = crc64(b"evolution log record");
+        assert_eq!(a, crc64(b"evolution log record"));
+        assert_ne!(a, crc64(b"evolution log recorD"));
+        assert_ne!(a, crc64(b"evolution log recor"));
+        assert_ne!(crc64(&[0]), crc64(&[0, 0]), "length-extension sensitive");
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let base = b"0123456789abcdef".to_vec();
+        let reference = crc64(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc64(&flipped), reference, "byte {byte} bit {bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type of the durable evolution store.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Any failure of the store: I/O, corruption, or a state/consistency
+/// problem (e.g. time-travelling before the retained horizon).
+#[derive(Debug)]
+pub enum Error {
+    /// An operating-system I/O failure, with the path it concerned.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A malformed or checksum-failing on-disk structure. Corruption in the
+    /// *tail* of the active log segment is not an error (it is a torn write
+    /// and gets truncated); corruption anywhere else is.
+    Corrupt {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A usage/consistency problem (store already exists, unknown
+    /// generation, horizon violations, …).
+    State {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl Error {
+    /// A corruption error with the given detail.
+    #[must_use]
+    pub fn corrupt(detail: impl Into<String>) -> Error {
+        Error::Corrupt {
+            detail: detail.into(),
+        }
+    }
+
+    /// A state error with the given detail.
+    #[must_use]
+    pub fn state(detail: impl Into<String>) -> Error {
+        Error::State {
+            detail: detail.into(),
+        }
+    }
+
+    /// Wraps an I/O error with the path it concerned.
+    #[must_use]
+    pub fn io(path: impl Into<PathBuf>, source: io::Error) -> Error {
+        Error::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io { path, source } => write!(f, "store I/O on {}: {source}", path.display()),
+            Error::Corrupt { detail } => write!(f, "store corruption: {detail}"),
+            Error::State { detail } => write!(f, "store state: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Store result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,473 @@
+//! The write-ahead evolution log: length-prefixed, checksummed record
+//! frames in append-only segment files.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! segment file  := MAGIC ("EVESEG01", 8 bytes) start_seq (u64 LE) frame*
+//! frame         := len (u32 LE)  crc64 (u64 LE, over payload)  payload
+//! payload       := post_generation (u64 LE)  LogRecord encoding
+//! ```
+//!
+//! `post_generation` is the MKB mutation generation *after* the record was
+//! applied — the index generation time-travel addresses history by.
+//!
+//! ## Torn tails
+//!
+//! A crash mid-`write` leaves a partial frame at the end of the active
+//! segment: a short header, a short payload, or a payload whose checksum
+//! does not match. [`read_segment`] detects all three, reports the byte
+//! offset of the last intact frame, and recovery truncates the file there.
+//! The same conditions anywhere *but* the tail of the last segment are
+//! real corruption and fail recovery loudly.
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use eve_esql::ViewDef;
+use eve_misd::{JoinConstraint, PcConstraint};
+use eve_relational::{Relation, Tuple};
+use eve_sync::EvolutionOp;
+
+use crate::checksum::crc64;
+use crate::codec::{from_bytes, to_bytes, Codec, Dec, Enc};
+use crate::error::{Error, Result};
+
+/// Magic prefix of a log segment file (version baked into the last two
+/// bytes).
+pub const SEGMENT_MAGIC: &[u8; 8] = b"EVESEG01";
+
+/// One durable operation of the evolution history. `Batch` carries the
+/// paper's evolution ops (data updates + capability changes); the other
+/// variants record the bootstrap/administrative mutations that precede
+/// them, so a store can replay from an empty engine.
+#[derive(Debug, Clone)]
+pub enum LogRecord {
+    /// `EveEngine::add_site`.
+    AddSite {
+        /// Site id.
+        id: u32,
+        /// Site name.
+        name: String,
+    },
+    /// `EveEngine::register_relation` (metadata + initial extent).
+    RegisterRelation {
+        /// The relation's MKB description.
+        info: eve_misd::RelationInfo,
+        /// The initial extent hosted at the site.
+        extent: Relation,
+    },
+    /// Base-data seeding without view maintenance (initial loading).
+    SeedTuples {
+        /// The seeded relation.
+        relation: String,
+        /// The seeded tuples.
+        tuples: Vec<Tuple>,
+    },
+    /// `Mkb::add_pc_constraint`.
+    AddPcConstraint(PcConstraint),
+    /// `Mkb::add_join_constraint`.
+    AddJoinConstraint(JoinConstraint),
+    /// `Mkb::set_join_selectivity`.
+    SetJoinSelectivity {
+        /// One endpoint.
+        left: String,
+        /// The other endpoint.
+        right: String,
+        /// The pair selectivity.
+        js: f64,
+    },
+    /// `Mkb::set_default_join_selectivity`.
+    SetDefaultJoinSelectivity {
+        /// The global default.
+        js: f64,
+    },
+    /// `EveEngine::define_view` (the full definition, structurally).
+    DefineView(ViewDef),
+    /// `EveEngine::drop_view`.
+    DropView {
+        /// The dropped view's name.
+        name: String,
+    },
+    /// One `EveEngine::apply_batch` call — the evolution ops in order.
+    Batch(Vec<EvolutionOp>),
+}
+
+impl Codec for LogRecord {
+    fn encode(&self, enc: &mut Enc) {
+        match self {
+            LogRecord::AddSite { id, name } => {
+                enc.u8(0);
+                enc.u32(*id);
+                enc.str(name);
+            }
+            LogRecord::RegisterRelation { info, extent } => {
+                enc.u8(1);
+                info.encode(enc);
+                extent.encode(enc);
+            }
+            LogRecord::SeedTuples { relation, tuples } => {
+                enc.u8(2);
+                enc.str(relation);
+                crate::codec::vec_encode(tuples, enc);
+            }
+            LogRecord::AddPcConstraint(pc) => {
+                enc.u8(3);
+                pc.encode(enc);
+            }
+            LogRecord::AddJoinConstraint(jc) => {
+                enc.u8(4);
+                jc.encode(enc);
+            }
+            LogRecord::SetJoinSelectivity { left, right, js } => {
+                enc.u8(5);
+                enc.str(left);
+                enc.str(right);
+                enc.f64(*js);
+            }
+            LogRecord::SetDefaultJoinSelectivity { js } => {
+                enc.u8(6);
+                enc.f64(*js);
+            }
+            LogRecord::DefineView(view) => {
+                enc.u8(7);
+                view.encode(enc);
+            }
+            LogRecord::DropView { name } => {
+                enc.u8(8);
+                enc.str(name);
+            }
+            LogRecord::Batch(ops) => {
+                enc.u8(9);
+                crate::codec::vec_encode(ops, enc);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<LogRecord> {
+        Ok(match dec.u8()? {
+            0 => LogRecord::AddSite {
+                id: dec.u32()?,
+                name: dec.str()?,
+            },
+            1 => LogRecord::RegisterRelation {
+                info: eve_misd::RelationInfo::decode(dec)?,
+                extent: Relation::decode(dec)?,
+            },
+            2 => LogRecord::SeedTuples {
+                relation: dec.str()?,
+                tuples: crate::codec::vec_decode(dec)?,
+            },
+            3 => LogRecord::AddPcConstraint(PcConstraint::decode(dec)?),
+            4 => LogRecord::AddJoinConstraint(JoinConstraint::decode(dec)?),
+            5 => LogRecord::SetJoinSelectivity {
+                left: dec.str()?,
+                right: dec.str()?,
+                js: dec.f64()?,
+            },
+            6 => LogRecord::SetDefaultJoinSelectivity { js: dec.f64()? },
+            7 => LogRecord::DefineView(ViewDef::decode(dec)?),
+            8 => LogRecord::DropView { name: dec.str()? },
+            9 => LogRecord::Batch(crate::codec::vec_decode(dec)?),
+            other => return Err(Error::corrupt(format!("invalid LogRecord tag {other}"))),
+        })
+    }
+}
+
+/// A record as stored in a frame: the record plus the MKB generation
+/// observed after applying it.
+#[derive(Debug, Clone)]
+pub struct SealedRecord {
+    /// MKB generation after the record was applied.
+    pub post_generation: u64,
+    /// The logged operation.
+    pub record: LogRecord,
+}
+
+impl Codec for SealedRecord {
+    fn encode(&self, enc: &mut Enc) {
+        enc.u64(self.post_generation);
+        self.record.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<SealedRecord> {
+        Ok(SealedRecord {
+            post_generation: dec.u64()?,
+            record: LogRecord::decode(dec)?,
+        })
+    }
+}
+
+/// Builds one on-disk frame (`len ++ crc ++ payload`) for a sealed record.
+#[must_use]
+pub fn frame(record: &SealedRecord) -> Vec<u8> {
+    let payload = to_bytes(record);
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    out.extend_from_slice(
+        &u32::try_from(payload.len())
+            .expect("record < 4 GiB")
+            .to_le_bytes(),
+    );
+    out.extend_from_slice(&crc64(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// The fixed segment header: magic + start sequence number.
+#[must_use]
+pub fn segment_header(start_seq: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(SEGMENT_MAGIC);
+    out.extend_from_slice(&start_seq.to_le_bytes());
+    out
+}
+
+/// Everything recovered from one segment file.
+#[derive(Debug)]
+pub struct SegmentContents {
+    /// The sequence number of the segment's first record.
+    pub start_seq: u64,
+    /// The intact records, in order.
+    pub records: Vec<SealedRecord>,
+    /// Byte length of the intact prefix (header + whole frames). Anything
+    /// past this offset is a torn tail.
+    pub valid_len: u64,
+    /// Bytes past the intact prefix (0 when the file ends exactly on a
+    /// frame boundary).
+    pub torn_bytes: u64,
+}
+
+/// Reads a whole segment file, stopping cleanly at a torn tail.
+///
+/// # Errors
+///
+/// I/O failures, or a missing/foreign header. Torn/corrupt *frames* are
+/// not an error here — the caller decides whether a torn tail is
+/// acceptable (last segment) or fatal (any earlier segment).
+pub fn read_segment(path: &Path) -> Result<SegmentContents> {
+    let mut file = File::open(path).map_err(|e| Error::io(path, e))?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)
+        .map_err(|e| Error::io(path, e))?;
+
+    if bytes.len() < 16 || &bytes[..8] != SEGMENT_MAGIC {
+        return Err(Error::corrupt(format!(
+            "{} is not an evolution-log segment (bad or short header)",
+            path.display()
+        )));
+    }
+    let start_seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+
+    let mut records = Vec::new();
+    let mut pos = 16usize;
+    let valid_len = loop {
+        let remaining = bytes.len() - pos;
+        if remaining == 0 {
+            break pos; // clean end on a frame boundary
+        }
+        if remaining < 12 {
+            break pos; // torn frame header
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+        if remaining - 12 < len {
+            break pos; // torn payload
+        }
+        let payload = &bytes[pos + 12..pos + 12 + len];
+        if crc64(payload) != crc {
+            break pos; // torn / corrupt payload
+        }
+        // A frame that passes the checksum but fails decoding is real
+        // corruption (the checksum says the bytes are what was written).
+        let record: SealedRecord = from_bytes(payload).map_err(|e| {
+            Error::corrupt(format!(
+                "{} frame at offset {pos} passes its checksum but does not decode: {e}",
+                path.display()
+            ))
+        })?;
+        records.push(record);
+        pos += 12 + len;
+    };
+
+    Ok(SegmentContents {
+        start_seq,
+        records,
+        valid_len: valid_len as u64,
+        torn_bytes: (bytes.len() - valid_len) as u64,
+    })
+}
+
+/// Reads and validates only a segment file's 16-byte header, returning
+/// its start sequence. Used to skip frame decoding for segments recovery
+/// does not need to replay.
+///
+/// # Errors
+///
+/// I/O failures, or a missing/foreign header.
+pub fn read_segment_header(path: &Path) -> Result<u64> {
+    let mut file = File::open(path).map_err(|e| Error::io(path, e))?;
+    let mut header = [0u8; 16];
+    file.read_exact(&mut header).map_err(|_| {
+        Error::corrupt(format!(
+            "{} is not an evolution-log segment (short header)",
+            path.display()
+        ))
+    })?;
+    if &header[..8] != SEGMENT_MAGIC {
+        return Err(Error::corrupt(format!(
+            "{} is not an evolution-log segment (bad magic)",
+            path.display()
+        )));
+    }
+    Ok(u64::from_le_bytes(
+        header[8..16].try_into().expect("8 bytes"),
+    ))
+}
+
+/// Truncates a segment file to its intact prefix, discarding a torn tail.
+///
+/// # Errors
+///
+/// I/O failures.
+pub fn truncate_segment(path: &Path, valid_len: u64) -> Result<()> {
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| Error::io(path, e))?;
+    file.set_len(valid_len).map_err(|e| Error::io(path, e))?;
+    file.sync_all().map_err(|e| Error::io(path, e))?;
+    Ok(())
+}
+
+/// Appends raw bytes and flushes them to the OS.
+pub(crate) fn append_all(file: &mut File, path: &Path, bytes: &[u8]) -> Result<()> {
+    file.write_all(bytes).map_err(|e| Error::io(path, e))?;
+    file.flush().map_err(|e| Error::io(path, e))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_relational::tup;
+
+    fn sample_records() -> Vec<SealedRecord> {
+        vec![
+            SealedRecord {
+                post_generation: 1,
+                record: LogRecord::AddSite {
+                    id: 1,
+                    name: "one".into(),
+                },
+            },
+            SealedRecord {
+                post_generation: 2,
+                record: LogRecord::Batch(vec![
+                    EvolutionOp::insert("R", vec![tup![1, "x"]]),
+                    EvolutionOp::delete("R", vec![tup![2, "y"]]),
+                ]),
+            },
+            SealedRecord {
+                post_generation: 2,
+                record: LogRecord::SetJoinSelectivity {
+                    left: "R".into(),
+                    right: "S".into(),
+                    js: 0.005,
+                },
+            },
+        ]
+    }
+
+    fn write_segment(path: &Path, start_seq: u64, records: &[SealedRecord]) {
+        let mut bytes = segment_header(start_seq);
+        for r in records {
+            bytes.extend_from_slice(&frame(r));
+        }
+        std::fs::write(path, bytes).unwrap();
+    }
+
+    fn temp_file(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("eve-store-log-tests-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("segment.evl")
+    }
+
+    #[test]
+    fn segment_roundtrip() {
+        let path = temp_file("roundtrip");
+        let records = sample_records();
+        write_segment(&path, 7, &records);
+        let contents = read_segment(&path).unwrap();
+        assert_eq!(contents.start_seq, 7);
+        assert_eq!(contents.records.len(), 3);
+        assert_eq!(contents.torn_bytes, 0);
+        assert_eq!(contents.records[1].post_generation, 2);
+        match &contents.records[1].record {
+            LogRecord::Batch(ops) => assert_eq!(ops.len(), 2),
+            other => panic!("unexpected record {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_truncation_point_yields_a_clean_prefix() {
+        let path = temp_file("truncation");
+        let records = sample_records();
+        write_segment(&path, 0, &records);
+        let full = std::fs::read(&path).unwrap();
+        // Frame boundaries, for the expected record counts.
+        let mut boundaries = vec![16usize];
+        {
+            let mut pos = 16;
+            for r in &records {
+                pos += frame(r).len();
+                boundaries.push(pos);
+            }
+        }
+        for cut in 16..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let contents = read_segment(&path).unwrap();
+            let expected_records = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(
+                contents.records.len(),
+                expected_records,
+                "cut at byte {cut}"
+            );
+            let expected_valid = boundaries[expected_records] as u64;
+            assert_eq!(contents.valid_len, expected_valid, "cut at byte {cut}");
+            assert_eq!(contents.torn_bytes, cut as u64 - expected_valid);
+            // Truncation then re-read is stable.
+            truncate_segment(&path, contents.valid_len).unwrap();
+            let again = read_segment(&path).unwrap();
+            assert_eq!(again.records.len(), expected_records);
+            assert_eq!(again.torn_bytes, 0);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_payload_byte_stops_at_previous_boundary() {
+        let path = temp_file("bitflip");
+        let records = sample_records();
+        write_segment(&path, 0, &records);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let second_frame_start = 16 + frame(&records[0]).len();
+        // Flip a byte inside the second frame's payload.
+        bytes[second_frame_start + 20] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let contents = read_segment(&path).unwrap();
+        assert_eq!(contents.records.len(), 1, "only the first frame survives");
+        assert_eq!(contents.valid_len, second_frame_start as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_file_is_rejected() {
+        let path = temp_file("foreign");
+        std::fs::write(&path, b"not a segment at all").unwrap();
+        assert!(read_segment(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

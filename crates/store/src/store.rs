@@ -1,0 +1,936 @@
+//! The durable evolution store: one directory holding log segments and
+//! snapshots, with fsync-per-append durability, crash recovery and
+//! generation time-travel planning.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! <dir>/seg-<start_seq>.evl    append-only log segments
+//! <dir>/snap-<seq>.evs         full-state snapshots
+//! ```
+//!
+//! Record sequence numbers are global and contiguous across segments: the
+//! segment named `seg-<s>` holds records `s, s+1, …` up to the next
+//! segment's start. [`EvolutionStore::write_snapshot`] rotates the active
+//! segment, so segment boundaries always coincide with snapshot points —
+//! recovery never needs a partial segment, and [`EvolutionStore::compact`]
+//! can drop whole files.
+//!
+//! Every append is flushed and `fsync`'d before it is acknowledged: a
+//! record the store returned `Ok` for survives `kill -9`. A crash mid-write
+//! leaves a torn frame at the active tail, which recovery detects by
+//! checksum and truncates away.
+
+use std::fs::{self, File, OpenOptions};
+use std::path::{Path, PathBuf};
+
+use crate::error::{Error, Result};
+use crate::log::{
+    frame, read_segment, segment_header, truncate_segment, LogRecord, SealedRecord, SegmentContents,
+};
+use crate::snapshot::{read_snapshot_file, write_snapshot_file, EngineSnapshot};
+
+/// Store I/O counters, folded into the engine's `stats` reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Records appended (acknowledged durable).
+    pub records_appended: u64,
+    /// Bytes appended to log segments (frames incl. headers).
+    pub log_bytes_appended: u64,
+    /// `fsync` calls issued for log appends.
+    pub fsyncs: u64,
+    /// Snapshots written.
+    pub snapshots_written: u64,
+    /// Bytes written into snapshot files.
+    pub snapshot_bytes_written: u64,
+    /// Records replayed by recovery / time-travel reads.
+    pub records_replayed: u64,
+    /// Torn bytes truncated from the active tail during recovery.
+    pub torn_bytes_truncated: u64,
+    /// Torn (partial) records dropped during recovery.
+    pub torn_records_truncated: u64,
+    /// Log segments created (initial + rotations).
+    pub segments_created: u64,
+}
+
+/// What recovery found on disk.
+#[derive(Debug, Clone)]
+pub struct RecoveredLog {
+    /// The newest intact snapshot, if any, with its sequence number.
+    pub snapshot: Option<(u64, EngineSnapshot)>,
+    /// The records to replay on top of the snapshot, starting at the
+    /// snapshot's sequence number, in order.
+    pub tail: Vec<SealedRecord>,
+    /// The sequence number the next append will receive.
+    pub next_seq: u64,
+    /// Bytes dropped from the active tail (torn final write).
+    pub torn_bytes: u64,
+    /// Snapshot files that failed validation and were ignored.
+    pub snapshots_skipped: usize,
+}
+
+/// The durable evolution store.
+#[derive(Debug)]
+pub struct EvolutionStore {
+    dir: PathBuf,
+    active: File,
+    active_path: PathBuf,
+    /// Byte length of the active segment's durable prefix (header + every
+    /// acknowledged frame). A failed append may leave extra bytes past
+    /// this point; they are rolled back eagerly and — as a second line of
+    /// defence — before any segment rotation, so a damaged tail can never
+    /// end up in a *non-final* segment (where recovery would treat it as
+    /// corruption instead of a torn tail).
+    active_len: u64,
+    next_seq: u64,
+    stats: StoreStats,
+}
+
+fn seg_path(dir: &Path, start_seq: u64) -> PathBuf {
+    dir.join(format!("seg-{start_seq:020}.evl"))
+}
+
+fn snap_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snap-{seq:020}.evs"))
+}
+
+fn parse_numbered(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+impl EvolutionStore {
+    /// Creates a fresh store in `dir` (created if absent; must not already
+    /// contain store files). The caller is expected to immediately write a
+    /// bootstrap snapshot of its current engine state at sequence 0.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`Error::State`] when `dir` already holds a store.
+    pub fn create(dir: impl Into<PathBuf>) -> Result<EvolutionStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| Error::io(&dir, e))?;
+        if !Self::store_files(&dir)?.is_empty() {
+            return Err(Error::state(format!(
+                "{} already contains an evolution store — use open",
+                dir.display()
+            )));
+        }
+        let active_path = seg_path(&dir, 0);
+        let mut active = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&active_path)
+            .map_err(|e| Error::io(&active_path, e))?;
+        crate::log::append_all(&mut active, &active_path, &segment_header(0))?;
+        active.sync_all().map_err(|e| Error::io(&active_path, e))?;
+        Ok(EvolutionStore {
+            dir,
+            active,
+            active_path,
+            active_len: 16,
+            next_seq: 0,
+            stats: StoreStats {
+                segments_created: 1,
+                ..StoreStats::default()
+            },
+        })
+    }
+
+    /// Whether `dir` looks like an existing store (holds segments or
+    /// snapshots).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures while listing the directory.
+    pub fn exists(dir: &Path) -> Result<bool> {
+        if !dir.is_dir() {
+            return Ok(false);
+        }
+        Ok(!Self::store_files(dir)?.is_empty())
+    }
+
+    fn store_files(dir: &Path) -> Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        if !dir.is_dir() {
+            return Ok(out);
+        }
+        for entry in fs::read_dir(dir).map_err(|e| Error::io(dir, e))? {
+            let entry = entry.map_err(|e| Error::io(dir, e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(".evl") || name.ends_with(".evs") {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// The segment files in start-sequence order.
+    fn segment_paths(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+        let mut out = Vec::new();
+        for path in Self::store_files(dir)? {
+            let name = path
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .to_string();
+            if let Some(seq) = parse_numbered(&name, "seg-", ".evl") {
+                out.push((seq, path));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// The snapshot files in sequence order.
+    fn snapshot_paths(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+        let mut out = Vec::new();
+        for path in Self::store_files(dir)? {
+            let name = path
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .to_string();
+            if let Some(seq) = parse_numbered(&name, "snap-", ".evs") {
+                out.push((seq, path));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Opens an existing store: picks the newest intact snapshot, reads the
+    /// log records after it, truncates a torn tail on the active segment,
+    /// and returns both the store (positioned for appends) and the replay
+    /// plan.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; [`Error::Corrupt`] for damage anywhere but the active
+    /// tail (e.g. a torn frame in a non-final segment, or every snapshot
+    /// *and* the bootstrap log damaged); [`Error::State`] when `dir` holds
+    /// no store.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<(EvolutionStore, RecoveredLog)> {
+        let dir = dir.into();
+        let mut segments = Self::segment_paths(&dir)?;
+        if segments.is_empty() {
+            return Err(Error::state(format!(
+                "{} holds no evolution store (no log segments)",
+                dir.display()
+            )));
+        }
+
+        // Torn rotation: a crash between creating the new segment file and
+        // its 16-byte header reaching disk leaves a short final segment. It
+        // holds no acknowledged record, so drop it and continue on the
+        // previous segment — unless it is the *only* file, in which case
+        // nothing acknowledged ever existed and the store is unusable.
+        let mut torn_bytes = 0u64;
+        if let Some((_, last_path)) = segments.last() {
+            let len = std::fs::metadata(last_path)
+                .map_err(|e| Error::io(last_path, e))?
+                .len();
+            if len < 16 {
+                if segments.len() == 1 {
+                    return Err(Error::corrupt(format!(
+                        "{} holds only a headerless segment (crash during creation)",
+                        dir.display()
+                    )));
+                }
+                let (_, path) = segments.pop().expect("checked non-empty");
+                fs::remove_file(&path).map_err(|e| Error::io(&path, e))?;
+                torn_bytes += len;
+            }
+        }
+
+        // Newest intact snapshot wins; damaged ones are skipped (recovery
+        // then replays more log).
+        let mut snapshot: Option<(u64, EngineSnapshot)> = None;
+        let mut snapshots_skipped = 0usize;
+        for (seq, path) in Self::snapshot_paths(&dir)?.into_iter().rev() {
+            match read_snapshot_file(&path) {
+                Ok(parsed) => {
+                    snapshot = Some((seq, parsed.snapshot));
+                    break;
+                }
+                Err(_) => snapshots_skipped += 1,
+            }
+        }
+        let replay_from = snapshot.as_ref().map_or(0, |(seq, _)| *seq);
+
+        // Walk the segments. Ones wholly before the replay point only get
+        // their headers validated (recovery never decodes them); the rest
+        // are fully read. Only the final segment may carry a torn tail.
+        let mut tail: Vec<SealedRecord> = Vec::new();
+        let mut next_seq = replay_from;
+        let mut torn_records = 0u64;
+        let last_idx = segments.len() - 1;
+        let mut active_valid_len = 16u64;
+        for (idx, (start_seq, path)) in segments.iter().enumerate() {
+            let is_last = idx == last_idx;
+            // Segment boundaries align with snapshots (rotation happens on
+            // checkpoint), so a non-final segment whose successor starts
+            // at or before the replay point holds only pre-snapshot
+            // records: header check only.
+            if !is_last && segments[idx + 1].0 <= replay_from {
+                let header_seq = crate::log::read_segment_header(path)?;
+                if header_seq != *start_seq {
+                    return Err(Error::corrupt(format!(
+                        "{} header start_seq {header_seq} disagrees with its name",
+                        path.display()
+                    )));
+                }
+                next_seq = segments[idx + 1].0;
+                continue;
+            }
+            let contents: SegmentContents = read_segment(path)?;
+            if contents.start_seq != *start_seq {
+                return Err(Error::corrupt(format!(
+                    "{} header start_seq {} disagrees with its name",
+                    path.display(),
+                    contents.start_seq
+                )));
+            }
+            if contents.torn_bytes > 0 {
+                if !is_last {
+                    return Err(Error::corrupt(format!(
+                        "torn frame in non-final segment {}",
+                        path.display()
+                    )));
+                }
+                torn_bytes += contents.torn_bytes;
+                torn_records = 1;
+            }
+            let seg_end = start_seq + contents.records.len() as u64;
+            if idx + 1 < segments.len() {
+                let expected_next = segments[idx + 1].0;
+                if seg_end != expected_next {
+                    return Err(Error::corrupt(format!(
+                        "{} holds records up to {seg_end} but the next segment starts at {expected_next}",
+                        path.display()
+                    )));
+                }
+            }
+            if is_last {
+                active_valid_len = contents.valid_len;
+            }
+            // Collect the records at/after the replay point.
+            if seg_end > replay_from {
+                let skip = replay_from.saturating_sub(*start_seq) as usize;
+                tail.extend(contents.records.into_iter().skip(skip));
+            }
+            next_seq = seg_end;
+        }
+
+        // Truncate the torn tail so appends continue on a frame boundary.
+        let (_, active_path) = segments[last_idx].clone();
+        if torn_records > 0 {
+            truncate_segment(&active_path, active_valid_len)?;
+        }
+
+        let active = OpenOptions::new()
+            .append(true)
+            .open(&active_path)
+            .map_err(|e| Error::io(&active_path, e))?;
+
+        let stats = StoreStats {
+            records_replayed: tail.len() as u64,
+            torn_bytes_truncated: torn_bytes,
+            torn_records_truncated: torn_records,
+            ..StoreStats::default()
+        };
+        let store = EvolutionStore {
+            dir,
+            active,
+            active_path,
+            active_len: active_valid_len,
+            next_seq,
+            stats,
+        };
+        let recovered = RecoveredLog {
+            snapshot,
+            tail,
+            next_seq,
+            torn_bytes,
+            snapshots_skipped,
+        };
+        Ok((store, recovered))
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The sequence number the next appended record will receive.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Accumulated I/O counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Zeroes the I/O counters (reporting only; on-disk state untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = StoreStats::default();
+    }
+
+    /// Appends one record durably: framed, checksummed, written and
+    /// `fsync`'d before returning. Returns the record's sequence number.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures (the log may then hold a torn frame, which the next
+    /// recovery truncates — the record is *not* considered durable).
+    pub fn append(&mut self, post_generation: u64, record: LogRecord) -> Result<u64> {
+        let sealed = SealedRecord {
+            post_generation,
+            record,
+        };
+        let bytes = frame(&sealed);
+        let write =
+            crate::log::append_all(&mut self.active, &self.active_path, &bytes).and_then(|()| {
+                self.active
+                    .sync_data()
+                    .map_err(|e| Error::io(&self.active_path, e))
+            });
+        if let Err(e) = write {
+            // The segment may now hold a partial frame — or a complete one
+            // whose fsync failed, which was never acknowledged and must not
+            // survive (its sequence number will be reused). Roll the file
+            // back to the durable prefix; if that also fails,
+            // `ensure_tail` retries before the next rotation.
+            let _ = self.ensure_tail();
+            return Err(e);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.active_len += bytes.len() as u64;
+        self.stats.records_appended += 1;
+        self.stats.log_bytes_appended += bytes.len() as u64;
+        self.stats.fsyncs += 1;
+        Ok(seq)
+    }
+
+    /// Truncates the active segment back to its durable prefix
+    /// ([`Self::active_len`]) if a failed append left extra bytes behind.
+    /// No-op when the file already ends on the durable boundary.
+    fn ensure_tail(&mut self) -> Result<()> {
+        let len = self
+            .active
+            .metadata()
+            .map_err(|e| Error::io(&self.active_path, e))?
+            .len();
+        if len != self.active_len {
+            self.active
+                .set_len(self.active_len)
+                .map_err(|e| Error::io(&self.active_path, e))?;
+            self.active
+                .sync_all()
+                .map_err(|e| Error::io(&self.active_path, e))?;
+        }
+        Ok(())
+    }
+
+    /// Writes a snapshot of the current engine state at the current
+    /// sequence number and rotates the active segment so the next append
+    /// starts a fresh file. Historical segments/snapshots are retained for
+    /// time-travel until [`EvolutionStore::compact`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn write_snapshot(&mut self, snapshot: &EngineSnapshot) -> Result<u64> {
+        let seq = self.next_seq;
+        let written = write_snapshot_file(&snap_path(&self.dir, seq), seq, snapshot)?;
+        self.stats.snapshots_written += 1;
+        self.stats.snapshot_bytes_written += written;
+
+        // Rotate: later records land in a segment starting at `seq`. A
+        // checkpoint at the very start of a segment needs no rotation.
+        // Before the current segment stops being final, any residue of a
+        // failed append must be truncated away — recovery only tolerates a
+        // damaged tail on the *final* segment. A failing truncation aborts
+        // the rotation (the snapshot itself is already durable, so
+        // recovery stays anchored and correct).
+        let current_start = self
+            .active_path
+            .file_name()
+            .and_then(|n| parse_numbered(&n.to_string_lossy(), "seg-", ".evl"));
+        if current_start != Some(seq) {
+            self.ensure_tail()?;
+            let active_path = seg_path(&self.dir, seq);
+            let mut active = OpenOptions::new()
+                .create_new(true)
+                .append(true)
+                .open(&active_path)
+                .map_err(|e| Error::io(&active_path, e))?;
+            crate::log::append_all(&mut active, &active_path, &segment_header(seq))?;
+            active.sync_all().map_err(|e| Error::io(&active_path, e))?;
+            self.active = active;
+            self.active_path = active_path;
+            self.active_len = 16;
+            self.stats.segments_created += 1;
+        }
+        Ok(seq)
+    }
+
+    /// All snapshots with a well-formed header as `(seq, generation)`, in
+    /// sequence order (damaged files are skipped). Header-only — listing
+    /// does not read whole multi-megabyte state images; payload checksums
+    /// are verified when a snapshot is actually loaded.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures while listing.
+    pub fn snapshot_index(&self) -> Result<Vec<(u64, u64)>> {
+        let mut out = Vec::new();
+        for (seq, path) in Self::snapshot_paths(&self.dir)? {
+            if let Ok((_, generation)) = crate::snapshot::read_snapshot_header(&path) {
+                out.push((seq, generation));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of log segment files currently on disk.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures while listing.
+    pub fn segment_count(&self) -> Result<usize> {
+        Ok(Self::segment_paths(&self.dir)?.len())
+    }
+
+    /// Plans a time-travel read: the newest intact snapshot at or before
+    /// `generation`, plus every subsequent record whose post-generation is
+    /// `<= generation`. The caller replays the records on the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::State`] when `generation` precedes the retained horizon
+    /// (i.e. history before the oldest snapshot was compacted away).
+    pub fn plan_travel(&mut self, generation: u64) -> Result<(EngineSnapshot, Vec<SealedRecord>)> {
+        // Newest intact snapshot with generation <= target. The header
+        // pre-filter skips too-new snapshots without reading their state
+        // images; candidates that pass it are fully validated.
+        let mut base: Option<(u64, EngineSnapshot)> = None;
+        for (seq, path) in Self::snapshot_paths(&self.dir)?.into_iter().rev() {
+            let candidate = matches!(
+                crate::snapshot::read_snapshot_header(&path),
+                Ok((_, g)) if g <= generation
+            );
+            if !candidate {
+                continue;
+            }
+            if let Ok(parsed) = read_snapshot_file(&path) {
+                base = Some((seq, parsed.snapshot));
+                break;
+            }
+        }
+        let Some((base_seq, snapshot)) = base else {
+            return Err(Error::state(format!(
+                "generation {generation} precedes the retained horizon — no snapshot at or \
+                 before it exists (history may have been compacted)"
+            )));
+        };
+
+        // Segments wholly before the base snapshot never replay: rotation
+        // aligns boundaries with snapshots, so a segment whose successor
+        // starts at or before `base_seq` is skipped without decoding.
+        let segments = Self::segment_paths(&self.dir)?;
+        let mut records = Vec::new();
+        for (idx, (start_seq, path)) in segments.iter().enumerate() {
+            if segments
+                .get(idx + 1)
+                .is_some_and(|(next, _)| *next <= base_seq)
+            {
+                continue;
+            }
+            let contents = read_segment(path)?;
+            let seg_end = start_seq + contents.records.len() as u64;
+            if seg_end <= base_seq {
+                continue;
+            }
+            let skip = base_seq.saturating_sub(*start_seq) as usize;
+            for sealed in contents.records.into_iter().skip(skip) {
+                if sealed.post_generation > generation {
+                    self.stats.records_replayed += records.len() as u64;
+                    return Ok((snapshot, records));
+                }
+                records.push(sealed);
+            }
+        }
+        self.stats.records_replayed += records.len() as u64;
+        Ok((snapshot, records))
+    }
+
+    /// Deletes segments and snapshots strictly older than the newest
+    /// **intact** snapshot, bounding disk use and recovery work. Time
+    /// travel before that snapshot's generation becomes impossible
+    /// afterwards. Returns `(segments_deleted, snapshots_deleted)`.
+    ///
+    /// The anchor is validated before anything is deleted: a damaged
+    /// newest snapshot is skipped (exactly as recovery skips it), so
+    /// compaction can never delete the only snapshot recovery could still
+    /// load.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; [`Error::State`] when no intact snapshot exists
+    /// (nothing to anchor recovery).
+    pub fn compact(&mut self) -> Result<(usize, usize)> {
+        let snapshots = Self::snapshot_paths(&self.dir)?;
+        let anchor_seq = snapshots
+            .iter()
+            .rev()
+            .find(|(_, path)| read_snapshot_file(path).is_ok())
+            .map(|(seq, _)| *seq);
+        let Some(anchor_seq) = anchor_seq else {
+            return Err(Error::state(
+                "cannot compact a store without an intact snapshot".to_owned(),
+            ));
+        };
+        let mut segments_deleted = 0usize;
+        for (start_seq, path) in Self::segment_paths(&self.dir)? {
+            // Rotation aligns segment boundaries with snapshot points, so a
+            // segment starting before the anchor holds only pre-anchor
+            // records — except the active segment, which is never deleted.
+            if start_seq < anchor_seq && path != self.active_path {
+                fs::remove_file(&path).map_err(|e| Error::io(&path, e))?;
+                segments_deleted += 1;
+            }
+        }
+        let mut snapshots_deleted = 0usize;
+        for (seq, path) in snapshots {
+            if seq < anchor_seq {
+                fs::remove_file(&path).map_err(|e| Error::io(&path, e))?;
+                snapshots_deleted += 1;
+            }
+        }
+        Ok((segments_deleted, snapshots_deleted))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_relational::tup;
+    use eve_sync::EvolutionOp;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "eve-store-store-tests-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn empty_snapshot() -> EngineSnapshot {
+        EngineSnapshot {
+            mkb: eve_misd::Mkb::new().export_state(),
+            sites: Vec::new(),
+            views: Vec::new(),
+            config: crate::snapshot::EngineConfig {
+                sync_options: eve_sync::SyncOptions::default(),
+                qc_params: eve_qc::QcParams::default(),
+                workload: eve_qc::WorkloadModel::SingleUpdate,
+                strategy: eve_qc::SelectionStrategy::QcBest,
+                search: crate::snapshot::SearchModeState::default(),
+            },
+        }
+    }
+
+    fn batch_record(k: i64) -> LogRecord {
+        LogRecord::Batch(vec![EvolutionOp::insert("R", vec![tup![k]])])
+    }
+
+    #[test]
+    fn create_append_reopen() {
+        let dir = temp_dir("basic");
+        let mut store = EvolutionStore::create(&dir).unwrap();
+        store.write_snapshot(&empty_snapshot()).unwrap();
+        for k in 0..5 {
+            let seq = store.append(0, batch_record(k)).unwrap();
+            assert_eq!(seq, k as u64);
+        }
+        assert_eq!(store.next_seq(), 5);
+        drop(store); // simulated crash: no shutdown handshake exists
+
+        let (store, recovered) = EvolutionStore::open(&dir).unwrap();
+        assert_eq!(recovered.next_seq, 5);
+        assert_eq!(recovered.tail.len(), 5, "snapshot at 0, all records replay");
+        assert!(recovered.snapshot.is_some());
+        assert_eq!(recovered.torn_bytes, 0);
+        assert_eq!(store.next_seq(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_refuses_existing_store() {
+        let dir = temp_dir("refuse");
+        let _store = EvolutionStore::create(&dir).unwrap();
+        let err = EvolutionStore::create(&dir).unwrap_err();
+        assert!(err.to_string().contains("already contains"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_refuses_missing_store() {
+        let dir = temp_dir("missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(EvolutionStore::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_rotates_segment_and_anchors_recovery() {
+        let dir = temp_dir("rotate");
+        let mut store = EvolutionStore::create(&dir).unwrap();
+        store.write_snapshot(&empty_snapshot()).unwrap();
+        for k in 0..3 {
+            store.append(0, batch_record(k)).unwrap();
+        }
+        store.write_snapshot(&empty_snapshot()).unwrap();
+        assert_eq!(store.segment_count().unwrap(), 2);
+        for k in 3..5 {
+            store.append(0, batch_record(k)).unwrap();
+        }
+        drop(store);
+
+        let (store, recovered) = EvolutionStore::open(&dir).unwrap();
+        assert_eq!(
+            recovered.snapshot.as_ref().map(|(s, _)| *s),
+            Some(3),
+            "recovery anchors on the newest snapshot"
+        );
+        assert_eq!(recovered.tail.len(), 2, "only post-snapshot records replay");
+        assert_eq!(recovered.next_seq, 5);
+        assert_eq!(store.snapshot_index().unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let dir = temp_dir("torn");
+        let mut store = EvolutionStore::create(&dir).unwrap();
+        store.write_snapshot(&empty_snapshot()).unwrap();
+        for k in 0..3 {
+            store.append(0, batch_record(k)).unwrap();
+        }
+        let active_path = store.active_path.clone();
+        drop(store);
+
+        // Tear the last record: cut 5 bytes off the file.
+        let len = std::fs::metadata(&active_path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&active_path).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+
+        let (mut store, recovered) = EvolutionStore::open(&dir).unwrap();
+        assert_eq!(recovered.tail.len(), 2, "torn record dropped");
+        assert_eq!(recovered.next_seq, 2);
+        assert!(recovered.torn_bytes > 0);
+        assert_eq!(store.stats().torn_records_truncated, 1);
+
+        // The store keeps working after truncation.
+        let seq = store.append(0, batch_record(99)).unwrap();
+        assert_eq!(seq, 2);
+        drop(store);
+        let (_, recovered) = EvolutionStore::open(&dir).unwrap();
+        assert_eq!(recovered.tail.len(), 3);
+        assert_eq!(recovered.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn damaged_snapshot_falls_back_to_older_one() {
+        let dir = temp_dir("fallback");
+        let mut store = EvolutionStore::create(&dir).unwrap();
+        store.write_snapshot(&empty_snapshot()).unwrap();
+        store.append(0, batch_record(1)).unwrap();
+        store.write_snapshot(&empty_snapshot()).unwrap();
+        store.append(0, batch_record(2)).unwrap();
+        drop(store);
+
+        // Damage the newer snapshot.
+        let snap1 = snap_path(&dir, 1);
+        let mut bytes = std::fs::read(&snap1).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&snap1, &bytes).unwrap();
+
+        let (_, recovered) = EvolutionStore::open(&dir).unwrap();
+        assert_eq!(recovered.snapshots_skipped, 1);
+        assert_eq!(recovered.snapshot.as_ref().map(|(s, _)| *s), Some(0));
+        assert_eq!(recovered.tail.len(), 2, "replays from the older anchor");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_drops_pre_anchor_history() {
+        let dir = temp_dir("compact");
+        let mut store = EvolutionStore::create(&dir).unwrap();
+        store.write_snapshot(&empty_snapshot()).unwrap();
+        for k in 0..4 {
+            store.append(0, batch_record(k)).unwrap();
+        }
+        store.write_snapshot(&empty_snapshot()).unwrap();
+        store.append(0, batch_record(9)).unwrap();
+        let (segs, snaps) = store.compact().unwrap();
+        assert_eq!(segs, 1);
+        assert_eq!(snaps, 1);
+        drop(store);
+        let (_, recovered) = EvolutionStore::open(&dir).unwrap();
+        assert_eq!(recovered.snapshot.as_ref().map(|(s, _)| *s), Some(4));
+        assert_eq!(recovered.tail.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_never_anchors_on_a_damaged_snapshot() {
+        let dir = temp_dir("compact-damaged");
+        let mut store = EvolutionStore::create(&dir).unwrap();
+        store.write_snapshot(&empty_snapshot()).unwrap();
+        store.append(0, batch_record(1)).unwrap();
+        store.write_snapshot(&empty_snapshot()).unwrap();
+        store.append(0, batch_record(2)).unwrap();
+
+        // Damage the newest snapshot: recovery would skip it, so compaction
+        // must not delete the older intact anchor.
+        let snap1 = snap_path(&dir, 1);
+        let mut bytes = std::fs::read(&snap1).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&snap1, &bytes).unwrap();
+
+        let (segs, snaps) = store.compact().unwrap();
+        assert_eq!(
+            (segs, snaps),
+            (0, 0),
+            "intact anchor is seq 0 — nothing precedes it"
+        );
+        drop(store);
+        let (_, recovered) = EvolutionStore::open(&dir).unwrap();
+        assert_eq!(
+            recovered.snapshot.as_ref().map(|(s, _)| *s),
+            Some(0),
+            "the intact snapshot survived compaction"
+        );
+        assert_eq!(recovered.tail.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_rotation_headerless_final_segment_is_dropped() {
+        let dir = temp_dir("torn-rotation");
+        let mut store = EvolutionStore::create(&dir).unwrap();
+        store.write_snapshot(&empty_snapshot()).unwrap();
+        for k in 0..3 {
+            store.append(0, batch_record(k)).unwrap();
+        }
+        store.write_snapshot(&empty_snapshot()).unwrap(); // rotates to seg-3
+        drop(store);
+
+        // Crash window: the rotated segment file exists but its header
+        // never reached disk.
+        let seg3 = seg_path(&dir, 3);
+        let f = OpenOptions::new().write(true).open(&seg3).unwrap();
+        f.set_len(7).unwrap();
+        drop(f);
+
+        let (mut store, recovered) = EvolutionStore::open(&dir).unwrap();
+        assert_eq!(recovered.next_seq, 3, "no acknowledged record lost");
+        assert_eq!(recovered.snapshot.as_ref().map(|(s, _)| *s), Some(3));
+        assert!(recovered.torn_bytes > 0, "the headerless file was counted");
+        assert!(!seg3.exists(), "the torn rotation residue is gone");
+        // Appends continue on the previous segment.
+        assert_eq!(store.append(0, batch_record(9)).unwrap(), 3);
+        drop(store);
+        let (_, recovered) = EvolutionStore::open(&dir).unwrap();
+        assert_eq!(recovered.next_seq, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_truncates_foreign_tail_residue_first() {
+        // A failed append can leave bytes past the durable prefix. The
+        // rotation on checkpoint must truncate them, otherwise the damaged
+        // tail would sit in a non-final segment and brick the next open.
+        let dir = temp_dir("residue");
+        let mut store = EvolutionStore::create(&dir).unwrap();
+        store.write_snapshot(&empty_snapshot()).unwrap();
+        store.append(0, batch_record(1)).unwrap();
+
+        // Simulate the residue through a second handle.
+        use std::io::Write;
+        let mut raw = OpenOptions::new()
+            .append(true)
+            .open(&store.active_path)
+            .unwrap();
+        raw.write_all(&[0xAA, 0xBB, 0xCC]).unwrap();
+        raw.sync_all().unwrap();
+        drop(raw);
+
+        store.write_snapshot(&empty_snapshot()).unwrap(); // must ensure_tail
+        store.append(0, batch_record(2)).unwrap();
+        drop(store);
+
+        let (_, recovered) = EvolutionStore::open(&dir).unwrap();
+        assert_eq!(recovered.torn_bytes, 0, "no damage survived the rotation");
+        assert_eq!(recovered.next_seq, 2);
+        assert_eq!(recovered.tail.len(), 1, "replay from the seq-1 snapshot");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_index_is_header_only_but_travel_validates_payloads() {
+        let dir = temp_dir("header-only");
+        let mut store = EvolutionStore::create(&dir).unwrap();
+        store.write_snapshot(&empty_snapshot()).unwrap();
+        store.append(0, batch_record(1)).unwrap();
+        store.write_snapshot(&empty_snapshot()).unwrap();
+
+        // Flip a payload byte in the newest snapshot: the header still
+        // reads, so the listing keeps it, but plan_travel must fall back
+        // to the older intact snapshot instead of failing on decode.
+        let snap1 = snap_path(&dir, 1);
+        let mut bytes = std::fs::read(&snap1).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&snap1, &bytes).unwrap();
+
+        assert_eq!(store.snapshot_index().unwrap().len(), 2, "headers intact");
+        let (snapshot, records) = store.plan_travel(u64::MAX).unwrap();
+        assert_eq!(snapshot.generation(), 0);
+        assert_eq!(records.len(), 1, "replays from the intact seq-0 anchor");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_stats_accumulate_and_reset() {
+        let dir = temp_dir("stats");
+        let mut store = EvolutionStore::create(&dir).unwrap();
+        store.write_snapshot(&empty_snapshot()).unwrap();
+        store.append(0, batch_record(1)).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.records_appended, 1);
+        assert_eq!(stats.fsyncs, 1);
+        assert!(stats.log_bytes_appended > 12);
+        assert_eq!(stats.snapshots_written, 1);
+        assert!(stats.snapshot_bytes_written > 0);
+        store.reset_stats();
+        assert_eq!(store.stats(), StoreStats::default());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

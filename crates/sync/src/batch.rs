@@ -479,6 +479,16 @@ impl RewriteCache {
     pub fn partner_stats(&self) -> (u64, u64) {
         (self.partners.hits(), self.partners.misses())
     }
+
+    /// Zeroes every hit/miss counter — the memoized outcomes and partner
+    /// closures stay warm, only the *reporting* resets. Part of the
+    /// engine's `reset_io` contract, so `stats` deltas taken between
+    /// checkpoints all start from the same origin.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.partners.reset_stats();
+    }
 }
 
 #[cfg(test)]

@@ -229,6 +229,13 @@ impl PartnerCache {
         self.map.clear();
     }
 
+    /// Zeroes the hit/miss counters without touching the memoized closures
+    /// (reporting reset between checkpoints).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
     /// Number of requests served from memory.
     #[must_use]
     pub fn hits(&self) -> u64 {

@@ -1,0 +1,944 @@
+//! The durable engine: an [`EveEngine`] whose evolution history survives
+//! crashes, backed by the `eve-store` write-ahead evolution log.
+//!
+//! ## Durability contract
+//!
+//! Every mutating call on [`DurableEngine`] first applies to the in-memory
+//! engine, then appends one log record and `fsync`s it before returning —
+//! when a call returns `Ok`, the operation is on disk and recovery will
+//! reproduce it. A crash between apply and append loses at most the one
+//! in-flight call (which was never acknowledged); a crash mid-append
+//! leaves a torn frame the next [`DurableEngine::open`] truncates.
+//!
+//! ## Recovery
+//!
+//! [`DurableEngine::open`] loads the newest intact snapshot, rebuilds the
+//! engine from it, and replays the log tail through the *live* pipeline —
+//! the same [`EveEngine::apply_batch`] path the records originally took.
+//! Since application is deterministic under a fixed configuration (the
+//! configuration is part of every snapshot), the recovered engine is
+//! byte-identical — MKB generation, site extents and counters, installed
+//! rewritings — to the engine that never crashed. The differential suite
+//! in `tests/durability.rs` pins exactly that across random op streams and
+//! random crash points.
+//!
+//! ## Time travel
+//!
+//! Records carry the MKB generation observed after applying them, and
+//! snapshots are retained (until [`DurableEngine::compact`]), so
+//! [`DurableEngine::open_at`] can rebuild the engine as of any retained
+//! generation `g`: the newest snapshot at or before `g` plus every record
+//! whose post-generation is `≤ g`. Queries can then be evaluated against
+//! past MKB generations — "what did this view look like at generation N".
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use eve_misd::{JoinConstraint, Mkb, PcConstraint, RelationInfo, SchemaChange, SiteId};
+use eve_relational::{Relation, Tuple};
+use eve_store::{
+    EngineConfig, EngineSnapshot, EvolutionStore, LogRecord, RecoveredLog, SearchModeState,
+    SiteSnapshot, StoreStats, ViewSnapshot,
+};
+use eve_sync::EvolutionOp;
+
+use crate::engine::{BatchOutcome, EveEngine, EvolutionReport, MaterializedView, SearchMode};
+use crate::error::{Error, Result};
+use crate::maintainer::{DataUpdate, MaintenanceTrace};
+use crate::site::SimSite;
+
+impl From<eve_store::Error> for Error {
+    fn from(e: eve_store::Error) -> Error {
+        Error::State {
+            detail: e.to_string(),
+        }
+    }
+}
+
+/// What [`DurableEngine::open`] reports about the recovery it performed.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Sequence number of the snapshot recovery anchored on (`None` when
+    /// the store held no intact snapshot and replay started from empty).
+    pub snapshot_seq: Option<u64>,
+    /// MKB generation of that snapshot.
+    pub snapshot_generation: Option<u64>,
+    /// Log records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Bytes truncated from a torn tail frame (0 on a clean shutdown).
+    pub torn_bytes_truncated: u64,
+    /// Damaged snapshot files that were skipped in favour of older ones.
+    pub snapshots_skipped: usize,
+    /// MKB generation after recovery completed.
+    pub generation: u64,
+}
+
+/// An engine plus its evolution store. All mutations must flow through
+/// this wrapper to be durable; [`DurableEngine::engine_mut`] exists for
+/// read-mostly tweaks but anything reaching state the snapshot covers
+/// should be followed by [`DurableEngine::checkpoint`].
+#[derive(Debug)]
+pub struct DurableEngine {
+    engine: EveEngine,
+    store: EvolutionStore,
+    /// Write a snapshot automatically after every `k` batches (`None`
+    /// disables automatic checkpoints; explicit ones always work).
+    pub snapshot_every: Option<u64>,
+    batches_since_snapshot: u64,
+}
+
+impl DurableEngine {
+    /// Creates a fresh store at `dir` around a new, empty engine.
+    ///
+    /// # Errors
+    ///
+    /// Store I/O failures, or `dir` already holding a store.
+    pub fn create(dir: impl Into<PathBuf>) -> Result<DurableEngine> {
+        DurableEngine::create_with(dir, EveEngine::new())
+    }
+
+    /// Creates a fresh store at `dir`, bootstrapping it with `engine`'s
+    /// current state as the sequence-0 snapshot (so pre-existing sites,
+    /// relations and views are durable from the start).
+    ///
+    /// # Errors
+    ///
+    /// Store I/O failures, or `dir` already holding a store.
+    pub fn create_with(dir: impl Into<PathBuf>, engine: EveEngine) -> Result<DurableEngine> {
+        let mut store = EvolutionStore::create(dir)?;
+        store.write_snapshot(&engine.snapshot_state())?;
+        Ok(DurableEngine {
+            engine,
+            store,
+            snapshot_every: None,
+            batches_since_snapshot: 0,
+        })
+    }
+
+    /// Opens an existing store at `dir`, recovering the engine from the
+    /// newest intact snapshot plus log-tail replay (truncating a torn tail
+    /// record, if the process died mid-write).
+    ///
+    /// # Errors
+    ///
+    /// Store I/O/corruption failures, or replay failures (which indicate a
+    /// log produced under a different engine version).
+    pub fn open(dir: impl Into<PathBuf>) -> Result<(DurableEngine, RecoveryReport)> {
+        let (store, recovered) = EvolutionStore::open(dir)?;
+        let RecoveredLog {
+            snapshot,
+            tail,
+            torn_bytes,
+            snapshots_skipped,
+            ..
+        } = recovered;
+        let (snapshot_seq, snapshot_generation, mut engine) = match snapshot {
+            Some((seq, snap)) => {
+                let generation = snap.generation();
+                (
+                    Some(seq),
+                    Some(generation),
+                    EveEngine::from_snapshot_state(&snap)?,
+                )
+            }
+            None => (None, None, EveEngine::new()),
+        };
+        let replayed_records = tail.len() as u64;
+        for sealed in tail {
+            apply_record(&mut engine, sealed.record)?;
+        }
+        let report = RecoveryReport {
+            snapshot_seq,
+            snapshot_generation,
+            replayed_records,
+            torn_bytes_truncated: torn_bytes,
+            snapshots_skipped,
+            generation: engine.mkb().generation(),
+        };
+        Ok((
+            DurableEngine {
+                engine,
+                store,
+                snapshot_every: None,
+                batches_since_snapshot: 0,
+            },
+            report,
+        ))
+    }
+
+    /// Opens the store read-only as of MKB generation `generation`: the
+    /// newest snapshot at or before it plus every record whose
+    /// post-generation does not exceed it — i.e. the state just before the
+    /// first operation that moved the MKB past `generation`.
+    ///
+    /// # Errors
+    ///
+    /// Store failures, `generation` preceding the retained (compacted)
+    /// horizon, or replay failures.
+    pub fn open_at(dir: impl AsRef<Path>, generation: u64) -> Result<EveEngine> {
+        let (mut store, _) = EvolutionStore::open(dir.as_ref())?;
+        let (snapshot, records) = store.plan_travel(generation)?;
+        let mut engine = EveEngine::from_snapshot_state(&snapshot)?;
+        for sealed in records {
+            apply_record(&mut engine, sealed.record)?;
+        }
+        Ok(engine)
+    }
+
+    /// The wrapped engine (read access).
+    #[must_use]
+    pub fn engine(&self) -> &EveEngine {
+        &self.engine
+    }
+
+    /// Mutable engine access. Mutations made here bypass the log — use the
+    /// durable wrappers for anything recovery must reproduce, or follow up
+    /// with [`DurableEngine::checkpoint`].
+    pub fn engine_mut(&mut self) -> &mut EveEngine {
+        &mut self.engine
+    }
+
+    /// The store's accumulated I/O counters.
+    #[must_use]
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        self.store.dir()
+    }
+
+    /// The sequence number of the next log record.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.store.next_seq()
+    }
+
+    /// Intact snapshots as `(seq, generation)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Store I/O failures.
+    pub fn snapshot_index(&self) -> Result<Vec<(u64, u64)>> {
+        Ok(self.store.snapshot_index()?)
+    }
+
+    /// Number of log segment files on disk.
+    ///
+    /// # Errors
+    ///
+    /// Store I/O failures.
+    pub fn segment_count(&self) -> Result<usize> {
+        Ok(self.store.segment_count()?)
+    }
+
+    /// Resets resource accounting: the engine's counters (sites, caches,
+    /// index — see [`EveEngine::reset_io`]) *and* the store's I/O counters.
+    pub fn reset_io(&mut self) {
+        self.engine.reset_io();
+        self.store.reset_stats();
+    }
+
+    /// Writes a snapshot of the current engine state and rotates the log
+    /// segment. History stays on disk for time travel until
+    /// [`DurableEngine::compact`].
+    ///
+    /// # Errors
+    ///
+    /// Store I/O failures.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        self.batches_since_snapshot = 0;
+        Ok(self.store.write_snapshot(&self.engine.snapshot_state())?)
+    }
+
+    /// Drops history before the newest snapshot, bounding disk use and
+    /// recovery replay at the price of the time-travel horizon. Returns
+    /// `(segments_deleted, snapshots_deleted)`.
+    ///
+    /// # Errors
+    ///
+    /// Store failures.
+    pub fn compact(&mut self) -> Result<(usize, usize)> {
+        Ok(self.store.compact()?)
+    }
+
+    // ------------------------------------------------------------------
+    // Durable mutation wrappers (engine first, then the fsync'd record)
+    // ------------------------------------------------------------------
+
+    /// Appends the record for a mutation the engine has already applied.
+    /// If the append fails, the live engine is ahead of the log; a
+    /// snapshot re-anchors durability on the actual state (the same
+    /// remedy as a failed batch) before the error is surfaced — without
+    /// it, later successful appends would replay on top of a log missing
+    /// this record and recovery would silently diverge.
+    fn log(&mut self, record: LogRecord) -> Result<()> {
+        match self.store.append(self.engine.mkb().generation(), record) {
+            Ok(_) => Ok(()),
+            Err(append_err) => match self.checkpoint() {
+                Ok(_) => Err(append_err.into()),
+                Err(anchor_err) => Err(Error::State {
+                    detail: format!(
+                        "log append failed ({append_err}) and the re-anchoring snapshot \
+                         also failed ({anchor_err}): the store is behind the live engine \
+                         — checkpoint manually before further durable mutations"
+                    ),
+                }),
+            },
+        }
+    }
+
+    /// Durable [`EveEngine::add_site`].
+    ///
+    /// # Errors
+    ///
+    /// Engine or store failures.
+    pub fn add_site(&mut self, id: SiteId, name: impl Into<String>) -> Result<()> {
+        let name = name.into();
+        self.engine.add_site(id, name.clone())?;
+        self.log(LogRecord::AddSite { id: id.0, name })
+    }
+
+    /// Durable [`EveEngine::register_relation`].
+    ///
+    /// # Errors
+    ///
+    /// Engine or store failures.
+    pub fn register_relation(&mut self, info: RelationInfo, extent: Relation) -> Result<()> {
+        self.engine
+            .register_relation(info.clone(), extent.clone())?;
+        self.log(LogRecord::RegisterRelation { info, extent })
+    }
+
+    /// Durable base-data seeding (no view maintenance — initial loading).
+    ///
+    /// # Errors
+    ///
+    /// Engine or store failures.
+    pub fn seed_tuples(&mut self, relation: &str, tuples: Vec<Tuple>) -> Result<()> {
+        let info = self.engine.mkb().relation(relation)?;
+        let site_id = info.site.0;
+        self.engine
+            .sites_mut()
+            .get_mut(&site_id)
+            .ok_or_else(|| Error::State {
+                detail: format!("unknown site {site_id}"),
+            })?
+            .apply_update(relation, &tuples, &[])?;
+        self.log(LogRecord::SeedTuples {
+            relation: relation.to_owned(),
+            tuples,
+        })
+    }
+
+    /// Durable [`Mkb::add_pc_constraint`].
+    ///
+    /// # Errors
+    ///
+    /// Engine or store failures.
+    pub fn add_pc_constraint(&mut self, pc: PcConstraint) -> Result<()> {
+        self.engine
+            .mkb_mut()
+            .add_pc_constraint(pc.clone())
+            .map_err(Error::from)?;
+        self.log(LogRecord::AddPcConstraint(pc))
+    }
+
+    /// Durable [`Mkb::add_join_constraint`].
+    ///
+    /// # Errors
+    ///
+    /// Engine or store failures.
+    pub fn add_join_constraint(&mut self, jc: JoinConstraint) -> Result<()> {
+        self.engine
+            .mkb_mut()
+            .add_join_constraint(jc.clone())
+            .map_err(Error::from)?;
+        self.log(LogRecord::AddJoinConstraint(jc))
+    }
+
+    /// Durable [`Mkb::set_join_selectivity`].
+    ///
+    /// # Errors
+    ///
+    /// Store failures.
+    pub fn set_join_selectivity(&mut self, a: &str, b: &str, js: f64) -> Result<()> {
+        self.engine.mkb_mut().set_join_selectivity(a, b, js);
+        self.log(LogRecord::SetJoinSelectivity {
+            left: a.to_owned(),
+            right: b.to_owned(),
+            js,
+        })
+    }
+
+    /// Durable [`Mkb::set_default_join_selectivity`].
+    ///
+    /// # Errors
+    ///
+    /// Store failures.
+    pub fn set_default_join_selectivity(&mut self, js: f64) -> Result<()> {
+        self.engine.mkb_mut().set_default_join_selectivity(js);
+        self.log(LogRecord::SetDefaultJoinSelectivity { js })
+    }
+
+    /// Durable [`EveEngine::define_view_sql`].
+    ///
+    /// # Errors
+    ///
+    /// Engine or store failures.
+    pub fn define_view_sql(&mut self, sql: &str) -> Result<&MaterializedView> {
+        let def = self.engine.define_view_sql(sql)?.def.clone();
+        let name = def.name.clone();
+        self.log(LogRecord::DefineView(def))?;
+        self.engine.view(&name)
+    }
+
+    /// Durable [`EveEngine::drop_view`].
+    ///
+    /// # Errors
+    ///
+    /// Engine or store failures.
+    pub fn drop_view(&mut self, name: &str) -> Result<MaterializedView> {
+        let dropped = self.engine.drop_view(name)?;
+        self.log(LogRecord::DropView {
+            name: name.to_owned(),
+        })?;
+        Ok(dropped)
+    }
+
+    /// Durable [`EveEngine::apply_batch`] — the log unit of the evolution
+    /// stream. On success the whole batch is one fsync'd record; if the
+    /// engine rejects the batch partway (independent partitions may already
+    /// have applied), an immediate snapshot re-anchors durability on the
+    /// actual state instead of logging a record that only partially
+    /// applied.
+    ///
+    /// # Errors
+    ///
+    /// Engine failures (after the re-anchoring snapshot) or store
+    /// failures.
+    pub fn apply_batch(&mut self, ops: Vec<EvolutionOp>) -> Result<BatchOutcome> {
+        match self.engine.apply_batch(ops.clone()) {
+            Ok(outcome) => {
+                self.log(LogRecord::Batch(ops))?;
+                self.batches_since_snapshot += 1;
+                if let Some(k) = self.snapshot_every {
+                    if self.batches_since_snapshot >= k.max(1) {
+                        self.checkpoint()?;
+                    }
+                }
+                Ok(outcome)
+            }
+            Err(e) => {
+                // The batch failed mid-flight; the engine is whole but not
+                // necessarily the pre-batch state. Snapshot it so recovery
+                // lands exactly here. If even that fails, say so loudly —
+                // the store is now behind the live engine.
+                match self.checkpoint() {
+                    Ok(_) => Err(e),
+                    Err(anchor_err) => Err(Error::State {
+                        detail: format!(
+                            "batch failed ({e}) and the re-anchoring snapshot also \
+                             failed ({anchor_err}): the store is behind the live engine \
+                             — checkpoint manually before further durable mutations"
+                        ),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Durable [`EveEngine::notify_data_update`] (single-op batch).
+    ///
+    /// # Errors
+    ///
+    /// Engine or store failures.
+    pub fn notify_data_update(
+        &mut self,
+        update: &DataUpdate,
+    ) -> Result<BTreeMap<String, MaintenanceTrace>> {
+        Ok(self
+            .apply_batch(vec![EvolutionOp::from(update.clone())])?
+            .traces)
+    }
+
+    /// Durable [`EveEngine::notify_capability_change`] (single-op batch).
+    ///
+    /// # Errors
+    ///
+    /// Engine or store failures.
+    pub fn notify_capability_change(
+        &mut self,
+        change: &SchemaChange,
+        new_extent: Option<Relation>,
+    ) -> Result<Vec<EvolutionReport>> {
+        Ok(self
+            .apply_batch(vec![EvolutionOp::Capability {
+                change: change.clone(),
+                new_extent,
+            }])?
+            .reports)
+    }
+
+    /// Durable [`EveEngine::rebalance_views`]: migrations mutate installed
+    /// rewritings, so the pass is followed by a checkpoint when anything
+    /// moved.
+    ///
+    /// # Errors
+    ///
+    /// Engine or store failures.
+    pub fn rebalance_views(&mut self) -> Result<Vec<crate::engine::MigrationReport>> {
+        let reports = self.engine.rebalance_views()?;
+        if reports.iter().any(|r| r.migrated) {
+            self.checkpoint()?;
+        }
+        Ok(reports)
+    }
+}
+
+/// Replays one log record through the live engine pipeline.
+fn apply_record(engine: &mut EveEngine, record: LogRecord) -> Result<()> {
+    match record {
+        LogRecord::AddSite { id, name } => engine.add_site(SiteId(id), name),
+        LogRecord::RegisterRelation { info, extent } => engine.register_relation(info, extent),
+        LogRecord::SeedTuples { relation, tuples } => {
+            let info = engine.mkb().relation(&relation)?;
+            let site_id = info.site.0;
+            engine
+                .sites_mut()
+                .get_mut(&site_id)
+                .ok_or_else(|| Error::State {
+                    detail: format!("unknown site {site_id}"),
+                })?
+                .apply_update(&relation, &tuples, &[])
+        }
+        LogRecord::AddPcConstraint(pc) => {
+            engine.mkb_mut().add_pc_constraint(pc).map_err(Error::from)
+        }
+        LogRecord::AddJoinConstraint(jc) => engine
+            .mkb_mut()
+            .add_join_constraint(jc)
+            .map_err(Error::from),
+        LogRecord::SetJoinSelectivity { left, right, js } => {
+            engine.mkb_mut().set_join_selectivity(&left, &right, js);
+            Ok(())
+        }
+        LogRecord::SetDefaultJoinSelectivity { js } => {
+            engine.mkb_mut().set_default_join_selectivity(js);
+            Ok(())
+        }
+        LogRecord::DefineView(def) => engine.define_view(def).map(|_| ()),
+        LogRecord::DropView { name } => engine.drop_view(&name).map(|_| ()),
+        LogRecord::Batch(ops) => engine.apply_batch(ops).map(|_| ()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine <-> snapshot conversion
+// ---------------------------------------------------------------------
+
+impl From<SearchMode> for SearchModeState {
+    fn from(mode: SearchMode) -> SearchModeState {
+        match mode {
+            SearchMode::Exhaustive => SearchModeState::Exhaustive,
+            SearchMode::BestFirst => SearchModeState::BestFirst,
+            SearchMode::Beam { width } => SearchModeState::Beam { width },
+        }
+    }
+}
+
+impl From<SearchModeState> for SearchMode {
+    fn from(mode: SearchModeState) -> SearchMode {
+        match mode {
+            SearchModeState::Exhaustive => SearchMode::Exhaustive,
+            SearchModeState::BestFirst => SearchMode::BestFirst,
+            SearchModeState::Beam { width } => SearchMode::Beam { width },
+        }
+    }
+}
+
+impl EveEngine {
+    /// Captures the engine's complete durable state — MKB (with its
+    /// generation), per-site extents and accounting, installed rewritings
+    /// and configuration — as a canonical [`EngineSnapshot`]. Equal engine
+    /// states produce byte-equal [`EngineSnapshot::to_bytes`] encodings,
+    /// which is the comparison the crash-recovery test suites run on.
+    ///
+    /// Ephemeral memoization (rewrite cache, partner closures, index
+    /// hit/miss counters) is deliberately excluded: it is reconstructible
+    /// and does not affect any observable outcome.
+    #[must_use]
+    pub fn snapshot_state(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            mkb: self.mkb.export_state(),
+            sites: self
+                .sites
+                .values()
+                .map(|site| SiteSnapshot {
+                    id: site.id.0,
+                    name: site.name.clone(),
+                    relations: site
+                        .hosted_with_blocking_factors()
+                        .map(|(rel, bfr)| (rel.clone(), bfr))
+                        .collect(),
+                    io_count: site.io_count(),
+                    message_count: site.message_count(),
+                })
+                .collect(),
+            views: self
+                .views
+                .values()
+                .map(|mv| ViewSnapshot {
+                    def: mv.def.clone(),
+                    extent: mv.extent.clone(),
+                })
+                .collect(),
+            config: EngineConfig {
+                sync_options: self.sync_options.clone(),
+                qc_params: self.qc_params.clone(),
+                workload: self.workload,
+                strategy: self.strategy,
+                search: self.search.into(),
+            },
+        }
+    }
+
+    /// Rebuilds an engine from a snapshot, re-validating the MKB and site
+    /// extents. The restored engine starts with cold caches but identical
+    /// durable state (including the MKB generation and site accounting).
+    ///
+    /// # Errors
+    ///
+    /// Validation failures on corrupted snapshots.
+    pub fn from_snapshot_state(snapshot: &EngineSnapshot) -> Result<EveEngine> {
+        let mkb = Mkb::from_state(&snapshot.mkb)?;
+        let mut sites = BTreeMap::new();
+        for s in &snapshot.sites {
+            let site = SimSite::from_parts(
+                SiteId(s.id),
+                s.name.clone(),
+                s.relations.clone(),
+                s.io_count,
+                s.message_count,
+            )?;
+            sites.insert(s.id, site);
+        }
+        let mut views = BTreeMap::new();
+        for v in &snapshot.views {
+            views.insert(
+                v.def.name.clone(),
+                MaterializedView {
+                    def: v.def.clone(),
+                    extent: v.extent.clone(),
+                },
+            );
+        }
+        Ok(EveEngine {
+            mkb,
+            sites,
+            views,
+            rewrite_cache: eve_sync::RewriteCache::new(),
+            sync_options: snapshot.config.sync_options.clone(),
+            qc_params: snapshot.config.qc_params.clone(),
+            workload: snapshot.config.workload,
+            strategy: snapshot.config.strategy,
+            search: snapshot.config.search.into(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_misd::{AttributeInfo, PcRelationship, PcSide};
+    use eve_relational::{tup, DataType, Schema};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "eve-durable-tests-{}-{}-{name}",
+            std::process::id(),
+            DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn attrs() -> Vec<AttributeInfo> {
+        vec![
+            AttributeInfo::new("K", DataType::Int),
+            AttributeInfo::new("P", DataType::Int),
+        ]
+    }
+
+    fn schema() -> Schema {
+        Schema::of(&[("K", DataType::Int), ("P", DataType::Int)]).unwrap()
+    }
+
+    /// Builds a small durable warehouse entirely through logged calls.
+    fn build(dir: &Path) -> DurableEngine {
+        let mut d = DurableEngine::create(dir).unwrap();
+        d.add_site(SiteId(1), "one").unwrap();
+        d.add_site(SiteId(2), "two").unwrap();
+        for (name, site) in [("Ra", 1u32), ("Rb", 1), ("Rc", 2)] {
+            d.register_relation(
+                RelationInfo::new(name, SiteId(site), attrs(), 10),
+                Relation::empty(name, schema()),
+            )
+            .unwrap();
+            d.seed_tuples(name, (0..10i64).map(|k| tup![k, k % 3]).collect())
+                .unwrap();
+        }
+        d.add_pc_constraint(PcConstraint::new(
+            PcSide::projection("Rb", &["K", "P"]),
+            PcRelationship::Equivalent,
+            PcSide::projection("Rc", &["K", "P"]),
+        ))
+        .unwrap();
+        d.set_join_selectivity("Ra", "Rb", 0.01).unwrap();
+        d.define_view_sql(
+            "CREATE VIEW V (VE = '~') AS SELECT A.K, B.P AS BP \
+             FROM Ra A, Rb B (RR = true) WHERE A.K = B.K",
+        )
+        .unwrap();
+        d
+    }
+
+    fn fingerprint(engine: &EveEngine) -> Vec<u8> {
+        engine.snapshot_state().to_bytes()
+    }
+
+    #[test]
+    fn snapshot_state_roundtrips_byte_identically() {
+        let dir = temp_dir("roundtrip");
+        let d = build(&dir);
+        let snap = d.engine().snapshot_state();
+        let rebuilt = EveEngine::from_snapshot_state(&snap).unwrap();
+        assert_eq!(fingerprint(&rebuilt), snap.to_bytes());
+        // And the rebuilt engine answers queries identically.
+        let v1 = d.engine().view("V").unwrap();
+        let v2 = rebuilt.view("V").unwrap();
+        assert_eq!(v1.extent.tuples(), v2.extent.tuples());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_recovers_byte_identical_state() {
+        let dir = temp_dir("reopen");
+        let mut d = build(&dir);
+        d.apply_batch(vec![
+            EvolutionOp::insert("Ra", vec![tup![100, 0]]),
+            EvolutionOp::insert("Rb", vec![tup![100, 2]]),
+        ])
+        .unwrap();
+        d.notify_capability_change(
+            &SchemaChange::DeleteRelation {
+                relation: "Rb".into(),
+            },
+            None,
+        )
+        .unwrap();
+        let expected = fingerprint(d.engine());
+        drop(d); // crash: no shutdown handshake
+
+        let (recovered, report) = DurableEngine::open(&dir).unwrap();
+        assert_eq!(fingerprint(recovered.engine()), expected);
+        assert!(report.replayed_records > 0);
+        assert_eq!(report.torn_bytes_truncated, 0);
+        assert_eq!(report.generation, recovered.engine().mkb().generation());
+        // The view survived the capability change via the Rc mirror and is
+        // intact after recovery.
+        let v = recovered.engine().view("V").unwrap();
+        assert!(v.def.from.iter().any(|f| f.relation == "Rc"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_bounds_replay_and_preserves_state() {
+        let dir = temp_dir("checkpoint");
+        let mut d = build(&dir);
+        d.apply_batch(vec![EvolutionOp::insert("Ra", vec![tup![50, 1]])])
+            .unwrap();
+        d.checkpoint().unwrap();
+        d.apply_batch(vec![EvolutionOp::insert("Ra", vec![tup![51, 1]])])
+            .unwrap();
+        let expected = fingerprint(d.engine());
+        drop(d);
+        let (recovered, report) = DurableEngine::open(&dir).unwrap();
+        assert_eq!(report.replayed_records, 1, "only the post-snapshot batch");
+        assert!(report.snapshot_seq.is_some());
+        assert_eq!(fingerprint(recovered.engine()), expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn automatic_snapshots_every_k_batches() {
+        let dir = temp_dir("auto");
+        let mut d = build(&dir);
+        d.snapshot_every = Some(2);
+        let snaps_before = d.snapshot_index().unwrap().len();
+        for k in 0..4 {
+            d.apply_batch(vec![EvolutionOp::insert("Ra", vec![tup![200 + k, 0]])])
+                .unwrap();
+        }
+        let snaps_after = d.snapshot_index().unwrap().len();
+        assert_eq!(snaps_after - snaps_before, 2, "4 batches / every 2");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_record_is_dropped_cleanly() {
+        let dir = temp_dir("torn");
+        let mut d = build(&dir);
+        d.apply_batch(vec![EvolutionOp::insert("Ra", vec![tup![70, 0]])])
+            .unwrap();
+        let before_last = fingerprint(d.engine());
+        d.apply_batch(vec![EvolutionOp::insert("Ra", vec![tup![71, 0]])])
+            .unwrap();
+        drop(d);
+
+        // Tear the final record mid-frame.
+        let mut segs: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "evl"))
+            .collect();
+        segs.sort();
+        let active = segs.last().unwrap();
+        let len = std::fs::metadata(active).unwrap().len();
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(active)
+            .unwrap();
+        f.set_len(len - 7).unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+
+        let (recovered, report) = DurableEngine::open(&dir).unwrap();
+        assert!(report.torn_bytes_truncated > 0);
+        assert_eq!(
+            fingerprint(recovered.engine()),
+            before_last,
+            "state rolls back to the last intact record"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_at_travels_to_past_generations() {
+        let dir = temp_dir("travel");
+        let mut d = build(&dir);
+        let g0 = d.engine().mkb().generation();
+        let fp0 = fingerprint(d.engine());
+        // A data batch does not move the MKB generation…
+        d.apply_batch(vec![EvolutionOp::insert("Ra", vec![tup![42, 2]])])
+            .unwrap();
+        assert_eq!(d.engine().mkb().generation(), g0);
+        let fp_data = fingerprint(d.engine());
+        // …a capability change does.
+        d.notify_capability_change(
+            &SchemaChange::DeleteRelation {
+                relation: "Rb".into(),
+            },
+            None,
+        )
+        .unwrap();
+        let g1 = d.engine().mkb().generation();
+        let fp1 = fingerprint(d.engine());
+        assert!(g1 > g0);
+        drop(d);
+
+        // Travelling to g0 includes the data batch (same generation) but
+        // not the capability change.
+        let at_g0 = DurableEngine::open_at(&dir, g0).unwrap();
+        assert_eq!(fingerprint(&at_g0), fp_data);
+        assert_ne!(fp0, fp_data, "the data batch changed site extents");
+        // The historical engine still answers queries: Rb exists there.
+        assert!(at_g0.mkb().has_relation("Rb"));
+        assert!(at_g0
+            .view("V")
+            .unwrap()
+            .def
+            .from
+            .iter()
+            .any(|f| f.relation == "Rb"));
+
+        // Travelling to the latest generation reproduces the final state.
+        let at_g1 = DurableEngine::open_at(&dir, g1).unwrap();
+        assert_eq!(fingerprint(&at_g1), fp1);
+
+        // Travelling to generation 0 lands on the bootstrap snapshot: the
+        // empty engine `create` anchored the store with.
+        let at_zero = DurableEngine::open_at(&dir, 0).unwrap();
+        assert!(!at_zero.mkb().has_relation("Ra"), "pre-registration state");
+        assert!(at_zero.view("V").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_trades_travel_horizon_for_space() {
+        let dir = temp_dir("compact");
+        let mut d = build(&dir);
+        let g0 = d.engine().mkb().generation();
+        d.notify_capability_change(
+            &SchemaChange::DeleteRelation {
+                relation: "Rb".into(),
+            },
+            None,
+        )
+        .unwrap();
+        d.checkpoint().unwrap();
+        let (segs, snaps) = d.compact().unwrap();
+        assert!(segs >= 1 && snaps >= 1);
+        let latest = fingerprint(d.engine());
+        drop(d);
+        // Recovery still lands on the exact latest state…
+        let (recovered, _) = DurableEngine::open(&dir).unwrap();
+        assert_eq!(fingerprint(recovered.engine()), latest);
+        drop(recovered);
+        // …but travel before the compaction anchor now fails loudly.
+        let err = DurableEngine::open_at(&dir, g0).unwrap_err();
+        assert!(err.to_string().contains("horizon"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_view_and_selectivities_replay() {
+        let dir = temp_dir("dropview");
+        let mut d = build(&dir);
+        d.set_default_join_selectivity(0.02).unwrap();
+        d.drop_view("V").unwrap();
+        let expected = fingerprint(d.engine());
+        drop(d);
+        let (recovered, _) = DurableEngine::open(&dir).unwrap();
+        assert_eq!(fingerprint(recovered.engine()), expected);
+        assert!(recovered.engine().view("V").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_batch_reanchors_with_a_snapshot() {
+        let dir = temp_dir("failbatch");
+        let mut d = build(&dir);
+        let snaps_before = d.snapshot_index().unwrap().len();
+        let err = d.apply_batch(vec![
+            EvolutionOp::insert("Ra", vec![tup![1, 1]]),
+            EvolutionOp::insert("Ghost", vec![tup![2, 2]]),
+        ]);
+        assert!(err.is_err());
+        assert_eq!(
+            d.snapshot_index().unwrap().len(),
+            snaps_before + 1,
+            "failure re-anchors durability on the actual state"
+        );
+        let expected = fingerprint(d.engine());
+        drop(d);
+        let (recovered, _) = DurableEngine::open(&dir).unwrap();
+        assert_eq!(fingerprint(recovered.engine()), expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -772,10 +772,18 @@ impl EveEngine {
 
     /// Resets every site's resource accounting — I/O **and** message
     /// counters — so reports taken after the reset compare like for like.
+    ///
+    /// The reset also covers the observability counters of the rewrite
+    /// machinery (rewrite-cache and partner-cache hit/miss counters, MKB
+    /// inverted-index hit/miss counters): `stats` deltas taken between
+    /// checkpoints all start from the same origin. Only *counters* reset;
+    /// the memoized caches themselves stay warm.
     pub fn reset_io(&mut self) {
         for s in self.sites.values_mut() {
             s.reset_io();
         }
+        self.rewrite_cache.reset_stats();
+        self.mkb.reset_index_stats();
     }
 
     /// Mutable access to the site map (for the experiment harness).
@@ -1342,6 +1350,40 @@ mod tests {
         e.reset_io();
         assert_eq!(e.total_io(), 0);
         assert_eq!(e.total_messages(), 0, "reset_io clears messages too");
+    }
+
+    #[test]
+    fn reset_io_also_zeroes_cache_and_index_counters() {
+        let mut e = engine_with_travel_space();
+        e.define_view_sql(ASIA_VIEW).unwrap();
+        // Drive every counter: a capability change exercises the rewrite
+        // cache, the partner cache and the MKB inverted index; a data update
+        // charges I/O and messages.
+        let change = SchemaChange::DeleteRelation {
+            relation: "Customer".into(),
+        };
+        e.notify_capability_change(&change, None).unwrap();
+        e.notify_data_update(&DataUpdate::insert("FlightRes", vec![tup!["zed", "Asia"]]))
+            .unwrap();
+        let (rw_h, rw_m) = e.rewrite_cache_stats();
+        let (pc_h, pc_m) = e.partner_cache_stats();
+        let (ix_h, ix_m) = e.mkb_index_stats();
+        assert!(rw_h + rw_m > 0, "rewrite cache was exercised");
+        assert!(pc_h + pc_m > 0, "partner cache was exercised");
+        assert!(ix_h + ix_m > 0, "mkb index was exercised");
+        assert!(e.total_io() > 0);
+
+        e.reset_io();
+        assert_eq!(e.total_io(), 0);
+        assert_eq!(e.total_messages(), 0);
+        assert_eq!(e.rewrite_cache_stats(), (0, 0), "rewrite counters reset");
+        assert_eq!(e.partner_cache_stats(), (0, 0), "partner counters reset");
+        assert_eq!(e.mkb_index_stats(), (0, 0), "index counters reset");
+
+        // Post-reset deltas are meaningful: fresh activity counts from zero.
+        e.notify_data_update(&DataUpdate::insert("FlightRes", vec![tup!["yan", "Asia"]]))
+            .unwrap();
+        assert!(e.total_io() > 0, "new work accrues after the reset");
     }
 
     #[test]

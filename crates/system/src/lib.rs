@@ -36,6 +36,7 @@
 //! exactly.
 
 pub mod batch;
+pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod maintainer;
@@ -44,6 +45,7 @@ pub mod scenario;
 pub mod shell;
 pub mod site;
 
+pub use durable::{DurableEngine, RecoveryReport};
 pub use engine::{BatchOutcome, EveEngine, EvolutionReport, SearchMode};
 pub use error::{Error, Result};
 pub use eve_sync::EvolutionOp;

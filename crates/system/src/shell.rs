@@ -19,34 +19,66 @@
 use eve_misd::{AttributeInfo, RelationInfo, SchemaChange, SiteId};
 use eve_relational::{ColumnDef, ColumnRef, DataType, Relation, Schema, Tuple, Value};
 
+use crate::durable::DurableEngine;
 use crate::engine::EveEngine;
 use crate::error::{Error, Result};
 use crate::maintainer::DataUpdate;
 
+/// The engine the shell drives: in-memory only, or durably backed by an
+/// evolution store (after `open <dir>`).
+#[derive(Debug)]
+enum Host {
+    Plain(EveEngine),
+    Durable(DurableEngine),
+}
+
 /// The interactive shell: an [`EveEngine`] plus a command interpreter.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Shell {
-    engine: EveEngine,
+    host: Host,
+}
+
+impl Default for Shell {
+    fn default() -> Shell {
+        Shell::new()
+    }
 }
 
 impl Shell {
-    /// A shell over a fresh engine.
+    /// A shell over a fresh (in-memory) engine.
     #[must_use]
     pub fn new() -> Shell {
         Shell {
-            engine: EveEngine::new(),
+            host: Host::Plain(EveEngine::new()),
         }
     }
 
     /// The wrapped engine.
     #[must_use]
     pub fn engine(&self) -> &EveEngine {
-        &self.engine
+        match &self.host {
+            Host::Plain(e) => e,
+            Host::Durable(d) => d.engine(),
+        }
     }
 
-    /// Mutable engine access.
+    /// Mutable engine access. With an open store this bypasses the
+    /// evolution log — prefer the shell commands, which route through the
+    /// durable wrappers.
     pub fn engine_mut(&mut self) -> &mut EveEngine {
-        &mut self.engine
+        match &mut self.host {
+            Host::Plain(e) => e,
+            Host::Durable(d) => d.engine_mut(),
+        }
+    }
+
+    /// The open durable engine, if `open <dir>` was executed.
+    #[must_use]
+    pub fn durable(&self) -> Option<&DurableEngine> {
+        match &self.host {
+            Host::Plain(_) => None,
+            Host::Durable(d) => Some(d),
+        }
     }
 
     /// Executes one command line, returning the text to display.
@@ -79,6 +111,11 @@ impl Shell {
             "costs" => self.cmd_costs(),
             "stats" => Ok(self.cmd_stats()),
             "rebalance" => self.cmd_rebalance(),
+            "open" => self.cmd_open(rest),
+            "checkpoint" => self.cmd_checkpoint(),
+            "log-stats" => self.cmd_log_stats(),
+            "travel" => self.cmd_travel(rest),
+            "compact" => self.cmd_compact(),
             other => Err(usage(&format!("unknown command `{other}` — try `help`"))),
         }
     }
@@ -90,7 +127,10 @@ impl Shell {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| usage("site <id> <name>"))?;
         let name = parts.next().ok_or_else(|| usage("site <id> <name>"))?;
-        self.engine.add_site(SiteId(id), name)?;
+        match &mut self.host {
+            Host::Plain(e) => e.add_site(SiteId(id), name)?,
+            Host::Durable(d) => d.add_site(SiteId(id), name)?,
+        }
         Ok(format!("registered site {id} ({name})"))
     }
 
@@ -150,7 +190,10 @@ impl Shell {
                 .collect(),
         )?;
         let extent = Relation::empty(name.clone(), schema);
-        self.engine.register_relation(info, extent)?;
+        match &mut self.host {
+            Host::Plain(e) => e.register_relation(info, extent)?,
+            Host::Durable(d) => d.register_relation(info, extent)?,
+        }
         Ok(format!("registered relation {name} @ site {site}"))
     }
 
@@ -189,15 +232,19 @@ impl Shell {
             .split_once(char::is_whitespace)
             .ok_or_else(|| usage("insert <Relation> (v1, v2, ...)"))?;
         let tuple = Self::parse_tuple(tuple_text)?;
-        let info = self.engine.mkb().relation(rel)?;
-        let site = info.site.0;
-        self.engine
-            .sites_mut()
-            .get_mut(&site)
-            .ok_or_else(|| Error::State {
-                detail: format!("unknown site {site}"),
-            })?
-            .apply_update(rel, &[tuple], &[])?;
+        match &mut self.host {
+            Host::Plain(e) => {
+                let info = e.mkb().relation(rel)?;
+                let site = info.site.0;
+                e.sites_mut()
+                    .get_mut(&site)
+                    .ok_or_else(|| Error::State {
+                        detail: format!("unknown site {site}"),
+                    })?
+                    .apply_update(rel, &[tuple], &[])?;
+            }
+            Host::Durable(d) => d.seed_tuples(rel, vec![tuple])?,
+        }
         Ok(format!("seeded 1 tuple into {rel}"))
     }
 
@@ -217,13 +264,11 @@ impl Shell {
             ">=" => eve_misd::PcRelationship::Superset,
             _ => return Err(usage(USAGE)),
         };
-        self.engine
-            .mkb_mut()
-            .add_pc_constraint(eve_misd::PcConstraint::new(
-                parse_side(left)?,
-                relationship,
-                parse_side(right)?,
-            ))?;
+        let pc = eve_misd::PcConstraint::new(parse_side(left)?, relationship, parse_side(right)?);
+        match &mut self.host {
+            Host::Plain(e) => e.mkb_mut().add_pc_constraint(pc)?,
+            Host::Durable(d) => d.add_pc_constraint(pc)?,
+        }
         Ok("registered PC constraint".to_owned())
     }
 
@@ -236,18 +281,23 @@ impl Shell {
         let (Some(lq), Some(rq)) = (lref.qualifier.clone(), rref.qualifier.clone()) else {
             return Err(usage(USAGE));
         };
-        self.engine
-            .mkb_mut()
-            .add_join_constraint(eve_misd::JoinConstraint::new(
-                lq,
-                rq,
-                vec![eve_relational::PrimitiveClause::eq(lref, rref)],
-            ))?;
+        let jc = eve_misd::JoinConstraint::new(
+            lq,
+            rq,
+            vec![eve_relational::PrimitiveClause::eq(lref, rref)],
+        );
+        match &mut self.host {
+            Host::Plain(e) => e.mkb_mut().add_join_constraint(jc)?,
+            Host::Durable(d) => d.add_join_constraint(jc)?,
+        }
         Ok("registered join constraint".to_owned())
     }
 
     fn cmd_view(&mut self, rest: &str) -> Result<String> {
-        let mv = self.engine.define_view_sql(rest)?;
+        let mv = match &mut self.host {
+            Host::Plain(e) => e.define_view_sql(rest)?,
+            Host::Durable(d) => d.define_view_sql(rest)?,
+        };
         Ok(format!(
             "materialized view {} with {} rows",
             mv.def.name,
@@ -267,7 +317,10 @@ impl Shell {
             "delete" => DataUpdate::delete(rel, vec![tuple]),
             _ => return Err(usage(USAGE)),
         };
-        let traces = self.engine.notify_data_update(&update)?;
+        let traces: Vec<(String, crate::maintainer::MaintenanceTrace)> = match &mut self.host {
+            Host::Plain(e) => e.notify_data_update(&update)?,
+            Host::Durable(d) => d.notify_data_update(&update)?.into_iter().collect(),
+        };
         let mut out = format!("update applied to {rel}");
         for (view, t) in traces {
             out.push_str(&format!(
@@ -310,7 +363,10 @@ impl Shell {
             }
             _ => return Err(usage(USAGE)),
         };
-        let reports = self.engine.notify_capability_change(&change, None)?;
+        let reports = match &mut self.host {
+            Host::Plain(e) => e.notify_capability_change(&change, None)?,
+            Host::Durable(d) => d.notify_capability_change(&change, None)?,
+        };
         let mut out = format!("applied {change}");
         for r in reports {
             if !r.affected {
@@ -332,7 +388,7 @@ impl Shell {
     }
 
     fn cmd_query(&mut self, rest: &str) -> Result<String> {
-        let mv = self.engine.view(rest.trim())?;
+        let mv = self.engine().view(rest.trim())?;
         Ok(mv.extent.distinct().to_string())
     }
 
@@ -340,7 +396,7 @@ impl Shell {
         match rest.trim().to_ascii_lowercase().as_str() {
             "views" => {
                 let mut out = String::new();
-                for mv in self.engine.views() {
+                for mv in self.engine().views() {
                     out.push_str(&format!(
                         "{} [{} rows]\n{}\n",
                         mv.def.name,
@@ -356,7 +412,7 @@ impl Shell {
             }
             "relations" => {
                 let mut out = String::new();
-                for info in self.engine.mkb().relations() {
+                for info in self.engine().mkb().relations() {
                     out.push_str(&format!("{info}\n"));
                 }
                 Ok(if out.is_empty() {
@@ -367,10 +423,10 @@ impl Shell {
             }
             "constraints" => {
                 let mut out = String::new();
-                for pc in self.engine.mkb().pc_constraints() {
+                for pc in self.engine().mkb().pc_constraints() {
                     out.push_str(&format!("{pc}\n"));
                 }
-                for jc in self.engine.mkb().join_constraints() {
+                for jc in self.engine().mkb().join_constraints() {
                     out.push_str(&format!("{jc}\n"));
                 }
                 Ok(if out.is_empty() {
@@ -387,7 +443,7 @@ impl Shell {
 
     fn cmd_costs(&mut self) -> Result<String> {
         let mut out = String::new();
-        for report in self.engine.cost_report()? {
+        for report in self.engine().cost_report()? {
             out.push_str(&format!(
                 "{}: total {:.1}\n",
                 report.view_name, report.total_cost
@@ -407,25 +463,187 @@ impl Shell {
     }
 
     /// `stats` — measured resource accounting since the last reset, plus
-    /// the cache/index counters of the rewrite-search machinery.
+    /// the cache/index counters of the rewrite-search machinery and (with
+    /// an open store) the evolution-log I/O counters.
     fn cmd_stats(&mut self) -> String {
-        let (rw_hits, rw_misses) = self.engine.rewrite_cache_stats();
-        let (pc_hits, pc_misses) = self.engine.partner_cache_stats();
-        let (ix_hits, ix_misses) = self.engine.mkb_index_stats();
-        format!(
+        let (rw_hits, rw_misses) = self.engine().rewrite_cache_stats();
+        let (pc_hits, pc_misses) = self.engine().partner_cache_stats();
+        let (ix_hits, ix_misses) = self.engine().mkb_index_stats();
+        let mut out = format!(
             "total I/O: {} blocks\n\
              total messages: {}\n\
              rewrite cache: {rw_hits} hits, {rw_misses} misses\n\
              partner cache: {pc_hits} hits, {pc_misses} misses\n\
              mkb index: {ix_hits} hits, {ix_misses} misses",
-            self.engine.total_io(),
-            self.engine.total_messages()
-        )
+            self.engine().total_io(),
+            self.engine().total_messages()
+        );
+        if let Host::Durable(d) = &self.host {
+            let s = d.store_stats();
+            out.push_str(&format!(
+                "\nstore: {} records, {} log bytes, {} fsyncs, {} snapshots \
+                 ({} bytes), {} replayed, {} torn bytes truncated",
+                s.records_appended,
+                s.log_bytes_appended,
+                s.fsyncs,
+                s.snapshots_written,
+                s.snapshot_bytes_written,
+                s.records_replayed,
+                s.torn_bytes_truncated
+            ));
+        }
+        out
+    }
+
+    /// `open <dir>` — attach an evolution store: recover from it when it
+    /// exists, otherwise create it around the shell's current engine state.
+    fn cmd_open(&mut self, rest: &str) -> Result<String> {
+        let dir = rest.trim();
+        if dir.is_empty() {
+            return Err(usage("open <store-directory>"));
+        }
+        if self.durable().is_some() {
+            return Err(Error::State {
+                detail: "a store is already open in this shell".into(),
+            });
+        }
+        let path = std::path::Path::new(dir);
+        if eve_store::EvolutionStore::exists(path)? {
+            let (durable, report) = DurableEngine::open(path)?;
+            let msg = format!(
+                "recovered store {dir}: snapshot seq {:?}, {} records replayed, \
+                 {} torn bytes truncated, generation {}",
+                report.snapshot_seq,
+                report.replayed_records,
+                report.torn_bytes_truncated,
+                report.generation
+            );
+            self.host = Host::Durable(durable);
+            Ok(msg)
+        } else {
+            // Bootstrap the store with the current in-memory state. Clone
+            // rather than move: a failing creation (bad path, full disk)
+            // must leave the session's engine untouched.
+            let durable = DurableEngine::create_with(path, self.engine().clone())?;
+            self.host = Host::Durable(durable);
+            Ok(format!("created store {dir} (bootstrap snapshot written)"))
+        }
+    }
+
+    fn durable_mut(&mut self) -> Result<&mut DurableEngine> {
+        match &mut self.host {
+            Host::Durable(d) => Ok(d),
+            Host::Plain(_) => Err(Error::State {
+                detail: "no store is open — run `open <dir>` first".into(),
+            }),
+        }
+    }
+
+    /// `checkpoint` — write a snapshot and rotate the log segment.
+    fn cmd_checkpoint(&mut self) -> Result<String> {
+        let d = self.durable_mut()?;
+        let seq = d.checkpoint()?;
+        Ok(format!(
+            "snapshot written at seq {seq} (generation {})",
+            d.engine().mkb().generation()
+        ))
+    }
+
+    /// `log-stats` — the store's layout and I/O counters.
+    fn cmd_log_stats(&mut self) -> Result<String> {
+        let d = self.durable_mut()?;
+        let s = d.store_stats();
+        let snapshots = d.snapshot_index()?;
+        let segments = d.segment_count()?;
+        let mut out = format!(
+            "store {}\nnext seq: {}\nsegments: {segments}\nsnapshots: {}\n",
+            d.dir().display(),
+            d.next_seq(),
+            snapshots.len()
+        );
+        for (seq, generation) in snapshots {
+            out.push_str(&format!("  snap seq {seq} @ generation {generation}\n"));
+        }
+        out.push_str(&format!(
+            "appended: {} records, {} bytes, {} fsyncs\n\
+             snapshots written: {} ({} bytes)\n\
+             replayed: {} records; torn: {} bytes / {} records truncated",
+            s.records_appended,
+            s.log_bytes_appended,
+            s.fsyncs,
+            s.snapshots_written,
+            s.snapshot_bytes_written,
+            s.records_replayed,
+            s.torn_bytes_truncated,
+            s.torn_records_truncated
+        ));
+        Ok(out)
+    }
+
+    /// `travel <generation> [<view>]` — reconstruct a historical state;
+    /// with a view name, print that view's extent as of the generation.
+    fn cmd_travel(&mut self, rest: &str) -> Result<String> {
+        const USAGE: &str = "travel <generation> [<view>]";
+        let mut parts = rest.split_whitespace();
+        let generation: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| usage(USAGE))?;
+        let view = parts.next();
+        let dir = self.durable_mut()?.dir().to_path_buf();
+        let historical = DurableEngine::open_at(&dir, generation)?;
+        match view {
+            Some(name) => {
+                let mv = historical.view(name)?;
+                Ok(format!(
+                    "{name} @ generation {generation} (actual {}):\n{}",
+                    historical.mkb().generation(),
+                    mv.extent.distinct()
+                ))
+            }
+            None => {
+                let mut out = format!(
+                    "state @ generation {generation} (actual {}):\n",
+                    historical.mkb().generation()
+                );
+                out.push_str(&format!(
+                    "  relations: {}\n",
+                    historical
+                        .mkb()
+                        .relations()
+                        .map(|r| r.name.clone())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+                for mv in historical.views() {
+                    out.push_str(&format!(
+                        "  view {} [{} rows]\n",
+                        mv.def.name,
+                        mv.extent.cardinality()
+                    ));
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// `compact` — drop history before the newest snapshot.
+    fn cmd_compact(&mut self) -> Result<String> {
+        let d = self.durable_mut()?;
+        let (segs, snaps) = d.compact()?;
+        Ok(format!(
+            "compacted: {segs} segments and {snaps} snapshots dropped \
+             (time travel now starts at the newest snapshot)"
+        ))
     }
 
     fn cmd_rebalance(&mut self) -> Result<String> {
         let mut out = String::new();
-        for r in self.engine.rebalance_views()? {
+        let reports = match &mut self.host {
+            Host::Plain(e) => e.rebalance_views()?,
+            Host::Durable(d) => d.rebalance_views()?,
+        };
+        for r in reports {
             if r.migrated {
                 out.push_str(&format!(
                     "{}: migrated {} → {} (cost {:.1} → {:.1})\n",
@@ -514,6 +732,11 @@ EVE shell commands:
   costs                                    per-view analytic maintenance cost
   stats                                    measured I/O + messages, cache/index counters
   rebalance                                migrate views to cheaper replicas
+  open <dir>                               attach a durable evolution store (recover or create)
+  checkpoint                               write a snapshot, rotate the log segment
+  log-stats                                store layout + I/O counters
+  travel <generation> [<view>]             reconstruct a past state (optionally query a view)
+  compact                                  drop history before the newest snapshot
   help                                     this text
 ";
 
@@ -644,6 +867,99 @@ mod tests {
         for kw in ["site", "relation", "view", "update", "change", "rebalance"] {
             assert!(help.contains(kw));
         }
+    }
+
+    #[test]
+    fn durable_session_checkpoint_travel_and_recover() {
+        let dir =
+            std::env::temp_dir().join(format!("eve-shell-durable-{}-session", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_str = dir.to_string_lossy().to_string();
+
+        let mut sh = seeded_shell();
+        let out = sh.execute(&format!("open {dir_str}")).unwrap();
+        assert!(out.contains("created store"), "{out}");
+        let g0 = sh.engine().mkb().generation();
+
+        // Durable mutations flow through the log.
+        sh.execute("update FlightRes insert ('bob', 'Asia')")
+            .unwrap();
+        let out = sh.execute("checkpoint").unwrap();
+        assert!(out.contains("snapshot written"), "{out}");
+        sh.execute("site 3 mirror").unwrap();
+        sh.execute("relation Members @3 (FullName:text, Town:text)")
+            .unwrap();
+        sh.execute("insert Members ('ann', 'Boston')").unwrap();
+        sh.execute("insert Members ('bob', 'Worcester')").unwrap();
+        sh.execute("pc Customer (Name, City) = Members (FullName, Town)")
+            .unwrap();
+        sh.execute("change delete-relation Customer").unwrap();
+        assert!(sh.engine().mkb().generation() > g0);
+
+        let out = sh.execute("log-stats").unwrap();
+        assert!(out.contains("segments:"), "{out}");
+        assert!(out.contains("appended:"), "{out}");
+        let out = sh.execute("stats").unwrap();
+        assert!(out.contains("store:"), "store counters in stats: {out}");
+
+        // Time travel: before the capability change, Customer still exists.
+        let out = sh.execute(&format!("travel {g0}")).unwrap();
+        assert!(out.contains("Customer"), "{out}");
+        let out = sh.execute(&format!("travel {g0} V")).unwrap();
+        assert!(out.contains("'ann'"), "{out}");
+
+        // A second shell recovers the exact state.
+        let mut sh2 = Shell::new();
+        let out = sh2.execute(&format!("open {dir_str}")).unwrap();
+        assert!(out.contains("recovered store"), "{out}");
+        assert_eq!(
+            sh2.engine().snapshot_state().to_bytes(),
+            sh.engine().snapshot_state().to_bytes(),
+            "recovered shell state is byte-identical"
+        );
+        assert!(sh2.execute("query V").unwrap().contains("'bob'"));
+
+        // Compact bounds the horizon.
+        sh2.execute("checkpoint").unwrap();
+        let out = sh2.execute("compact").unwrap();
+        assert!(out.contains("compacted"), "{out}");
+        let err = sh2.execute(&format!("travel {g0}")).unwrap_err();
+        assert!(err.to_string().contains("horizon"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_commands_error_cleanly_instead_of_panicking() {
+        let mut sh = Shell::new();
+        // Store commands without an open store.
+        for cmd in ["checkpoint", "log-stats", "travel 3", "compact"] {
+            let err = sh.execute(cmd).unwrap_err().to_string();
+            assert!(err.contains("no store is open"), "{cmd}: {err}");
+        }
+        // A bad filename must not panic the shell: /dev/null is not a
+        // directory, so store creation fails with a proper error — and the
+        // session's in-memory engine must survive the failure.
+        sh.execute("site 9 survivor").unwrap();
+        let err = sh.execute("open /dev/null/not-a-dir").unwrap_err();
+        assert!(err.to_string().contains("store"), "{err}");
+        assert!(
+            sh.engine().mkb().sites().any(|(id, _)| id.0 == 9),
+            "failed open must not destroy the in-memory engine"
+        );
+        // Missing operand.
+        let err = sh.execute("open").unwrap_err().to_string();
+        assert!(err.contains("usage"), "{err}");
+        // Malformed generation.
+        let dir =
+            std::env::temp_dir().join(format!("eve-shell-durable-{}-badgen", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        sh.execute(&format!("open {}", dir.display())).unwrap();
+        let err = sh.execute("travel eleventy").unwrap_err().to_string();
+        assert!(err.contains("usage"), "{err}");
+        // Opening twice is rejected, not silently re-bootstrapped.
+        let err = sh.execute("open /tmp/somewhere-else").unwrap_err();
+        assert!(err.to_string().contains("already open"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -97,6 +97,39 @@ impl SimSite {
         self.relations.keys().map(String::as_str).collect()
     }
 
+    /// Hosted relations with their blocking factors, in name order (the
+    /// snapshot export seam of the durability layer).
+    pub fn hosted_with_blocking_factors(&self) -> impl Iterator<Item = (&Relation, u64)> {
+        self.relations.values().map(|r| {
+            (
+                r,
+                self.blocking_factors.get(r.name()).copied().unwrap_or(10),
+            )
+        })
+    }
+
+    /// Rebuilds a site from snapshot parts: hosted extents with blocking
+    /// factors plus the resource-accounting counters as of the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::State`] on duplicate relation names.
+    pub(crate) fn from_parts(
+        id: SiteId,
+        name: String,
+        relations: Vec<(Relation, u64)>,
+        io_count: u64,
+        message_count: u64,
+    ) -> Result<SimSite> {
+        let mut site = SimSite::new(id, name);
+        for (rel, bfr) in relations {
+            site.host(rel, bfr)?;
+        }
+        site.io_count = io_count;
+        site.message_count = message_count;
+        Ok(site)
+    }
+
     /// Whether this site hosts `name`.
     #[must_use]
     pub fn hosts(&self, name: &str) -> bool {

@@ -11,6 +11,8 @@
 //! * [`misd`] — information source descriptions and the Meta Knowledge Base,
 //! * [`sync`] — view synchronization (legal rewriting generation),
 //! * [`qc`] — the QC-Model ranking rewritings by quality and cost,
+//! * [`store`] — the durable evolution log (WAL, snapshots, crash
+//!   recovery, generation time-travel),
 //! * [`system`] — the simulated multi-site EVE runtime.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
@@ -19,5 +21,6 @@ pub use eve_esql as esql;
 pub use eve_misd as misd;
 pub use eve_qc as qc;
 pub use eve_relational as relational;
+pub use eve_store as store;
 pub use eve_sync as sync;
 pub use eve_system as system;

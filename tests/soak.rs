@@ -317,3 +317,57 @@ fn planned_view_execution_is_at_least_3x_faster_than_naive_on_wide_joins() {
         "planned execution speedup {best:.2}x below the 3x acceptance bar"
     );
 }
+
+/// Durability soak: a long random-crash-point recovery loop. Each
+/// iteration drives a seeded multi-site workload through a durable
+/// engine, crashes it at a random byte of the active log segment (torn
+/// final write included), recovers, and requires the recovered engine to
+/// be byte-identical to the per-record state trajectory captured before
+/// the crash. Complements the bounded-case differential suite in
+/// `tests/durability.rs` with volume.
+#[test]
+#[ignore = "long-running soak; run with `cargo test --test soak -- --ignored`"]
+fn durability_random_crash_point_recovery_loop() {
+    use eve::system::DurableEngine;
+    use eve_bench::experiments::batch_pipeline;
+    use eve_bench::experiments::durability::{active_segment, fingerprint, into_batches};
+    for seed in 100u64..140 {
+        let dir =
+            std::env::temp_dir().join(format!("eve-soak-durability-{}-{seed}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let (engine, ops) = batch_pipeline::build_workload(4, 60, seed).unwrap();
+        let mut durable = DurableEngine::create_with(&dir, engine).unwrap();
+        if seed % 3 == 0 {
+            durable.snapshot_every = Some(3);
+        }
+        let mut states = vec![fingerprint(durable.engine())];
+        for batch in into_batches(ops, 6) {
+            durable.apply_batch(batch).unwrap();
+            states.push(fingerprint(durable.engine()));
+        }
+        drop(durable); // crash
+
+        // Random crash point: truncate the active segment mid-record.
+        let active = active_segment(&dir).unwrap().expect("store has a segment");
+        let len = std::fs::metadata(&active).unwrap().len();
+        let cut = 16 + (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (len - 16).max(1));
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&active)
+            .unwrap();
+        file.set_len(cut.min(len)).unwrap();
+        file.sync_all().unwrap();
+        drop(file);
+
+        let (recovered, report) = DurableEngine::open(&dir).unwrap();
+        let k =
+            usize::try_from(report.snapshot_seq.unwrap_or(0) + report.replayed_records).unwrap();
+        assert!(k < states.len(), "seed {seed}: prefix index {k} in range");
+        assert_eq!(
+            fingerprint(recovered.engine()),
+            states[k],
+            "seed {seed}: recovered state must be the {k}-record prefix (cut at byte {cut})"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -15,6 +15,7 @@
 pub mod bool;
 pub mod collection;
 pub mod option;
+pub mod sample;
 pub mod strategy;
 pub mod string;
 pub mod test_runner;

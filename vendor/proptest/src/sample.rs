@@ -1,0 +1,27 @@
+//! `proptest::sample` shim: uniform selection from a fixed set.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniformly selects one element of a fixed, non-empty vector
+/// (proptest's `sample::select`).
+#[must_use]
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "sample::select needs options");
+    Select { options }
+}
+
+/// The [`select`] strategy.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len());
+        self.options[idx].clone()
+    }
+}

@@ -36,6 +36,17 @@ pub trait Strategy {
         }
     }
 
+    /// Dependent generation: draws a value, builds a new strategy from it,
+    /// and draws from that (proptest's `prop_flat_map`).
+    fn prop_flat_map<T, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        T: Strategy,
+        F: Fn(Self::Value) -> T,
+    {
+        FlatMap { inner: self, f }
+    }
+
     /// Type-erases the strategy.
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
@@ -104,6 +115,26 @@ where
             "prop_filter rejected 1000 consecutive values: {}",
             self.whence
         )
+    }
+}
+
+/// `prop_flat_map` adapter (dependent generation).
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
     }
 }
 
