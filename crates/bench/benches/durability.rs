@@ -1,11 +1,12 @@
 //! Criterion bench for the durable evolution log: fsync'd append
-//! throughput and crash-recovery (snapshot load + log-tail replay) under
-//! the three snapshot policies the `durability` experiment compares.
+//! throughput, the group-commit writer against the fsync-per-record
+//! baseline, and crash-recovery (snapshot load + log-tail replay) under
+//! the snapshot policies the `durability` experiment compares.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use eve_bench::experiments::batch_pipeline;
-use eve_bench::experiments::durability::into_batches;
+use eve_bench::experiments::durability::{append_throughput, into_batches};
 use eve_system::DurableEngine;
 
 fn scratch(tag: &str, n: u64) -> std::path::PathBuf {
@@ -38,6 +39,24 @@ fn bench_durability(c: &mut Criterion) {
                     drop(durable);
                     std::fs::remove_dir_all(&dir).ok();
                     std::hint::black_box(seq)
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("durability/group_commit");
+    // Whole-comparison arms: each iteration measures the full append run
+    // (baseline 1 fsync/record vs pipelined group commit), crash included.
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}-threads")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let report = append_throughput(256, threads).unwrap();
+                    assert!(report.rows.iter().all(|r| r.recovered_identical));
+                    std::hint::black_box(report.rows.len())
                 });
             },
         );

@@ -28,6 +28,17 @@ pub enum Error {
         /// Human-readable description.
         detail: String,
     },
+    /// A record or snapshot payload too large for the frame format (the
+    /// length prefix is a `u32`, so nothing ≥ 4 GiB can be framed). Raised
+    /// on the *encode* side before any byte reaches disk — an oversized
+    /// payload must surface as an error to the caller, never as a panic
+    /// that aborts the process mid-append.
+    TooLarge {
+        /// The payload size that did not fit.
+        size: usize,
+        /// What was being framed.
+        what: &'static str,
+    },
 }
 
 impl Error {
@@ -55,6 +66,12 @@ impl Error {
             source,
         }
     }
+
+    /// An oversized-payload error for a frame of the given kind.
+    #[must_use]
+    pub fn too_large(size: usize, what: &'static str) -> Error {
+        Error::TooLarge { size, what }
+    }
 }
 
 impl fmt::Display for Error {
@@ -63,6 +80,10 @@ impl fmt::Display for Error {
             Error::Io { path, source } => write!(f, "store I/O on {}: {source}", path.display()),
             Error::Corrupt { detail } => write!(f, "store corruption: {detail}"),
             Error::State { detail } => write!(f, "store state: {detail}"),
+            Error::TooLarge { size, what } => write!(
+                f,
+                "store frame overflow: {what} of {size} bytes exceeds the 4 GiB frame limit"
+            ),
         }
     }
 }

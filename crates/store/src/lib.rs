@@ -20,6 +20,11 @@
 //!   replay), segment rotation on checkpoint, compaction, and the
 //!   **generation time-travel** planner ([`EvolutionStore::plan_travel`])
 //!   that reconstructs the state as of any retained MKB generation.
+//! * [`group`] — the **group-commit writer** ([`GroupCommitLog`]): a
+//!   bounded append queue where one leader drains waiting records into a
+//!   single contiguous write and a single fsync, amortizing durability
+//!   cost across concurrent appenders (commit tickets acknowledge each
+//!   record only after its batch's fsync returns).
 //! * [`codec`] — the hand-rolled binary codec for every persisted domain
 //!   type (std-only; the build environment has no registry access).
 //!
@@ -31,12 +36,20 @@
 pub mod checksum;
 pub mod codec;
 pub mod error;
+mod fsutil;
+pub mod group;
 pub mod log;
 pub mod snapshot;
 pub mod store;
 
 pub use codec::{from_bytes, to_bytes, Codec};
 pub use error::{Error, Result};
+pub use group::{CommitTicket, GroupCommitLog, GroupCommitPolicy};
 pub use log::{LogRecord, SealedRecord};
-pub use snapshot::{EngineConfig, EngineSnapshot, SearchModeState, SiteSnapshot, ViewSnapshot};
-pub use store::{EvolutionStore, RecoveredLog, StoreStats};
+pub use snapshot::{
+    DeltaSite, DeltaSnapshot, EngineConfig, EngineSnapshot, SearchModeState, SiteSnapshot,
+    ViewSnapshot,
+};
+pub use store::{
+    EvolutionStore, RecoveredLog, RecoveryOptions, SnapshotKind, SnapshotMeta, StoreStats,
+};

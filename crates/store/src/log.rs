@@ -200,18 +200,22 @@ impl Codec for SealedRecord {
 }
 
 /// Builds one on-disk frame (`len ++ crc ++ payload`) for a sealed record.
-#[must_use]
-pub fn frame(record: &SealedRecord) -> Vec<u8> {
+///
+/// # Errors
+///
+/// [`Error::TooLarge`] when the encoded record does not fit the `u32`
+/// length prefix — the limit surfaces as a typed error to the appender
+/// instead of a panic that would abort the process (or recovery) on an
+/// oversized record.
+pub fn frame(record: &SealedRecord) -> Result<Vec<u8>> {
     let payload = to_bytes(record);
+    let len =
+        u32::try_from(payload.len()).map_err(|_| Error::too_large(payload.len(), "log record"))?;
     let mut out = Vec::with_capacity(payload.len() + 12);
-    out.extend_from_slice(
-        &u32::try_from(payload.len())
-            .expect("record < 4 GiB")
-            .to_le_bytes(),
-    );
+    out.extend_from_slice(&len.to_le_bytes());
     out.extend_from_slice(&crc64(&payload).to_le_bytes());
     out.extend_from_slice(&payload);
-    out
+    Ok(out)
 }
 
 /// The fixed segment header: magic + start sequence number.
@@ -382,7 +386,7 @@ mod tests {
     fn write_segment(path: &Path, start_seq: u64, records: &[SealedRecord]) {
         let mut bytes = segment_header(start_seq);
         for r in records {
-            bytes.extend_from_slice(&frame(r));
+            bytes.extend_from_slice(&frame(r).unwrap());
         }
         std::fs::write(path, bytes).unwrap();
     }
@@ -422,7 +426,7 @@ mod tests {
         {
             let mut pos = 16;
             for r in &records {
-                pos += frame(r).len();
+                pos += frame(r).unwrap().len();
                 boundaries.push(pos);
             }
         }
@@ -453,7 +457,7 @@ mod tests {
         let records = sample_records();
         write_segment(&path, 0, &records);
         let mut bytes = std::fs::read(&path).unwrap();
-        let second_frame_start = 16 + frame(&records[0]).len();
+        let second_frame_start = 16 + frame(&records[0]).unwrap().len();
         // Flip a byte inside the second frame's payload.
         bytes[second_frame_start + 20] ^= 0x40;
         std::fs::write(&path, &bytes).unwrap();

@@ -7,6 +7,8 @@
 //! ```text
 //! <dir>/seg-<start_seq>.evl    append-only log segments
 //! <dir>/snap-<seq>.evs         full-state snapshots
+//! <dir>/snap-<seq>.evd         incremental delta snapshots
+//! <dir>/store.lock             single-opener advisory lock
 //! ```
 //!
 //! Record sequence numbers are global and contiguous across segments: the
@@ -25,10 +27,14 @@ use std::fs::{self, File, OpenOptions};
 use std::path::{Path, PathBuf};
 
 use crate::error::{Error, Result};
+use crate::fsutil::{sync_dir, DirLock};
 use crate::log::{
     frame, read_segment, segment_header, truncate_segment, LogRecord, SealedRecord, SegmentContents,
 };
-use crate::snapshot::{read_snapshot_file, write_snapshot_file, EngineSnapshot};
+use crate::snapshot::{
+    read_delta_file, read_delta_header, read_snapshot_file, read_snapshot_header, write_delta_file,
+    write_snapshot_file, DeltaSnapshot, EngineSnapshot,
+};
 
 /// Store I/O counters, folded into the engine's `stats` reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -51,6 +57,55 @@ pub struct StoreStats {
     pub torn_records_truncated: u64,
     /// Log segments created (initial + rotations).
     pub segments_created: u64,
+    /// Group commits: fsync'd writes that covered a *batch* of one or
+    /// more records. `records_appended / group_commits` is the achieved
+    /// records-per-fsync amortization.
+    pub group_commits: u64,
+    /// Delta snapshots written (also counted in `snapshots_written`).
+    pub delta_snapshots_written: u64,
+    /// Worker threads the last `open` used to read segments.
+    pub replay_threads: u64,
+    /// Segments whose frames were CRC-verified/decoded on parallel
+    /// workers during the last `open`.
+    pub segments_read_parallel: u64,
+}
+
+/// Snapshot file kinds in a store directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SnapshotKind {
+    /// A self-contained full-state image (`.evs`).
+    Full,
+    /// An incremental delta against an earlier snapshot (`.evd`).
+    Delta,
+}
+
+/// One entry of the snapshot listing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Sequence number (records `0..seq` are folded in).
+    pub seq: u64,
+    /// MKB generation at the snapshot point.
+    pub generation: u64,
+    /// Full image or incremental delta.
+    pub kind: SnapshotKind,
+}
+
+/// How [`EvolutionStore::open`] reads segment files.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryOptions {
+    /// CRC-verify and decode independent segment files on scoped worker
+    /// threads before the sequential validation/apply pass (the default).
+    /// `false` forces the single-threaded read path — the differential
+    /// suite uses it to pin that both paths recover byte-identically.
+    pub parallel_replay: bool,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> RecoveryOptions {
+        RecoveryOptions {
+            parallel_replay: true,
+        }
+    }
 }
 
 /// What recovery found on disk.
@@ -84,6 +139,10 @@ pub struct EvolutionStore {
     active_len: u64,
     next_seq: u64,
     stats: StoreStats,
+    /// Exclusive single-opener lock, held for the store's lifetime. Two
+    /// concurrent opens of one directory would interleave appends and
+    /// corrupt the tail; the second acquisition fails instead.
+    _lock: DirLock,
 }
 
 fn seg_path(dir: &Path, start_seq: u64) -> PathBuf {
@@ -93,6 +152,15 @@ fn seg_path(dir: &Path, start_seq: u64) -> PathBuf {
 fn snap_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("snap-{seq:020}.evs"))
 }
+
+fn delta_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snap-{seq:020}.evd"))
+}
+
+/// Upper bound on delta-chain length the loader will follow. Chains this
+/// deep only arise from corruption (e.g. a cycle smuggled into `base_seq`
+/// fields); compaction collapses healthy chains long before.
+const MAX_DELTA_CHAIN: usize = 512;
 
 fn parse_numbered(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
     name.strip_prefix(prefix)?
@@ -112,6 +180,7 @@ impl EvolutionStore {
     pub fn create(dir: impl Into<PathBuf>) -> Result<EvolutionStore> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| Error::io(&dir, e))?;
+        let lock = DirLock::acquire(&dir)?;
         if !Self::store_files(&dir)?.is_empty() {
             return Err(Error::state(format!(
                 "{} already contains an evolution store — use open",
@@ -126,6 +195,9 @@ impl EvolutionStore {
             .map_err(|e| Error::io(&active_path, e))?;
         crate::log::append_all(&mut active, &active_path, &segment_header(0))?;
         active.sync_all().map_err(|e| Error::io(&active_path, e))?;
+        // The directory entry for the new segment must be durable too, or
+        // a crash leaves an "empty" directory with orphaned fsync'd bytes.
+        sync_dir(&dir)?;
         Ok(EvolutionStore {
             dir,
             active,
@@ -136,6 +208,7 @@ impl EvolutionStore {
                 segments_created: 1,
                 ..StoreStats::default()
             },
+            _lock: lock,
         })
     }
 
@@ -161,7 +234,7 @@ impl EvolutionStore {
             let entry = entry.map_err(|e| Error::io(dir, e))?;
             let name = entry.file_name();
             let name = name.to_string_lossy();
-            if name.ends_with(".evl") || name.ends_with(".evs") {
+            if name.ends_with(".evl") || name.ends_with(".evs") || name.ends_with(".evd") {
                 out.push(entry.path());
             }
         }
@@ -186,8 +259,10 @@ impl EvolutionStore {
         Ok(out)
     }
 
-    /// The snapshot files in sequence order.
-    fn snapshot_paths(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    /// The snapshot files (full and delta) in sequence order; at equal
+    /// sequence numbers a full image sorts before a delta, so backward
+    /// scans prefer the self-contained file.
+    fn snapshot_files(dir: &Path) -> Result<Vec<(u64, SnapshotKind, PathBuf)>> {
         let mut out = Vec::new();
         for path in Self::store_files(dir)? {
             let name = path
@@ -196,11 +271,62 @@ impl EvolutionStore {
                 .to_string_lossy()
                 .to_string();
             if let Some(seq) = parse_numbered(&name, "snap-", ".evs") {
-                out.push((seq, path));
+                out.push((seq, SnapshotKind::Full, path));
+            } else if let Some(seq) = parse_numbered(&name, "snap-", ".evd") {
+                out.push((seq, SnapshotKind::Delta, path));
             }
         }
         out.sort();
         Ok(out)
+    }
+
+    /// Loads the full state a snapshot entry describes, resolving delta
+    /// chains recursively: a delta's base is looked up by sequence number
+    /// (full image preferred), loaded, and overlaid. Any failure anywhere
+    /// in the chain fails the whole candidate — the caller then falls
+    /// back to an older entry, exactly as with a damaged full snapshot.
+    fn load_snapshot_entry(
+        entries: &[(u64, SnapshotKind, PathBuf)],
+        idx: usize,
+        depth: usize,
+    ) -> Result<EngineSnapshot> {
+        if depth > MAX_DELTA_CHAIN {
+            return Err(Error::corrupt(format!(
+                "delta-snapshot chain deeper than {MAX_DELTA_CHAIN} (cyclic base_seq?)"
+            )));
+        }
+        let (seq, kind, path) = &entries[idx];
+        match kind {
+            SnapshotKind::Full => Ok(read_snapshot_file(path)?.snapshot),
+            SnapshotKind::Delta => {
+                let parsed = read_delta_file(path)?;
+                let base_seq = parsed.delta.base_seq;
+                if base_seq > *seq {
+                    return Err(Error::corrupt(format!(
+                        "{}: delta base_seq {base_seq} is newer than the delta itself",
+                        path.display()
+                    )));
+                }
+                // Prefer a full image at the base sequence; never resolve
+                // a delta to itself (base_seq == seq only matches a full).
+                let base_idx = entries
+                    .iter()
+                    .position(|(s, k, _)| *s == base_seq && *k == SnapshotKind::Full)
+                    .or_else(|| {
+                        entries.iter().position(|(s, k, _)| {
+                            *s == base_seq && *k == SnapshotKind::Delta && base_seq < *seq
+                        })
+                    })
+                    .ok_or_else(|| {
+                        Error::corrupt(format!(
+                            "{}: delta base snapshot at seq {base_seq} is missing",
+                            path.display()
+                        ))
+                    })?;
+                let base = Self::load_snapshot_entry(entries, base_idx, depth + 1)?;
+                Ok(parsed.delta.apply_to(&base))
+            }
+        }
     }
 
     /// Opens an existing store: picks the newest intact snapshot, reads the
@@ -215,7 +341,22 @@ impl EvolutionStore {
     /// *and* the bootstrap log damaged); [`Error::State`] when `dir` holds
     /// no store.
     pub fn open(dir: impl Into<PathBuf>) -> Result<(EvolutionStore, RecoveredLog)> {
+        Self::open_with(dir, RecoveryOptions::default())
+    }
+
+    /// [`EvolutionStore::open`] with explicit [`RecoveryOptions`] — the
+    /// differential suite uses the sequential read path as the oracle for
+    /// the parallel one.
+    ///
+    /// # Errors
+    ///
+    /// As [`EvolutionStore::open`].
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        opts: RecoveryOptions,
+    ) -> Result<(EvolutionStore, RecoveredLog)> {
         let dir = dir.into();
+        let lock = DirLock::acquire(&dir)?;
         let mut segments = Self::segment_paths(&dir)?;
         if segments.is_empty() {
             return Err(Error::state(format!(
@@ -243,18 +384,21 @@ impl EvolutionStore {
                 }
                 let (_, path) = segments.pop().expect("checked non-empty");
                 fs::remove_file(&path).map_err(|e| Error::io(&path, e))?;
+                sync_dir(&dir)?;
                 torn_bytes += len;
             }
         }
 
-        // Newest intact snapshot wins; damaged ones are skipped (recovery
-        // then replays more log).
+        // Newest intact snapshot wins; damaged ones — including deltas
+        // whose base chain cannot be resolved — are skipped (recovery then
+        // replays more log).
+        let entries = Self::snapshot_files(&dir)?;
         let mut snapshot: Option<(u64, EngineSnapshot)> = None;
         let mut snapshots_skipped = 0usize;
-        for (seq, path) in Self::snapshot_paths(&dir)?.into_iter().rev() {
-            match read_snapshot_file(&path) {
-                Ok(parsed) => {
-                    snapshot = Some((seq, parsed.snapshot));
+        for idx in (0..entries.len()).rev() {
+            match Self::load_snapshot_entry(&entries, idx, 0) {
+                Ok(state) => {
+                    snapshot = Some((entries[idx].0, state));
                     break;
                 }
                 Err(_) => snapshots_skipped += 1,
@@ -262,13 +406,67 @@ impl EvolutionStore {
         }
         let replay_from = snapshot.as_ref().map_or(0, |(seq, _)| *seq);
 
-        // Walk the segments. Ones wholly before the replay point only get
-        // their headers validated (recovery never decodes them); the rest
-        // are fully read. Only the final segment may carry a torn tail.
+        // Segments wholly before the replay point only get their headers
+        // validated (recovery never decodes them); the rest are fully
+        // read. Segment files are independent until the sequential
+        // validation pass below, so the expensive part — reading, CRC
+        // verification, frame decoding — fans out over scoped worker
+        // threads when more than one segment needs a full read.
+        let last_idx = segments.len() - 1;
+        let needs_full_read = |idx: usize| idx == last_idx || segments[idx + 1].0 > replay_from;
+        let to_read: Vec<usize> = (0..segments.len())
+            .filter(|&i| needs_full_read(i))
+            .collect();
+        let workers = if opts.parallel_replay {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(to_read.len())
+        } else {
+            1
+        };
+        let mut contents_map: Vec<Option<Result<SegmentContents>>> =
+            (0..segments.len()).map(|_| None).collect();
+        let mut replay_threads = 1u64;
+        let mut segments_read_parallel = 0u64;
+        if workers > 1 {
+            replay_threads = workers as u64;
+            segments_read_parallel = to_read.len() as u64;
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            use std::sync::Mutex;
+            let next = AtomicUsize::new(0);
+            let results: Vec<Mutex<Option<Result<SegmentContents>>>> =
+                to_read.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= to_read.len() {
+                            break;
+                        }
+                        let slot = read_segment(&segments[to_read[i]].1);
+                        *results[i]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(slot);
+                    });
+                }
+            });
+            for (i, cell) in results.into_iter().enumerate() {
+                contents_map[to_read[i]] = cell
+                    .into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        } else {
+            for &idx in &to_read {
+                contents_map[idx] = Some(read_segment(&segments[idx].1));
+            }
+        }
+
+        // Sequential pass: validate ordering/continuity and collect the
+        // replay tail, consuming the pre-read segment contents in order.
         let mut tail: Vec<SealedRecord> = Vec::new();
         let mut next_seq = replay_from;
         let mut torn_records = 0u64;
-        let last_idx = segments.len() - 1;
         let mut active_valid_len = 16u64;
         for (idx, (start_seq, path)) in segments.iter().enumerate() {
             let is_last = idx == last_idx;
@@ -276,7 +474,7 @@ impl EvolutionStore {
             // checkpoint), so a non-final segment whose successor starts
             // at or before the replay point holds only pre-snapshot
             // records: header check only.
-            if !is_last && segments[idx + 1].0 <= replay_from {
+            if !needs_full_read(idx) {
                 let header_seq = crate::log::read_segment_header(path)?;
                 if header_seq != *start_seq {
                     return Err(Error::corrupt(format!(
@@ -287,7 +485,9 @@ impl EvolutionStore {
                 next_seq = segments[idx + 1].0;
                 continue;
             }
-            let contents: SegmentContents = read_segment(path)?;
+            let contents: SegmentContents = contents_map[idx]
+                .take()
+                .expect("full-read segment was read")?;
             if contents.start_seq != *start_seq {
                 return Err(Error::corrupt(format!(
                     "{} header start_seq {} disagrees with its name",
@@ -341,6 +541,8 @@ impl EvolutionStore {
             records_replayed: tail.len() as u64,
             torn_bytes_truncated: torn_bytes,
             torn_records_truncated: torn_records,
+            replay_threads,
+            segments_read_parallel,
             ..StoreStats::default()
         };
         let store = EvolutionStore {
@@ -350,6 +552,7 @@ impl EvolutionStore {
             active_len: active_valid_len,
             next_seq,
             stats,
+            _lock: lock,
         };
         let recovered = RecoveredLog {
             snapshot,
@@ -396,29 +599,55 @@ impl EvolutionStore {
             post_generation,
             record,
         };
-        let bytes = frame(&sealed);
+        let bytes = frame(&sealed)?;
+        self.append_encoded_batch(&[&bytes])
+    }
+
+    /// Appends a batch of pre-framed records as **one** contiguous write
+    /// followed by **one** fsync — the group-commit primitive. Frames must
+    /// come from [`frame`] (framing does not depend on the sequence
+    /// number, so callers can encode before knowing their position).
+    /// Returns the sequence number of the batch's first record; the rest
+    /// follow contiguously.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures. On failure nothing in the batch is acknowledged: the
+    /// file is rolled back to the durable prefix (a torn residue is also
+    /// re-truncated by the next recovery), and every sequence number is
+    /// reused.
+    pub fn append_encoded_batch(&mut self, frames: &[&[u8]]) -> Result<u64> {
+        if frames.is_empty() {
+            return Ok(self.next_seq);
+        }
+        let total: usize = frames.iter().map(|f| f.len()).sum();
+        let mut buf = Vec::with_capacity(total);
+        for f in frames {
+            buf.extend_from_slice(f);
+        }
         let write =
-            crate::log::append_all(&mut self.active, &self.active_path, &bytes).and_then(|()| {
+            crate::log::append_all(&mut self.active, &self.active_path, &buf).and_then(|()| {
                 self.active
                     .sync_data()
                     .map_err(|e| Error::io(&self.active_path, e))
             });
         if let Err(e) = write {
-            // The segment may now hold a partial frame — or a complete one
+            // The segment may now hold a partial batch — or a complete one
             // whose fsync failed, which was never acknowledged and must not
-            // survive (its sequence number will be reused). Roll the file
+            // survive (its sequence numbers will be reused). Roll the file
             // back to the durable prefix; if that also fails,
             // `ensure_tail` retries before the next rotation.
             let _ = self.ensure_tail();
             return Err(e);
         }
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.active_len += bytes.len() as u64;
-        self.stats.records_appended += 1;
-        self.stats.log_bytes_appended += bytes.len() as u64;
+        let first_seq = self.next_seq;
+        self.next_seq += frames.len() as u64;
+        self.active_len += total as u64;
+        self.stats.records_appended += frames.len() as u64;
+        self.stats.log_bytes_appended += total as u64;
         self.stats.fsyncs += 1;
-        Ok(seq)
+        self.stats.group_commits += 1;
+        Ok(first_seq)
     }
 
     /// Truncates the active segment back to its durable prefix
@@ -454,14 +683,45 @@ impl EvolutionStore {
         let written = write_snapshot_file(&snap_path(&self.dir, seq), seq, snapshot)?;
         self.stats.snapshots_written += 1;
         self.stats.snapshot_bytes_written += written;
+        self.rotate_after_snapshot(seq)?;
+        Ok(seq)
+    }
 
-        // Rotate: later records land in a segment starting at `seq`. A
-        // checkpoint at the very start of a segment needs no rotation.
-        // Before the current segment stops being final, any residue of a
-        // failed append must be truncated away — recovery only tolerates a
-        // damaged tail on the *final* segment. A failing truncation aborts
-        // the rotation (the snapshot itself is already durable, so
-        // recovery stays anchored and correct).
+    /// Writes an **incremental** snapshot at the current sequence number:
+    /// the state difference against the snapshot at `delta.base_seq`,
+    /// which must exist on disk (recovery resolves the chain). Costs
+    /// I/O proportional to the state *changed* since the base instead of
+    /// total warehouse state. Rotates the active segment exactly like
+    /// [`EvolutionStore::write_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`Error::State`] when `base_seq` does not precede
+    /// the current sequence number's snapshot point.
+    pub fn write_delta_snapshot(&mut self, delta: &DeltaSnapshot) -> Result<u64> {
+        let seq = self.next_seq;
+        if delta.base_seq > seq {
+            return Err(Error::state(format!(
+                "delta base_seq {} is ahead of the store (next_seq {seq})",
+                delta.base_seq
+            )));
+        }
+        let written = write_delta_file(&delta_path(&self.dir, seq), seq, delta)?;
+        self.stats.snapshots_written += 1;
+        self.stats.delta_snapshots_written += 1;
+        self.stats.snapshot_bytes_written += written;
+        self.rotate_after_snapshot(seq)?;
+        Ok(seq)
+    }
+
+    /// Rotates the active segment after a snapshot at `seq`: later records
+    /// land in a fresh segment starting at `seq`. A checkpoint at the very
+    /// start of a segment needs no rotation. Before the current segment
+    /// stops being final, any residue of a failed append must be truncated
+    /// away — recovery only tolerates a damaged tail on the *final*
+    /// segment. A failing truncation aborts the rotation (the snapshot
+    /// itself is already durable, so recovery stays anchored and correct).
+    fn rotate_after_snapshot(&mut self, seq: u64) -> Result<()> {
         let current_start = self
             .active_path
             .file_name()
@@ -476,15 +736,19 @@ impl EvolutionStore {
                 .map_err(|e| Error::io(&active_path, e))?;
             crate::log::append_all(&mut active, &active_path, &segment_header(seq))?;
             active.sync_all().map_err(|e| Error::io(&active_path, e))?;
+            // Make the rotation itself durable: the new segment's
+            // directory entry must survive a crash, or recovery sees a
+            // snapshot whose follow-on segment vanished.
+            sync_dir(&self.dir)?;
             self.active = active;
             self.active_path = active_path;
             self.active_len = 16;
             self.stats.segments_created += 1;
         }
-        Ok(seq)
+        Ok(())
     }
 
-    /// All snapshots with a well-formed header as `(seq, generation)`, in
+    /// All snapshots (full and delta) with a well-formed header, in
     /// sequence order (damaged files are skipped). Header-only — listing
     /// does not read whole multi-megabyte state images; payload checksums
     /// are verified when a snapshot is actually loaded.
@@ -492,11 +756,19 @@ impl EvolutionStore {
     /// # Errors
     ///
     /// I/O failures while listing.
-    pub fn snapshot_index(&self) -> Result<Vec<(u64, u64)>> {
+    pub fn snapshot_index(&self) -> Result<Vec<SnapshotMeta>> {
         let mut out = Vec::new();
-        for (seq, path) in Self::snapshot_paths(&self.dir)? {
-            if let Ok((_, generation)) = crate::snapshot::read_snapshot_header(&path) {
-                out.push((seq, generation));
+        for (seq, kind, path) in Self::snapshot_files(&self.dir)? {
+            let generation = match kind {
+                SnapshotKind::Full => read_snapshot_header(&path).map(|(_, g)| g),
+                SnapshotKind::Delta => read_delta_header(&path).map(|(_, g, _)| g),
+            };
+            if let Ok(generation) = generation {
+                out.push(SnapshotMeta {
+                    seq,
+                    generation,
+                    kind,
+                });
             }
         }
         Ok(out)
@@ -520,20 +792,41 @@ impl EvolutionStore {
     /// [`Error::State`] when `generation` precedes the retained horizon
     /// (i.e. history before the oldest snapshot was compacted away).
     pub fn plan_travel(&mut self, generation: u64) -> Result<(EngineSnapshot, Vec<SealedRecord>)> {
+        let plan = Self::plan_travel_in(&self.dir, generation)?;
+        self.stats.records_replayed += plan.1.len() as u64;
+        Ok(plan)
+    }
+
+    /// Read-only time-travel planning against a store *directory* — no
+    /// lock, no truncation, no mutation. This is what lets a historical
+    /// read run while a live store handle holds the directory lock. A
+    /// torn tail on the final segment is simply ignored (its record was
+    /// never acknowledged).
+    ///
+    /// # Errors
+    ///
+    /// As [`EvolutionStore::plan_travel`].
+    pub fn plan_travel_in(
+        dir: &Path,
+        generation: u64,
+    ) -> Result<(EngineSnapshot, Vec<SealedRecord>)> {
         // Newest intact snapshot with generation <= target. The header
         // pre-filter skips too-new snapshots without reading their state
-        // images; candidates that pass it are fully validated.
+        // images; candidates that pass it are fully validated (delta
+        // candidates through their whole base chain).
+        let entries = Self::snapshot_files(dir)?;
         let mut base: Option<(u64, EngineSnapshot)> = None;
-        for (seq, path) in Self::snapshot_paths(&self.dir)?.into_iter().rev() {
-            let candidate = matches!(
-                crate::snapshot::read_snapshot_header(&path),
-                Ok((_, g)) if g <= generation
-            );
-            if !candidate {
+        for idx in (0..entries.len()).rev() {
+            let (seq, kind, path) = &entries[idx];
+            let header_generation = match kind {
+                SnapshotKind::Full => read_snapshot_header(path).map(|(_, g)| g),
+                SnapshotKind::Delta => read_delta_header(path).map(|(_, g, _)| g),
+            };
+            if !matches!(header_generation, Ok(g) if g <= generation) {
                 continue;
             }
-            if let Ok(parsed) = read_snapshot_file(&path) {
-                base = Some((seq, parsed.snapshot));
+            if let Ok(state) = Self::load_snapshot_entry(&entries, idx, 0) {
+                base = Some((*seq, state));
                 break;
             }
         }
@@ -547,7 +840,7 @@ impl EvolutionStore {
         // Segments wholly before the base snapshot never replay: rotation
         // aligns boundaries with snapshots, so a segment whose successor
         // starts at or before `base_seq` is skipped without decoding.
-        let segments = Self::segment_paths(&self.dir)?;
+        let segments = Self::segment_paths(dir)?;
         let mut records = Vec::new();
         for (idx, (start_seq, path)) in segments.iter().enumerate() {
             if segments
@@ -564,13 +857,11 @@ impl EvolutionStore {
             let skip = base_seq.saturating_sub(*start_seq) as usize;
             for sealed in contents.records.into_iter().skip(skip) {
                 if sealed.post_generation > generation {
-                    self.stats.records_replayed += records.len() as u64;
                     return Ok((snapshot, records));
                 }
                 records.push(sealed);
             }
         }
-        self.stats.records_replayed += records.len() as u64;
         Ok((snapshot, records))
     }
 
@@ -589,17 +880,30 @@ impl EvolutionStore {
     /// I/O failures; [`Error::State`] when no intact snapshot exists
     /// (nothing to anchor recovery).
     pub fn compact(&mut self) -> Result<(usize, usize)> {
-        let snapshots = Self::snapshot_paths(&self.dir)?;
-        let anchor_seq = snapshots
-            .iter()
-            .rev()
-            .find(|(_, path)| read_snapshot_file(path).is_ok())
-            .map(|(seq, _)| *seq);
-        let Some(anchor_seq) = anchor_seq else {
+        let entries = Self::snapshot_files(&self.dir)?;
+        let anchor = (0..entries.len()).rev().find_map(|idx| {
+            Self::load_snapshot_entry(&entries, idx, 0)
+                .ok()
+                .map(|state| (idx, state))
+        });
+        let Some((anchor_idx, anchor_state)) = anchor else {
             return Err(Error::state(
                 "cannot compact a store without an intact snapshot".to_owned(),
             ));
         };
+        let (anchor_seq, anchor_kind, _) = entries[anchor_idx];
+
+        // A delta anchor depends on its base chain, which is about to be
+        // deleted — materialize the chain-resolved state as a full image
+        // at the anchor's sequence number first. Only then is everything
+        // older (including the delta chain itself) safe to drop.
+        if anchor_kind == SnapshotKind::Delta {
+            let written =
+                write_snapshot_file(&snap_path(&self.dir, anchor_seq), anchor_seq, &anchor_state)?;
+            self.stats.snapshots_written += 1;
+            self.stats.snapshot_bytes_written += written;
+        }
+
         let mut segments_deleted = 0usize;
         for (start_seq, path) in Self::segment_paths(&self.dir)? {
             // Rotation aligns segment boundaries with snapshot points, so a
@@ -611,11 +915,18 @@ impl EvolutionStore {
             }
         }
         let mut snapshots_deleted = 0usize;
-        for (seq, path) in snapshots {
-            if seq < anchor_seq {
+        for (seq, kind, path) in entries {
+            // Deltas at the anchor sequence are superseded by the full
+            // image that now exists there (materialized above, or already
+            // present and intact).
+            let superseded = seq == anchor_seq && kind == SnapshotKind::Delta;
+            if seq < anchor_seq || superseded {
                 fs::remove_file(&path).map_err(|e| Error::io(&path, e))?;
                 snapshots_deleted += 1;
             }
+        }
+        if segments_deleted + snapshots_deleted > 0 {
+            sync_dir(&self.dir)?;
         }
         Ok((segments_deleted, snapshots_deleted))
     }
@@ -679,9 +990,197 @@ mod tests {
     #[test]
     fn create_refuses_existing_store() {
         let dir = temp_dir("refuse");
-        let _store = EvolutionStore::create(&dir).unwrap();
+        drop(EvolutionStore::create(&dir).unwrap());
         let err = EvolutionStore::create(&dir).unwrap_err();
         assert!(err.to_string().contains("already contains"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_open_of_same_directory_is_rejected() {
+        // Pins the satellite bugfix: two live handles on one directory
+        // would interleave appends and corrupt the tail. The second open
+        // (or create) must fail while the first handle is alive, and
+        // succeed again once it is dropped — including after a simulated
+        // crash (drop without shutdown), since `flock` dies with the
+        // descriptor.
+        let dir = temp_dir("lock");
+        let mut store = EvolutionStore::create(&dir).unwrap();
+        store.write_snapshot(&empty_snapshot()).unwrap();
+        store.append(0, batch_record(1)).unwrap();
+
+        let err = EvolutionStore::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("already open"), "{err}");
+        let err = EvolutionStore::create(&dir).unwrap_err();
+        assert!(err.to_string().contains("already open"), "{err}");
+
+        drop(store); // crash
+        let (_, recovered) = EvolutionStore::open(&dir).unwrap();
+        assert_eq!(recovered.next_seq, 1, "the lock never blocks recovery");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn encoded_batch_is_one_fsync_and_contiguous_seqs() {
+        let dir = temp_dir("group");
+        let mut store = EvolutionStore::create(&dir).unwrap();
+        store.write_snapshot(&empty_snapshot()).unwrap();
+        let frames: Vec<Vec<u8>> = (0..5)
+            .map(|k| {
+                frame(&SealedRecord {
+                    post_generation: 0,
+                    record: batch_record(k),
+                })
+                .unwrap()
+            })
+            .collect();
+        let slices: Vec<&[u8]> = frames.iter().map(Vec::as_slice).collect();
+        let first = store.append_encoded_batch(&slices).unwrap();
+        assert_eq!(first, 0);
+        assert_eq!(store.next_seq(), 5);
+        let stats = store.stats();
+        assert_eq!(stats.records_appended, 5);
+        assert_eq!(stats.fsyncs, 1, "one fsync covers the whole batch");
+        assert_eq!(stats.group_commits, 1);
+        drop(store);
+
+        let (_, recovered) = EvolutionStore::open(&dir).unwrap();
+        assert_eq!(recovered.tail.len(), 5);
+        assert_eq!(recovered.next_seq, 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delta_snapshot_chain_anchors_recovery() {
+        let dir = temp_dir("delta-chain");
+        let mut store = EvolutionStore::create(&dir).unwrap();
+        let state = empty_snapshot();
+        store.write_snapshot(&state).unwrap(); // full @ 0
+        for k in 0..3 {
+            store.append(0, batch_record(k)).unwrap();
+        }
+        let d1 = DeltaSnapshot::between(0, &state, &state);
+        store.write_delta_snapshot(&d1).unwrap(); // delta @ 3, base 0
+        store.append(0, batch_record(3)).unwrap();
+        let d2 = DeltaSnapshot::between(3, &state, &state);
+        store.write_delta_snapshot(&d2).unwrap(); // delta @ 4, base 3
+        store.append(0, batch_record(4)).unwrap();
+        assert_eq!(store.stats().delta_snapshots_written, 2);
+        drop(store);
+
+        let (store, recovered) = EvolutionStore::open(&dir).unwrap();
+        assert_eq!(
+            recovered.snapshot.as_ref().map(|(s, _)| *s),
+            Some(4),
+            "recovery anchors on the delta chain head"
+        );
+        assert_eq!(
+            recovered.snapshot.as_ref().unwrap().1.to_bytes(),
+            state.to_bytes(),
+            "chain resolution reproduces the full state"
+        );
+        assert_eq!(recovered.tail.len(), 1, "only the post-delta record");
+        let kinds: Vec<SnapshotKind> = store
+            .snapshot_index()
+            .unwrap()
+            .iter()
+            .map(|m| m.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![SnapshotKind::Full, SnapshotKind::Delta, SnapshotKind::Delta]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn damaged_delta_chain_falls_back_to_full_anchor() {
+        let dir = temp_dir("delta-damaged");
+        let mut store = EvolutionStore::create(&dir).unwrap();
+        let state = empty_snapshot();
+        store.write_snapshot(&state).unwrap();
+        store.append(0, batch_record(1)).unwrap();
+        let d = DeltaSnapshot::between(0, &state, &state);
+        store.write_delta_snapshot(&d).unwrap(); // delta @ 1, base 0
+        store.append(0, batch_record(2)).unwrap();
+        drop(store);
+
+        // Damage the delta: the whole chain candidate must be skipped and
+        // recovery must re-anchor on the older full snapshot.
+        let delta = delta_path(&dir, 1);
+        let mut bytes = std::fs::read(&delta).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&delta, &bytes).unwrap();
+
+        let (_, recovered) = EvolutionStore::open(&dir).unwrap();
+        assert_eq!(recovered.snapshots_skipped, 1);
+        assert_eq!(recovered.snapshot.as_ref().map(|(s, _)| *s), Some(0));
+        assert_eq!(recovered.tail.len(), 2, "replays from the older anchor");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_materializes_a_delta_anchor_before_dropping_its_chain() {
+        let dir = temp_dir("delta-compact");
+        let mut store = EvolutionStore::create(&dir).unwrap();
+        let state = empty_snapshot();
+        store.write_snapshot(&state).unwrap();
+        for k in 0..2 {
+            store.append(0, batch_record(k)).unwrap();
+        }
+        let d = DeltaSnapshot::between(0, &state, &state);
+        store.write_delta_snapshot(&d).unwrap(); // delta @ 2, base 0
+        store.append(0, batch_record(2)).unwrap();
+
+        let (segs, snaps) = store.compact().unwrap();
+        assert_eq!(segs, 1, "the pre-anchor segment is gone");
+        assert_eq!(snaps, 2, "the base full image and the delta itself");
+        assert!(
+            snap_path(&dir, 2).exists(),
+            "the anchor was materialized as a full image"
+        );
+        assert!(!delta_path(&dir, 2).exists());
+        drop(store);
+
+        let (_, recovered) = EvolutionStore::open(&dir).unwrap();
+        assert_eq!(recovered.snapshot.as_ref().map(|(s, _)| *s), Some(2));
+        assert_eq!(
+            recovered.snapshot.as_ref().unwrap().1.to_bytes(),
+            state.to_bytes()
+        );
+        assert_eq!(recovered.tail.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_and_sequential_open_agree() {
+        let dir = temp_dir("par-vs-seq");
+        let mut store = EvolutionStore::create(&dir).unwrap();
+        store.write_snapshot(&empty_snapshot()).unwrap();
+        for k in 0..4 {
+            store.append(0, batch_record(k)).unwrap();
+        }
+        store.write_snapshot(&empty_snapshot()).unwrap();
+        for k in 4..9 {
+            store.append(0, batch_record(k)).unwrap();
+        }
+        drop(store);
+
+        let (_, sequential) = EvolutionStore::open_with(
+            &dir,
+            RecoveryOptions {
+                parallel_replay: false,
+            },
+        )
+        .unwrap();
+        let (store, parallel) = EvolutionStore::open(&dir).unwrap();
+        assert_eq!(parallel.next_seq, sequential.next_seq);
+        assert_eq!(parallel.tail.len(), sequential.tail.len());
+        for (a, b) in parallel.tail.iter().zip(&sequential.tail) {
+            assert_eq!(crate::codec::to_bytes(a), crate::codec::to_bytes(b));
+        }
+        assert!(store.stats().replay_threads >= 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -27,6 +27,9 @@ use crate::maintainer::DataUpdate;
 /// The engine the shell drives: in-memory only, or durably backed by an
 /// evolution store (after `open <dir>`).
 #[derive(Debug)]
+// One Host lives per Shell, so the size spread between the variants is
+// irrelevant — boxing would only add a pointer chase to every command.
+#[allow(clippy::large_enum_variant)]
 enum Host {
     Plain(EveEngine),
     Durable(DurableEngine),
@@ -561,21 +564,39 @@ impl Shell {
             d.next_seq(),
             snapshots.len()
         );
-        for (seq, generation) in snapshots {
-            out.push_str(&format!("  snap seq {seq} @ generation {generation}\n"));
+        for meta in snapshots {
+            let kind = match meta.kind {
+                eve_store::SnapshotKind::Full => "full",
+                eve_store::SnapshotKind::Delta => "delta",
+            };
+            out.push_str(&format!(
+                "  snap seq {} @ generation {} [{kind}]\n",
+                meta.seq, meta.generation
+            ));
         }
+        let records_per_fsync = if s.fsyncs == 0 {
+            0.0
+        } else {
+            s.records_appended as f64 / s.fsyncs as f64
+        };
         out.push_str(&format!(
-            "appended: {} records, {} bytes, {} fsyncs\n\
-             snapshots written: {} ({} bytes)\n\
-             replayed: {} records; torn: {} bytes / {} records truncated",
+            "appended: {} records, {} bytes, {} fsyncs \
+             ({} group commits, {records_per_fsync:.1} records/fsync)\n\
+             snapshots written: {} ({} bytes, {} deltas)\n\
+             replayed: {} records; torn: {} bytes / {} records truncated\n\
+             recovery: {} threads, {} segments read in parallel",
             s.records_appended,
             s.log_bytes_appended,
             s.fsyncs,
+            s.group_commits,
             s.snapshots_written,
             s.snapshot_bytes_written,
+            s.delta_snapshots_written,
             s.records_replayed,
             s.torn_bytes_truncated,
-            s.torn_records_truncated
+            s.torn_records_truncated,
+            s.replay_threads,
+            s.segments_read_parallel
         ));
         Ok(out)
     }
@@ -908,13 +929,20 @@ mod tests {
         let out = sh.execute(&format!("travel {g0} V")).unwrap();
         assert!(out.contains("'ann'"), "{out}");
 
-        // A second shell recovers the exact state.
+        // While this session holds the store, a second opener is refused —
+        // two live writers would interleave appends.
         let mut sh2 = Shell::new();
+        let err = sh2.execute(&format!("open {dir_str}")).unwrap_err();
+        assert!(err.to_string().contains("already open"), "{err}");
+
+        // After the first session ends, a second shell recovers the state.
+        let expected = sh.engine().snapshot_state().to_bytes();
+        drop(sh);
         let out = sh2.execute(&format!("open {dir_str}")).unwrap();
         assert!(out.contains("recovered store"), "{out}");
         assert_eq!(
             sh2.engine().snapshot_state().to_bytes(),
-            sh.engine().snapshot_state().to_bytes(),
+            expected,
             "recovered shell state is byte-identical"
         );
         assert!(sh2.execute("query V").unwrap().contains("'bob'"));

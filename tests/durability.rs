@@ -15,6 +15,11 @@
 
 use proptest::prelude::*;
 
+use eve::relational::tup;
+use eve::store::{
+    EvolutionStore, GroupCommitLog, GroupCommitPolicy, LogRecord, RecoveryOptions, SealedRecord,
+};
+use eve::sync::EvolutionOp;
 use eve::system::DurableEngine;
 use eve_bench::experiments::batch_pipeline;
 use eve_bench::experiments::durability::{fingerprint, into_batches};
@@ -169,6 +174,163 @@ proptest! {
         prop_assert!(travelled.mkb().generation() <= target);
         std::fs::remove_dir_all(&dir).ok();
     }
+}
+
+/// A distinguishable single-op record for group-commit differentials (the
+/// key makes every frame's bytes unique, so prefix comparison catches
+/// loss, duplication and reordering).
+fn keyed_record(seed: u64, k: u64) -> LogRecord {
+    #[allow(clippy::cast_possible_wrap)]
+    LogRecord::Batch(vec![EvolutionOp::insert(
+        "R",
+        vec![tup![(seed ^ k) as i64, k as i64]],
+    )])
+}
+
+fn sealed_bytes(seed: u64, k: u64) -> Vec<u8> {
+    eve::store::to_bytes(&SealedRecord {
+        post_generation: 0,
+        record: keyed_record(seed, k),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(24)
+    ))]
+
+    /// Group-commit crash differential. `acked` records are acknowledged
+    /// through commit tickets; `queued` more are enqueued but never
+    /// waited on when the process dies (their followers are still
+    /// blocked). Optionally the crash also tears bytes off the active
+    /// segment — the crash-between-buffer-write-and-fsync case. Recovery
+    /// must produce an exact byte **prefix** of the enqueue order: every
+    /// record either fully survives in order or never existed; absent a
+    /// tear, the prefix covers at least every acknowledged record.
+    #[test]
+    fn group_commit_crash_recovers_exactly_a_committed_prefix(
+        seed in 0u64..1_000_000,
+        acked in 0u64..12,
+        queued in 0u64..12,
+        tear in prop::option::of(1u64..48),
+    ) {
+        let dir = scratch_dir("group-crash");
+        let store = EvolutionStore::create(&dir).unwrap();
+        let log = GroupCommitLog::new(store, GroupCommitPolicy::default());
+        for k in 0..acked {
+            let seq = log.append_durable(0, keyed_record(seed, k)).unwrap();
+            prop_assert_eq!(seq, k);
+        }
+        for k in acked..acked + queued {
+            // Enqueued, never flushed: the follower never saw its ticket
+            // resolve, so durability was never promised.
+            drop(log.enqueue(0, keyed_record(seed, k)).unwrap());
+        }
+        drop(log); // crash with followers still queued
+
+        if let Some(cut) = tear {
+            let segment = active_segment(&dir);
+            let len = std::fs::metadata(&segment).unwrap().len();
+            let file = std::fs::OpenOptions::new().write(true).open(&segment).unwrap();
+            file.set_len(len.saturating_sub(cut).max(16)).unwrap();
+            file.sync_all().unwrap();
+        }
+
+        let (_, recovered) = EvolutionStore::open(&dir).unwrap();
+        let n = recovered.tail.len() as u64;
+        prop_assert!(n <= acked + queued);
+        if tear.is_none() {
+            prop_assert_eq!(n, acked, "exactly the acknowledged records survive a clean crash");
+        }
+        for (i, sealed) in recovered.tail.iter().enumerate() {
+            prop_assert_eq!(
+                &eve::store::to_bytes(sealed),
+                &sealed_bytes(seed, i as u64),
+                "recovered record {} must byte-match the enqueue order", i
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// One waiter's leader round commits the *whole* queue as one batch:
+    /// recovery then surfaces every record of that batch — the recovered
+    /// prefix always ends on a committed-batch boundary, even though only
+    /// the first follower ever saw its ticket resolve.
+    #[test]
+    fn group_commit_batch_commits_are_all_or_nothing(
+        seed in 0u64..1_000_000,
+        batch in 2u64..16,
+    ) {
+        let dir = scratch_dir("group-batch");
+        let store = EvolutionStore::create(&dir).unwrap();
+        let log = GroupCommitLog::new(store, GroupCommitPolicy::default());
+        let mut tickets: Vec<_> = (0..batch)
+            .map(|k| log.enqueue(0, keyed_record(seed, k)).unwrap())
+            .collect();
+        // Wait only the FIRST ticket: its leader round drains the whole
+        // queue into one contiguous write + one fsync.
+        let first = tickets.remove(0);
+        prop_assert_eq!(first.wait().unwrap(), 0);
+        let fsyncs = log.with_store(|s| s.stats().fsyncs);
+        prop_assert_eq!(fsyncs, 1, "one fsync covered the whole batch");
+        drop(tickets); // the followers never observe their seqs
+        drop(log);     // crash
+
+        let (_, recovered) = EvolutionStore::open(&dir).unwrap();
+        prop_assert_eq!(
+            recovered.tail.len() as u64, batch,
+            "the committed batch survives in full — a batch boundary, not an ack boundary"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Parallel segment replay is an I/O optimization, not a semantic change:
+/// `open_with(parallel)` and `open_with(sequential)` recover byte-identical
+/// snapshots, tails and stats-relevant outcomes on a multi-segment store.
+#[test]
+fn parallel_and_sequential_recovery_are_byte_identical() {
+    let dir = scratch_dir("par-vs-seq");
+    // A mid-stream checkpoint rotates the log, so recovery reads multiple
+    // segments; raw appends afterwards grow the newest one's tail.
+    run_durable(&dir, 3, 40, 4, 77, Some(1));
+    {
+        let (mut store, _) = EvolutionStore::open(&dir).unwrap();
+        for k in 0..5 {
+            store.append(0, keyed_record(5, k)).unwrap();
+        }
+    }
+
+    let read = |parallel: bool| {
+        let (store, recovered) = EvolutionStore::open_with(
+            &dir,
+            RecoveryOptions {
+                parallel_replay: parallel,
+            },
+        )
+        .unwrap();
+        let threads = store.stats().replay_threads;
+        drop(store);
+        (
+            recovered.snapshot.map(|(seq, s)| (seq, s.to_bytes())),
+            recovered
+                .tail
+                .iter()
+                .map(eve::store::to_bytes)
+                .collect::<Vec<_>>(),
+            recovered.torn_bytes,
+            threads,
+        )
+    };
+    let (par_snap, par_tail, par_torn, par_threads) = read(true);
+    let (seq_snap, seq_tail, seq_torn, seq_threads) = read(false);
+    assert_eq!(par_snap, seq_snap, "anchor snapshots must byte-match");
+    assert_eq!(par_tail, seq_tail, "replay tails must byte-match");
+    assert_eq!(par_torn, seq_torn);
+    assert!(!par_tail.is_empty(), "the differential covered a real tail");
+    assert_eq!(seq_threads, 1);
+    assert!(par_threads >= 1);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// The tier-1 crash-recovery smoke CI runs by name: write ops, kill the

@@ -325,6 +325,96 @@ fn planned_view_execution_is_at_least_3x_faster_than_naive_on_wide_joins() {
 /// be byte-identical to the per-record state trajectory captured before
 /// the crash. Complements the bounded-case differential suite in
 /// `tests/durability.rs` with volume.
+/// Group-commit soak: 40 seeds of *concurrent* appenders racing through
+/// the group-commit writer, then a crash — on odd seeds additionally a
+/// torn final write. Every acknowledged record was fsync'd inside some
+/// batch, so recovery must hand back records at exactly the sequence
+/// numbers their commit tickets reported, byte-identical, with no record
+/// surviving partially. Complements the deterministic queued-follower
+/// proptests in `tests/durability.rs` with scheduling volume.
+#[test]
+#[ignore = "long-running soak; run with `cargo test --test soak -- --ignored`"]
+fn group_commit_concurrent_crash_recovery_loop() {
+    use eve::relational::tup;
+    use eve::store::{EvolutionStore, GroupCommitLog, GroupCommitPolicy, LogRecord, SealedRecord};
+    use eve::sync::EvolutionOp;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    for seed in 200u64..240 {
+        let dir = std::env::temp_dir().join(format!(
+            "eve-soak-group-commit-{}-{seed}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = EvolutionStore::create(&dir).unwrap();
+        let log = GroupCommitLog::new(store, GroupCommitPolicy::default());
+        let threads = 2 + usize::try_from(seed % 7).unwrap();
+        let per_thread = 10 + usize::try_from(seed % 23).unwrap();
+        let acked: Mutex<BTreeMap<u64, Vec<u8>>> = Mutex::new(BTreeMap::new());
+
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let log = &log;
+                let acked = &acked;
+                scope.spawn(move || {
+                    for k in 0..per_thread {
+                        #[allow(clippy::cast_possible_wrap)]
+                        let key = ((seed % 1000) * 1_000_000 + (t as u64) * 1000 + k as u64) as i64;
+                        let record =
+                            LogRecord::Batch(vec![EvolutionOp::insert("R", vec![tup![key]])]);
+                        let seq = log.append_durable(0, record.clone()).unwrap();
+                        let bytes = eve::store::to_bytes(&SealedRecord {
+                            post_generation: 0,
+                            record,
+                        });
+                        acked.lock().unwrap().insert(seq, bytes);
+                    }
+                });
+            }
+        });
+        drop(log); // crash
+
+        let total = threads * per_thread;
+        if seed % 2 == 1 {
+            // Torn final write on top of the crash.
+            let active = eve_bench::experiments::durability::active_segment(&dir)
+                .unwrap()
+                .expect("store has a segment");
+            let len = std::fs::metadata(&active).unwrap().len();
+            let cut = 16 + (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (len - 16).max(1));
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&active)
+                .unwrap();
+            file.set_len(cut.min(len)).unwrap();
+            file.sync_all().unwrap();
+        }
+
+        let (_, recovered) = EvolutionStore::open(&dir).unwrap();
+        let acked = acked.into_inner().unwrap();
+        if seed % 2 == 1 {
+            assert!(recovered.tail.len() <= total, "seed {seed}");
+        } else {
+            assert_eq!(
+                recovered.tail.len(),
+                total,
+                "seed {seed}: every acknowledged record survives a clean crash"
+            );
+        }
+        for (i, sealed) in recovered.tail.iter().enumerate() {
+            assert_eq!(
+                &eve::store::to_bytes(sealed),
+                acked
+                    .get(&(i as u64))
+                    .expect("recovered seq was acknowledged"),
+                "seed {seed}: record at seq {i} must byte-match its acknowledged content"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 #[test]
 #[ignore = "long-running soak; run with `cargo test --test soak -- --ignored`"]
 fn durability_random_crash_point_recovery_loop() {
