@@ -6,7 +6,7 @@
 
 use eve_bench::experiments::{
     batch_pipeline, durability, exp1_survival, exp2_sites, exp3_distribution, exp4_cardinality,
-    exp5_workload, heuristics, search_space, strategy_regret, validation, view_exec,
+    exp5_workload, heuristics, search_space, serve, strategy_regret, validation, view_exec,
 };
 use eve_bench::report::{write_bench_json, Json};
 use eve_bench::table::{num, TextTable};
@@ -66,10 +66,14 @@ fn main() {
         durability_report();
         ran = true;
     }
+    if arg == "serve" {
+        serve_report();
+        ran = true;
+    }
     if !ran {
         eprintln!("unknown experiment `{arg}`");
         eprintln!(
-            "usage: repro [exp1|exp2|exp3|exp4|exp5|heuristics|validate|regret|batch|view-exec|search|durability|all]"
+            "usage: repro [exp1|exp2|exp3|exp4|exp5|heuristics|validate|regret|batch|view-exec|search|durability|serve|all]"
         );
         std::process::exit(2);
     }
@@ -683,6 +687,96 @@ fn durability_report() {
             ),
             ("rows", Json::Arr(json_rows)),
             ("append_rows", Json::Arr(append_rows)),
+        ]),
+    );
+}
+
+fn serve_report() {
+    heading("Multi-tenant serving layer: concurrent sessions vs a serial oracle (extension)");
+    let cfg = serve::ServeConfig::default();
+    // Any oracle divergence, typed error or transport failure must fail
+    // the invocation — CI relies on the exit code.
+    let report = serve::run(&cfg).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let mut t = TextTable::new(&["tenant", "writes", "view rows", "identical"]);
+    let mut json_rows = Vec::new();
+    for r in &report.rows {
+        t.row(vec![
+            r.tenant.clone(),
+            r.writes.to_string(),
+            r.view_rows.to_string(),
+            if r.identical { "yes" } else { "NO" }.into(),
+        ]);
+        json_rows.push(Json::obj(vec![
+            ("tenant", Json::Str(r.tenant.clone())),
+            ("writes", r.writes.into()),
+            ("view_rows", r.view_rows.into()),
+            ("identical", Json::Bool(r.identical)),
+        ]));
+    }
+    println!("{}", t.render());
+
+    let writes: usize = report.rows.iter().map(|r| r.writes).sum();
+    let reads = report.requests - writes;
+    let mut lt = TextTable::new(&["class", "requests", "p50 us", "p99 us"]);
+    lt.row(vec![
+        "writer statements".into(),
+        writes.to_string(),
+        report.write_p50_us.to_string(),
+        report.write_p99_us.to_string(),
+    ]);
+    lt.row(vec![
+        "reader requests".into(),
+        reads.to_string(),
+        report.read_p50_us.to_string(),
+        report.read_p99_us.to_string(),
+    ]);
+    lt.row(vec![
+        "all".into(),
+        report.requests.to_string(),
+        report.p50_us.to_string(),
+        report.p99_us.to_string(),
+    ]);
+    println!("{}", lt.render());
+    println!(
+        "{} sessions stayed concurrently open across {} tenants; {} requests drained in {} ms \
+         ({} req/s) with {} typed errors; every tenant byte-identical to its serial oracle: {}.",
+        report.clients,
+        report.tenants,
+        report.requests,
+        num(report.elapsed_ms, 1),
+        num(report.throughput_rps, 0),
+        report.errors,
+        if report.byte_identical { "yes" } else { "NO" },
+    );
+
+    if !report.byte_identical || report.errors != 0 || report.clients < 1000 || report.tenants < 8 {
+        eprintln!(
+            "error: serve gate failed (identical={}, errors={}, clients={}, tenants={})",
+            report.byte_identical, report.errors, report.clients, report.tenants
+        );
+        std::process::exit(1);
+    }
+
+    emit_json(
+        "serve",
+        Json::obj(vec![
+            ("tenants", report.tenants.into()),
+            ("clients", report.clients.into()),
+            ("requests", report.requests.into()),
+            ("errors", report.errors.into()),
+            ("byte_identical", Json::Bool(report.byte_identical)),
+            ("elapsed_ms", report.elapsed_ms.into()),
+            ("throughput_rps", report.throughput_rps.into()),
+            ("p50_us", report.p50_us.into()),
+            ("p99_us", report.p99_us.into()),
+            ("write_p50_us", report.write_p50_us.into()),
+            ("write_p99_us", report.write_p99_us.into()),
+            ("read_p50_us", report.read_p50_us.into()),
+            ("read_p99_us", report.read_p99_us.into()),
+            ("rows", Json::Arr(json_rows)),
         ]),
     );
 }

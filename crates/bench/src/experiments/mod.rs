@@ -9,6 +9,7 @@ pub mod exp4_cardinality;
 pub mod exp5_workload;
 pub mod heuristics;
 pub mod search_space;
+pub mod serve;
 pub mod strategy_regret;
 pub mod validation;
 pub mod view_exec;

@@ -51,40 +51,49 @@ impl Enc {
         self.buf
     }
 
-    pub(crate) fn u8(&mut self, v: u8) {
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    pub(crate) fn bool(&mut self, v: bool) {
+    /// Appends a bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) {
         self.buf.push(u8::from(v));
     }
 
-    pub(crate) fn u32(&mut self, v: u32) {
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn u64(&mut self, v: u64) {
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn i64(&mut self, v: i64) {
+    /// Appends an `i64`, little-endian.
+    pub fn i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn f64(&mut self, v: f64) {
+    /// Appends an `f64` as its IEEE bit pattern, little-endian.
+    pub fn f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
     }
 
-    pub(crate) fn usize(&mut self, v: usize) {
+    /// Appends a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) {
         self.u64(v as u64);
     }
 
-    pub(crate) fn str(&mut self, v: &str) {
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
         self.usize(v.len());
         self.buf.extend_from_slice(v.as_bytes());
     }
 
-    pub(crate) fn opt_str(&mut self, v: Option<&str>) {
+    /// Appends an optional string (presence byte + string).
+    pub fn opt_str(&mut self, v: Option<&str>) {
         match v {
             None => self.bool(false),
             Some(s) => {
@@ -116,7 +125,12 @@ impl<'a> Dec<'a> {
         self.pos == self.buf.len()
     }
 
-    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+    /// Takes the next `n` raw bytes, bounds-checked.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] on truncated or malformed input.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         let end = self
             .pos
             .checked_add(n)
@@ -133,11 +147,21 @@ impl<'a> Dec<'a> {
         Ok(slice)
     }
 
-    pub(crate) fn u8(&mut self) -> Result<u8> {
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] on truncated or malformed input.
+    pub fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
-    pub(crate) fn bool(&mut self) -> Result<bool> {
+    /// Reads a bool byte (0/1; anything else is corrupt).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] on truncated or malformed input.
+    pub fn bool(&mut self) -> Result<bool> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
@@ -145,32 +169,62 @@ impl<'a> Dec<'a> {
         }
     }
 
-    pub(crate) fn u32(&mut self) -> Result<u32> {
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] on truncated or malformed input.
+    pub fn u32(&mut self) -> Result<u32> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
     }
 
-    pub(crate) fn u64(&mut self) -> Result<u64> {
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] on truncated or malformed input.
+    pub fn u64(&mut self) -> Result<u64> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
     }
 
-    pub(crate) fn i64(&mut self) -> Result<i64> {
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] on truncated or malformed input.
+    pub fn i64(&mut self) -> Result<i64> {
         let b = self.take(8)?;
         Ok(i64::from_le_bytes(b.try_into().expect("8 bytes")))
     }
 
-    pub(crate) fn f64(&mut self) -> Result<f64> {
+    /// Reads an `f64` from its IEEE bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] on truncated or malformed input.
+    pub fn f64(&mut self) -> Result<f64> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    pub(crate) fn usize(&mut self) -> Result<usize> {
+    /// Reads a `u64` and converts it to `usize`, checked.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] on truncated or malformed input.
+    pub fn usize(&mut self) -> Result<usize> {
         usize::try_from(self.u64()?).map_err(|_| Error::corrupt("usize overflow"))
     }
 
     /// A length prefix that must be satisfiable by the remaining bytes —
     /// rejects absurd lengths from corrupt frames before any allocation.
-    pub(crate) fn len(&mut self) -> Result<usize> {
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] when the length exceeds the remaining bytes.
+    #[allow(clippy::len_without_is_empty)] // decodes a length prefix, not a container size
+    pub fn len(&mut self) -> Result<usize> {
         let n = self.usize()?;
         if n > self.buf.len() - self.pos {
             return Err(Error::corrupt(format!(
@@ -181,13 +235,23 @@ impl<'a> Dec<'a> {
         Ok(n)
     }
 
-    pub(crate) fn str(&mut self) -> Result<String> {
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] on truncated or malformed input.
+    pub fn str(&mut self) -> Result<String> {
         let n = self.len()?;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| Error::corrupt("invalid utf-8 string"))
     }
 
-    pub(crate) fn opt_str(&mut self) -> Result<Option<String>> {
+    /// Reads an optional string (presence byte + string).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] on truncated or malformed input.
+    pub fn opt_str(&mut self) -> Result<Option<String>> {
         Ok(if self.bool()? {
             Some(self.str()?)
         } else {
@@ -232,14 +296,20 @@ pub fn from_bytes<T: Codec>(bytes: &[u8]) -> Result<T> {
     Ok(value)
 }
 
-pub(crate) fn vec_encode<T: Codec>(items: &[T], enc: &mut Enc) {
+/// Encodes a slice as a length-prefixed sequence.
+pub fn vec_encode<T: Codec>(items: &[T], enc: &mut Enc) {
     enc.usize(items.len());
     for item in items {
         item.encode(enc);
     }
 }
 
-pub(crate) fn vec_decode<T: Codec>(dec: &mut Dec<'_>) -> Result<Vec<T>> {
+/// Decodes a length-prefixed sequence.
+///
+/// # Errors
+///
+/// [`Error::Corrupt`] on malformed input.
+pub fn vec_decode<T: Codec>(dec: &mut Dec<'_>) -> Result<Vec<T>> {
     let n = dec.len()?;
     let mut out = Vec::with_capacity(n.min(4096));
     for _ in 0..n {

@@ -39,6 +39,24 @@ pub enum Error {
         /// What was being framed.
         what: &'static str,
     },
+    /// The store directory is already open by another handle: its advisory
+    /// lock is held. Carries the directory and the lock file's path so
+    /// callers (e.g. the shell) can say exactly *which* lock blocks them
+    /// instead of surfacing a raw flock error.
+    Busy {
+        /// The store directory that was being opened.
+        dir: PathBuf,
+        /// The lock file another handle holds.
+        lock: PathBuf,
+    },
+    /// The group-commit log was shut down (dropped, or its leader died)
+    /// while this record was still queued. The record was never
+    /// acknowledged and is not durable; waiters receive this instead of
+    /// blocking on a condvar that nobody will ever signal.
+    Shutdown {
+        /// What was being waited on.
+        detail: String,
+    },
 }
 
 impl Error {
@@ -72,6 +90,23 @@ impl Error {
     pub fn too_large(size: usize, what: &'static str) -> Error {
         Error::TooLarge { size, what }
     }
+
+    /// A store-busy error for a directory whose lock is already held.
+    #[must_use]
+    pub fn busy(dir: impl Into<PathBuf>, lock: impl Into<PathBuf>) -> Error {
+        Error::Busy {
+            dir: dir.into(),
+            lock: lock.into(),
+        }
+    }
+
+    /// A shutdown error with the given detail.
+    #[must_use]
+    pub fn shutdown(detail: impl Into<String>) -> Error {
+        Error::Shutdown {
+            detail: detail.into(),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -84,6 +119,14 @@ impl fmt::Display for Error {
                 f,
                 "store frame overflow: {what} of {size} bytes exceeds the 4 GiB frame limit"
             ),
+            Error::Busy { dir, lock } => write!(
+                f,
+                "store busy: {} is already open by another evolution-store handle \
+                 (lock held at {}; close the other session or pick another directory)",
+                dir.display(),
+                lock.display()
+            ),
+            Error::Shutdown { detail } => write!(f, "store shut down: {detail}"),
         }
     }
 }

@@ -81,8 +81,8 @@ impl DirLock {
     ///
     /// # Errors
     ///
-    /// I/O failures, or [`Error::State`] when another store handle already
-    /// holds the lock.
+    /// I/O failures, or [`Error::Busy`] — naming both the directory and
+    /// the lock file — when another store handle already holds the lock.
     pub(crate) fn acquire(dir: &Path) -> Result<DirLock> {
         let path = dir.join(Self::FILE_NAME);
         let file = OpenOptions::new()
@@ -95,11 +95,7 @@ impl DirLock {
         #[cfg(unix)]
         sys::try_lock_exclusive(&file).map_err(|e| {
             if e.kind() == std::io::ErrorKind::WouldBlock {
-                Error::state(format!(
-                    "{} is already open by another evolution-store handle \
-                     (concurrent opens would interleave appends and corrupt the log)",
-                    dir.display()
-                ))
+                Error::busy(dir, &path)
             } else {
                 Error::io(&path, e)
             }
@@ -146,6 +142,15 @@ mod tests {
         let first = DirLock::acquire(&dir).unwrap();
         let err = DirLock::acquire(&dir).unwrap_err();
         assert!(err.to_string().contains("already open"), "{err}");
+        // The failure is typed — not a raw flock error — and names the
+        // lock file another handle holds.
+        match &err {
+            Error::Busy { lock, .. } => {
+                assert!(lock.ends_with(DirLock::FILE_NAME), "{}", lock.display());
+            }
+            other => panic!("expected Error::Busy, got {other:?}"),
+        }
+        assert!(err.to_string().contains(DirLock::FILE_NAME), "{err}");
         drop(first);
         let _second = DirLock::acquire(&dir).unwrap();
         std::fs::remove_dir_all(&dir).ok();

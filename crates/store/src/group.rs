@@ -25,6 +25,16 @@
 //! after the last acknowledged batch boundary, because no ticket in a
 //! batch resolves before that batch's fsync returns. Records still queued
 //! (followers whose batch never flushed) simply never existed on disk.
+//!
+//! ## Shutdown semantics
+//!
+//! No ticket may wait forever on a condvar nobody will signal. Dropping
+//! the log (or calling [`GroupCommitLog::shutdown`]) resolves every still-
+//! queued slot with a typed [`Error::Shutdown`] — queued records stay
+//! unacknowledged and are *not* flushed, preserving the exactly-the-acked-
+//! prefix crash contract. A leader that panics mid-flush likewise resolves
+//! its claimed batch with [`Error::Shutdown`] and releases the flush claim
+//! on unwind, so followers never spin behind a dead leader.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -79,6 +89,39 @@ struct Queue {
     /// Whether a leader currently holds the flush (the store write happens
     /// outside the queue lock, so enqueues stay concurrent with fsync).
     flushing: bool,
+    /// Once set, no new record is accepted and pending waiters have been
+    /// (or are being) resolved with [`Error::Shutdown`].
+    shutdown: bool,
+}
+
+/// Resolves a slot with the shared error, unless a leader already served
+/// it, and wakes its waiter.
+fn resolve_with_error(slot: &Slot, e: &Arc<Error>) {
+    let mut state = lock(&slot.state);
+    if state.is_none() {
+        *state = Some(Err(Arc::clone(e)));
+    }
+    slot.cv.notify_all();
+}
+
+impl Drop for Queue {
+    /// The drop-while-pending backstop: when the log is dropped with
+    /// followers still holding unserved tickets, their slots resolve with
+    /// a typed [`Error::Shutdown`] instead of leaving any waiter parked on
+    /// a condvar nobody will ever signal. Queued records are *not* flushed
+    /// — exactly the acknowledged prefix survives, as on a crash.
+    fn drop(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let e = Arc::new(Error::shutdown(
+            "the group-commit log was dropped while this record was still queued \
+             (never acknowledged, not durable)",
+        ));
+        for (_, slot) in self.pending.drain(..) {
+            resolve_with_error(&slot, &e);
+        }
+    }
 }
 
 /// A group-commit front-end owning an [`EvolutionStore`]. Shared across
@@ -104,6 +147,31 @@ pub struct CommitTicket<'a> {
     slot: Arc<Slot>,
 }
 
+/// Unwind protection for a flush leader: while armed, dropping it (i.e. a
+/// panic anywhere between draining the batch and distributing outcomes)
+/// resolves the claimed slots with [`Error::Shutdown`] and releases the
+/// flush claim.
+struct FlushGuard<'a> {
+    log: &'a GroupCommitLog,
+    batch: Option<Vec<(Vec<u8>, Arc<Slot>)>>,
+}
+
+impl Drop for FlushGuard<'_> {
+    fn drop(&mut self) {
+        let Some(batch) = self.batch.take() else {
+            return; // disarmed: the leader completed normally
+        };
+        let e = Arc::new(Error::shutdown(
+            "the group-commit leader died mid-flush; this record was not \
+             acknowledged and may not be durable",
+        ));
+        for (_, slot) in &batch {
+            resolve_with_error(slot, &e);
+        }
+        lock(&self.log.queue).flushing = false;
+    }
+}
+
 impl GroupCommitLog {
     /// Wraps a store with the given flush policy.
     #[must_use]
@@ -127,7 +195,8 @@ impl GroupCommitLog {
     ///
     /// # Errors
     ///
-    /// [`Error::TooLarge`] when the record exceeds the frame format.
+    /// [`Error::TooLarge`] when the record exceeds the frame format, or
+    /// [`Error::Shutdown`] when the log has been shut down.
     pub fn enqueue(&self, post_generation: u64, record: LogRecord) -> Result<CommitTicket<'_>> {
         let bytes = frame(&SealedRecord {
             post_generation,
@@ -136,6 +205,11 @@ impl GroupCommitLog {
         let slot = Arc::new(Slot::default());
         let overflowing = {
             let mut queue = lock(&self.queue);
+            if queue.shutdown {
+                return Err(Error::shutdown(
+                    "the group-commit log is shut down and accepts no new records",
+                ));
+            }
             queue.pending.push_back((bytes, Arc::clone(&slot)));
             queue.pending.len() >= self.policy.max_batch && !queue.flushing
         };
@@ -188,11 +262,22 @@ impl GroupCommitLog {
             queue.pending.drain(..n).collect()
         };
 
+        // From here the leader owns the flush claim and the drained batch.
+        // If it dies (the store panics mid-append), the guard's Drop still
+        // resolves every claimed slot with a typed shutdown error and
+        // releases the claim — otherwise followers would spin forever
+        // behind `flushing == true` with nobody left to serve them.
+        let mut guard = FlushGuard {
+            log: self,
+            batch: Some(batch),
+        };
         let outcome = {
+            let batch = guard.batch.as_ref().expect("armed above");
             let mut store = lock(&self.store);
             let frames: Vec<&[u8]> = batch.iter().map(|(bytes, _)| bytes.as_slice()).collect();
             store.append_encoded_batch(&frames)
         };
+        let batch = guard.batch.take().expect("armed above");
         match outcome {
             Ok(first_seq) => {
                 for (offset, (_, slot)) in batch.iter().enumerate() {
@@ -207,14 +292,36 @@ impl GroupCommitLog {
                 // prefix, so every sequence number is reused.
                 let e = Arc::new(e);
                 for (_, slot) in &batch {
-                    let mut state = lock(&slot.state);
-                    *state = Some(Err(Arc::clone(&e)));
-                    slot.cv.notify_all();
+                    resolve_with_error(slot, &e);
                 }
             }
         }
         lock(&self.queue).flushing = false;
         true
+    }
+
+    /// Shuts the writer down: no further records are accepted, and every
+    /// still-queued record's ticket resolves with [`Error::Shutdown`] —
+    /// including waiters currently parked behind a leader that will never
+    /// serve them. Records already acknowledged are unaffected; queued
+    /// ones are *not* flushed (they were never acknowledged). Idempotent;
+    /// also run by Drop.
+    pub fn shutdown(&self) {
+        let drained: Vec<Arc<Slot>> = {
+            let mut queue = lock(&self.queue);
+            queue.shutdown = true;
+            queue.pending.drain(..).map(|(_, slot)| slot).collect()
+        };
+        if drained.is_empty() {
+            return;
+        }
+        let e = Arc::new(Error::shutdown(
+            "the group-commit log shut down while this record was still queued \
+             (never acknowledged, not durable)",
+        ));
+        for slot in drained {
+            resolve_with_error(&slot, &e);
+        }
     }
 
     /// Drains every currently queued record to disk (callers still waiting
@@ -255,9 +362,11 @@ impl CommitTicket<'_> {
     ///
     /// # Errors
     ///
-    /// [`Error::State`] wrapping the batch's shared store error: the
+    /// [`Error::State`] wrapping the batch's shared store error (the
     /// write failed, nothing in the batch was acknowledged, and the
-    /// store rolled back to its durable prefix.
+    /// store rolled back to its durable prefix), or [`Error::Shutdown`]
+    /// when the log shut down — or its leader died — before this
+    /// record's batch was flushed.
     pub fn wait(self) -> Result<u64> {
         loop {
             {
@@ -265,7 +374,12 @@ impl CommitTicket<'_> {
                 if let Some(outcome) = state.as_ref() {
                     return match outcome {
                         Ok(seq) => Ok(*seq),
-                        Err(e) => Err(Error::state(format!("group commit failed: {e}"))),
+                        // A shutdown outcome stays typed so callers can
+                        // distinguish "log is gone" from a write failure.
+                        Err(e) => Err(match e.as_ref() {
+                            Error::Shutdown { detail } => Error::shutdown(detail.clone()),
+                            other => Error::state(format!("group commit failed: {other}")),
+                        }),
                     };
                 }
             }
@@ -275,9 +389,17 @@ impl CommitTicket<'_> {
             // Another leader is mid-flush (or just finished). Wait on our
             // slot; the timeout covers the race where that leader's batch
             // was capped without us and no other waiter drives a round.
+            // A shutdown with this slot still unresolved means nobody will
+            // ever serve it — surface the typed error instead of spinning.
             let state = lock(&self.slot.state);
             if state.is_some() {
                 continue;
+            }
+            if lock(&self.log.queue).shutdown {
+                return Err(Error::shutdown(
+                    "the group-commit log shut down before this record's batch \
+                     was flushed (never acknowledged, not durable)",
+                ));
             }
             let (state, _) = self
                 .slot
@@ -435,6 +557,56 @@ mod tests {
             2,
             "exactly the acknowledged records survive"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_while_pending_tickets_resolves_with_shutdown_error() {
+        // The drop-while-pending regression: tickets still queued when the
+        // log goes away must resolve with a typed `Error::Shutdown`, never
+        // hang a condvar wait forever.
+
+        // (a) A follower parked behind a leader that will never serve it
+        // (simulated stuck flush claim): an explicit shutdown wakes it
+        // with the typed error instead of leaving it to spin.
+        let (dir, log) = fresh_log("shutdown-waiter");
+        lock(&log.queue).flushing = true; // a leader claimed the flush and died
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| log.enqueue(0, record(1)).unwrap().wait());
+            std::thread::sleep(Duration::from_millis(20));
+            log.shutdown();
+            let err = handle.join().unwrap().unwrap_err();
+            assert!(
+                matches!(err, Error::Shutdown { .. }),
+                "expected Error::Shutdown, got {err:?}"
+            );
+        });
+        // After shutdown, new records are refused with the same typed error.
+        let err = log.append_durable(0, record(2)).unwrap_err();
+        assert!(matches!(err, Error::Shutdown { .. }), "{err:?}");
+        drop(log);
+        std::fs::remove_dir_all(&dir).ok();
+
+        // (b) Dropping the log itself with unserved tickets queued: every
+        // pending slot resolves with `Error::Shutdown` (and the records,
+        // never acknowledged, do not reach disk).
+        let (dir, log) = fresh_log("shutdown-drop");
+        lock(&log.queue).flushing = true; // nothing flushes the queue on drop paths
+        let t1 = log.enqueue(0, record(1)).unwrap();
+        let t2 = log.enqueue(0, record(2)).unwrap();
+        let (s1, s2) = (Arc::clone(&t1.slot), Arc::clone(&t2.slot));
+        drop(t1);
+        drop(t2);
+        drop(log);
+        for slot in [&s1, &s2] {
+            let state = lock(&slot.state);
+            match state.as_ref() {
+                Some(Err(e)) => assert!(matches!(e.as_ref(), Error::Shutdown { .. }), "{e:?}"),
+                other => panic!("pending slot not resolved with shutdown: {other:?}"),
+            }
+        }
+        let (_, recovered) = EvolutionStore::open(&dir).unwrap();
+        assert_eq!(recovered.tail.len(), 0, "queued records never reached disk");
         std::fs::remove_dir_all(&dir).ok();
     }
 

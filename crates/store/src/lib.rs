@@ -42,7 +42,7 @@ pub mod log;
 pub mod snapshot;
 pub mod store;
 
-pub use codec::{from_bytes, to_bytes, Codec};
+pub use codec::{from_bytes, to_bytes, vec_decode, vec_encode, Codec, Dec, Enc};
 pub use error::{Error, Result};
 pub use group::{CommitTicket, GroupCommitLog, GroupCommitPolicy};
 pub use log::{LogRecord, SealedRecord};

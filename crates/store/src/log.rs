@@ -266,19 +266,27 @@ pub fn read_segment(path: &Path) -> Result<SegmentContents> {
     let mut records = Vec::new();
     let mut pos = 16usize;
     let valid_len = loop {
-        let remaining = bytes.len() - pos;
-        if remaining == 0 {
+        // Everything here must be a *checked* read: the tail of a crashed
+        // segment can be cut at any byte, and a torn `len` field can
+        // declare any value up to `u32::MAX` — neither may ever panic on
+        // slicing or overflow arithmetic. `None` from either getter means
+        // the frame runs past the file's end: a torn tail.
+        let Some(tail) = bytes.get(pos..) else {
+            break pos; // defensive: pos is always <= len, but never slice-panic
+        };
+        if tail.is_empty() {
             break pos; // clean end on a frame boundary
         }
-        if remaining < 12 {
-            break pos; // torn frame header
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        let crc = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
-        if remaining - 12 < len {
-            break pos; // torn payload
-        }
-        let payload = &bytes[pos + 12..pos + 12 + len];
+        let (Some(len_bytes), Some(crc_bytes)) = (tail.get(..4), tail.get(4..12)) else {
+            break pos; // torn frame header (1..=11 bytes)
+        };
+        let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+        let crc = u64::from_le_bytes(crc_bytes.try_into().expect("8 bytes"));
+        // `12 + len` cannot overflow usize on 64-bit (len <= u32::MAX) but
+        // the checked form keeps 32-bit targets honest too.
+        let Some(payload) = 12usize.checked_add(len).and_then(|end| tail.get(12..end)) else {
+            break pos; // torn payload (declared length overruns the file)
+        };
         if crc64(payload) != crc {
             break pos; // torn / corrupt payload
         }
@@ -464,6 +472,61 @@ mod tests {
         let contents = read_segment(&path).unwrap();
         assert_eq!(contents.records.len(), 1, "only the first frame survives");
         assert_eq!(contents.valid_len, second_frame_start as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn short_tail_of_every_length_is_torn_not_a_panic() {
+        // The short-tail torn-segment regression: a crash can leave a tail
+        // of *any* length after the last intact frame — including the 1–3
+        // byte stubs that don't even cover the `len` field, and headers
+        // whose declared length overruns the file (up to `u32::MAX`).
+        // Every such tail must scan as torn bytes, never panic, and
+        // truncate to a clean prefix.
+        let path = temp_file("short-tail");
+        let records = sample_records();
+        write_segment(&path, 3, &records);
+        let intact = std::fs::read(&path).unwrap();
+
+        // (a) Tails of every length 1..=24 after the full segment: covers
+        // partial len fields (1-3 bytes), partial crc fields (4-11), and
+        // short payloads against any plausible declared length.
+        for tail_len in 1..=24usize {
+            let mut bytes = intact.clone();
+            bytes.extend(std::iter::repeat_n(0xAB, tail_len));
+            std::fs::write(&path, &bytes).unwrap();
+            let contents = read_segment(&path).unwrap();
+            assert_eq!(contents.records.len(), records.len(), "tail {tail_len}");
+            assert_eq!(contents.valid_len, intact.len() as u64, "tail {tail_len}");
+            assert_eq!(contents.torn_bytes, tail_len as u64, "tail {tail_len}");
+            truncate_segment(&path, contents.valid_len).unwrap();
+            assert_eq!(read_segment(&path).unwrap().torn_bytes, 0);
+        }
+
+        // (b) A complete 12-byte frame header whose declared length is
+        // absurd — u32::MAX and friends — followed by a few bytes. The
+        // `pos + len` style arithmetic must not overflow or slice past
+        // the end; the whole thing is one torn tail.
+        for declared in [u32::MAX, u32::MAX - 1, 1 << 31, 4096] {
+            let mut bytes = intact.clone();
+            bytes.extend_from_slice(&declared.to_le_bytes());
+            bytes.extend_from_slice(&0xDEAD_BEEFu64.to_le_bytes());
+            bytes.extend_from_slice(&[1, 2, 3]);
+            std::fs::write(&path, &bytes).unwrap();
+            let contents = read_segment(&path).unwrap();
+            assert_eq!(contents.records.len(), records.len(), "declared {declared}");
+            assert_eq!(contents.valid_len, intact.len() as u64);
+            assert_eq!(contents.torn_bytes, 15);
+        }
+
+        // (c) Files shorter than the 16-byte segment header are a typed
+        // corruption error (there is no intact prefix to keep), not a
+        // panic.
+        for cut in 0..16usize {
+            std::fs::write(&path, &intact[..cut]).unwrap();
+            let err = read_segment(&path).unwrap_err();
+            assert!(err.to_string().contains("segment"), "cut {cut}: {err}");
+        }
         std::fs::remove_file(&path).ok();
     }
 

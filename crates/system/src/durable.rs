@@ -54,8 +54,16 @@ use crate::site::SimSite;
 
 impl From<eve_store::Error> for Error {
     fn from(e: eve_store::Error) -> Error {
-        Error::State {
-            detail: e.to_string(),
+        match e {
+            // Keep "store busy" typed across the layer boundary: the shell
+            // and server surface it with the lock path and a usage hint
+            // instead of collapsing it into a generic state error.
+            eve_store::Error::Busy { .. } => Error::Busy {
+                detail: e.to_string(),
+            },
+            other => Error::State {
+                detail: other.to_string(),
+            },
         }
     }
 }
@@ -102,6 +110,11 @@ pub struct DurableEngine {
     /// against.
     last_snapshot: Option<(u64, EngineSnapshot)>,
     deltas_since_full: u64,
+    /// Set when a failed mutation could not be re-anchored with a
+    /// snapshot: the store is behind the live engine. While poisoned,
+    /// every durable mutation fails closed (the engine is not touched);
+    /// a successful [`DurableEngine::checkpoint`] clears it.
+    poisoned: Option<String>,
 }
 
 /// Every `N`th automatic delta checkpoint is promoted to a full image,
@@ -140,6 +153,7 @@ impl DurableEngine {
             batches_since_snapshot: 0,
             last_snapshot: Some((seq, snapshot)),
             deltas_since_full: 0,
+            poisoned: None,
         })
     }
 
@@ -191,6 +205,7 @@ impl DurableEngine {
                 batches_since_snapshot: 0,
                 last_snapshot,
                 deltas_since_full: 0,
+                poisoned: None,
             },
             report,
         ))
@@ -287,6 +302,9 @@ impl DurableEngine {
         let snapshot = self.engine.snapshot_state();
         let seq = self.log.with_store(|s| s.write_snapshot(&snapshot))?;
         self.last_snapshot = Some((seq, snapshot));
+        // A full snapshot re-anchors durability on the live state: any
+        // earlier double failure is healed, so the host is live again.
+        self.poisoned = None;
         Ok(seq)
     }
 
@@ -336,6 +354,40 @@ impl DurableEngine {
         Ok(self.log.with_store(|s| s.compact())?)
     }
 
+    /// Whether the host is poisoned: a failed mutation could not be
+    /// re-anchored with a snapshot, so the on-disk store is behind the
+    /// live engine. While poisoned every durable mutation fails closed;
+    /// a successful [`DurableEngine::checkpoint`] heals the host.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// The double-failure message that poisoned the host, if any.
+    #[must_use]
+    pub fn poison_detail(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    /// Records the double failure and returns the typed error surfaced to
+    /// the caller (and to every durable mutation attempted afterwards).
+    fn poison(&mut self, detail: String) -> Error {
+        self.poisoned = Some(detail.clone());
+        Error::Poisoned { detail }
+    }
+
+    /// Fails closed when the host is poisoned — called before the engine
+    /// is touched, so a half-anchored store never drifts further from its
+    /// log while the operator decides how to recover.
+    fn ensure_live(&self) -> Result<()> {
+        match &self.poisoned {
+            Some(detail) => Err(Error::Poisoned {
+                detail: detail.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
     // ------------------------------------------------------------------
     // Durable mutation wrappers (engine first, then the fsync'd record)
     // ------------------------------------------------------------------
@@ -356,13 +408,10 @@ impl DurableEngine {
             Ok(_) => Ok(()),
             Err(append_err) => match self.checkpoint() {
                 Ok(_) => Err(append_err.into()),
-                Err(anchor_err) => Err(Error::State {
-                    detail: format!(
-                        "log append failed ({append_err}) and the re-anchoring snapshot \
-                         also failed ({anchor_err}): the store is behind the live engine \
-                         — checkpoint manually before further durable mutations"
-                    ),
-                }),
+                Err(anchor_err) => Err(self.poison(format!(
+                    "log append failed ({append_err}) and the re-anchoring snapshot \
+                     also failed ({anchor_err}): the store is behind the live engine"
+                ))),
             },
         }
     }
@@ -373,6 +422,7 @@ impl DurableEngine {
     ///
     /// Engine or store failures.
     pub fn add_site(&mut self, id: SiteId, name: impl Into<String>) -> Result<()> {
+        self.ensure_live()?;
         let name = name.into();
         self.engine.add_site(id, name.clone())?;
         self.log(LogRecord::AddSite { id: id.0, name })
@@ -384,6 +434,7 @@ impl DurableEngine {
     ///
     /// Engine or store failures.
     pub fn register_relation(&mut self, info: RelationInfo, extent: Relation) -> Result<()> {
+        self.ensure_live()?;
         self.engine
             .register_relation(info.clone(), extent.clone())?;
         self.log(LogRecord::RegisterRelation { info, extent })
@@ -395,6 +446,7 @@ impl DurableEngine {
     ///
     /// Engine or store failures.
     pub fn seed_tuples(&mut self, relation: &str, tuples: Vec<Tuple>) -> Result<()> {
+        self.ensure_live()?;
         let info = self.engine.mkb().relation(relation)?;
         let site_id = info.site.0;
         self.engine
@@ -416,6 +468,7 @@ impl DurableEngine {
     ///
     /// Engine or store failures.
     pub fn add_pc_constraint(&mut self, pc: PcConstraint) -> Result<()> {
+        self.ensure_live()?;
         self.engine
             .mkb_mut()
             .add_pc_constraint(pc.clone())
@@ -429,6 +482,7 @@ impl DurableEngine {
     ///
     /// Engine or store failures.
     pub fn add_join_constraint(&mut self, jc: JoinConstraint) -> Result<()> {
+        self.ensure_live()?;
         self.engine
             .mkb_mut()
             .add_join_constraint(jc.clone())
@@ -442,6 +496,7 @@ impl DurableEngine {
     ///
     /// Store failures.
     pub fn set_join_selectivity(&mut self, a: &str, b: &str, js: f64) -> Result<()> {
+        self.ensure_live()?;
         self.engine.mkb_mut().set_join_selectivity(a, b, js);
         self.log(LogRecord::SetJoinSelectivity {
             left: a.to_owned(),
@@ -456,6 +511,7 @@ impl DurableEngine {
     ///
     /// Store failures.
     pub fn set_default_join_selectivity(&mut self, js: f64) -> Result<()> {
+        self.ensure_live()?;
         self.engine.mkb_mut().set_default_join_selectivity(js);
         self.log(LogRecord::SetDefaultJoinSelectivity { js })
     }
@@ -466,6 +522,7 @@ impl DurableEngine {
     ///
     /// Engine or store failures.
     pub fn define_view_sql(&mut self, sql: &str) -> Result<&MaterializedView> {
+        self.ensure_live()?;
         let def = self.engine.define_view_sql(sql)?.def.clone();
         let name = def.name.clone();
         self.log(LogRecord::DefineView(def))?;
@@ -478,6 +535,7 @@ impl DurableEngine {
     ///
     /// Engine or store failures.
     pub fn drop_view(&mut self, name: &str) -> Result<MaterializedView> {
+        self.ensure_live()?;
         let dropped = self.engine.drop_view(name)?;
         self.log(LogRecord::DropView {
             name: name.to_owned(),
@@ -497,6 +555,7 @@ impl DurableEngine {
     /// Engine failures (after the re-anchoring snapshot) or store
     /// failures.
     pub fn apply_batch(&mut self, ops: Vec<EvolutionOp>) -> Result<BatchOutcome> {
+        self.ensure_live()?;
         match self.engine.apply_batch(ops.clone()) {
             Ok(outcome) => {
                 self.log(LogRecord::Batch(ops))?;
@@ -519,13 +578,10 @@ impl DurableEngine {
                 // the store is now behind the live engine.
                 match self.checkpoint() {
                     Ok(_) => Err(e),
-                    Err(anchor_err) => Err(Error::State {
-                        detail: format!(
-                            "batch failed ({e}) and the re-anchoring snapshot also \
-                             failed ({anchor_err}): the store is behind the live engine \
-                             — checkpoint manually before further durable mutations"
-                        ),
-                    }),
+                    Err(anchor_err) => Err(self.poison(format!(
+                        "batch failed ({e}) and the re-anchoring snapshot also \
+                         failed ({anchor_err}): the store is behind the live engine"
+                    ))),
                 }
             }
         }
@@ -571,6 +627,7 @@ impl DurableEngine {
     ///
     /// Engine or store failures.
     pub fn rebalance_views(&mut self) -> Result<Vec<crate::engine::MigrationReport>> {
+        self.ensure_live()?;
         let reports = self.engine.rebalance_views()?;
         if reports.iter().any(|r| r.migrated) {
             self.checkpoint()?;

@@ -25,6 +25,22 @@ pub enum Error {
         /// Explanation.
         detail: String,
     },
+    /// A durable store is busy: its directory lock is held by another
+    /// handle. Kept distinct from [`Error::State`] so front-ends (shell,
+    /// server) can give the "close the other session" hint — and name the
+    /// lock file — instead of surfacing a raw flock failure.
+    Busy {
+        /// Explanation, including the lock path.
+        detail: String,
+    },
+    /// The durable host is poisoned: a failed mutation could not be
+    /// re-anchored with a snapshot, so the on-disk store is behind the
+    /// live engine. All further durable mutations fail closed with this
+    /// error until an explicit checkpoint re-anchors durability.
+    Poisoned {
+        /// Explanation of the double failure that poisoned the host.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -37,6 +53,12 @@ impl fmt::Display for Error {
             Error::Sync(m) => write!(f, "synchronization error: {m}"),
             Error::Qc(m) => write!(f, "QC-Model error: {m}"),
             Error::State { detail } => write!(f, "engine state error: {detail}"),
+            Error::Busy { detail } => write!(f, "{detail}"),
+            Error::Poisoned { detail } => write!(
+                f,
+                "durable host poisoned: {detail} — run `checkpoint` to re-anchor \
+                 the store before further durable mutations"
+            ),
         }
     }
 }

@@ -56,6 +56,16 @@ impl Shell {
         }
     }
 
+    /// A shell directly over a durable engine — the server's per-tenant
+    /// host, where every session must hit the evolution log without an
+    /// interactive `open` first.
+    #[must_use]
+    pub fn with_durable(durable: DurableEngine) -> Shell {
+        Shell {
+            host: Host::Durable(durable),
+        }
+    }
+
     /// The wrapped engine.
     #[must_use]
     pub fn engine(&self) -> &EveEngine {
@@ -99,7 +109,34 @@ impl Shell {
             Some((c, r)) => (c, r.trim()),
             None => (line, ""),
         };
-        match cmd.to_ascii_lowercase().as_str() {
+        let cmd = cmd.to_ascii_lowercase();
+        // Fail closed on a poisoned durable host: a mutation's re-anchoring
+        // snapshot failed, so the on-disk store is behind the live engine.
+        // Mutating (and history-rewriting) commands are refused *before*
+        // they touch the engine — they would widen the divergence — while
+        // reads and `checkpoint` (the remedy) stay available.
+        if let Host::Durable(d) = &self.host {
+            if let Some(detail) = d.poison_detail() {
+                if matches!(
+                    cmd.as_str(),
+                    "site"
+                        | "relation"
+                        | "insert"
+                        | "pc"
+                        | "jc"
+                        | "view"
+                        | "update"
+                        | "change"
+                        | "rebalance"
+                        | "compact"
+                ) {
+                    return Err(Error::Poisoned {
+                        detail: detail.to_owned(),
+                    });
+                }
+            }
+        }
+        match cmd.as_str() {
             "help" => Ok(HELP.trim().to_owned()),
             "site" => self.cmd_site(rest),
             "relation" => self.cmd_relation(rest),
@@ -533,7 +570,13 @@ impl Shell {
         }
     }
 
-    fn durable_mut(&mut self) -> Result<&mut DurableEngine> {
+    /// The open durable engine, mutably — the server drives checkpoints
+    /// and budget resets through this.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::State`] when no store is open.
+    pub fn durable_mut(&mut self) -> Result<&mut DurableEngine> {
         match &mut self.host {
             Host::Durable(d) => Ok(d),
             Host::Plain(_) => Err(Error::State {
@@ -987,6 +1030,99 @@ mod tests {
         // Opening twice is rejected, not silently re-bootstrapped.
         let err = sh.execute("open /tmp/somewhere-else").unwrap_err();
         assert!(err.to_string().contains("already open"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shell_open_on_locked_store_reports_busy_with_lock_path() {
+        // Pins the satellite bugfix: `open` on a directory whose store
+        // lock another live session holds must surface the typed "store
+        // busy" error naming the lock file — not a raw flock failure, and
+        // never a panic.
+        let dir =
+            std::env::temp_dir().join(format!("eve-shell-durable-{}-locked", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_str = dir.to_string_lossy().to_string();
+
+        let mut holder = Shell::new();
+        holder.execute(&format!("open {dir_str}")).unwrap();
+
+        let mut sh = Shell::new();
+        sh.execute("site 4 survivor").unwrap();
+        let err = sh.execute(&format!("open {dir_str}")).unwrap_err();
+        assert!(
+            matches!(err, Error::Busy { .. }),
+            "expected Error::Busy, got {err:?}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("store busy"), "{msg}");
+        assert!(msg.contains("store.lock"), "lock path named: {msg}");
+        assert!(msg.contains("already open"), "{msg}");
+        // The refused open leaves the in-memory session intact.
+        assert!(sh.engine().mkb().sites().any(|(id, _)| id.0 == 4));
+        // Once the holder closes, the same open succeeds.
+        drop(holder);
+        let out = sh.execute(&format!("open {dir_str}")).unwrap();
+        assert!(out.contains("recovered store"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn poisoned_durable_host_fails_closed() {
+        // Pins the satellite bugfix: when a failed mutation's re-anchoring
+        // snapshot ALSO fails, the store is behind the live engine. The
+        // shell must refuse further mutations (fail closed, engine
+        // untouched) instead of operating on a half-applied engine — and a
+        // successful explicit checkpoint must heal the host.
+        let dir =
+            std::env::temp_dir().join(format!("eve-shell-durable-{}-poison", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut sh = seeded_shell();
+        sh.execute(&format!("open {}", dir.display())).unwrap();
+
+        // Yank the store directory out from under the session, then apply
+        // an op the engine rejects: the failed batch triggers the
+        // re-anchoring snapshot, which cannot be written any more.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let err = sh.execute("update Ghost insert ('x')").unwrap_err();
+        assert!(
+            matches!(err, Error::Poisoned { .. }),
+            "expected Error::Poisoned, got {err:?}"
+        );
+        assert!(sh.durable().unwrap().is_poisoned());
+
+        // Every mutating command now fails closed *before* the engine.
+        let err = sh.execute("site 9 late").unwrap_err();
+        assert!(matches!(err, Error::Poisoned { .. }), "{err:?}");
+        assert!(
+            err.to_string().contains("checkpoint"),
+            "remedy named: {err}"
+        );
+        assert!(
+            !sh.engine().mkb().sites().any(|(id, _)| id.0 == 9),
+            "fail closed means the engine was never touched"
+        );
+        for cmd in [
+            "relation Late @1 (X:int)",
+            "insert Customer ('eve', 'Salem')",
+            "update FlightRes insert ('eve', 'Asia')",
+            "change delete-relation FlightRes",
+            "rebalance",
+            "compact",
+        ] {
+            let err = sh.execute(cmd).unwrap_err();
+            assert!(matches!(err, Error::Poisoned { .. }), "{cmd}: {err:?}");
+        }
+        // Reads stay available on the live engine.
+        assert!(sh.execute("query V").unwrap().contains("'ann'"));
+
+        // `checkpoint` is the remedy and stays allowed: restore the
+        // directory, re-anchor, and the host is live again.
+        std::fs::create_dir_all(&dir).unwrap();
+        sh.execute("checkpoint").unwrap();
+        assert!(!sh.durable().unwrap().is_poisoned());
+        sh.execute("site 9 late").unwrap();
+        assert!(sh.engine().mkb().sites().any(|(id, _)| id.0 == 9));
         std::fs::remove_dir_all(&dir).ok();
     }
 
