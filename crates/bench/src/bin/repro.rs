@@ -5,8 +5,9 @@
 //! ```
 
 use eve_bench::experiments::{
-    batch_pipeline, durability, exp1_survival, exp2_sites, exp3_distribution, exp4_cardinality,
-    exp5_workload, heuristics, search_space, serve, strategy_regret, validation, view_exec,
+    batch_pipeline, columns, durability, exp1_survival, exp2_sites, exp3_distribution,
+    exp4_cardinality, exp5_workload, heuristics, search_space, serve, strategy_regret, validation,
+    view_exec,
 };
 use eve_bench::report::{write_bench_json, Json};
 use eve_bench::table::{num, TextTable};
@@ -58,6 +59,10 @@ fn main() {
         view_exec_report();
         ran = true;
     }
+    if arg == "columns" {
+        columns_report();
+        ran = true;
+    }
     if arg == "search" || arg == "search-space" || arg == "search_space" {
         search_report();
         ran = true;
@@ -73,7 +78,7 @@ fn main() {
     if !ran {
         eprintln!("unknown experiment `{arg}`");
         eprintln!(
-            "usage: repro [exp1|exp2|exp3|exp4|exp5|heuristics|validate|regret|batch|view-exec|search|durability|serve|all]"
+            "usage: repro [exp1|exp2|exp3|exp4|exp5|heuristics|validate|regret|batch|view-exec|columns|search|durability|serve|all]"
         );
         std::process::exit(2);
     }
@@ -453,6 +458,86 @@ fn view_exec_report() {
                 Json::obj(vec![
                     ("workload", "wide_join".into()),
                     ("min_speedup", Json::Num(3.0)),
+                ]),
+            ),
+            ("rows", Json::Arr(json_rows)),
+        ]),
+    );
+}
+
+fn columns_report() {
+    heading("Columnar execution vs the row-oriented baseline (extension)");
+    let mut t = TextTable::new(&[
+        "workload",
+        "row ms",
+        "columnar ms",
+        "speedup",
+        "rows out",
+        "idx scans",
+        "idx builds",
+        "idx hits",
+    ]);
+    let mut json_rows = Vec::new();
+    // A row/columnar byte-divergence surfaces as Err from compare(); it
+    // must fail the invocation — CI relies on the exit code.
+    let rows = columns::compare(5).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let mut wide_speedup = f64::INFINITY;
+    let mut star_index_hits = u64::MAX;
+    for r in rows {
+        if r.workload.starts_with("wide_text_join") {
+            wide_speedup = r.speedup;
+        }
+        if r.workload.starts_with("star_text") {
+            star_index_hits = r.index.hits;
+        }
+        t.row(vec![
+            r.workload.clone(),
+            num(r.row_ms, 2),
+            num(r.columnar_ms, 2),
+            format!("{:.1}x", r.speedup),
+            r.rows_out.to_string(),
+            r.index_scans.to_string(),
+            r.index.builds.to_string(),
+            r.index.hits.to_string(),
+        ]);
+        json_rows.push(Json::obj(vec![
+            ("workload", r.workload.into()),
+            ("row_ms", r.row_ms.into()),
+            ("columnar_ms", r.columnar_ms.into()),
+            ("speedup", r.speedup.into()),
+            ("rows_out", r.rows_out.into()),
+            ("index_scans", u64::from(r.index_scans).into()),
+            ("index_builds", r.index.builds.into()),
+            ("index_hits", r.index.hits.into()),
+        ]));
+    }
+    println!("{}", t.render());
+    println!(
+        "Both arms execute the SAME plan and are asserted byte-identical \
+         (order included); the columnar arm reads interned u64 join keys \
+         from the cached batch and probes lazily built secondary indexes."
+    );
+
+    if wide_speedup < 5.0 || star_index_hits == 0 {
+        eprintln!(
+            "error: columns gate failed (wide_text_join speedup {wide_speedup:.2}x < 5x \
+             or star_text index hits = {star_index_hits})"
+        );
+        std::process::exit(1);
+    }
+
+    emit_json(
+        "columns",
+        Json::obj(vec![
+            ("bench", "columns".into()),
+            (
+                "gate",
+                Json::obj(vec![
+                    ("workload", "wide_text_join".into()),
+                    ("min_speedup", Json::Num(5.0)),
                 ]),
             ),
             ("rows", Json::Arr(json_rows)),

@@ -1,6 +1,7 @@
 //! Experiment implementations, one module per §7 experiment.
 
 pub mod batch_pipeline;
+pub mod columns;
 pub mod durability;
 pub mod exp1_survival;
 pub mod exp2_sites;

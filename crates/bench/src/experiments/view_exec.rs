@@ -317,17 +317,30 @@ mod tests {
     #[test]
     fn planner_io_estimate_matches_analytic_recompute_io() {
         // With declared statistics attached, the planner's scan I/O is the
-        // same `Σ ⌈|R|/bfr⌉` the analytic model charges for recomputation.
+        // analytic model's `Σ ⌈|R|/bfr⌉` recomputation charge — or less,
+        // when the cost model routes a selective literal clause through a
+        // secondary index instead of a full scan.
         for workload in workloads().unwrap() {
             let plan = plan_view(&workload.view, &workload.extents, &workload.stats).unwrap();
             let row = run(&workload, 1).unwrap();
+            let est = plan.estimate();
             assert!(
-                (plan.estimate().io_blocks - row.analytic_io).abs() < 1e-9,
+                est.io_blocks <= row.analytic_io + 1e-9,
                 "{}: planner {} vs analytic {}",
                 workload.name,
-                plan.estimate().io_blocks,
+                est.io_blocks,
                 row.analytic_io
             );
+            if est.index_scans == 0 {
+                assert!(
+                    (est.io_blocks - row.analytic_io).abs() < 1e-9,
+                    "{}: without an index scan the estimates must agree \
+                     exactly: planner {} vs analytic {}",
+                    workload.name,
+                    est.io_blocks,
+                    row.analytic_io
+                );
+            }
         }
     }
 

@@ -4,7 +4,16 @@
 //! scans hand back `Arc`-shared relations ([`Relation::clone`] is
 //! pointer-cheap since the copy-on-write storage change), hash-join keys
 //! were resolved to column indices at plan time, and only genuinely new
-//! tuples (join concatenations, filtered subsets) allocate.
+//! tuples (join concatenations, filtered subsets) allocate. A filter that
+//! keeps every tuple returns the input's shared storage untouched.
+//!
+//! Two execution modes share one plan tree ([`ExecMode`]): the default
+//! **columnar** mode evaluates pushed-down filters as vectorized passes
+//! over the relation's [`crate::column::ColumnarBatch`], serves
+//! [`PlanNode::IndexScan`] from the lazily built secondary indexes, and
+//! probes hash joins with interned scalar keys (`u64`s instead of cloned
+//! key tuples); the **row-oriented** mode is the frozen PR 3 baseline the
+//! differential suites compare against byte-for-byte.
 //!
 //! [`join_with_counts`] is the incremental-maintenance flavour of the hash
 //! join: it additionally reports how many inner tuples each outer (delta)
@@ -15,13 +24,28 @@
 
 use std::collections::HashMap;
 
+use crate::column::{self, scalar_key};
 use crate::error::Result;
 use crate::plan::{split_equi_keys, PhysicalPlan, PlanNode};
-use crate::predicate::{Predicate, PrimitiveClause};
+use crate::predicate::{CompOp, Predicate, PrimitiveClause};
 use crate::relation::Relation;
+use crate::schema::Schema;
 use crate::tuple::Tuple;
 
+/// Which physical execution strategy to run a plan with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Row-at-a-time operators over `Tuple` storage — the PR 3 baseline,
+    /// kept as the differential reference and benchmark counter-arm.
+    RowOriented,
+    /// Vectorized filters, index scans and interned-key hash joins over
+    /// the columnar layer. The default.
+    #[default]
+    Columnar,
+}
+
 /// Executes a compiled plan, producing the named, projected output relation.
+/// Uses the default (columnar) mode.
 ///
 /// # Errors
 ///
@@ -29,7 +53,26 @@ use crate::tuple::Tuple;
 /// type-checked every predicate, so these only occur for pathological
 /// schema/value drift after planning).
 pub fn execute(plan: &PhysicalPlan) -> Result<Relation> {
-    let joined = eval(plan, &plan.root)?;
+    execute_with(plan, ExecMode::Columnar)
+}
+
+/// Executes a compiled plan under an explicit [`ExecMode`]. Both modes
+/// produce byte-identical output (same tuples, same order).
+///
+/// # Errors
+///
+/// See [`execute`].
+pub fn execute_with(plan: &PhysicalPlan, mode: ExecMode) -> Result<Relation> {
+    if mode == ExecMode::Columnar {
+        // The columnar image is part of the physical storage: build (or
+        // reuse — it is cached in the shared storage) each base input's
+        // batch up front so vectorized filters and interned join keys
+        // read columns instead of re-deriving scalar keys per tuple.
+        for input in &plan.inputs {
+            let _ = input.relation.columnar();
+        }
+    }
+    let joined = eval(plan, &plan.root, mode)?;
     let mut rows = Vec::with_capacity(joined.cardinality());
     for t in joined.tuples() {
         rows.push(t.project(&plan.projection));
@@ -41,26 +84,85 @@ pub fn execute(plan: &PhysicalPlan) -> Result<Relation> {
     ))
 }
 
-fn eval(plan: &PhysicalPlan, node: &PlanNode) -> Result<Relation> {
+/// Materializes an ascending selection over `rel` — zero-copy when the
+/// selection keeps every row.
+fn materialize_selection(rel: &Relation, sel: &[u32]) -> Relation {
+    if sel.len() == rel.cardinality() {
+        return rel.clone(); // shares tuple storage
+    }
+    let tuples = rel.tuples();
+    Relation::from_validated(
+        rel.name(),
+        rel.schema().clone(),
+        sel.iter().map(|&r| tuples[r as usize].clone()).collect(),
+    )
+}
+
+/// Row-at-a-time filter: ascending row ids satisfying `pred`.
+fn filter_rows(rel: &Relation, pred: &Predicate) -> Result<Vec<u32>> {
+    let mut sel = Vec::new();
+    for (i, t) in rel.tuples().iter().enumerate() {
+        if pred.eval(rel.schema(), t, rel.name())? {
+            sel.push(u32::try_from(i).expect("row id fits u32"));
+        }
+    }
+    Ok(sel)
+}
+
+fn eval(plan: &PhysicalPlan, node: &PlanNode, mode: ExecMode) -> Result<Relation> {
     match node {
         PlanNode::Scan { input, pushdown } => {
             let rel = &plan.inputs[*input].relation;
             match pushdown {
                 None => Ok(rel.clone()), // zero-copy: shares tuple storage
                 Some(pred) => {
-                    let mut keep = Vec::new();
-                    for t in rel.tuples() {
-                        if pred.eval(rel.schema(), t, rel.name())? {
-                            keep.push(t.clone());
+                    if mode == ExecMode::Columnar {
+                        if let Some(compiled) =
+                            column::compile_clauses(pred, rel.schema(), rel.name())
+                        {
+                            let batch = rel.columnar();
+                            let sel = column::filter_batch(&batch, rel.tuples(), &compiled);
+                            return Ok(materialize_selection(rel, &sel));
                         }
                     }
-                    Ok(Relation::from_validated(
-                        rel.name(),
-                        rel.schema().clone(),
-                        keep,
-                    ))
+                    let sel = filter_rows(rel, pred)?;
+                    Ok(materialize_selection(rel, &sel))
                 }
             }
+        }
+        PlanNode::IndexScan {
+            input,
+            col,
+            op,
+            key,
+            residual,
+            pushdown,
+        } => {
+            let rel = &plan.inputs[*input].relation;
+            if mode == ExecMode::RowOriented {
+                // Baseline semantics: the index clause is just a filter.
+                let sel = filter_rows(rel, pushdown)?;
+                return Ok(materialize_selection(rel, &sel));
+            }
+            let rows = if *op == CompOp::Eq {
+                rel.index_eq_rows(*col, key)
+            } else {
+                rel.index_range_rows(*col, *op, key)
+            };
+            let sel = match residual {
+                None => rows,
+                Some(pred) => {
+                    let tuples = rel.tuples();
+                    let mut keep = Vec::with_capacity(rows.len());
+                    for r in rows {
+                        if pred.eval(rel.schema(), &tuples[r as usize], rel.name())? {
+                            keep.push(r);
+                        }
+                    }
+                    keep
+                }
+            };
+            Ok(materialize_selection(rel, &sel))
         }
         PlanNode::HashJoin {
             probe,
@@ -70,25 +172,18 @@ fn eval(plan: &PhysicalPlan, node: &PlanNode) -> Result<Relation> {
             residual,
             schema,
         } => {
-            let probe_rel = eval(plan, probe)?;
-            let build_rel = eval(plan, build)?;
-            let name = format!("{}⋈{}", probe_rel.name(), build_rel.name());
-            let mut table: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
-            for b in build_rel.tuples() {
-                table.entry(b.project(build_keys)).or_default().push(b);
+            let probe_rel = eval(plan, probe, mode)?;
+            let build_rel = eval(plan, build, mode)?;
+            if mode == ExecMode::Columnar
+                && key_types_match(&probe_rel, probe_keys, &build_rel, build_keys)
+            {
+                return hash_join_columnar(
+                    &probe_rel, &build_rel, probe_keys, build_keys, residual, schema,
+                );
             }
-            let mut out = Vec::new();
-            for p in probe_rel.tuples() {
-                if let Some(matches) = table.get(&p.project(probe_keys)) {
-                    for b in matches {
-                        let t = p.concat(b);
-                        if residual.is_true() || residual.eval(schema, &t, &name)? {
-                            out.push(t);
-                        }
-                    }
-                }
-            }
-            Ok(Relation::from_validated(name, schema.clone(), out))
+            hash_join_rows(
+                &probe_rel, &build_rel, probe_keys, build_keys, residual, schema,
+            )
         }
         PlanNode::NestedLoop {
             outer,
@@ -96,8 +191,8 @@ fn eval(plan: &PhysicalPlan, node: &PlanNode) -> Result<Relation> {
             condition,
             schema,
         } => {
-            let outer_rel = eval(plan, outer)?;
-            let inner_rel = eval(plan, inner)?;
+            let outer_rel = eval(plan, outer, mode)?;
+            let inner_rel = eval(plan, inner, mode)?;
             let name = format!("{}⋈{}", outer_rel.name(), inner_rel.name());
             let mut out = Vec::new();
             for o in outer_rel.tuples() {
@@ -113,6 +208,173 @@ fn eval(plan: &PhysicalPlan, node: &PlanNode) -> Result<Relation> {
     }
 }
 
+/// Whether every probe/build key column pair compares the same type. A
+/// mismatched pair can never match under `Value` equality; the scalar key
+/// encoding cannot express that, so such joins take the row path.
+fn key_types_match(
+    probe: &Relation,
+    probe_keys: &[usize],
+    build: &Relation,
+    build_keys: &[usize],
+) -> bool {
+    probe_keys
+        .iter()
+        .zip(build_keys)
+        .all(|(&p, &b)| probe.schema().column(p).ty == build.schema().column(b).ty)
+}
+
+/// Join key over the scalar `u64` encoding (see [`crate::column`]).
+#[derive(PartialEq, Eq, Hash)]
+enum JoinKey {
+    One(u64),
+    Many(Box<[u64]>),
+}
+
+/// Multiply-xor hasher for [`JoinKey`]s: interned scalar keys are already
+/// uniform `u64`s, and SipHash would cost more per probe than the table
+/// lookup itself. Not used for projected-`Tuple` keys (the row baseline),
+/// which hash full values.
+#[derive(Default)]
+struct KeyHasher(u64);
+
+impl std::hash::Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        // Golden-ratio multiply, then fold the high bits down so both the
+        // bucket index and the control byte see the mixed entropy.
+        self.0 = (self.0 ^ x).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 32;
+    }
+
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(u64::from(x));
+    }
+
+    fn write_u8(&mut self, x: u8) {
+        self.write_u64(u64::from(x));
+    }
+
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+}
+
+/// Hash table from scalar join keys to ascending build-side row ids.
+type KeyTable = HashMap<JoinKey, Vec<u32>, std::hash::BuildHasherDefault<KeyHasher>>;
+
+fn key_table_with_capacity(n: usize) -> KeyTable {
+    KeyTable::with_capacity_and_hasher(n, std::hash::BuildHasherDefault::default())
+}
+
+/// Per-row scalar join keys for `cols`, read from the cached columnar
+/// batch when one exists and computed directly from the tuples otherwise
+/// (intermediates never pay a full batch build for one key column).
+fn join_key_vector(rel: &Relation, cols: &[usize]) -> Vec<JoinKey> {
+    if rel.columnar_built() {
+        let batch = rel.columnar();
+        if let [col] = cols {
+            let c = batch.column(*col);
+            return (0..batch.rows())
+                .map(|r| JoinKey::One(c.key_at(r)))
+                .collect();
+        }
+        return (0..batch.rows())
+            .map(|r| {
+                JoinKey::Many(
+                    cols.iter()
+                        .map(|&col| batch.column(col).key_at(r))
+                        .collect(),
+                )
+            })
+            .collect();
+    }
+    let tuples = rel.tuples();
+    if let [col] = cols {
+        return tuples
+            .iter()
+            .map(|t| JoinKey::One(scalar_key(t.get(*col))))
+            .collect();
+    }
+    tuples
+        .iter()
+        .map(|t| JoinKey::Many(cols.iter().map(|&c| scalar_key(t.get(c))).collect()))
+        .collect()
+}
+
+/// Hash join over interned scalar keys: hashes `u64`s instead of cloning
+/// and hashing projected key tuples. Output order is identical to the row
+/// path — probe order outer, build insertion (ascending row) order inner.
+fn hash_join_columnar(
+    probe_rel: &Relation,
+    build_rel: &Relation,
+    probe_keys: &[usize],
+    build_keys: &[usize],
+    residual: &Predicate,
+    schema: &Schema,
+) -> Result<Relation> {
+    let name = format!("{}⋈{}", probe_rel.name(), build_rel.name());
+    let build_key_vec = join_key_vector(build_rel, build_keys);
+    let mut table = key_table_with_capacity(build_key_vec.len());
+    for (i, k) in build_key_vec.into_iter().enumerate() {
+        table
+            .entry(k)
+            .or_default()
+            .push(u32::try_from(i).expect("row id fits u32"));
+    }
+    let probe_key_vec = join_key_vector(probe_rel, probe_keys);
+    let build_tuples = build_rel.tuples();
+    let mut out = Vec::new();
+    for (p, k) in probe_key_vec.into_iter().enumerate() {
+        if let Some(matches) = table.get(&k) {
+            let pt = &probe_rel.tuples()[p];
+            for &b in matches {
+                let t = pt.concat(&build_tuples[b as usize]);
+                if residual.is_true() || residual.eval(schema, &t, &name)? {
+                    out.push(t);
+                }
+            }
+        }
+    }
+    Ok(Relation::from_validated(name, schema.clone(), out))
+}
+
+/// The PR 3 row-oriented hash join: projected-`Tuple` keys.
+fn hash_join_rows(
+    probe_rel: &Relation,
+    build_rel: &Relation,
+    probe_keys: &[usize],
+    build_keys: &[usize],
+    residual: &Predicate,
+    schema: &Schema,
+) -> Result<Relation> {
+    let name = format!("{}⋈{}", probe_rel.name(), build_rel.name());
+    let mut table: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
+    for b in build_rel.tuples() {
+        table.entry(b.project(build_keys)).or_default().push(b);
+    }
+    let mut out = Vec::new();
+    for p in probe_rel.tuples() {
+        if let Some(matches) = table.get(&p.project(probe_keys)) {
+            for b in matches {
+                let t = p.concat(b);
+                if residual.is_true() || residual.eval(schema, &t, &name)? {
+                    out.push(t);
+                }
+            }
+        }
+    }
+    Ok(Relation::from_validated(name, schema.clone(), out))
+}
+
 /// Joins `delta` with `next` under the conjunction `on`, returning the
 /// joined relation together with the number of `next`-tuples matched by
 /// each delta tuple (for probe-I/O accounting). Equality clauses between
@@ -122,7 +384,9 @@ fn eval(plan: &PhysicalPlan, node: &PlanNode) -> Result<Relation> {
 ///
 /// This is Algorithm 1's per-site delta join, physically: identical output
 /// order (delta-major, build-table insertion order within a key) and
-/// identical match counts to the historical naive implementation.
+/// identical match counts to the historical naive implementation. The
+/// keyed probe runs over interned scalar keys when the column types line
+/// up, falling back to projected-tuple keys otherwise.
 ///
 /// # Errors
 ///
@@ -155,6 +419,31 @@ pub fn join_with_counts(
     }
 
     let (delta_idx, next_idx): (Vec<usize>, Vec<usize>) = keys.into_iter().unzip();
+    if key_types_match(delta, &delta_idx, next, &next_idx) {
+        let next_key_vec = join_key_vector(next, &next_idx);
+        let mut table = key_table_with_capacity(next_key_vec.len());
+        for (i, k) in next_key_vec.into_iter().enumerate() {
+            table
+                .entry(k)
+                .or_default()
+                .push(u32::try_from(i).expect("row id fits u32"));
+        }
+        let delta_key_vec = join_key_vector(delta, &delta_idx);
+        let next_tuples = next.tuples();
+        for (di, k) in delta_key_vec.into_iter().enumerate() {
+            let matches = table.get(&k).map_or(&[][..], Vec::as_slice);
+            counts.push(matches.len());
+            let dt = &delta.tuples()[di];
+            for &n in matches {
+                let t = dt.concat(&next_tuples[n as usize]);
+                if residual.eval(&schema, &t, &name)? {
+                    out.push(t);
+                }
+            }
+        }
+        return Ok((Relation::from_validated(name, schema, out), counts));
+    }
+
     let mut table: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
     for n in next.tuples() {
         table.entry(n.project(&next_idx)).or_default().push(n);
@@ -253,6 +542,55 @@ mod tests {
     }
 
     #[test]
+    fn exec_modes_agree_byte_for_byte() {
+        let p = plan(chain_spec()).unwrap();
+        let columnar = execute_with(&p, ExecMode::Columnar).unwrap();
+        let row = execute_with(&p, ExecMode::RowOriented).unwrap();
+        assert_eq!(columnar.tuples(), row.tuples(), "same tuples, same order");
+        assert_eq!(columnar, row);
+    }
+
+    #[test]
+    fn exec_modes_agree_on_text_keys() {
+        let l = rel(
+            "L",
+            &[("K", DataType::Text), ("P", DataType::Int)],
+            vec![tup!["a", 1], tup!["b", 2], tup!["a", 3]],
+        );
+        let r_ = rel(
+            "R",
+            &[("K", DataType::Text), ("Q", DataType::Int)],
+            vec![tup!["a", 10], tup!["c", 30], tup!["a", 40]],
+        );
+        let spec = QuerySpec {
+            name: "V".into(),
+            inputs: vec![
+                QueryInput {
+                    binding: "L".into(),
+                    relation: l,
+                    stats: None,
+                },
+                QueryInput {
+                    binding: "R".into(),
+                    relation: r_,
+                    stats: None,
+                },
+            ],
+            clauses: vec![PrimitiveClause::eq(
+                ColumnRef::parse("L.K"),
+                ColumnRef::parse("R.K"),
+            )],
+            projection: vec![ColumnRef::parse("L.P"), ColumnRef::parse("R.Q")],
+            output: vec![ColumnRef::bare("P"), ColumnRef::bare("Q")],
+        };
+        let p = plan(spec).unwrap();
+        let columnar = execute_with(&p, ExecMode::Columnar).unwrap();
+        let row = execute_with(&p, ExecMode::RowOriented).unwrap();
+        assert_eq!(columnar.tuples(), row.tuples());
+        assert_eq!(columnar.cardinality(), 4); // 2 'a' × 2 'a'
+    }
+
+    #[test]
     fn scan_without_pushdown_shares_storage() {
         let a = rel("A", &[("K", DataType::Int)], vec![tup![1], tup![2]]);
         let spec = QuerySpec {
@@ -306,6 +644,43 @@ mod tests {
     }
 
     #[test]
+    fn filter_keeping_everything_is_zero_copy() {
+        let a = rel(
+            "A",
+            &[("K", DataType::Int)],
+            (0..10).map(|k| tup![k]).collect(),
+        );
+        let pred = Predicate::single(PrimitiveClause::lit(
+            ColumnRef::parse("A.K"),
+            CompOp::Ge,
+            Value::Int(0),
+        ));
+        // Columnar path.
+        let sel = filter_rows(&a, &pred).unwrap();
+        let kept = materialize_selection(&a, &sel);
+        assert!(
+            kept.shares_tuples_with(&a),
+            "an all-pass filter must not materialize a copy"
+        );
+        // And through a full plan: the scan output of an all-pass pushdown
+        // shares storage with the base extent.
+        let spec = QuerySpec {
+            name: "V".into(),
+            inputs: vec![QueryInput {
+                binding: "A".into(),
+                relation: a.clone(),
+                stats: None,
+            }],
+            clauses: vec![pred.clauses()[0].clone()],
+            projection: vec![ColumnRef::parse("A.K")],
+            output: vec![ColumnRef::bare("K")],
+        };
+        let p = plan(spec).unwrap();
+        let scanned = eval(&p, &p.root, ExecMode::Columnar).unwrap();
+        assert!(scanned.shares_tuples_with(&a));
+    }
+
+    #[test]
     fn join_with_counts_matches_algebra_join() {
         let delta = rel(
             "D",
@@ -343,5 +718,21 @@ mod tests {
         let (joined, counts) = join_with_counts(&delta, &next, &on).unwrap();
         assert_eq!(counts, vec![3, 3], "keyless probe scans the relation");
         assert_eq!(joined.cardinality(), 3); // (1,2),(1,3),(2,3)
+    }
+
+    #[test]
+    fn mismatched_key_types_fall_back_to_row_join() {
+        // `D.K = N.K` with K Int on one side and Text on the other: legal
+        // to plan (no type check on key extraction), but no tuple can ever
+        // match. The scalar-key path must not report false matches.
+        let delta = rel("D", &[("K", DataType::Int)], vec![tup![1], tup![2]]);
+        let next = rel("N", &[("K", DataType::Text)], vec![tup!["1"], tup!["a"]]);
+        let on = vec![PrimitiveClause::eq(
+            ColumnRef::parse("D.K"),
+            ColumnRef::parse("N.K"),
+        )];
+        let (joined, counts) = join_with_counts(&delta, &next, &on).unwrap();
+        assert!(joined.is_empty());
+        assert_eq!(counts, vec![0, 0]);
     }
 }

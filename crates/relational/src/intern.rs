@@ -1,0 +1,162 @@
+//! Global string interning pool.
+//!
+//! Text values dominate the cost of row-oriented join keys: hashing and
+//! cloning `String`s per probe. The columnar layer ([`crate::column`])
+//! stores text columns as [`Symbol`] ids into this process-wide pool, so
+//! equality compares and hashes a `u32` instead.
+//!
+//! The pool is append-only: a string interned once keeps its id for the
+//! lifetime of the process, which is what lets columnar batches built at
+//! different times compare symbols directly. [`lookup`] is the
+//! non-inserting probe used for literal lookups — an unseen string has no
+//! symbol and therefore matches nothing, without growing the pool.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Interned string id. Equality of symbols ⇔ equality of the underlying
+/// strings (the pool never assigns one id to two strings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw pool id.
+    #[must_use]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+#[derive(Default)]
+struct PoolInner {
+    map: HashMap<Arc<str>, u32>,
+    strings: Vec<Arc<str>>,
+}
+
+static POOL: OnceLock<RwLock<PoolInner>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn pool() -> &'static RwLock<PoolInner> {
+    POOL.get_or_init(|| RwLock::new(PoolInner::default()))
+}
+
+/// Interns `s`, returning its stable [`Symbol`]. Idempotent: the same
+/// string always yields the same symbol.
+pub fn intern(s: &str) -> Symbol {
+    // Fast path: already interned (read lock only).
+    if let Some(&id) = pool().read().expect("intern pool poisoned").map.get(s) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Symbol(id);
+    }
+    let mut inner = pool().write().expect("intern pool poisoned");
+    if let Some(&id) = inner.map.get(s) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Symbol(id);
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let id = u32::try_from(inner.strings.len()).expect("intern pool exceeds u32 ids");
+    let arc: Arc<str> = Arc::from(s);
+    inner.strings.push(Arc::clone(&arc));
+    inner.map.insert(arc, id);
+    Symbol(id)
+}
+
+/// Non-inserting probe: the symbol for `s` if it was ever interned. Used
+/// for literal/probe-key lookups so query constants never grow the pool.
+#[must_use]
+pub fn lookup(s: &str) -> Option<Symbol> {
+    pool()
+        .read()
+        .expect("intern pool poisoned")
+        .map
+        .get(s)
+        .map(|&id| Symbol(id))
+}
+
+/// Resolves a symbol back to its string.
+///
+/// # Panics
+///
+/// Panics on a symbol that was never produced by [`intern`] (impossible
+/// through the public API).
+#[must_use]
+pub fn resolve(sym: Symbol) -> Arc<str> {
+    Arc::clone(
+        pool()
+            .read()
+            .expect("intern pool poisoned")
+            .strings
+            .get(sym.0 as usize)
+            .expect("symbol from a foreign pool"),
+    )
+}
+
+/// Pool counters, for the shell `stats` surface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InternStats {
+    /// Distinct strings held by the pool.
+    pub symbols: u64,
+    /// `intern` calls answered by an existing symbol.
+    pub hits: u64,
+    /// `intern` calls that inserted a new symbol.
+    pub misses: u64,
+}
+
+/// Snapshot of the pool counters.
+#[must_use]
+pub fn stats() -> InternStats {
+    let symbols = pool().read().expect("intern pool poisoned").strings.len() as u64;
+    InternStats {
+        symbols,
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = intern("eve-intern-idempotent");
+        let b = intern("eve-intern-idempotent");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let sym = intern("eve-intern-roundtrip");
+        assert_eq!(&*resolve(sym), "eve-intern-roundtrip");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = intern("eve-intern-a");
+        let b = intern("eve-intern-b");
+        assert_ne!(a, b);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        assert!(lookup("eve-intern-never-interned-s9z").is_none());
+        let before = stats().symbols;
+        assert!(lookup("eve-intern-never-interned-s9z").is_none());
+        assert_eq!(stats().symbols, before, "lookup must not grow the pool");
+        let sym = intern("eve-intern-now-interned-s9z");
+        assert_eq!(lookup("eve-intern-now-interned-s9z"), Some(sym));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let before = stats();
+        intern("eve-intern-stats-fresh-key");
+        intern("eve-intern-stats-fresh-key");
+        let after = stats();
+        assert!(after.misses > before.misses);
+        assert!(after.hits > before.hits);
+    }
+}

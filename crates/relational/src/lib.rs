@@ -32,10 +32,13 @@
 //! randomness is seeded.
 
 pub mod algebra;
+pub mod column;
 pub mod common;
 pub mod error;
 pub mod exec;
 pub mod generator;
+pub mod index;
+pub mod intern;
 pub mod plan;
 pub mod predicate;
 pub mod relation;
@@ -44,7 +47,11 @@ pub mod stats;
 pub mod tuple;
 pub mod types;
 
+pub use column::{Column, ColumnarBatch};
 pub use error::{Error, Result};
+pub use exec::ExecMode;
+pub use index::{IndexKind, IndexStats};
+pub use intern::{InternStats, Symbol};
 pub use plan::{PhysicalPlan, PlanEstimate, QueryInput, QuerySpec};
 pub use predicate::{CompOp, Operand, Predicate, PrimitiveClause};
 pub use relation::Relation;

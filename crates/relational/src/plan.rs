@@ -31,6 +31,7 @@ use crate::predicate::{CompOp, Operand, Predicate, PrimitiveClause};
 use crate::relation::Relation;
 use crate::schema::{ColumnDef, ColumnRef, Schema};
 use crate::stats::RelationStats;
+use crate::types::Value;
 
 /// Plan-time selectivity sampling depth for the measured-stat fallback.
 const SELECTIVITY_SAMPLE: usize = 256;
@@ -83,6 +84,27 @@ pub enum PlanNode {
         /// Selection applied during the scan (single-input clauses).
         pushdown: Option<Predicate>,
     },
+    /// Index-backed scan of `inputs[input]`: the most selective
+    /// `column θ literal` clause is answered by a secondary index (hash
+    /// for `=`, sorted for ranges; built lazily in the relation's shared
+    /// storage), the remaining pushed-down clauses filter the matches.
+    /// Chosen over [`PlanNode::Scan`] only when the cost model says the
+    /// index I/O undercuts the full scan.
+    IndexScan {
+        /// Index into [`PhysicalPlan::inputs`].
+        input: usize,
+        /// Column position of the indexed clause in the input schema.
+        col: usize,
+        /// The indexed clause's operator.
+        op: CompOp,
+        /// The indexed clause's literal.
+        key: Value,
+        /// Pushed-down clauses minus the indexed one.
+        residual: Option<Predicate>,
+        /// The full pushed-down conjunction (indexed clause included);
+        /// the row-oriented execution mode evaluates this as a filter.
+        pushdown: Predicate,
+    },
     /// Hash equi-join: `build` is materialized into a hash table on
     /// `build_keys`, `probe` streams against it. Output tuples are
     /// `probe ++ build`.
@@ -128,6 +150,9 @@ pub struct PlanEstimate {
     pub cpu_tuples: f64,
     /// Total abstract cost: `io_blocks + cpu_tuples`.
     pub total: f64,
+    /// How many leaves the cost model routed through a secondary index
+    /// instead of a full scan.
+    pub index_scans: u32,
 }
 
 /// Summary of one join step, for diagnostics and plan-shape assertions.
@@ -222,6 +247,24 @@ fn explain_node(plan: &PhysicalPlan, node: &PlanNode, depth: usize, out: &mut St
                 Some(p) => out.push_str(&format!("{pad}scan {} σ[{p}]\n", i.binding)),
                 None => out.push_str(&format!("{pad}scan {}\n", i.binding)),
             }
+        }
+        PlanNode::IndexScan {
+            input,
+            op,
+            key,
+            residual,
+            ..
+        } => {
+            let i = &plan.inputs[*input];
+            let kind = if *op == CompOp::Eq { "hash" } else { "sorted" };
+            out.push_str(&format!(
+                "{pad}index-scan {} ({kind} {op} {key}){}\n",
+                i.binding,
+                match residual {
+                    Some(r) => format!(" σ[{r}]"),
+                    None => String::new(),
+                }
+            ));
         }
         PlanNode::HashJoin {
             probe,
@@ -338,6 +381,63 @@ fn sampled_selectivity(rel: &Relation, pred: &Predicate) -> Result<f64> {
     Ok(hits as f64 / n as f64)
 }
 
+/// A cost-justified index access path for one leaf.
+struct IndexChoice {
+    /// Position of the chosen clause in the pushed-down conjunction.
+    clause: usize,
+    /// Column position of the clause's left side in the input schema.
+    col: usize,
+    /// Estimated index I/O: one probe + blocks holding the matches.
+    est_io: f64,
+    /// Estimated matching rows of the indexed clause alone.
+    est_matches: f64,
+}
+
+/// Weighs every indexable pushed-down clause (`column θ literal` with
+/// `θ ∈ {=, <, ≤, ≥, >}`) against the full scan: estimated index I/O is
+/// one probe plus `⌈matches/bfr⌉` blocks, with matches from the declared
+/// selectivity or a sampled per-clause measurement. Returns the cheapest
+/// clause that undercuts `full_io`, or `None` when scanning wins.
+fn choose_index_clause(
+    rel: &Relation,
+    input: &QueryInput,
+    pred: &Predicate,
+    base_rows: f64,
+    bfr: f64,
+    full_io: f64,
+) -> Result<Option<IndexChoice>> {
+    let mut best: Option<IndexChoice> = None;
+    for (ci, clause) in pred.clauses().iter().enumerate() {
+        if !matches!(
+            clause.op,
+            CompOp::Eq | CompOp::Lt | CompOp::Le | CompOp::Ge | CompOp::Gt
+        ) {
+            continue;
+        }
+        let Operand::Literal(_) = &clause.right else {
+            continue;
+        };
+        let Ok(col) = rel.schema().resolve(&clause.left, &input.binding) else {
+            continue;
+        };
+        let clause_sel = match &input.stats {
+            Some(s) => s.selectivity,
+            None => sampled_selectivity(rel, &Predicate::single(clause.clone()))?,
+        };
+        let est_matches = base_rows * clause_sel;
+        let est_io = 1.0 + (est_matches / bfr).ceil();
+        if est_io < full_io && best.as_ref().is_none_or(|b| est_io < b.est_io) {
+            best = Some(IndexChoice {
+                clause: ci,
+                col,
+                est_io,
+                est_matches,
+            });
+        }
+    }
+    Ok(best)
+}
+
 /// One subtree under construction during the greedy search.
 struct Sub {
     node: PlanNode,
@@ -387,8 +487,13 @@ pub fn plan(spec: QuerySpec) -> Result<PhysicalPlan> {
     }
 
     // Leaf subtrees: scans with pushed-down selections and base estimates.
+    // When a pushed-down clause compares a column against a literal, the
+    // cost model weighs an index-backed scan (one probe plus the blocks
+    // holding the estimated matches) against the full scan and takes the
+    // cheaper access path.
     let mut cpu_tuples = 0.0f64;
     let mut io_blocks = 0.0f64;
+    let mut index_scans = 0u32;
     let mut leaves: Vec<Sub> = Vec::with_capacity(spec.inputs.len());
     for (i, (input, local_clauses)) in spec.inputs.iter().zip(local).enumerate() {
         let rel = &input.relation;
@@ -396,26 +501,79 @@ pub fn plan(spec: QuerySpec) -> Result<PhysicalPlan> {
             Some(s) => s.cardinality as f64,
             None => rel.cardinality() as f64,
         };
-        io_blocks += match &input.stats {
+        let full_io = match &input.stats {
             Some(s) => s.full_scan_ios() as f64,
             None => (rel.cardinality() as u64).div_ceil(DEFAULT_BLOCKING_FACTOR) as f64,
         };
-        let (pushdown, est_rows) = if local_clauses.is_empty() {
-            (None, base_rows)
-        } else {
-            let pred = Predicate::new(local_clauses);
-            pred.type_check(rel.schema(), &input.binding)?;
-            // The filter pass touches every (estimated) base tuple — priced
-            // from the same statistic as the cardinality itself.
-            cpu_tuples += base_rows;
-            let sel = match &input.stats {
-                Some(s) => s.selectivity,
-                None => sampled_selectivity(rel, &pred)?,
-            };
-            (Some(pred), base_rows * sel)
+        let bfr = match &input.stats {
+            Some(s) => s.blocking_factor as f64,
+            None => DEFAULT_BLOCKING_FACTOR as f64,
+        };
+        if local_clauses.is_empty() {
+            io_blocks += full_io;
+            leaves.push(Sub {
+                node: PlanNode::Scan {
+                    input: i,
+                    pushdown: None,
+                },
+                schema: rel.schema().clone(),
+                est_rows: base_rows,
+                inputs: vec![i],
+                name: input.binding.clone(),
+            });
+            continue;
+        }
+        let pred = Predicate::new(local_clauses);
+        pred.type_check(rel.schema(), &input.binding)?;
+        let sel = match &input.stats {
+            Some(s) => s.selectivity,
+            None => sampled_selectivity(rel, &pred)?,
+        };
+        let est_rows = base_rows * sel;
+        let choice = choose_index_clause(rel, input, &pred, base_rows, bfr, full_io)?;
+        let node = match choice {
+            Some(c) => {
+                io_blocks += c.est_io;
+                // Only the matched tuples are touched (plus the probe).
+                cpu_tuples += c.est_matches + 1.0;
+                index_scans += 1;
+                let clause = &pred.clauses()[c.clause];
+                let rest: Vec<PrimitiveClause> = pred
+                    .clauses()
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| *k != c.clause)
+                    .map(|(_, cl)| cl.clone())
+                    .collect();
+                let Operand::Literal(key) = &clause.right else {
+                    unreachable!("index candidates compare against literals");
+                };
+                PlanNode::IndexScan {
+                    input: i,
+                    col: c.col,
+                    op: clause.op,
+                    key: key.clone(),
+                    residual: if rest.is_empty() {
+                        None
+                    } else {
+                        Some(Predicate::new(rest))
+                    },
+                    pushdown: pred,
+                }
+            }
+            None => {
+                io_blocks += full_io;
+                // The filter pass touches every (estimated) base tuple —
+                // priced from the same statistic as the cardinality itself.
+                cpu_tuples += base_rows;
+                PlanNode::Scan {
+                    input: i,
+                    pushdown: Some(pred),
+                }
+            }
         };
         leaves.push(Sub {
-            node: PlanNode::Scan { input: i, pushdown },
+            node,
             schema: rel.schema().clone(),
             est_rows,
             inputs: vec![i],
@@ -596,6 +754,7 @@ pub fn plan(spec: QuerySpec) -> Result<PhysicalPlan> {
         io_blocks,
         cpu_tuples,
         total: io_blocks + cpu_tuples,
+        index_scans,
     };
     Ok(PhysicalPlan {
         name: spec.name,
@@ -742,6 +901,118 @@ mod tests {
             output: vec![],
         };
         assert!(plan(spec).is_err());
+    }
+
+    #[test]
+    fn index_scan_chosen_when_cost_model_wins() {
+        // 500 rows, bfr 10 → full scan 50 blocks. The equality clause
+        // matches ~5 rows (sampled), so the index path costs 1 probe +
+        // ⌈matches/bfr⌉ blocks ≪ 50: the planner must take it.
+        let big = rel(
+            "R",
+            &[("K", DataType::Int), ("P", DataType::Int)],
+            (0..500).map(|k| tup![k % 100, k]).collect(),
+        );
+        let spec = QuerySpec {
+            name: "V".into(),
+            inputs: vec![input("R", big)],
+            clauses: vec![PrimitiveClause::lit(
+                ColumnRef::parse("R.K"),
+                CompOp::Eq,
+                Value::Int(7),
+            )],
+            projection: vec![ColumnRef::parse("R.P")],
+            output: vec![ColumnRef::bare("P")],
+        };
+        let p = plan(spec).unwrap();
+        match &p.root {
+            PlanNode::IndexScan {
+                op, key, residual, ..
+            } => {
+                assert_eq!(*op, CompOp::Eq);
+                assert_eq!(key, &Value::Int(7));
+                assert!(residual.is_none());
+            }
+            other => panic!("expected an index scan, got {other:?}"),
+        }
+        let est = p.estimate();
+        assert_eq!(est.index_scans, 1);
+        assert!(
+            est.io_blocks < 50.0,
+            "index access must undercut the 50-block full scan: {est:?}"
+        );
+        // Execution through the index stays correct.
+        let out = p.execute().unwrap();
+        assert_eq!(out.cardinality(), 5);
+        assert_eq!(p.explain().lines().count(), 2, "{}", p.explain());
+        assert!(p.explain().contains("index-scan R"), "{}", p.explain());
+    }
+
+    #[test]
+    fn full_scan_kept_when_index_does_not_pay() {
+        // 10 rows fit in one block: a probe + data block can never beat
+        // the 1-block full scan, whatever the selectivity.
+        let tiny = rel(
+            "R",
+            &[("K", DataType::Int)],
+            (0..10).map(|k| tup![k]).collect(),
+        );
+        let spec = QuerySpec {
+            name: "V".into(),
+            inputs: vec![input("R", tiny)],
+            clauses: vec![PrimitiveClause::lit(
+                ColumnRef::parse("R.K"),
+                CompOp::Eq,
+                Value::Int(3),
+            )],
+            projection: vec![ColumnRef::parse("R.K")],
+            output: vec![ColumnRef::bare("K")],
+        };
+        let p = plan(spec).unwrap();
+        assert!(
+            matches!(
+                &p.root,
+                PlanNode::Scan {
+                    pushdown: Some(_),
+                    ..
+                }
+            ),
+            "{:?}",
+            p.root
+        );
+        assert_eq!(p.estimate().index_scans, 0);
+    }
+
+    #[test]
+    fn range_clause_uses_sorted_index_with_residual() {
+        let big = rel(
+            "R",
+            &[("K", DataType::Int), ("P", DataType::Int)],
+            (0..500).map(|k| tup![k, k % 2]).collect(),
+        );
+        let spec = QuerySpec {
+            name: "V".into(),
+            inputs: vec![input("R", big)],
+            clauses: vec![
+                PrimitiveClause::lit(ColumnRef::parse("R.K"), CompOp::Lt, Value::Int(20)),
+                PrimitiveClause::lit(ColumnRef::parse("R.P"), CompOp::Eq, Value::Int(1)),
+            ],
+            projection: vec![ColumnRef::parse("R.K")],
+            output: vec![ColumnRef::bare("K")],
+        };
+        let p = plan(spec).unwrap();
+        match &p.root {
+            PlanNode::IndexScan { op, residual, .. } => {
+                // `K < 20` matches ~20 rows, `P = 1` ~250: the cheaper
+                // range clause is indexed, the equality filters residually.
+                assert_eq!(*op, CompOp::Lt);
+                assert!(residual.is_some());
+            }
+            other => panic!("expected an index scan, got {other:?}"),
+        }
+        let out = p.execute().unwrap();
+        let expect: Vec<_> = (0..20i64).filter(|k| k % 2 == 1).map(|k| tup![k]).collect();
+        assert_eq!(out.tuples(), &expect[..]);
     }
 
     #[test]

@@ -2,12 +2,59 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::column::ColumnarBatch;
 use crate::error::{Error, Result};
+use crate::index::{IndexKind, IndexSet, IndexStats};
+use crate::predicate::CompOp;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::types::Value;
+
+/// Shared physical storage behind a [`Relation`]: the row-ordered tuple
+/// vector plus the lazily built columnar image and secondary indexes.
+///
+/// The caches live *inside* the shared storage so that every zero-copy
+/// alias of a relation (clones, rebinds, plan bindings) reuses one
+/// columnar batch and one index set. Mutations go through
+/// [`Arc::make_mut`]: a detach clones the caches along with the rows and
+/// then maintains them incrementally, so a warmed index survives
+/// copy-on-write instead of being rebuilt.
+#[derive(Debug, Default)]
+struct Storage {
+    tuples: Vec<Tuple>,
+    /// Mutation counter: bumped by `insert`/`delete` on this storage.
+    generation: u64,
+    /// Column-major image, built on first columnar access.
+    columnar: OnceLock<Arc<ColumnarBatch>>,
+    /// Secondary indexes, built on first probe.
+    indexes: Mutex<IndexSet>,
+}
+
+impl Clone for Storage {
+    fn clone(&self) -> Storage {
+        let cloned = Storage {
+            tuples: self.tuples.clone(),
+            generation: self.generation,
+            columnar: OnceLock::new(),
+            indexes: Mutex::new(self.indexes.lock().expect("index lock poisoned").clone()),
+        };
+        if let Some(batch) = self.columnar.get() {
+            let _ = cloned.columnar.set(Arc::clone(batch));
+        }
+        cloned
+    }
+}
+
+impl Storage {
+    fn new(tuples: Vec<Tuple>) -> Storage {
+        Storage {
+            tuples,
+            ..Storage::default()
+        }
+    }
+}
 
 /// An in-memory relation: a name, a schema and a bag of tuples.
 ///
@@ -17,16 +64,28 @@ use crate::types::Value;
 ///
 /// Tuple storage is `Arc`-shared with copy-on-write semantics: cloning a
 /// relation (site scans, warehouse extents, plan-time bindings) shares the
-/// underlying tuple vector, and the first mutation through
-/// [`Relation::insert`] / [`Relation::delete`] detaches a private copy. This
-/// is what lets the physical execution layer ([`crate::plan`] /
-/// [`crate::exec`]) pass extents around without ever copying tuple data.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// underlying storage, and the first mutation through [`Relation::insert`] /
+/// [`Relation::delete`] detaches a private copy. This is what lets the
+/// physical execution layer ([`crate::plan`] / [`crate::exec`]) pass extents
+/// around without ever copying tuple data. The shared storage also carries
+/// the columnar image ([`Relation::columnar`]) and lazily built secondary
+/// indexes, both maintained incrementally across mutations.
+#[derive(Debug, Clone)]
 pub struct Relation {
     name: String,
     schema: Schema,
-    tuples: Arc<Vec<Tuple>>,
+    store: Arc<Storage>,
 }
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.schema == other.schema
+            && self.store.tuples == other.store.tuples
+    }
+}
+
+impl Eq for Relation {}
 
 impl Relation {
     /// Creates an empty relation.
@@ -35,26 +94,30 @@ impl Relation {
         Relation {
             name: name.into(),
             schema,
-            tuples: Arc::new(Vec::new()),
+            store: Arc::new(Storage::default()),
         }
     }
 
-    /// Creates a relation and inserts all `tuples`, checking arity and types.
+    /// Creates a relation and inserts all `tuples`, checking arity and types
+    /// in a single pass. A failing tuple rejects the whole batch — no
+    /// partially populated relation is ever observable.
     ///
     /// # Errors
     ///
-    /// Propagates [`Relation::insert`] failures.
+    /// [`Error::ArityMismatch`] or [`Error::TypeMismatch`].
     pub fn with_tuples(
         name: impl Into<String>,
         schema: Schema,
         tuples: Vec<Tuple>,
     ) -> Result<Relation> {
-        let mut r = Relation::empty(name, schema);
         for t in &tuples {
-            r.validate(t)?;
+            validate_against(&schema, t)?;
         }
-        r.tuples = Arc::new(tuples);
-        Ok(r)
+        Ok(Relation {
+            name: name.into(),
+            schema,
+            store: Arc::new(Storage::new(tuples)),
+        })
     }
 
     /// Internal constructor for tuples already known to satisfy `schema`
@@ -68,7 +131,7 @@ impl Relation {
         Relation {
             name: name.into(),
             schema,
-            tuples: Arc::new(tuples),
+            store: Arc::new(Storage::new(tuples)),
         }
     }
 
@@ -105,7 +168,7 @@ impl Relation {
         Ok(Relation {
             name: name.into(),
             schema,
-            tuples: Arc::clone(&self.tuples),
+            store: Arc::clone(&self.store),
         })
     }
 
@@ -113,7 +176,7 @@ impl Relation {
     /// comparison). Diagnostic hook for the copy-on-write contract.
     #[must_use]
     pub fn shares_tuples_with(&self, other: &Relation) -> bool {
-        Arc::ptr_eq(&self.tuples, &other.tuples)
+        Arc::ptr_eq(&self.store, &other.store)
     }
 
     /// Relation name.
@@ -130,13 +193,13 @@ impl Relation {
     /// Number of tuples — the paper's cardinality `|R|` (§6.1 statistic 1).
     #[must_use]
     pub fn cardinality(&self) -> usize {
-        self.tuples.len()
+        self.store.tuples.len()
     }
 
     /// Whether the relation holds no tuples.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.store.tuples.is_empty()
     }
 
     /// The schema.
@@ -148,18 +211,113 @@ impl Relation {
     /// The tuples in insertion order.
     #[must_use]
     pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+        &self.store.tuples
+    }
+
+    /// Mutation count of this storage (0 for freshly built relations).
+    /// Aliases sharing storage observe the same generation.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.store.generation
+    }
+
+    /// The column-major image of the tuples, built on first access and
+    /// cached in the shared storage (every alias reuses it).
+    #[must_use]
+    pub fn columnar(&self) -> Arc<ColumnarBatch> {
+        Arc::clone(
+            self.store.columnar.get_or_init(|| {
+                Arc::new(ColumnarBatch::from_tuples(&self.schema, &self.store.tuples))
+            }),
+        )
+    }
+
+    /// Whether the columnar image has been materialized.
+    #[must_use]
+    pub fn columnar_built(&self) -> bool {
+        self.store.columnar.get().is_some()
+    }
+
+    /// Ascending row ids whose `col` value equals `key`, served by the
+    /// (lazily built) hash index.
+    #[must_use]
+    pub fn index_eq_rows(&self, col: usize, key: &Value) -> Vec<u32> {
+        self.store
+            .indexes
+            .lock()
+            .expect("index lock poisoned")
+            .lookup_eq(col, key, &self.store.tuples)
+    }
+
+    /// Ascending row ids whose `col` value satisfies `value θ key`, served
+    /// by the (lazily built) sorted index.
+    #[must_use]
+    pub fn index_range_rows(&self, col: usize, op: CompOp, key: &Value) -> Vec<u32> {
+        self.store
+            .indexes
+            .lock()
+            .expect("index lock poisoned")
+            .lookup_range(col, op, key, &self.store.tuples)
+    }
+
+    /// Builds the index of `kind` on `col` now (instead of on first probe).
+    pub fn warm_index(&self, col: usize, kind: IndexKind) {
+        self.store
+            .indexes
+            .lock()
+            .expect("index lock poisoned")
+            .warm(col, kind, &self.store.tuples);
+    }
+
+    /// Whether an index of `kind` exists on `col`.
+    #[must_use]
+    pub fn has_index(&self, col: usize, kind: IndexKind) -> bool {
+        self.store
+            .indexes
+            .lock()
+            .expect("index lock poisoned")
+            .has(col, kind)
+    }
+
+    /// Index counters for this storage.
+    #[must_use]
+    pub fn index_stats(&self) -> IndexStats {
+        self.store
+            .indexes
+            .lock()
+            .expect("index lock poisoned")
+            .stats()
+    }
+
+    /// Clears the index hit/build/maintenance counters (not the indexes).
+    pub fn reset_index_counters(&self) {
+        self.store
+            .indexes
+            .lock()
+            .expect("index lock poisoned")
+            .reset_counters();
     }
 
     /// Inserts a tuple after validating arity and column types. Detaches a
-    /// private copy of the tuple storage when it is currently shared.
+    /// private copy of the tuple storage when it is currently shared, and
+    /// incrementally maintains the columnar image and any live indexes.
     ///
     /// # Errors
     ///
     /// [`Error::ArityMismatch`] or [`Error::TypeMismatch`].
     pub fn insert(&mut self, tuple: Tuple) -> Result<()> {
         self.validate(&tuple)?;
-        Arc::make_mut(&mut self.tuples).push(tuple);
+        let store = Arc::make_mut(&mut self.store);
+        store.generation += 1;
+        if let Some(batch) = store.columnar.get_mut() {
+            Arc::make_mut(batch).push_row(&tuple);
+        }
+        store
+            .indexes
+            .get_mut()
+            .expect("index lock poisoned")
+            .insert_row(&tuple, &store.tuples);
+        store.tuples.push(tuple);
         Ok(())
     }
 
@@ -170,8 +328,10 @@ impl Relation {
     /// counted into a map first, then each stored tuple consumes at most one
     /// pending request — for each distinct requested tuple the *earliest*
     /// occurrences are removed, matching the former per-tuple scan exactly.
+    /// The columnar image and live indexes are remapped positionally, not
+    /// rebuilt.
     pub fn delete(&mut self, tuples: &[Tuple]) -> usize {
-        if tuples.is_empty() || self.tuples.is_empty() {
+        if tuples.is_empty() || self.store.tuples.is_empty() {
             return 0;
         }
         let mut pending: HashMap<&Tuple, usize> = HashMap::with_capacity(tuples.len());
@@ -179,6 +339,7 @@ impl Relation {
             *pending.entry(t).or_insert(0) += 1;
         }
         let matches: usize = self
+            .store
             .tuples
             .iter()
             .map(|t| usize::from(pending.contains_key(t)))
@@ -186,16 +347,31 @@ impl Relation {
         if matches == 0 {
             return 0; // no copy-on-write detach for a no-op delete
         }
-        let mut removed = 0;
-        Arc::make_mut(&mut self.tuples).retain(|t| match pending.get_mut(t) {
-            Some(n) if *n > 0 => {
-                *n -= 1;
-                removed += 1;
-                false
-            }
-            _ => true,
+        let store = Arc::make_mut(&mut self.store);
+        store.generation += 1;
+        let mut removed_rows: Vec<u32> = Vec::new();
+        let mut row = 0u32;
+        store.tuples.retain(|t| {
+            let keep = match pending.get_mut(t) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    removed_rows.push(row);
+                    false
+                }
+                _ => true,
+            };
+            row += 1;
+            keep
         });
-        removed
+        if let Some(batch) = store.columnar.get_mut() {
+            Arc::make_mut(batch).remove_rows(&removed_rows);
+        }
+        store
+            .indexes
+            .get_mut()
+            .expect("index lock poisoned")
+            .remove_rows(&removed_rows);
+        removed_rows.len()
     }
 
     /// Validates a tuple against the schema without inserting it.
@@ -204,46 +380,31 @@ impl Relation {
     ///
     /// [`Error::ArityMismatch`] or [`Error::TypeMismatch`].
     pub fn validate(&self, tuple: &Tuple) -> Result<()> {
-        if tuple.arity() != self.schema.arity() {
-            return Err(Error::ArityMismatch {
-                expected: self.schema.arity(),
-                got: tuple.arity(),
-            });
-        }
-        for (v, c) in tuple.values().iter().zip(self.schema.columns()) {
-            if v.data_type() != c.ty {
-                return Err(Error::TypeMismatch {
-                    left: c.ty,
-                    right: v.data_type(),
-                    context: "tuple insertion",
-                });
-            }
-        }
-        Ok(())
+        validate_against(&self.schema, tuple)
     }
 
     /// Returns a new relation with duplicate tuples removed (set semantics).
     /// The surviving tuples are sorted, giving a canonical order.
     #[must_use]
     pub fn distinct(&self) -> Relation {
-        let set: BTreeSet<Tuple> = self.tuples.iter().cloned().collect();
+        let set: BTreeSet<Tuple> = self.store.tuples.iter().cloned().collect();
         Relation {
             name: self.name.clone(),
             schema: self.schema.clone(),
-            tuples: Arc::new(set.into_iter().collect()),
+            store: Arc::new(Storage::new(set.into_iter().collect())),
         }
     }
 
     /// Number of distinct tuples.
     #[must_use]
     pub fn distinct_cardinality(&self) -> usize {
-        self.tuples.iter().collect::<BTreeSet<_>>().len()
+        self.store.tuples.iter().collect::<BTreeSet<_>>().len()
     }
 
     /// Whether the relation contains a tuple equal to `t`.
     #[must_use]
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.tuples.iter().any(|x| x == t)
+        self.store.tuples.iter().any(|x| x == t)
     }
 
     /// Declared tuple width in bytes (schema-based, the paper's `s_R`).
@@ -255,7 +416,7 @@ impl Relation {
     /// Total declared size of the extent in bytes.
     #[must_use]
     pub fn extent_byte_size(&self) -> u64 {
-        self.tuple_byte_size() * self.tuples.len() as u64
+        self.tuple_byte_size() * self.store.tuples.len() as u64
     }
 
     /// Value of column `col_idx` in row `row_idx`.
@@ -265,8 +426,29 @@ impl Relation {
     /// Panics when out of bounds (internal indices only).
     #[must_use]
     pub fn value_at(&self, row_idx: usize, col_idx: usize) -> &Value {
-        self.tuples[row_idx].get(col_idx)
+        self.store.tuples[row_idx].get(col_idx)
     }
+}
+
+/// Schema validation shared by [`Relation::validate`] and the one-pass
+/// [`Relation::with_tuples`] constructor.
+fn validate_against(schema: &Schema, tuple: &Tuple) -> Result<()> {
+    if tuple.arity() != schema.arity() {
+        return Err(Error::ArityMismatch {
+            expected: schema.arity(),
+            got: tuple.arity(),
+        });
+    }
+    for (v, c) in tuple.values().iter().zip(schema.columns()) {
+        if v.data_type() != c.ty {
+            return Err(Error::TypeMismatch {
+                left: c.ty,
+                right: v.data_type(),
+                context: "tuple insertion",
+            });
+        }
+    }
+    Ok(())
 }
 
 impl fmt::Display for Relation {
@@ -276,9 +458,9 @@ impl fmt::Display for Relation {
             "{}{} [{} tuples]",
             self.name,
             self.schema,
-            self.tuples.len()
+            self.store.tuples.len()
         )?;
-        for t in self.tuples.iter() {
+        for t in self.store.tuples.iter() {
             writeln!(f, "  {t}")?;
         }
         Ok(())
@@ -318,6 +500,19 @@ mod tests {
         let mut rel = r();
         let e = rel.insert(tup!["oops", "x"]).unwrap_err();
         assert!(matches!(e, Error::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn with_tuples_rejects_bad_middle_tuple_without_partial_state() {
+        let schema = Schema::of(&[("A", DataType::Int)]).unwrap();
+        let e = Relation::with_tuples("R", schema.clone(), vec![tup![1], tup!["bad"], tup![3]])
+            .unwrap_err();
+        assert!(matches!(e, Error::TypeMismatch { .. }));
+        // The failed constructor leaves nothing behind; an identically
+        // named relation builds cleanly from scratch.
+        let rel = Relation::with_tuples("R", schema, vec![tup![1], tup![3]]).unwrap();
+        assert_eq!(rel.cardinality(), 2);
+        assert_eq!(rel.generation(), 0, "construction is not a mutation");
     }
 
     #[test]
@@ -399,6 +594,7 @@ mod tests {
         );
         assert_eq!(original.cardinality(), 3, "original unaffected");
         assert_eq!(copy.cardinality(), 4);
+        assert_eq!(copy.generation(), original.generation() + 1);
     }
 
     #[test]
@@ -438,5 +634,79 @@ mod tests {
                 Schema::of(&[("A", DataType::Text), ("B", DataType::Text)]).unwrap()
             )
             .is_err());
+    }
+
+    #[test]
+    fn columnar_image_is_cached_and_shared() {
+        let rel = r();
+        assert!(!rel.columnar_built());
+        let b1 = rel.columnar();
+        assert!(rel.columnar_built());
+        let alias = rel.rebind("X", rel.schema().clone().qualify("X")).unwrap();
+        let b2 = alias.columnar();
+        assert!(Arc::ptr_eq(&b1, &b2), "aliases reuse one batch");
+        assert_eq!(b1.rows(), 3);
+    }
+
+    #[test]
+    fn columnar_image_tracks_mutations() {
+        let mut rel = r();
+        let _ = rel.columnar();
+        rel.insert(tup![7, "q"]).unwrap();
+        assert_eq!(rel.columnar().rows(), 4, "insert maintains the batch");
+        rel.delete(&[tup![2, "y"]]);
+        let batch = rel.columnar();
+        assert_eq!(batch.rows(), 3, "delete maintains the batch");
+        // Batch contents match the row storage exactly.
+        assert_eq!(
+            *batch,
+            ColumnarBatch::from_tuples(rel.schema(), rel.tuples())
+        );
+    }
+
+    #[test]
+    fn indexes_survive_copy_on_write_detach() {
+        let rel = r();
+        rel.warm_index(0, IndexKind::Hash);
+        let mut copy = rel.clone();
+        copy.insert(tup![1, "w"]).unwrap();
+        assert!(copy.has_index(0, IndexKind::Hash), "detach keeps indexes");
+        assert_eq!(copy.index_eq_rows(0, &Value::Int(1)), vec![0, 2, 3]);
+        // The original is untouched.
+        assert_eq!(rel.index_eq_rows(0, &Value::Int(1)), vec![0, 2]);
+    }
+
+    #[test]
+    fn index_lookup_matches_scan_after_mutations() {
+        let mut rel = r();
+        rel.warm_index(0, IndexKind::Hash);
+        rel.warm_index(0, IndexKind::Sorted);
+        rel.insert(tup![2, "z"]).unwrap();
+        rel.delete(&[tup![1, "x"]]);
+        let scan: Vec<u32> = rel
+            .tuples()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.get(0) == &Value::Int(2))
+            .map(|(i, _)| u32::try_from(i).unwrap())
+            .collect();
+        assert_eq!(rel.index_eq_rows(0, &Value::Int(2)), scan);
+        assert_eq!(rel.index_range_rows(0, CompOp::Ge, &Value::Int(2)), scan);
+    }
+
+    #[test]
+    fn first_lazy_text_probe_hits_the_rows_the_build_interns() {
+        // Regression: the lazy first build is what interns the stored
+        // text keys, so computing the (non-inserting) probe key before
+        // the build spuriously missed. The key must be unique to this
+        // test — any other interning of it would mask the bug.
+        let key = "first-lazy-probe-regression-key-§";
+        let rel = Relation::with_tuples(
+            "R",
+            Schema::of(&[("A", DataType::Int), ("B", DataType::Text)]).unwrap(),
+            vec![tup![1, "other"], tup![2, key], tup![3, key]],
+        )
+        .unwrap();
+        assert_eq!(rel.index_eq_rows(1, &Value::from(key)), vec![1, 2]);
     }
 }

@@ -109,6 +109,12 @@ pub enum ResponseBody {
         io_budget: u64,
         /// Mutations waiting in the deferred queue.
         queued: u64,
+        /// Relation extents with a materialized columnar image.
+        columnar_extents: u64,
+        /// Secondary-index lookups answered from an index.
+        index_hits: u64,
+        /// Distinct strings in the interning pool.
+        interned_symbols: u64,
     },
     /// [`RequestBody::ResetBudget`] answer.
     BudgetReset {
@@ -302,6 +308,9 @@ impl Codec for ResponseBody {
                 candidate_budget,
                 io_budget,
                 queued,
+                columnar_extents,
+                index_hits,
+                interned_symbols,
             } => {
                 enc.u8(5);
                 enc.u64(*candidates_used);
@@ -309,6 +318,9 @@ impl Codec for ResponseBody {
                 enc.u64(*candidate_budget);
                 enc.u64(*io_budget);
                 enc.u64(*queued);
+                enc.u64(*columnar_extents);
+                enc.u64(*index_hits);
+                enc.u64(*interned_symbols);
             }
             ResponseBody::BudgetReset { drained } => {
                 enc.u8(6);
@@ -339,6 +351,9 @@ impl Codec for ResponseBody {
                 candidate_budget: dec.u64()?,
                 io_budget: dec.u64()?,
                 queued: dec.u64()?,
+                columnar_extents: dec.u64()?,
+                index_hits: dec.u64()?,
+                interned_symbols: dec.u64()?,
             },
             6 => ResponseBody::BudgetReset {
                 drained: dec.u64()?,

@@ -367,6 +367,9 @@ fn execute_job(tenant: &Tenant, body: RequestBody) -> Result<ResponseBody> {
                 candidate_budget: s.candidate_budget,
                 io_budget: s.io_budget,
                 queued: s.queued as u64,
+                columnar_extents: s.columnar_extents,
+                index_hits: s.index_hits,
+                interned_symbols: s.interned_symbols,
             })
         }
         RequestBody::OpenSession { .. } | RequestBody::Attach | RequestBody::CloseSession => {

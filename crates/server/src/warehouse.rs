@@ -53,7 +53,9 @@ pub enum AdmissionPolicy {
     Queue,
 }
 
-/// A tenant's admission counters, as reported over the wire.
+/// A tenant's admission counters, as reported over the wire, plus the
+/// columnar-layer counters of its engine (aggregated under the same read
+/// lock the reader pool queries through).
 #[derive(Debug, Clone, Copy)]
 pub struct TenantStats {
     /// Candidates spent since the last reset.
@@ -66,6 +68,12 @@ pub struct TenantStats {
     pub io_budget: u64,
     /// Mutations waiting in the deferred queue.
     pub queued: usize,
+    /// Relation extents with a materialized columnar image.
+    pub columnar_extents: u64,
+    /// Secondary-index lookups answered from an index.
+    pub index_hits: u64,
+    /// Distinct strings in the global interning pool.
+    pub interned_symbols: u64,
 }
 
 /// A mutation as admission control sees it.
@@ -133,6 +141,7 @@ impl Tenant {
     /// Current admission counters.
     #[must_use]
     pub fn stats(&self) -> TenantStats {
+        let cl = self.read().engine().column_layer_stats();
         let st = lock(&self.state);
         TenantStats {
             candidates_used: st.candidates_used,
@@ -140,6 +149,9 @@ impl Tenant {
             candidate_budget: self.budget.candidates,
             io_budget: self.budget.io,
             queued: st.deferred.len(),
+            columnar_extents: cl.columnar_built as u64,
+            index_hits: cl.index.hits,
+            interned_symbols: cl.intern.symbols,
         }
     }
 

@@ -271,6 +271,9 @@ fn every_protocol_variant_roundtrips_through_the_wire() {
                 candidate_budget: 100,
                 io_budget: 200,
                 queued: 3,
+                columnar_extents: 2,
+                index_hits: 17,
+                interned_symbols: 41,
             },
         },
         Response {

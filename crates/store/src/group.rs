@@ -443,6 +443,7 @@ mod tests {
                 workload: eve_qc::WorkloadModel::SingleUpdate,
                 strategy: eve_qc::SelectionStrategy::QcBest,
                 search: SearchModeState::default(),
+                index_hints: Vec::new(),
             },
         }
     }

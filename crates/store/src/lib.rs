@@ -47,8 +47,8 @@ pub use error::{Error, Result};
 pub use group::{CommitTicket, GroupCommitLog, GroupCommitPolicy};
 pub use log::{LogRecord, SealedRecord};
 pub use snapshot::{
-    DeltaSite, DeltaSnapshot, EngineConfig, EngineSnapshot, SearchModeState, SiteSnapshot,
-    ViewSnapshot,
+    DeltaSite, DeltaSnapshot, EngineConfig, EngineSnapshot, IndexHintState, IndexKindState,
+    SearchModeState, SiteSnapshot, ViewSnapshot,
 };
 pub use store::{
     EvolutionStore, RecoveredLog, RecoveryOptions, SnapshotKind, SnapshotMeta, StoreStats,

@@ -92,6 +92,8 @@ pub enum LogRecord {
     },
     /// One `EveEngine::apply_batch` call — the evolution ops in order.
     Batch(Vec<EvolutionOp>),
+    /// `EveEngine::declare_index` — a persisted secondary-index hint.
+    DeclareIndex(crate::snapshot::IndexHintState),
 }
 
 impl Codec for LogRecord {
@@ -142,6 +144,10 @@ impl Codec for LogRecord {
                 enc.u8(9);
                 crate::codec::vec_encode(ops, enc);
             }
+            LogRecord::DeclareIndex(hint) => {
+                enc.u8(10);
+                hint.encode(enc);
+            }
         }
     }
 
@@ -170,6 +176,7 @@ impl Codec for LogRecord {
             7 => LogRecord::DefineView(ViewDef::decode(dec)?),
             8 => LogRecord::DropView { name: dec.str()? },
             9 => LogRecord::Batch(crate::codec::vec_decode(dec)?),
+            10 => LogRecord::DeclareIndex(crate::snapshot::IndexHintState::decode(dec)?),
             other => return Err(Error::corrupt(format!("invalid LogRecord tag {other}"))),
         })
     }

@@ -74,6 +74,33 @@ pub enum SearchModeState {
     },
 }
 
+/// The physical shape of a declared secondary index — a plain-data mirror
+/// of `eve_relational::IndexKind` (which cannot live here without a
+/// dependency cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexKindState {
+    /// Hash index over interned/encoded keys (equality probes).
+    #[default]
+    Hash,
+    /// Value-ordered row index (range probes).
+    Sorted,
+}
+
+/// One declared secondary index: relation, column and physical shape.
+///
+/// Only *declared* hints persist — lazily warmed index state is
+/// reconstructible and excluded so equal engine states keep byte-equal
+/// snapshot encodings regardless of which queries happened to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexHintState {
+    /// The indexed relation's name.
+    pub relation: String,
+    /// The indexed column's (bare) attribute name.
+    pub column: String,
+    /// Physical index shape.
+    pub kind: IndexKindState,
+}
+
 /// The engine's tunable configuration. Replay must run under the same
 /// configuration the ops were originally applied with — a capability
 /// change ranked under different QC parameters could adopt a different
@@ -90,6 +117,8 @@ pub struct EngineConfig {
     pub strategy: SelectionStrategy,
     /// Search-space exploration mode.
     pub search: SearchModeState,
+    /// Declared secondary indexes, in declaration order.
+    pub index_hints: Vec<IndexHintState>,
 }
 
 /// A complete, self-contained image of the engine.
@@ -204,6 +233,43 @@ impl Codec for SearchModeState {
     }
 }
 
+impl Codec for IndexKindState {
+    fn encode(&self, enc: &mut Enc) {
+        match self {
+            IndexKindState::Hash => enc.u8(0),
+            IndexKindState::Sorted => enc.u8(1),
+        }
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<IndexKindState> {
+        Ok(match dec.u8()? {
+            0 => IndexKindState::Hash,
+            1 => IndexKindState::Sorted,
+            other => {
+                return Err(Error::corrupt(format!(
+                    "invalid IndexKindState tag {other}"
+                )));
+            }
+        })
+    }
+}
+
+impl Codec for IndexHintState {
+    fn encode(&self, enc: &mut Enc) {
+        enc.str(&self.relation);
+        enc.str(&self.column);
+        self.kind.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<IndexHintState> {
+        Ok(IndexHintState {
+            relation: dec.str()?,
+            column: dec.str()?,
+            kind: IndexKindState::decode(dec)?,
+        })
+    }
+}
+
 impl Codec for EngineConfig {
     fn encode(&self, enc: &mut Enc) {
         self.sync_options.encode(enc);
@@ -211,15 +277,30 @@ impl Codec for EngineConfig {
         self.workload.encode(enc);
         self.strategy.encode(enc);
         self.search.encode(enc);
+        enc.usize(self.index_hints.len());
+        for hint in &self.index_hints {
+            hint.encode(enc);
+        }
     }
 
     fn decode(dec: &mut Dec<'_>) -> Result<EngineConfig> {
+        let sync_options = SyncOptions::decode(dec)?;
+        let qc_params = QcParams::decode(dec)?;
+        let workload = WorkloadModel::decode(dec)?;
+        let strategy = SelectionStrategy::decode(dec)?;
+        let search = SearchModeState::decode(dec)?;
+        let n = dec.len()?;
+        let mut index_hints = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            index_hints.push(IndexHintState::decode(dec)?);
+        }
         Ok(EngineConfig {
-            sync_options: SyncOptions::decode(dec)?,
-            qc_params: QcParams::decode(dec)?,
-            workload: WorkloadModel::decode(dec)?,
-            strategy: SelectionStrategy::decode(dec)?,
-            search: SearchModeState::decode(dec)?,
+            sync_options,
+            qc_params,
+            workload,
+            strategy,
+            search,
+            index_hints,
         })
     }
 }
@@ -906,6 +987,11 @@ mod tests {
                 workload: WorkloadModel::PerSite { updates: 10.0 },
                 strategy: SelectionStrategy::QcBest,
                 search: SearchModeState::Beam { width: 4 },
+                index_hints: vec![IndexHintState {
+                    relation: "R".into(),
+                    column: "A".into(),
+                    kind: IndexKindState::Sorted,
+                }],
             },
         }
     }

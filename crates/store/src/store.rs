@@ -958,6 +958,7 @@ mod tests {
                 workload: eve_qc::WorkloadModel::SingleUpdate,
                 strategy: eve_qc::SelectionStrategy::QcBest,
                 search: crate::snapshot::SearchModeState::default(),
+                index_hints: Vec::new(),
             },
         }
     }

@@ -40,7 +40,7 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use eve_misd::{JoinConstraint, Mkb, PcConstraint, RelationInfo, SchemaChange, SiteId};
-use eve_relational::{Relation, Tuple};
+use eve_relational::{IndexKind, Relation, Tuple};
 use eve_store::{
     DeltaSnapshot, EngineConfig, EngineSnapshot, EvolutionStore, GroupCommitLog, GroupCommitPolicy,
     LogRecord, RecoveredLog, SearchModeState, SiteSnapshot, SnapshotMeta, StoreStats, ViewSnapshot,
@@ -516,6 +516,27 @@ impl DurableEngine {
         self.log(LogRecord::SetDefaultJoinSelectivity { js })
     }
 
+    /// Durable [`EveEngine::declare_index`]. Only *new* declarations are
+    /// logged — re-declaring an existing hint re-warms the index without
+    /// touching the log.
+    ///
+    /// # Errors
+    ///
+    /// Engine or store failures.
+    pub fn declare_index(&mut self, relation: &str, column: &str, kind: IndexKind) -> Result<bool> {
+        self.ensure_live()?;
+        let added = self.engine.declare_index(relation, column, kind)?;
+        if added {
+            let hint = self
+                .engine
+                .index_hints()
+                .last()
+                .expect("declare_index just pushed a hint");
+            self.log(LogRecord::DeclareIndex(hint_to_state(hint)))?;
+        }
+        Ok(added)
+    }
+
     /// Durable [`EveEngine::define_view_sql`].
     ///
     /// # Errors
@@ -670,6 +691,12 @@ fn apply_record(engine: &mut EveEngine, record: LogRecord) -> Result<()> {
         LogRecord::DefineView(def) => engine.define_view(def).map(|_| ()),
         LogRecord::DropView { name } => engine.drop_view(&name).map(|_| ()),
         LogRecord::Batch(ops) => engine.apply_batch(ops).map(|_| ()),
+        LogRecord::DeclareIndex(hint) => {
+            let hint = hint_from_state(&hint);
+            engine
+                .declare_index(&hint.relation, &hint.column, hint.kind)
+                .map(|_| ())
+        }
     }
 }
 
@@ -739,6 +766,7 @@ impl EveEngine {
                 workload: self.workload,
                 strategy: self.strategy,
                 search: self.search.into(),
+                index_hints: self.index_hints.iter().map(hint_to_state).collect(),
             },
         }
     }
@@ -773,17 +801,51 @@ impl EveEngine {
                 },
             );
         }
-        Ok(EveEngine {
+        let engine = EveEngine {
             mkb,
             sites,
             views,
+            index_hints: snapshot
+                .config
+                .index_hints
+                .iter()
+                .map(hint_from_state)
+                .collect(),
             rewrite_cache: eve_sync::RewriteCache::new(),
             sync_options: snapshot.config.sync_options.clone(),
             qc_params: snapshot.config.qc_params.clone(),
             workload: snapshot.config.workload,
             strategy: snapshot.config.strategy,
             search: snapshot.config.search.into(),
-        })
+        };
+        // Index contents are reconstructible and deliberately not part of
+        // the snapshot; re-warm the declared ones on the restored extents.
+        engine.warm_declared_indexes();
+        Ok(engine)
+    }
+}
+
+/// `IndexHint` → its plain-data snapshot form.
+fn hint_to_state(hint: &crate::engine::IndexHint) -> eve_store::IndexHintState {
+    eve_store::IndexHintState {
+        relation: hint.relation.clone(),
+        column: hint.column.clone(),
+        kind: match hint.kind {
+            IndexKind::Hash => eve_store::IndexKindState::Hash,
+            IndexKind::Sorted => eve_store::IndexKindState::Sorted,
+        },
+    }
+}
+
+/// Snapshot form → `IndexHint`.
+fn hint_from_state(state: &eve_store::IndexHintState) -> crate::engine::IndexHint {
+    crate::engine::IndexHint {
+        relation: state.relation.clone(),
+        column: state.column.clone(),
+        kind: match state.kind {
+            eve_store::IndexKindState::Hash => IndexKind::Hash,
+            eve_store::IndexKindState::Sorted => IndexKind::Sorted,
+        },
     }
 }
 
@@ -1126,6 +1188,39 @@ mod tests {
         drop(d);
         let (recovered, _) = DurableEngine::open(&dir).unwrap();
         assert_eq!(fingerprint(recovered.engine()), expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn declared_indexes_survive_log_replay_and_snapshots() {
+        let dir = temp_dir("index-hints");
+        let mut d = build(&dir);
+        assert!(d.declare_index("Ra", "K", IndexKind::Hash).unwrap());
+        assert!(
+            !d.declare_index("Ra", "K", IndexKind::Hash).unwrap(),
+            "duplicate declaration is not re-logged"
+        );
+        d.declare_index("Rb", "P", IndexKind::Sorted).unwrap();
+        let expected = fingerprint(d.engine());
+        drop(d);
+
+        // Log replay restores the hints and re-warms the indexes.
+        let (recovered, _) = DurableEngine::open(&dir).unwrap();
+        assert_eq!(fingerprint(recovered.engine()), expected);
+        assert_eq!(recovered.engine().index_hints().len(), 2);
+        let ra = recovered.engine().sites[&1].relation("Ra").unwrap();
+        assert!(ra.has_index(0, IndexKind::Hash), "replay re-warmed Ra.K");
+
+        // A snapshot carries the hints without the log.
+        let mut recovered = recovered;
+        recovered.checkpoint().unwrap();
+        drop(recovered);
+        let (from_snap, report) = DurableEngine::open(&dir).unwrap();
+        assert_eq!(report.replayed_records, 0, "state came from the snapshot");
+        assert_eq!(fingerprint(from_snap.engine()), expected);
+        assert_eq!(from_snap.engine().index_hints().len(), 2);
+        let rb = from_snap.engine().sites[&1].relation("Rb").unwrap();
+        assert!(rb.has_index(1, IndexKind::Sorted), "restore re-warmed Rb.P");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -15,7 +15,7 @@ use eve_qc::{
     plans_for_view, rank_rewritings, workload, QcParams, ScoredRewriting, SelectionStrategy,
     WorkloadModel,
 };
-use eve_relational::{Relation, Value};
+use eve_relational::{IndexKind, IndexStats, InternStats, Relation, Value};
 use eve_sync::{
     synchronize, EvolutionOp, HeuristicOptions, RewriteCache, SyncOptions, SyncOutcome,
 };
@@ -94,12 +94,43 @@ pub enum SearchMode {
     },
 }
 
+/// One declared secondary index: relation, column and physical shape.
+/// Declarations are durable engine state (they survive snapshots and log
+/// replay); the index *contents* are reconstructible and are re-warmed
+/// lazily.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexHint {
+    /// The indexed relation's name.
+    pub relation: String,
+    /// The indexed column's (bare) attribute name.
+    pub column: String,
+    /// Physical index shape.
+    pub kind: IndexKind,
+}
+
+/// Aggregated columnar/index/interning counters across every relation
+/// extent the engine holds (site-hosted base relations plus materialized
+/// view extents) — the shell `stats` and server stats surface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ColumnLayerStats {
+    /// Relation extents scanned (site-hosted + view extents).
+    pub extents: usize,
+    /// Extents whose columnar image has been materialized.
+    pub columnar_built: usize,
+    /// Merged secondary-index counters of every extent.
+    pub index: IndexStats,
+    /// Global string-interning pool counters.
+    pub intern: InternStats,
+}
+
 /// The EVE engine.
 #[derive(Debug, Clone)]
 pub struct EveEngine {
     pub(crate) mkb: Mkb,
     pub(crate) sites: BTreeMap<u32, SimSite>,
     pub(crate) views: BTreeMap<String, MaterializedView>,
+    /// Declared secondary indexes, in declaration order.
+    pub(crate) index_hints: Vec<IndexHint>,
     /// Memoized rewriting enumeration, keyed on the MKB generation (shared
     /// by the batched pipeline and the single-change notification path).
     pub(crate) rewrite_cache: RewriteCache,
@@ -129,6 +160,7 @@ impl EveEngine {
             mkb: Mkb::new(),
             sites: BTreeMap::new(),
             views: BTreeMap::new(),
+            index_hints: Vec::new(),
             rewrite_cache: RewriteCache::new(),
             sync_options: SyncOptions::default(),
             qc_params: QcParams::default(),
@@ -750,6 +782,9 @@ impl EveEngine {
                 site.host(old, info.blocking_factor)?;
             }
         }
+        // Extent-rebuilding changes drop the rebuilt relation's warmed
+        // indexes with its old storage; re-warm the declared ones.
+        self.warm_declared_indexes();
         Ok(())
     }
 
@@ -784,6 +819,14 @@ impl EveEngine {
         }
         self.rewrite_cache.reset_stats();
         self.mkb.reset_index_stats();
+        for rel in self
+            .sites
+            .values()
+            .flat_map(SimSite::hosted_relations)
+            .chain(self.views.values().map(|mv| &mv.extent))
+        {
+            rel.reset_index_counters();
+        }
     }
 
     /// Mutable access to the site map (for the experiment harness).
@@ -805,6 +848,105 @@ impl EveEngine {
     #[must_use]
     pub fn mkb_index_stats(&self) -> (u64, u64) {
         self.mkb.index_stats()
+    }
+
+    /// Declares (and immediately warms) a secondary index on a hosted base
+    /// relation. Returns `true` when the declaration is new, `false` when
+    /// the same hint was already on file (the index is still re-warmed).
+    ///
+    /// The declaration is durable engine state: it is carried by
+    /// [`snapshot_state`](EveEngine::snapshot_state) and re-warmed on
+    /// restore. The warmed index itself lives in the relation's shared
+    /// tuple storage, so query bindings ([`Relation::rebind`]) and
+    /// copy-on-write descendants see it too, and it is maintained
+    /// incrementally across inserts and deletes.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::State`] for unregistered relations or unknown columns.
+    pub fn declare_index(&mut self, relation: &str, column: &str, kind: IndexKind) -> Result<bool> {
+        let info = self.mkb.relation(relation)?;
+        let site_id = info.site.0;
+        let site = self.sites.get(&site_id).ok_or_else(|| Error::State {
+            detail: format!("unknown site {site_id}"),
+        })?;
+        let rel = site.relation(relation)?;
+        let col = rel
+            .schema()
+            .columns()
+            .iter()
+            .position(|c| c.column.name == column)
+            .ok_or_else(|| Error::State {
+                detail: format!("relation `{relation}` has no column `{column}`"),
+            })?;
+        rel.warm_index(col, kind);
+        let hint = IndexHint {
+            relation: relation.to_owned(),
+            column: column.to_owned(),
+            kind,
+        };
+        if self.index_hints.contains(&hint) {
+            return Ok(false);
+        }
+        self.index_hints.push(hint);
+        Ok(true)
+    }
+
+    /// The declared secondary indexes, in declaration order.
+    #[must_use]
+    pub fn index_hints(&self) -> &[IndexHint] {
+        &self.index_hints
+    }
+
+    /// Re-warms every declared index that still resolves to a hosted
+    /// relation and column. Hints whose relation was dropped, renamed or
+    /// reshaped are skipped silently — a declaration is a performance
+    /// hint, never a correctness constraint. Called after snapshot restore
+    /// and after schema changes that rebuild extents.
+    pub fn warm_declared_indexes(&self) {
+        for hint in &self.index_hints {
+            let Ok(info) = self.mkb.relation(&hint.relation) else {
+                continue;
+            };
+            let Some(site) = self.sites.get(&info.site.0) else {
+                continue;
+            };
+            let Ok(rel) = site.relation(&hint.relation) else {
+                continue;
+            };
+            if let Some(col) = rel
+                .schema()
+                .columns()
+                .iter()
+                .position(|c| c.column.name == hint.column)
+            {
+                rel.warm_index(col, hint.kind);
+            }
+        }
+    }
+
+    /// Aggregated columnar/index/interning counters across every relation
+    /// extent the engine holds: site-hosted base relations and
+    /// materialized view extents.
+    #[must_use]
+    pub fn column_layer_stats(&self) -> ColumnLayerStats {
+        let mut stats = ColumnLayerStats {
+            intern: eve_relational::intern::stats(),
+            ..ColumnLayerStats::default()
+        };
+        let extents = self
+            .sites
+            .values()
+            .flat_map(SimSite::hosted_relations)
+            .chain(self.views.values().map(|mv| &mv.extent));
+        for rel in extents {
+            stats.extents += 1;
+            if rel.columnar_built() {
+                stats.columnar_built += 1;
+            }
+            stats.index = stats.index.merged(rel.index_stats());
+        }
+        stats
     }
 }
 
@@ -1500,5 +1642,79 @@ mod tests {
         let reports = e.notify_capability_change(&change, None).unwrap();
         let adopted = reports[0].adopted.as_ref().unwrap();
         assert_eq!(adopted.index, 0);
+    }
+
+    #[test]
+    fn declare_index_warms_and_dedupes() {
+        let mut e = engine_with_travel_space();
+        assert!(e
+            .declare_index("Customer", "Name", IndexKind::Hash)
+            .unwrap());
+        assert!(
+            !e.declare_index("Customer", "Name", IndexKind::Hash)
+                .unwrap(),
+            "re-declaration is idempotent"
+        );
+        assert_eq!(e.index_hints().len(), 1);
+        let rel = e.sites[&1].relation("Customer").unwrap();
+        assert!(rel.has_index(0, IndexKind::Hash));
+        assert!(e
+            .declare_index("Customer", "Ghost", IndexKind::Hash)
+            .is_err());
+        assert!(e.declare_index("Zilch", "Name", IndexKind::Hash).is_err());
+    }
+
+    #[test]
+    fn declared_index_survives_data_updates_and_stays_consistent() {
+        let mut e = engine_with_travel_space();
+        e.declare_index("FlightRes", "Dest", IndexKind::Hash)
+            .unwrap();
+        let update = DataUpdate {
+            relation: "FlightRes".into(),
+            inserts: vec![tup!["dee", "Asia"]],
+            deletes: vec![tup!["bob", "Europe"]],
+        };
+        e.notify_data_update(&update).unwrap();
+        let rel = e.sites[&2].relation("FlightRes").unwrap();
+        assert!(
+            rel.has_index(1, IndexKind::Hash),
+            "index maintained, not dropped"
+        );
+        let rows = rel.index_eq_rows(1, &Value::from("Asia"));
+        assert_eq!(rows.len(), 3, "ann, cho and dee fly to Asia");
+    }
+
+    #[test]
+    fn column_layer_stats_aggregate_extents_and_indexes() {
+        let mut e = engine_with_travel_space();
+        e.define_view_sql(ASIA_VIEW).unwrap();
+        e.declare_index("Customer", "Name", IndexKind::Hash)
+            .unwrap();
+        e.declare_index("FlightRes", "Dest", IndexKind::Sorted)
+            .unwrap();
+        let cl = e.column_layer_stats();
+        assert_eq!(cl.extents, 4, "three base relations + one view extent");
+        assert_eq!(cl.index.hash_indexes, 1);
+        assert_eq!(cl.index.sorted_indexes, 1);
+        assert!(cl.index.builds >= 2);
+        assert!(cl.intern.symbols > 0, "text extents interned their strings");
+    }
+
+    #[test]
+    fn schema_change_rewarrms_declared_indexes() {
+        let mut e = engine_with_travel_space();
+        e.declare_index("Customer", "Name", IndexKind::Hash)
+            .unwrap();
+        let change = SchemaChange::RenameAttribute {
+            relation: "Customer".into(),
+            from: "Address".into(),
+            to: "Addr".into(),
+        };
+        e.notify_capability_change(&change, None).unwrap();
+        let rel = e.sites[&1].relation("Customer").unwrap();
+        assert!(
+            rel.has_index(0, IndexKind::Hash),
+            "rebuilt extent re-warmed the declared index"
+        );
     }
 }

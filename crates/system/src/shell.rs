@@ -17,7 +17,7 @@
 //! ```
 
 use eve_misd::{AttributeInfo, RelationInfo, SchemaChange, SiteId};
-use eve_relational::{ColumnDef, ColumnRef, DataType, Relation, Schema, Tuple, Value};
+use eve_relational::{ColumnDef, ColumnRef, DataType, IndexKind, Relation, Schema, Tuple, Value};
 
 use crate::durable::DurableEngine;
 use crate::engine::EveEngine;
@@ -129,6 +129,7 @@ impl Shell {
                         | "change"
                         | "rebalance"
                         | "compact"
+                        | "index"
                 ) {
                     return Err(Error::Poisoned {
                         detail: detail.to_owned(),
@@ -146,6 +147,7 @@ impl Shell {
             "view" => self.cmd_view(rest),
             "update" => self.cmd_update(rest),
             "change" => self.cmd_change(rest),
+            "index" => self.cmd_index(rest),
             "query" => self.cmd_query(rest),
             "show" => self.cmd_show(rest),
             "costs" => self.cmd_costs(),
@@ -502,6 +504,34 @@ impl Shell {
         })
     }
 
+    /// `index <Relation> <column> [hash|sorted]` — declare (and warm) a
+    /// secondary index on a hosted base relation. Durable hosts log the
+    /// declaration so it survives recovery.
+    fn cmd_index(&mut self, rest: &str) -> Result<String> {
+        const USAGE: &str = "index <Relation> <column> [hash|sorted]";
+        let mut parts = rest.split_whitespace();
+        let relation = parts.next().ok_or_else(|| usage(USAGE))?.to_owned();
+        let column = parts.next().ok_or_else(|| usage(USAGE))?.to_owned();
+        let kind = match parts.next().map(str::to_ascii_lowercase).as_deref() {
+            Some("hash") | None => IndexKind::Hash,
+            Some("sorted") => IndexKind::Sorted,
+            Some(other) => return Err(usage(&format!("unknown index kind `{other}`"))),
+        };
+        let added = match &mut self.host {
+            Host::Plain(e) => e.declare_index(&relation, &column, kind)?,
+            Host::Durable(d) => d.declare_index(&relation, &column, kind)?,
+        };
+        let shape = match kind {
+            IndexKind::Hash => "hash",
+            IndexKind::Sorted => "sorted",
+        };
+        Ok(if added {
+            format!("declared {shape} index on {relation}.{column}")
+        } else {
+            format!("{shape} index on {relation}.{column} already declared (re-warmed)")
+        })
+    }
+
     /// `stats` — measured resource accounting since the last reset, plus
     /// the cache/index counters of the rewrite-search machinery and (with
     /// an open store) the evolution-log I/O counters.
@@ -509,14 +539,28 @@ impl Shell {
         let (rw_hits, rw_misses) = self.engine().rewrite_cache_stats();
         let (pc_hits, pc_misses) = self.engine().partner_cache_stats();
         let (ix_hits, ix_misses) = self.engine().mkb_index_stats();
+        let cl = self.engine().column_layer_stats();
         let mut out = format!(
             "total I/O: {} blocks\n\
              total messages: {}\n\
              rewrite cache: {rw_hits} hits, {rw_misses} misses\n\
              partner cache: {pc_hits} hits, {pc_misses} misses\n\
-             mkb index: {ix_hits} hits, {ix_misses} misses",
+             mkb index: {ix_hits} hits, {ix_misses} misses\n\
+             columnar: {}/{} extents materialized\n\
+             indexes: {} hash, {} sorted ({} builds, {} hits, {} maintenance ops)\n\
+             interned: {} symbols ({} hits, {} misses)",
             self.engine().total_io(),
-            self.engine().total_messages()
+            self.engine().total_messages(),
+            cl.columnar_built,
+            cl.extents,
+            cl.index.hash_indexes,
+            cl.index.sorted_indexes,
+            cl.index.builds,
+            cl.index.hits,
+            cl.index.maintenance_ops,
+            cl.intern.symbols,
+            cl.intern.hits,
+            cl.intern.misses
         );
         if let Host::Durable(d) = &self.host {
             let s = d.store_stats();
@@ -791,6 +835,7 @@ EVE shell commands:
   update <N> insert|delete (v1, …)         data update + view maintenance
   change delete-relation <R> | delete-attribute <R>.<A>
          | rename-relation <A> <B> | rename-attribute <R>.<A> <B>
+  index <R> <column> [hash|sorted]         declare a secondary index (durable hint)
   query <View>                             print a view's extent
   show views|relations|constraints         inspect the warehouse / MKB
   costs                                    per-view analytic maintenance cost
@@ -851,6 +896,30 @@ mod tests {
         assert!(out.contains("rewrite cache"), "{out}");
         assert!(out.contains("partner cache"), "{out}");
         assert!(out.contains("mkb index"), "{out}");
+        assert!(out.contains("columnar:"), "{out}");
+        assert!(out.contains("indexes:"), "{out}");
+        assert!(out.contains("interned:"), "{out}");
+    }
+
+    #[test]
+    fn index_command_declares_warms_and_reports() {
+        let mut sh = seeded_shell();
+        let out = sh.execute("index Customer Name").unwrap();
+        assert!(
+            out.contains("declared hash index on Customer.Name"),
+            "{out}"
+        );
+        let out = sh.execute("index Customer Name hash").unwrap();
+        assert!(out.contains("already declared"), "{out}");
+        let out = sh.execute("index FlightRes Dest sorted").unwrap();
+        assert!(
+            out.contains("declared sorted index on FlightRes.Dest"),
+            "{out}"
+        );
+        assert!(sh.execute("index Customer Ghost").is_err());
+        assert!(sh.execute("index Customer Name btree").is_err());
+        let stats = sh.execute("stats").unwrap();
+        assert!(stats.contains("1 hash, 1 sorted"), "{stats}");
     }
 
     #[test]

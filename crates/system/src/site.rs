@@ -97,6 +97,12 @@ impl SimSite {
         self.relations.keys().map(String::as_str).collect()
     }
 
+    /// Hosted relation extents, in name order (the columnar/index stats
+    /// aggregation seam of the engine).
+    pub fn hosted_relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
     /// Hosted relations with their blocking factors, in name order (the
     /// snapshot export seam of the durability layer).
     pub fn hosted_with_blocking_factors(&self) -> impl Iterator<Item = (&Relation, u64)> {
