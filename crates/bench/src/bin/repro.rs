@@ -6,8 +6,8 @@
 
 use eve_bench::experiments::{
     batch_pipeline, columns, durability, exp1_survival, exp2_sites, exp3_distribution,
-    exp4_cardinality, exp5_workload, heuristics, search_space, serve, strategy_regret, validation,
-    view_exec,
+    exp4_cardinality, exp5_workload, heuristics, parallel, search_space, serve, strategy_regret,
+    validation, view_exec,
 };
 use eve_bench::report::{write_bench_json, Json};
 use eve_bench::table::{num, TextTable};
@@ -63,6 +63,10 @@ fn main() {
         columns_report();
         ran = true;
     }
+    if arg == "parallel" {
+        parallel_report();
+        ran = true;
+    }
     if arg == "search" || arg == "search-space" || arg == "search_space" {
         search_report();
         ran = true;
@@ -78,7 +82,7 @@ fn main() {
     if !ran {
         eprintln!("unknown experiment `{arg}`");
         eprintln!(
-            "usage: repro [exp1|exp2|exp3|exp4|exp5|heuristics|validate|regret|batch|view-exec|columns|search|durability|serve|all]"
+            "usage: repro [exp1|exp2|exp3|exp4|exp5|heuristics|validate|regret|batch|view-exec|columns|parallel|search|durability|serve|all]"
         );
         std::process::exit(2);
     }
@@ -538,6 +542,123 @@ fn columns_report() {
                 Json::obj(vec![
                     ("workload", "wide_text_join".into()),
                     ("min_speedup", Json::Num(5.0)),
+                ]),
+            ),
+            ("rows", Json::Arr(json_rows)),
+        ]),
+    );
+}
+
+fn parallel_report() {
+    heading("Morsel-driven parallel columnar execution vs serial (extension)");
+    let mut t = TextTable::new(&[
+        "workload",
+        "threads",
+        "ms",
+        "speedup",
+        "morsels",
+        "steals",
+        "partitions",
+    ]);
+    let mut json_rows = Vec::new();
+    // A serial/parallel byte-divergence surfaces as Err from compare();
+    // it must fail the invocation — CI relies on the exit code.
+    let rows = parallel::compare(5).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut wide_speedup_8 = f64::INFINITY;
+    let mut wide_modeled_8 = f64::INFINITY;
+    for r in rows {
+        t.row(vec![
+            r.workload.clone(),
+            "serial".into(),
+            num(r.serial_ms, 2),
+            "1.0x".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+        let mut json_arms = Vec::new();
+        for a in &r.arms {
+            if r.workload.starts_with("wide_text_join") && a.threads == 8 {
+                wide_speedup_8 = a.speedup;
+            }
+            t.row(vec![
+                r.workload.clone(),
+                a.threads.to_string(),
+                num(a.ms, 2),
+                format!("{:.1}x", a.speedup),
+                a.morsels.to_string(),
+                a.steals.to_string(),
+                a.partitions.to_string(),
+            ]);
+            json_arms.push(Json::obj(vec![
+                ("threads", a.threads.into()),
+                ("ms", a.ms.into()),
+                ("speedup", a.speedup.into()),
+                ("morsels", a.morsels.into()),
+                ("steals", a.steals.into()),
+                ("partitions", a.partitions.into()),
+            ]));
+        }
+        if r.workload.starts_with("wide_text_join") {
+            wide_modeled_8 = r.modeled_ratio_8;
+        }
+        json_rows.push(Json::obj(vec![
+            ("workload", r.workload.into()),
+            ("serial_ms", r.serial_ms.into()),
+            ("rows_out", r.rows_out.into()),
+            ("modeled_ratio_8", r.modeled_ratio_8.into()),
+            ("arms", Json::Arr(json_arms)),
+        ]));
+    }
+    println!("{}", t.render());
+    println!(
+        "Every parallel arm executes the SAME plan and is asserted \
+         byte-identical (order included) to serial columnar: morsels are \
+         fixed row ranges merged back in morsel order, and partitioned \
+         hash-join builds drain their buckets in morsel order."
+    );
+
+    // The modeled ratio is machine-independent; the wall-clock gate only
+    // means something when the machine actually has the 8 cores the arm
+    // asks for, so it is enforced on >= 8-core machines only.
+    if wide_modeled_8 < 1.5 {
+        eprintln!(
+            "error: parallel gate failed (modeled 8-worker ratio \
+             {wide_modeled_8:.2}x < 1.5x on wide_text_join)"
+        );
+        std::process::exit(1);
+    }
+    if cores >= 8 && wide_speedup_8 < 3.0 {
+        eprintln!(
+            "error: parallel gate failed (wide_text_join speedup \
+             {wide_speedup_8:.2}x < 3x at 8 threads on a {cores}-core machine)"
+        );
+        std::process::exit(1);
+    }
+    if cores < 8 {
+        println!(
+            "note: wall-clock >=3x gate skipped on this {cores}-core machine \
+             (needs >= 8 cores); byte-identity and the modeled >=1.5x gate \
+             were enforced."
+        );
+    }
+
+    emit_json(
+        "parallel",
+        Json::obj(vec![
+            ("bench", "parallel".into()),
+            ("cores", cores.into()),
+            (
+                "gate",
+                Json::obj(vec![
+                    ("workload", "wide_text_join".into()),
+                    ("min_speedup_at_8_threads", Json::Num(3.0)),
+                    ("min_modeled_ratio_8", Json::Num(1.5)),
+                    ("wall_clock_enforced", Json::Bool(cores >= 8)),
                 ]),
             ),
             ("rows", Json::Arr(json_rows)),

@@ -242,21 +242,39 @@ pub(crate) fn filter_batch(
     tuples: &[Tuple],
     clauses: &[VecClause],
 ) -> Vec<u32> {
-    let mut sel: Vec<u32> = (0..u32::try_from(batch.rows()).expect("row count fits u32")).collect();
+    let mut sel = Vec::new();
+    let rows = u32::try_from(batch.rows()).expect("row count fits u32");
+    filter_batch_range(batch, tuples, clauses, 0, rows, &mut sel);
+    sel
+}
+
+/// Range-restricted [`filter_batch`]: evaluates the clauses over rows
+/// `[start, end)` only, leaving the surviving ascending row ids in `sel`.
+/// `sel` is a caller-owned scratch buffer — morsel workers reuse one
+/// buffer across every morsel they run instead of allocating per morsel.
+pub(crate) fn filter_batch_range(
+    batch: &ColumnarBatch,
+    tuples: &[Tuple],
+    clauses: &[VecClause],
+    start: u32,
+    end: u32,
+    sel: &mut Vec<u32>,
+) {
+    sel.clear();
+    sel.extend(start..end);
     for clause in clauses {
         if sel.is_empty() {
             break;
         }
         match clause {
             VecClause::Lit { col, op, value } => {
-                refine_lit(batch.column(*col), *col, *op, value, tuples, &mut sel);
+                refine_lit(batch.column(*col), *col, *op, value, tuples, sel);
             }
             VecClause::Cols { left, op, right } => {
-                refine_cols(batch, *left, *op, *right, tuples, &mut sel);
+                refine_cols(batch, *left, *op, *right, tuples, sel);
             }
         }
     }
-    sel
 }
 
 fn refine_lit(

@@ -60,6 +60,13 @@ pub enum Error {
         /// Describes the unsatisfiable request.
         detail: String,
     },
+    /// A parallel worker panicked mid-morsel. The scheduler cancels the
+    /// remaining morsels and joins every worker before surfacing this, so
+    /// the caller never sees a hang or a partial extent.
+    Parallel {
+        /// The worker's panic payload (or a generic marker).
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -90,6 +97,7 @@ impl fmt::Display for Error {
             Error::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
             Error::NotComparable => write!(f, "values are not comparable (NaN)"),
             Error::Generator { detail } => write!(f, "generator error: {detail}"),
+            Error::Parallel { detail } => write!(f, "parallel worker failed: {detail}"),
         }
     }
 }

@@ -22,10 +22,13 @@
 //! maintainer routes its delta joins through it so planned and legacy
 //! execution charge byte-identical traces.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use crate::column::{self, scalar_key};
 use crate::error::Result;
+use crate::morsel::{self, ExecOptions};
 use crate::plan::{split_equi_keys, PhysicalPlan, PlanNode};
 use crate::predicate::{CompOp, Predicate, PrimitiveClause};
 use crate::relation::Relation;
@@ -57,12 +60,79 @@ pub fn execute(plan: &PhysicalPlan) -> Result<Relation> {
 }
 
 /// Executes a compiled plan under an explicit [`ExecMode`]. Both modes
-/// produce byte-identical output (same tuples, same order).
+/// produce byte-identical output (same tuples, same order). Serial
+/// (default [`ExecOptions`]).
 ///
 /// # Errors
 ///
 /// See [`execute`].
 pub fn execute_with(plan: &PhysicalPlan, mode: ExecMode) -> Result<Relation> {
+    execute_with_options(plan, mode, &ExecOptions::default())
+}
+
+// Per-thread scratch for morsel selection vectors: a worker reuses one
+// buffer across every morsel it runs instead of allocating per morsel
+// (the per-morsel output is an exact-size copy of the surviving ids).
+thread_local! {
+    static FILTER_SCRATCH: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Execution context threaded through the operator tree: the mode, the
+/// effective worker count (after the planner's tiny-input veto) and the
+/// morsel geometry.
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
+    mode: ExecMode,
+    workers: usize,
+    opts: &'a ExecOptions,
+}
+
+impl Ctx<'_> {
+    /// Whether an operator over `rows` input rows should take its
+    /// parallel path: more than one worker and more than one morsel.
+    fn parallel_over(&self, rows: usize) -> bool {
+        self.workers > 1 && self.opts.morsel_count(rows) > 1
+    }
+}
+
+/// Concatenates per-morsel output chunks in morsel order — the merge step
+/// that keeps parallel output byte-identical to serial execution.
+fn concat_chunks<T>(chunks: Vec<Vec<T>>) -> Vec<T> {
+    let total = chunks.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for mut chunk in chunks {
+        out.append(&mut chunk);
+    }
+    out
+}
+
+/// Clamps a (possibly wild) cardinality estimate into a sane preallocation
+/// hint. `0` means "no hint".
+fn row_hint(estimated: f64) -> usize {
+    if estimated.is_finite() && estimated > 0.0 {
+        (estimated as usize).min(1 << 22)
+    } else {
+        0
+    }
+}
+
+/// Executes a compiled plan under an explicit mode and [`ExecOptions`].
+/// With `parallelism > 1` the columnar operators run morsel-parallel; the
+/// output stays byte-identical, order included, to serial execution,
+/// because every operator merges per-morsel outputs in morsel order. The
+/// planner may veto parallelism for tiny inputs (see
+/// [`crate::plan::PlanEstimate::effective_parallelism`]); the row-oriented
+/// baseline always runs serial.
+///
+/// # Errors
+///
+/// See [`execute`]; additionally surfaces a worker panic as
+/// [`crate::error::Error::Parallel`].
+pub fn execute_with_options(
+    plan: &PhysicalPlan,
+    mode: ExecMode,
+    opts: &ExecOptions,
+) -> Result<Relation> {
     if mode == ExecMode::Columnar {
         // The columnar image is part of the physical storage: build (or
         // reuse — it is cached in the shared storage) each base input's
@@ -72,11 +142,44 @@ pub fn execute_with(plan: &PhysicalPlan, mode: ExecMode) -> Result<Relation> {
             let _ = input.relation.columnar();
         }
     }
-    let joined = eval(plan, &plan.root, mode)?;
-    let mut rows = Vec::with_capacity(joined.cardinality());
-    for t in joined.tuples() {
-        rows.push(t.project(&plan.projection));
-    }
+    let workers = if mode == ExecMode::Columnar && opts.parallelism > 1 {
+        if opts.force_parallel {
+            opts.parallelism
+        } else {
+            let effective = plan.estimate().effective_parallelism(opts.parallelism);
+            if effective == 1 {
+                morsel::note_serial_fallback();
+            }
+            effective
+        }
+    } else {
+        1
+    };
+    let ctx = Ctx {
+        mode,
+        workers,
+        opts,
+    };
+    let joined = eval(plan, &plan.root, ctx, row_hint(plan.estimate().output_rows))?;
+    let tuples = joined.tuples();
+    let rows = if ctx.parallel_over(tuples.len()) {
+        morsel::note_parallel_op();
+        let n = ctx.opts.morsel_count(tuples.len());
+        concat_chunks(morsel::run_morsels(ctx.workers, n, |i| {
+            let (s, e) = ctx.opts.morsel_range(i, tuples.len());
+            let mut out = Vec::with_capacity(e - s);
+            for t in &tuples[s..e] {
+                out.push(t.project(&plan.projection));
+            }
+            Ok(out)
+        })?)
+    } else {
+        let mut rows = Vec::with_capacity(tuples.len());
+        for t in tuples {
+            rows.push(t.project(&plan.projection));
+        }
+        rows
+    };
     Ok(Relation::from_validated(
         plan.name.clone(),
         plan.output_schema.clone(),
@@ -109,18 +212,40 @@ fn filter_rows(rel: &Relation, pred: &Predicate) -> Result<Vec<u32>> {
     Ok(sel)
 }
 
-fn eval(plan: &PhysicalPlan, node: &PlanNode, mode: ExecMode) -> Result<Relation> {
+fn eval(plan: &PhysicalPlan, node: &PlanNode, ctx: Ctx<'_>, out_hint: usize) -> Result<Relation> {
     match node {
         PlanNode::Scan { input, pushdown } => {
             let rel = &plan.inputs[*input].relation;
             match pushdown {
                 None => Ok(rel.clone()), // zero-copy: shares tuple storage
                 Some(pred) => {
-                    if mode == ExecMode::Columnar {
+                    if ctx.mode == ExecMode::Columnar {
                         if let Some(compiled) =
                             column::compile_clauses(pred, rel.schema(), rel.name())
                         {
                             let batch = rel.columnar();
+                            let rows = batch.rows();
+                            if ctx.parallel_over(rows) {
+                                morsel::note_parallel_op();
+                                let tuples = rel.tuples();
+                                let n = ctx.opts.morsel_count(rows);
+                                let sels = morsel::run_morsels(ctx.workers, n, |i| {
+                                    let (s, e) = ctx.opts.morsel_range(i, rows);
+                                    FILTER_SCRATCH.with(|buf| {
+                                        let mut scratch = buf.borrow_mut();
+                                        column::filter_batch_range(
+                                            &batch,
+                                            tuples,
+                                            &compiled,
+                                            u32::try_from(s).expect("row id fits u32"),
+                                            u32::try_from(e).expect("row id fits u32"),
+                                            &mut scratch,
+                                        );
+                                        Ok(scratch.clone())
+                                    })
+                                })?;
+                                return Ok(materialize_selection(rel, &concat_chunks(sels)));
+                            }
                             let sel = column::filter_batch(&batch, rel.tuples(), &compiled);
                             return Ok(materialize_selection(rel, &sel));
                         }
@@ -139,7 +264,7 @@ fn eval(plan: &PhysicalPlan, node: &PlanNode, mode: ExecMode) -> Result<Relation
             pushdown,
         } => {
             let rel = &plan.inputs[*input].relation;
-            if mode == ExecMode::RowOriented {
+            if ctx.mode == ExecMode::RowOriented {
                 // Baseline semantics: the index clause is just a filter.
                 let sel = filter_rows(rel, pushdown)?;
                 return Ok(materialize_selection(rel, &sel));
@@ -151,6 +276,25 @@ fn eval(plan: &PhysicalPlan, node: &PlanNode, mode: ExecMode) -> Result<Relation
             };
             let sel = match residual {
                 None => rows,
+                // The residual probe re-checks every index hit against the
+                // remaining predicate — morsel-parallel over the hit list,
+                // merged in morsel (= ascending row) order.
+                Some(pred) if ctx.parallel_over(rows.len()) => {
+                    morsel::note_parallel_op();
+                    let tuples = rel.tuples();
+                    let rows = &rows;
+                    let n = ctx.opts.morsel_count(rows.len());
+                    concat_chunks(morsel::run_morsels(ctx.workers, n, |i| {
+                        let (s, e) = ctx.opts.morsel_range(i, rows.len());
+                        let mut keep = Vec::with_capacity(e - s);
+                        for &r in &rows[s..e] {
+                            if pred.eval(rel.schema(), &tuples[r as usize], rel.name())? {
+                                keep.push(r);
+                            }
+                        }
+                        Ok(keep)
+                    })?)
+                }
                 Some(pred) => {
                     let tuples = rel.tuples();
                     let mut keep = Vec::with_capacity(rows.len());
@@ -172,13 +316,19 @@ fn eval(plan: &PhysicalPlan, node: &PlanNode, mode: ExecMode) -> Result<Relation
             residual,
             schema,
         } => {
-            let probe_rel = eval(plan, probe, mode)?;
-            let build_rel = eval(plan, build, mode)?;
-            if mode == ExecMode::Columnar
+            let probe_rel = eval(plan, probe, ctx, 0)?;
+            let build_rel = eval(plan, build, ctx, 0)?;
+            if ctx.mode == ExecMode::Columnar
                 && key_types_match(&probe_rel, probe_keys, &build_rel, build_keys)
             {
+                if ctx.parallel_over(probe_rel.cardinality().max(build_rel.cardinality())) {
+                    return hash_join_columnar_parallel(
+                        &probe_rel, &build_rel, probe_keys, build_keys, residual, schema, ctx,
+                        out_hint,
+                    );
+                }
                 return hash_join_columnar(
-                    &probe_rel, &build_rel, probe_keys, build_keys, residual, schema,
+                    &probe_rel, &build_rel, probe_keys, build_keys, residual, schema, out_hint,
                 );
             }
             hash_join_rows(
@@ -191,12 +341,37 @@ fn eval(plan: &PhysicalPlan, node: &PlanNode, mode: ExecMode) -> Result<Relation
             condition,
             schema,
         } => {
-            let outer_rel = eval(plan, outer, mode)?;
-            let inner_rel = eval(plan, inner, mode)?;
+            let outer_rel = eval(plan, outer, ctx, 0)?;
+            let inner_rel = eval(plan, inner, ctx, 0)?;
             let name = format!("{}⋈{}", outer_rel.name(), inner_rel.name());
-            let mut out = Vec::new();
-            for o in outer_rel.tuples() {
-                for i in inner_rel.tuples() {
+            let outer_tuples = outer_rel.tuples();
+            let inner_tuples = inner_rel.tuples();
+            if ctx.parallel_over(outer_tuples.len()) && !inner_tuples.is_empty() {
+                morsel::note_parallel_op();
+                let n = ctx.opts.morsel_count(outer_tuples.len());
+                let name_ref = &name;
+                let chunks = morsel::run_morsels(ctx.workers, n, |mi| {
+                    let (s, e) = ctx.opts.morsel_range(mi, outer_tuples.len());
+                    let mut out = Vec::new();
+                    for o in &outer_tuples[s..e] {
+                        for i in inner_tuples {
+                            let t = o.concat(i);
+                            if condition.is_true() || condition.eval(schema, &t, name_ref)? {
+                                out.push(t);
+                            }
+                        }
+                    }
+                    Ok(out)
+                })?;
+                return Ok(Relation::from_validated(
+                    name,
+                    schema.clone(),
+                    concat_chunks(chunks),
+                ));
+            }
+            let mut out = Vec::with_capacity(out_hint);
+            for o in outer_tuples {
+                for i in inner_tuples {
                     let t = o.concat(i);
                     if condition.is_true() || condition.eval(schema, &t, &name)? {
                         out.push(t);
@@ -224,7 +399,7 @@ fn key_types_match(
 }
 
 /// Join key over the scalar `u64` encoding (see [`crate::column`]).
-#[derive(PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 enum JoinKey {
     One(u64),
     Many(Box<[u64]>),
@@ -279,15 +454,20 @@ fn key_table_with_capacity(n: usize) -> KeyTable {
 /// batch when one exists and computed directly from the tuples otherwise
 /// (intermediates never pay a full batch build for one key column).
 fn join_key_vector(rel: &Relation, cols: &[usize]) -> Vec<JoinKey> {
+    join_keys_range(rel, cols, 0, rel.cardinality())
+}
+
+/// [`join_key_vector`] restricted to rows `[start, end)` — the morsel-
+/// sized unit of parallel key extraction. Text keys intern through the
+/// sharded pool, so concurrent morsels mostly touch different shard locks.
+fn join_keys_range(rel: &Relation, cols: &[usize], start: usize, end: usize) -> Vec<JoinKey> {
     if rel.columnar_built() {
         let batch = rel.columnar();
         if let [col] = cols {
             let c = batch.column(*col);
-            return (0..batch.rows())
-                .map(|r| JoinKey::One(c.key_at(r)))
-                .collect();
+            return (start..end).map(|r| JoinKey::One(c.key_at(r))).collect();
         }
-        return (0..batch.rows())
+        return (start..end)
             .map(|r| {
                 JoinKey::Many(
                     cols.iter()
@@ -297,7 +477,7 @@ fn join_key_vector(rel: &Relation, cols: &[usize]) -> Vec<JoinKey> {
             })
             .collect();
     }
-    let tuples = rel.tuples();
+    let tuples = &rel.tuples()[start..end];
     if let [col] = cols {
         return tuples
             .iter()
@@ -310,6 +490,22 @@ fn join_key_vector(rel: &Relation, cols: &[usize]) -> Vec<JoinKey> {
         .collect()
 }
 
+/// Hash-join partition count for a worker count: enough partitions that
+/// build tasks spread even under moderate key skew.
+fn partition_count(workers: usize) -> usize {
+    (workers * 2).next_power_of_two().min(64)
+}
+
+/// Routes a key to its partition using the high bits of the same
+/// [`KeyHasher`] mix the tables bucket with low bits — one hash, two
+/// independent-enough bit ranges.
+fn partition_of(k: &JoinKey, mask: u64) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = KeyHasher::default();
+    k.hash(&mut h);
+    usize::try_from((h.finish() >> 48) & mask).expect("mask fits usize")
+}
+
 /// Hash join over interned scalar keys: hashes `u64`s instead of cloning
 /// and hashing projected key tuples. Output order is identical to the row
 /// path — probe order outer, build insertion (ascending row) order inner.
@@ -320,6 +516,7 @@ fn hash_join_columnar(
     build_keys: &[usize],
     residual: &Predicate,
     schema: &Schema,
+    out_hint: usize,
 ) -> Result<Relation> {
     let name = format!("{}⋈{}", probe_rel.name(), build_rel.name());
     let build_key_vec = join_key_vector(build_rel, build_keys);
@@ -332,7 +529,7 @@ fn hash_join_columnar(
     }
     let probe_key_vec = join_key_vector(probe_rel, probe_keys);
     let build_tuples = build_rel.tuples();
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(out_hint);
     for (p, k) in probe_key_vec.into_iter().enumerate() {
         if let Some(matches) = table.get(&k) {
             let pt = &probe_rel.tuples()[p];
@@ -345,6 +542,113 @@ fn hash_join_columnar(
         }
     }
     Ok(Relation::from_validated(name, schema.clone(), out))
+}
+
+/// Morsel-parallel partitioned hash join over interned scalar keys.
+///
+/// Three phases, each deterministic:
+///
+/// 1. **Scatter** (parallel over build morsels): extract scalar keys for
+///    the morsel's row range and scatter `(key, row)` pairs into
+///    per-partition buckets, routed by the high bits of the key hash.
+/// 2. **Build** (parallel over partitions): each partition's table is
+///    owned by exactly one task — lock-free by partitioning, not by
+///    atomics. Buckets are drained in morsel order, so every key's row
+///    list comes out ascending, exactly as the serial build inserts it.
+/// 3. **Probe** (parallel over probe morsels): read-only lookups against
+///    the partition tables; per-morsel outputs merge in morsel order.
+///
+/// Output is therefore byte-identical, order included, to
+/// [`hash_join_columnar`]: probe-order outer, ascending build rows inner.
+#[allow(clippy::too_many_arguments)]
+fn hash_join_columnar_parallel(
+    probe_rel: &Relation,
+    build_rel: &Relation,
+    probe_keys: &[usize],
+    build_keys: &[usize],
+    residual: &Predicate,
+    schema: &Schema,
+    ctx: Ctx<'_>,
+    out_hint: usize,
+) -> Result<Relation> {
+    morsel::note_parallel_op();
+    let name = format!("{}⋈{}", probe_rel.name(), build_rel.name());
+    let build_rows = build_rel.cardinality();
+    let probe_rows = probe_rel.cardinality();
+    let parts = partition_count(ctx.workers);
+    let mask = (parts - 1) as u64;
+
+    // Phase 1: parallel key extraction + partition scatter.
+    let n_build = ctx.opts.morsel_count(build_rows);
+    let scattered = morsel::run_morsels(ctx.workers, n_build, |i| {
+        let (s, e) = ctx.opts.morsel_range(i, build_rows);
+        let keys = join_keys_range(build_rel, build_keys, s, e);
+        let mut buckets: Vec<Vec<(JoinKey, u32)>> = (0..parts).map(|_| Vec::new()).collect();
+        for (off, k) in keys.into_iter().enumerate() {
+            let p = partition_of(&k, mask);
+            buckets[p].push((k, u32::try_from(s + off).expect("row id fits u32")));
+        }
+        Ok(buckets)
+    })?;
+    // Wrap each bucket so the owning build task can take it without
+    // cloning keys (each bucket is read by exactly one partition task).
+    type MorselBuckets = Vec<Mutex<Vec<(JoinKey, u32)>>>;
+    let scattered: Vec<MorselBuckets> = scattered
+        .into_iter()
+        .map(|buckets| buckets.into_iter().map(Mutex::new).collect())
+        .collect();
+
+    // Phase 2: one task per partition; tables are lock-free because no
+    // two tasks share a partition.
+    morsel::note_partitions(parts as u64);
+    let tables = morsel::run_morsels(ctx.workers, parts, |p| {
+        let cap: usize = scattered
+            .iter()
+            .map(|m| m[p].lock().expect("bucket poisoned").len())
+            .sum();
+        let mut table = key_table_with_capacity(cap);
+        for morsel_buckets in &scattered {
+            let bucket = std::mem::take(&mut *morsel_buckets[p].lock().expect("bucket poisoned"));
+            for (k, row) in bucket {
+                table.entry(k).or_default().push(row);
+            }
+        }
+        Ok(table)
+    })?;
+
+    // Phase 3: parallel probe against the read-only partition tables.
+    let n_probe = ctx.opts.morsel_count(probe_rows);
+    let probe_tuples = probe_rel.tuples();
+    let build_tuples = build_rel.tuples();
+    let name_ref = &name;
+    let chunks = morsel::run_morsels(ctx.workers, n_probe, |i| {
+        let (s, e) = ctx.opts.morsel_range(i, probe_rows);
+        let cap = if out_hint > 0 {
+            out_hint / n_probe.max(1) + 1
+        } else {
+            e - s
+        };
+        let mut out = Vec::with_capacity(cap);
+        let keys = join_keys_range(probe_rel, probe_keys, s, e);
+        for (off, k) in keys.into_iter().enumerate() {
+            let p = partition_of(&k, mask);
+            if let Some(matches) = tables[p].get(&k) {
+                let pt = &probe_tuples[s + off];
+                for &b in matches {
+                    let t = pt.concat(&build_tuples[b as usize]);
+                    if residual.is_true() || residual.eval(schema, &t, name_ref)? {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    })?;
+    Ok(Relation::from_validated(
+        name,
+        schema.clone(),
+        concat_chunks(chunks),
+    ))
 }
 
 /// The PR 3 row-oriented hash join: projected-`Tuple` keys.
@@ -676,7 +980,13 @@ mod tests {
             output: vec![ColumnRef::bare("K")],
         };
         let p = plan(spec).unwrap();
-        let scanned = eval(&p, &p.root, ExecMode::Columnar).unwrap();
+        let opts = ExecOptions::default();
+        let ctx = Ctx {
+            mode: ExecMode::Columnar,
+            workers: 1,
+            opts: &opts,
+        };
+        let scanned = eval(&p, &p.root, ctx, 0).unwrap();
         assert!(scanned.shares_tuples_with(&a));
     }
 
@@ -718,6 +1028,103 @@ mod tests {
         let (joined, counts) = join_with_counts(&delta, &next, &on).unwrap();
         assert_eq!(counts, vec![3, 3], "keyless probe scans the relation");
         assert_eq!(joined.cardinality(), 3); // (1,2),(1,3),(2,3)
+    }
+
+    /// A join big enough that the planner would accept parallelism on its
+    /// own, with text keys so the interned scalar-key path is exercised.
+    fn wide_spec() -> QuerySpec {
+        let f = rel(
+            "F",
+            &[("T", DataType::Text), ("X", DataType::Int)],
+            (0..3000)
+                .map(|i| tup![format!("t{}", i % 100), i])
+                .collect(),
+        );
+        let d = rel(
+            "D",
+            &[("T", DataType::Text), ("Y", DataType::Int)],
+            (0..100).map(|i| tup![format!("t{i}"), i * 10]).collect(),
+        );
+        QuerySpec {
+            name: "W".into(),
+            inputs: vec![
+                QueryInput {
+                    binding: "F".into(),
+                    relation: f,
+                    stats: None,
+                },
+                QueryInput {
+                    binding: "D".into(),
+                    relation: d,
+                    stats: None,
+                },
+            ],
+            clauses: vec![
+                PrimitiveClause::eq(ColumnRef::parse("F.T"), ColumnRef::parse("D.T")),
+                PrimitiveClause::lit(ColumnRef::parse("F.X"), CompOp::Lt, Value::Int(2500)),
+            ],
+            projection: vec![ColumnRef::parse("F.X"), ColumnRef::parse("D.Y")],
+            output: vec![ColumnRef::bare("X"), ColumnRef::bare("Y")],
+        }
+    }
+
+    #[test]
+    fn parallel_execution_is_byte_identical_across_knobs() {
+        let p = plan(wide_spec()).unwrap();
+        let serial = execute_with(&p, ExecMode::Columnar).unwrap();
+        let row = execute_with(&p, ExecMode::RowOriented).unwrap();
+        assert_eq!(serial.tuples(), row.tuples());
+        for parallelism in [2, 4, 8] {
+            for morsel_rows in [1, 7, 64, 4096] {
+                let opts = ExecOptions {
+                    parallelism,
+                    morsel_rows,
+                    force_parallel: true,
+                };
+                let out = execute_with_options(&p, ExecMode::Columnar, &opts).unwrap();
+                assert_eq!(
+                    out.tuples(),
+                    serial.tuples(),
+                    "parallelism={parallelism} morsel_rows={morsel_rows}"
+                );
+                assert_eq!(out, serial);
+            }
+        }
+    }
+
+    #[test]
+    fn planner_declines_parallelism_for_tiny_inputs() {
+        let p = plan(chain_spec()).unwrap();
+        assert_eq!(p.estimate().effective_parallelism(8), 1);
+        let before = morsel::stats().serial_fallbacks;
+        let out = execute_with_options(&p, ExecMode::Columnar, &ExecOptions::with_parallelism(8))
+            .unwrap();
+        assert!(morsel::stats().serial_fallbacks > before);
+        assert_eq!(out, execute_with(&p, ExecMode::Columnar).unwrap());
+    }
+
+    #[test]
+    fn parallel_execution_moves_the_morsel_counters() {
+        let p = plan(wide_spec()).unwrap();
+        assert!(
+            p.estimate().effective_parallelism(8) > 1,
+            "wide spec must be big enough for the planner to accept workers"
+        );
+        let before = morsel::stats();
+        let _ = execute_with_options(
+            &p,
+            ExecMode::Columnar,
+            &ExecOptions {
+                parallelism: 4,
+                morsel_rows: 64,
+                force_parallel: false,
+            },
+        )
+        .unwrap();
+        let after = morsel::stats();
+        assert!(after.morsels > before.morsels, "morsels dispatched");
+        assert!(after.partitions > before.partitions, "partitions built");
+        assert!(after.parallel_ops > before.parallel_ops, "parallel ops");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Global string interning pool.
+//! Global string interning pool, sharded N ways.
 //!
 //! Text values dominate the cost of row-oriented join keys: hashing and
 //! cloning `String`s per probe. The columnar layer ([`crate::column`])
@@ -10,10 +10,27 @@
 //! different times compare symbols directly. [`lookup`] is the
 //! non-inserting probe used for literal lookups — an unseen string has no
 //! symbol and therefore matches nothing, without growing the pool.
+//!
+//! # Sharding
+//!
+//! Morsel-parallel columnar builds intern every text value of a batch
+//! concurrently; a single pool lock would serialize exactly the hot path
+//! parallelism is meant to spread. The pool is therefore split into
+//! [`SHARDS`] independently locked shards, routed by a hash of the string
+//! bytes. A symbol encodes its home shard in its low [`SHARD_BITS`] bits
+//! (`id = local_index << SHARD_BITS | shard`), so [`resolve`] routes
+//! without rehashing the string. Symbol semantics are unchanged: ids are
+//! stable for the process lifetime and symbol equality still coincides
+//! with string equality, because each string maps to exactly one shard.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
+
+/// Number of independently locked pool shards (power of two).
+pub const SHARDS: usize = 16;
+/// Bits of a symbol id that carry the shard index.
+const SHARD_BITS: u32 = SHARDS.trailing_zeros();
 
 /// Interned string id. Equality of symbols ⇔ equality of the underlying
 /// strings (the pool never assigns one id to two strings).
@@ -21,7 +38,7 @@ use std::sync::{Arc, OnceLock, RwLock};
 pub struct Symbol(u32);
 
 impl Symbol {
-    /// The raw pool id.
+    /// The raw pool id (shard index in the low bits).
     #[must_use]
     pub fn id(self) -> u32 {
         self.0
@@ -29,34 +46,64 @@ impl Symbol {
 }
 
 #[derive(Default)]
-struct PoolInner {
+struct ShardInner {
     map: HashMap<Arc<str>, u32>,
     strings: Vec<Arc<str>>,
 }
 
-static POOL: OnceLock<RwLock<PoolInner>> = OnceLock::new();
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
+#[derive(Default)]
+struct Shard {
+    inner: RwLock<ShardInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
 
-fn pool() -> &'static RwLock<PoolInner> {
-    POOL.get_or_init(|| RwLock::new(PoolInner::default()))
+static POOL: OnceLock<Vec<Shard>> = OnceLock::new();
+
+fn shards() -> &'static [Shard] {
+    POOL.get_or_init(|| (0..SHARDS).map(|_| Shard::default()).collect())
+}
+
+/// FNV-1a over the string bytes, folded to a shard index. Deliberately a
+/// different mix than the join-key hasher so partition skew in one does
+/// not imply lock contention in the other.
+fn shard_of(s: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h ^ (h >> 32)) as usize & (SHARDS - 1)
 }
 
 /// Interns `s`, returning its stable [`Symbol`]. Idempotent: the same
 /// string always yields the same symbol.
 pub fn intern(s: &str) -> Symbol {
-    // Fast path: already interned (read lock only).
-    if let Some(&id) = pool().read().expect("intern pool poisoned").map.get(s) {
-        HITS.fetch_add(1, Ordering::Relaxed);
+    let shard_idx = shard_of(s);
+    let shard = &shards()[shard_idx];
+    // Fast path: already interned (shard read lock only).
+    if let Some(&id) = shard
+        .inner
+        .read()
+        .expect("intern shard poisoned")
+        .map
+        .get(s)
+    {
+        shard.hits.fetch_add(1, Ordering::Relaxed);
         return Symbol(id);
     }
-    let mut inner = pool().write().expect("intern pool poisoned");
+    let mut inner = shard.inner.write().expect("intern shard poisoned");
     if let Some(&id) = inner.map.get(s) {
-        HITS.fetch_add(1, Ordering::Relaxed);
+        shard.hits.fetch_add(1, Ordering::Relaxed);
         return Symbol(id);
     }
-    MISSES.fetch_add(1, Ordering::Relaxed);
-    let id = u32::try_from(inner.strings.len()).expect("intern pool exceeds u32 ids");
+    shard.misses.fetch_add(1, Ordering::Relaxed);
+    let local = u32::try_from(inner.strings.len()).expect("intern shard exceeds u32 ids");
+    assert!(
+        local < (1 << (32 - SHARD_BITS)),
+        "intern shard exceeds id space"
+    );
+    let id = (local << SHARD_BITS) | (shard_idx as u32);
     let arc: Arc<str> = Arc::from(s);
     inner.strings.push(Arc::clone(&arc));
     inner.map.insert(arc, id);
@@ -67,15 +114,17 @@ pub fn intern(s: &str) -> Symbol {
 /// for literal/probe-key lookups so query constants never grow the pool.
 #[must_use]
 pub fn lookup(s: &str) -> Option<Symbol> {
-    pool()
+    shards()[shard_of(s)]
+        .inner
         .read()
-        .expect("intern pool poisoned")
+        .expect("intern shard poisoned")
         .map
         .get(s)
         .map(|&id| Symbol(id))
 }
 
-/// Resolves a symbol back to its string.
+/// Resolves a symbol back to its string, routing by the shard bits of
+/// its id.
 ///
 /// # Panics
 ///
@@ -83,12 +132,14 @@ pub fn lookup(s: &str) -> Option<Symbol> {
 /// through the public API).
 #[must_use]
 pub fn resolve(sym: Symbol) -> Arc<str> {
+    let shard = &shards()[sym.0 as usize & (SHARDS - 1)];
     Arc::clone(
-        pool()
+        shard
+            .inner
             .read()
-            .expect("intern pool poisoned")
+            .expect("intern shard poisoned")
             .strings
-            .get(sym.0 as usize)
+            .get((sym.0 >> SHARD_BITS) as usize)
             .expect("symbol from a foreign pool"),
     )
 }
@@ -104,15 +155,42 @@ pub struct InternStats {
     pub misses: u64,
 }
 
-/// Snapshot of the pool counters.
+impl InternStats {
+    fn absorb(&mut self, other: InternStats) {
+        self.symbols += other.symbols;
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+fn shard_snapshot(shard: &Shard) -> InternStats {
+    InternStats {
+        symbols: shard
+            .inner
+            .read()
+            .expect("intern shard poisoned")
+            .strings
+            .len() as u64,
+        hits: shard.hits.load(Ordering::Relaxed),
+        misses: shard.misses.load(Ordering::Relaxed),
+    }
+}
+
+/// Snapshot of the pool counters, rolled up across all shards.
 #[must_use]
 pub fn stats() -> InternStats {
-    let symbols = pool().read().expect("intern pool poisoned").strings.len() as u64;
-    InternStats {
-        symbols,
-        hits: HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
+    let mut total = InternStats::default();
+    for shard in shards() {
+        total.absorb(shard_snapshot(shard));
     }
+    total
+}
+
+/// Per-shard counter snapshots, indexed by shard. The rollup of this
+/// vector equals [`stats`].
+#[must_use]
+pub fn shard_stats() -> Vec<InternStats> {
+    shards().iter().map(shard_snapshot).collect()
 }
 
 #[cfg(test)]
@@ -158,5 +236,37 @@ mod tests {
         let after = stats();
         assert!(after.misses > before.misses);
         assert!(after.hits > before.hits);
+    }
+
+    #[test]
+    fn shard_stats_roll_up_to_totals() {
+        intern("eve-intern-shard-rollup-a");
+        intern("eve-intern-shard-rollup-b");
+        let per_shard = shard_stats();
+        assert_eq!(per_shard.len(), SHARDS);
+        let mut total = InternStats::default();
+        for s in &per_shard {
+            total.absorb(*s);
+        }
+        assert_eq!(total, stats());
+    }
+
+    #[test]
+    fn symbol_id_routes_back_to_home_shard() {
+        let sym = intern("eve-intern-shard-route");
+        assert_eq!(
+            sym.id() as usize & (SHARDS - 1),
+            shard_of("eve-intern-shard-route"),
+            "low bits of the id must name the shard that owns the string"
+        );
+    }
+
+    #[test]
+    fn strings_spread_across_multiple_shards() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            seen.insert(shard_of(&format!("eve-intern-spread-{i}")));
+        }
+        assert!(seen.len() > 4, "64 keys should land in more than 4 shards");
     }
 }

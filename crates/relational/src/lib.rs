@@ -39,6 +39,7 @@ pub mod exec;
 pub mod generator;
 pub mod index;
 pub mod intern;
+pub mod morsel;
 pub mod plan;
 pub mod predicate;
 pub mod relation;
@@ -52,6 +53,7 @@ pub use error::{Error, Result};
 pub use exec::ExecMode;
 pub use index::{IndexKind, IndexStats};
 pub use intern::{InternStats, Symbol};
+pub use morsel::{ExecOptions, ExecStats};
 pub use plan::{PhysicalPlan, PlanEstimate, QueryInput, QuerySpec};
 pub use predicate::{CompOp, Operand, Predicate, PrimitiveClause};
 pub use relation::Relation;

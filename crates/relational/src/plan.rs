@@ -155,6 +155,43 @@ pub struct PlanEstimate {
     pub index_scans: u32,
 }
 
+impl PlanEstimate {
+    /// Abstract cost charged per extra worker: thread wake-up plus morsel
+    /// dispatch, in the same tuple-touch units as `cpu_tuples`. A worker
+    /// only pays off once it saves more than this.
+    pub const MORSEL_DISPATCH_COST: f64 = 256.0;
+
+    /// Modeled cost of executing this plan with `workers` morsel workers:
+    /// I/O stays serial (extents are memory-resident Arc-shared storage,
+    /// charged identically either way), CPU tuple touches divide across
+    /// workers, and each extra worker charges a flat dispatch overhead.
+    /// `parallel_total(1) == total`.
+    #[must_use]
+    pub fn parallel_total(&self, workers: usize) -> f64 {
+        let w = workers.max(1) as f64;
+        self.io_blocks + self.cpu_tuples / w + Self::MORSEL_DISPATCH_COST * (w - 1.0)
+    }
+
+    /// The worker count the planner actually runs with when `requested`
+    /// workers are offered: the count in `1..=requested` minimizing
+    /// [`Self::parallel_total`]. Tiny inputs come back as `1` — the
+    /// dispatch overhead would outweigh the per-worker CPU savings — which
+    /// is how the planner declines parallelism without a separate flag.
+    #[must_use]
+    pub fn effective_parallelism(&self, requested: usize) -> usize {
+        let mut best = 1;
+        let mut best_cost = self.parallel_total(1);
+        for w in 2..=requested {
+            let cost = self.parallel_total(w);
+            if cost < best_cost {
+                best = w;
+                best_cost = cost;
+            }
+        }
+        best
+    }
+}
+
 /// Summary of one join step, for diagnostics and plan-shape assertions.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JoinSummary {

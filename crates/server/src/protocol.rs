@@ -115,6 +115,10 @@ pub enum ResponseBody {
         index_hits: u64,
         /// Distinct strings in the interning pool.
         interned_symbols: u64,
+        /// Intra-query worker threads the tenant's reader pool may use.
+        exec_parallelism: u64,
+        /// Morsels dispatched by the parallel executor.
+        exec_morsels: u64,
     },
     /// [`RequestBody::ResetBudget`] answer.
     BudgetReset {
@@ -311,6 +315,8 @@ impl Codec for ResponseBody {
                 columnar_extents,
                 index_hits,
                 interned_symbols,
+                exec_parallelism,
+                exec_morsels,
             } => {
                 enc.u8(5);
                 enc.u64(*candidates_used);
@@ -321,6 +327,8 @@ impl Codec for ResponseBody {
                 enc.u64(*columnar_extents);
                 enc.u64(*index_hits);
                 enc.u64(*interned_symbols);
+                enc.u64(*exec_parallelism);
+                enc.u64(*exec_morsels);
             }
             ResponseBody::BudgetReset { drained } => {
                 enc.u8(6);
@@ -354,6 +362,8 @@ impl Codec for ResponseBody {
                 columnar_extents: dec.u64()?,
                 index_hits: dec.u64()?,
                 interned_symbols: dec.u64()?,
+                exec_parallelism: dec.u64()?,
+                exec_morsels: dec.u64()?,
             },
             6 => ResponseBody::BudgetReset {
                 drained: dec.u64()?,

@@ -370,6 +370,8 @@ fn execute_job(tenant: &Tenant, body: RequestBody) -> Result<ResponseBody> {
                 columnar_extents: s.columnar_extents,
                 index_hits: s.index_hits,
                 interned_symbols: s.interned_symbols,
+                exec_parallelism: s.exec_parallelism,
+                exec_morsels: s.exec_morsels,
             })
         }
         RequestBody::OpenSession { .. } | RequestBody::Attach | RequestBody::CloseSession => {

@@ -15,6 +15,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 
+use eve_relational::ExecOptions;
 use eve_sync::EvolutionOp;
 use eve_system::{DurableEngine, Shell};
 
@@ -74,6 +75,10 @@ pub struct TenantStats {
     pub index_hits: u64,
     /// Distinct strings in the global interning pool.
     pub interned_symbols: u64,
+    /// Intra-query worker threads this tenant's reader pool may use.
+    pub exec_parallelism: u64,
+    /// Morsels dispatched by the parallel executor (process-wide).
+    pub exec_morsels: u64,
 }
 
 /// A mutation as admission control sees it.
@@ -141,7 +146,10 @@ impl Tenant {
     /// Current admission counters.
     #[must_use]
     pub fn stats(&self) -> TenantStats {
-        let cl = self.read().engine().column_layer_stats();
+        let shell = self.read();
+        let cl = shell.engine().column_layer_stats();
+        let parallelism = shell.engine().exec_options.parallelism;
+        drop(shell);
         let st = lock(&self.state);
         TenantStats {
             candidates_used: st.candidates_used,
@@ -152,6 +160,8 @@ impl Tenant {
             columnar_extents: cl.columnar_built as u64,
             index_hits: cl.index.hits,
             interned_symbols: cl.intern.symbols,
+            exec_parallelism: parallelism as u64,
+            exec_morsels: cl.exec.morsels,
         }
     }
 
@@ -394,6 +404,26 @@ impl Warehouse {
         budget: TenantBudget,
         policy: AdmissionPolicy,
     ) -> Result<Arc<Tenant>> {
+        self.tenant_with_exec(name, budget, policy, ExecOptions::default())
+    }
+
+    /// Gets or creates the tenant `name` with an explicit budget, policy
+    /// and intra-query execution options (existing tenants keep their
+    /// configuration). Parallelism is a reader-pool tuning knob only:
+    /// admission control still charges the same QC candidates and I/O
+    /// blocks whether a query runs serial or morsel-parallel, and the
+    /// engine fingerprint is byte-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Warehouse::tenant`].
+    pub fn tenant_with_exec(
+        &self,
+        name: &str,
+        budget: TenantBudget,
+        policy: AdmissionPolicy,
+        exec: ExecOptions,
+    ) -> Result<Arc<Tenant>> {
         if name.is_empty()
             || !name
                 .chars()
@@ -417,9 +447,11 @@ impl Warehouse {
         } else {
             DurableEngine::create(&dir)?
         };
+        let mut shell = Shell::with_durable(durable);
+        shell.engine_mut().exec_options = exec;
         let tenant = Arc::new(Tenant {
             name: name.to_owned(),
-            shell: RwLock::new(Shell::with_durable(durable)),
+            shell: RwLock::new(shell),
             budget,
             policy,
             state: Mutex::new(AdmissionState::default()),
@@ -456,6 +488,40 @@ mod tests {
         assert!(root.join("alpha").join("store.lock").exists());
         assert!(root.join("beta").is_dir());
         assert_eq!(wh.tenant_names(), vec!["alpha", "beta"]);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn parallelism_leaves_io_accounting_and_fingerprint_unchanged() {
+        let root = scratch("parallel");
+        let wh = Warehouse::open(&root).unwrap();
+        let run = |name: &str, exec: ExecOptions| {
+            let t = wh
+                .tenant_with_exec(name, TenantBudget::default(), AdmissionPolicy::Reject, exec)
+                .unwrap();
+            for line in [
+                "site 1 s1",
+                "relation R @1 (K:int, V:text)",
+                "insert R (1, 'a')",
+                "insert R (2, 'b')",
+                "view CREATE VIEW V (VE = '~') AS SELECT R.K FROM R (RR = true)",
+                "update R insert (3, 'c')",
+            ] {
+                t.execute_mutation(Mutation::Statement(line.into()))
+                    .unwrap();
+            }
+            (t.stats(), t.query("V").unwrap(), t.fingerprint())
+        };
+        let (serial, serial_out, serial_fp) = run("serial", ExecOptions::serial());
+        let (par, par_out, par_fp) = run("parallel", ExecOptions::with_parallelism(4));
+        // Parallelism is a reader-pool knob: admission charges the same
+        // I/O and candidates, and the engine state is byte-identical.
+        assert_eq!(serial.io_used, par.io_used);
+        assert_eq!(serial.candidates_used, par.candidates_used);
+        assert_eq!(serial_out, par_out);
+        assert_eq!(serial_fp, par_fp);
+        assert_eq!(serial.exec_parallelism, 1);
+        assert_eq!(par.exec_parallelism, 4);
         std::fs::remove_dir_all(&root).ok();
     }
 

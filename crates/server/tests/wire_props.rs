@@ -274,6 +274,8 @@ fn every_protocol_variant_roundtrips_through_the_wire() {
                 columnar_extents: 2,
                 index_hits: 17,
                 interned_symbols: 41,
+                exec_parallelism: 4,
+                exec_morsels: 97,
             },
         },
         Response {

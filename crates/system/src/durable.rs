@@ -817,6 +817,9 @@ impl EveEngine {
             workload: snapshot.config.workload,
             strategy: snapshot.config.strategy,
             search: snapshot.config.search.into(),
+            // Runtime tuning knob, deliberately not part of snapshots:
+            // recovery always starts serial and byte-identical.
+            exec_options: eve_relational::ExecOptions::default(),
         };
         // Index contents are reconstructible and deliberately not part of
         // the snapshot; re-warm the declared ones on the restored extents.

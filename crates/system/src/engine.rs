@@ -15,7 +15,7 @@ use eve_qc::{
     plans_for_view, rank_rewritings, workload, QcParams, ScoredRewriting, SelectionStrategy,
     WorkloadModel,
 };
-use eve_relational::{IndexKind, IndexStats, InternStats, Relation, Value};
+use eve_relational::{ExecOptions, ExecStats, IndexKind, IndexStats, InternStats, Relation, Value};
 use eve_sync::{
     synchronize, EvolutionOp, HeuristicOptions, RewriteCache, SyncOptions, SyncOutcome,
 };
@@ -121,6 +121,9 @@ pub struct ColumnLayerStats {
     pub index: IndexStats,
     /// Global string-interning pool counters.
     pub intern: InternStats,
+    /// Process-wide morsel scheduler counters (morsels dispatched, deque
+    /// steals, join partitions built, parallel vs declined operators).
+    pub exec: ExecStats,
 }
 
 /// The EVE engine.
@@ -144,6 +147,10 @@ pub struct EveEngine {
     pub strategy: SelectionStrategy,
     /// How the engine explores the rewriting search space.
     pub search: SearchMode,
+    /// Intra-query execution knobs: morsel parallelism for view
+    /// evaluation and maintainer recomputes. Runtime tuning only — not
+    /// part of durable snapshots, so recovery starts serial.
+    pub exec_options: ExecOptions,
 }
 
 impl Default for EveEngine {
@@ -167,6 +174,7 @@ impl EveEngine {
             workload: WorkloadModel::SingleUpdate,
             strategy: SelectionStrategy::QcBest,
             search: SearchMode::default(),
+            exec_options: ExecOptions::default(),
         }
     }
 
@@ -262,7 +270,12 @@ impl EveEngine {
     /// Validation/state/relational failures.
     pub fn evaluate(&self, view: &ViewDef) -> Result<Relation> {
         let extents = self.extents_for(view)?;
-        crate::query::evaluate_view_with_stats(view, &extents, &self.declared_stats(view))
+        crate::query::evaluate_view_with_options(
+            view,
+            &extents,
+            &self.declared_stats(view),
+            &self.exec_options,
+        )
     }
 
     /// Declared [`eve_relational::RelationStats`] for every FROM relation
@@ -932,6 +945,7 @@ impl EveEngine {
     pub fn column_layer_stats(&self) -> ColumnLayerStats {
         let mut stats = ColumnLayerStats {
             intern: eve_relational::intern::stats(),
+            exec: eve_relational::morsel::stats(),
             ..ColumnLayerStats::default()
         };
         let extents = self

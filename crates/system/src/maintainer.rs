@@ -22,7 +22,9 @@ use std::collections::BTreeMap;
 
 use eve_esql::ViewDef;
 use eve_misd::{Mkb, SiteId};
-use eve_relational::{algebra, ColumnRef, Predicate, PrimitiveClause, Relation, Tuple};
+use eve_relational::{
+    algebra, ColumnRef, ExecOptions, Predicate, PrimitiveClause, Relation, Tuple,
+};
 
 use crate::error::{Error, Result};
 use crate::query::bind_relation;
@@ -303,6 +305,23 @@ pub fn recompute_view(
     sites: &mut BTreeMap<u32, SimSite>,
     mkb: &Mkb,
 ) -> Result<(Relation, MaintenanceTrace)> {
+    recompute_view_with(view, sites, mkb, &ExecOptions::default())
+}
+
+/// [`recompute_view`] under explicit [`ExecOptions`]: the warehouse-side
+/// re-evaluation runs morsel-parallel when asked (site I/O accounting is
+/// identical — extents are shipped whole either way, and the scheduler
+/// never touches site counters).
+///
+/// # Errors
+///
+/// State/relational failures.
+pub fn recompute_view_with(
+    view: &ViewDef,
+    sites: &mut BTreeMap<u32, SimSite>,
+    mkb: &Mkb,
+    options: &ExecOptions,
+) -> Result<(Relation, MaintenanceTrace)> {
     let view = eve_esql::validate::validate(view).map_err(|e| Error::Validation(e.message))?;
     let mut trace = MaintenanceTrace::default();
     let mut extents: BTreeMap<String, Relation> = BTreeMap::new();
@@ -323,7 +342,8 @@ pub fn recompute_view(
         }
         extents.entry(item.relation.clone()).or_insert(rel);
     }
-    let result = crate::query::evaluate_view(&view, &extents)?;
+    let result =
+        crate::query::evaluate_view_with_options(&view, &extents, &BTreeMap::new(), options)?;
     trace.view_inserts = result.cardinality();
     Ok((result, trace))
 }

@@ -22,8 +22,8 @@ use std::collections::BTreeMap;
 
 use eve_esql::ViewDef;
 use eve_relational::{
-    algebra, ColumnRef, PhysicalPlan, Predicate, PrimitiveClause, QueryInput, QuerySpec, Relation,
-    RelationStats, Schema,
+    algebra, ColumnRef, ExecOptions, PhysicalPlan, Predicate, PrimitiveClause, QueryInput,
+    QuerySpec, Relation, RelationStats, Schema,
 };
 
 use crate::error::{Error, Result};
@@ -108,7 +108,29 @@ pub fn evaluate_view_with_stats(
     extents: &BTreeMap<String, Relation>,
     stats: &BTreeMap<String, RelationStats>,
 ) -> Result<Relation> {
-    Ok(plan_view(view, extents, stats)?.execute()?)
+    evaluate_view_with_options(view, extents, stats, &ExecOptions::default())
+}
+
+/// [`evaluate_view_with_stats`] under explicit [`ExecOptions`]: with
+/// `parallelism > 1` the columnar operators run morsel-parallel (unless
+/// the planner's cost model vetoes it for a tiny input). Output is
+/// byte-identical to serial execution regardless of the options.
+///
+/// # Errors
+///
+/// As [`evaluate_view`].
+pub fn evaluate_view_with_options(
+    view: &ViewDef,
+    extents: &BTreeMap<String, Relation>,
+    stats: &BTreeMap<String, RelationStats>,
+    options: &ExecOptions,
+) -> Result<Relation> {
+    let plan = plan_view(view, extents, stats)?;
+    Ok(eve_relational::exec::execute_with_options(
+        &plan,
+        eve_relational::ExecMode::Columnar,
+        options,
+    )?)
 }
 
 /// Whether every column of a clause resolves in `schema`.

@@ -148,6 +148,7 @@ impl Shell {
             "update" => self.cmd_update(rest),
             "change" => self.cmd_change(rest),
             "index" => self.cmd_index(rest),
+            "exec" => self.cmd_exec(rest),
             "query" => self.cmd_query(rest),
             "show" => self.cmd_show(rest),
             "costs" => self.cmd_costs(),
@@ -532,6 +533,42 @@ impl Shell {
         })
     }
 
+    /// `exec [<parallelism> [<morsel-rows>]]` — set (or show) the engine's
+    /// intra-query execution knobs. A runtime tuning knob only: it is not
+    /// logged, so recovery starts serial.
+    fn cmd_exec(&mut self, rest: &str) -> Result<String> {
+        const USAGE: &str = "exec [<parallelism> [<morsel-rows>]]";
+        let mut parts = rest.split_whitespace();
+        let Some(par) = parts.next() else {
+            let o = self.engine().exec_options;
+            return Ok(format!(
+                "exec: {} worker(s), {} rows/morsel",
+                o.parallelism.max(1),
+                o.morsel_rows()
+            ));
+        };
+        let parallelism: usize = par.parse().map_err(|_| usage(USAGE))?;
+        if parallelism == 0 || parallelism > 256 {
+            return Err(usage("parallelism must be in 1..=256"));
+        }
+        let morsel_rows = match parts.next() {
+            None => self.engine().exec_options.morsel_rows(),
+            Some(m) => {
+                let m: usize = m.parse().map_err(|_| usage(USAGE))?;
+                if m == 0 {
+                    return Err(usage("morsel-rows must be at least 1"));
+                }
+                m
+            }
+        };
+        let opts = &mut self.engine_mut().exec_options;
+        opts.parallelism = parallelism;
+        opts.morsel_rows = morsel_rows;
+        Ok(format!(
+            "exec: {parallelism} worker(s), {morsel_rows} rows/morsel"
+        ))
+    }
+
     /// `stats` — measured resource accounting since the last reset, plus
     /// the cache/index counters of the rewrite-search machinery and (with
     /// an open store) the evolution-log I/O counters.
@@ -548,7 +585,9 @@ impl Shell {
              mkb index: {ix_hits} hits, {ix_misses} misses\n\
              columnar: {}/{} extents materialized\n\
              indexes: {} hash, {} sorted ({} builds, {} hits, {} maintenance ops)\n\
-             interned: {} symbols ({} hits, {} misses)",
+             interned: {} symbols ({} hits, {} misses)\n\
+             exec: {} workers, {} morsels ({} steals), {} partitions, \
+             {} parallel ops, {} declined",
             self.engine().total_io(),
             self.engine().total_messages(),
             cl.columnar_built,
@@ -560,7 +599,13 @@ impl Shell {
             cl.index.maintenance_ops,
             cl.intern.symbols,
             cl.intern.hits,
-            cl.intern.misses
+            cl.intern.misses,
+            self.engine().exec_options.parallelism.max(1),
+            cl.exec.morsels,
+            cl.exec.steals,
+            cl.exec.partitions,
+            cl.exec.parallel_ops,
+            cl.exec.serial_fallbacks
         );
         if let Host::Durable(d) = &self.host {
             let s = d.store_stats();
@@ -836,6 +881,7 @@ EVE shell commands:
   change delete-relation <R> | delete-attribute <R>.<A>
          | rename-relation <A> <B> | rename-attribute <R>.<A> <B>
   index <R> <column> [hash|sorted]         declare a secondary index (durable hint)
+  exec [<parallelism> [<morsel-rows>]]     set/show intra-query morsel parallelism
   query <View>                             print a view's extent
   show views|relations|constraints         inspect the warehouse / MKB
   costs                                    per-view analytic maintenance cost
