@@ -6,8 +6,8 @@
 
 use eve_bench::experiments::{
     batch_pipeline, columns, durability, exp1_survival, exp2_sites, exp3_distribution,
-    exp4_cardinality, exp5_workload, heuristics, parallel, search_space, serve, strategy_regret,
-    validation, view_exec,
+    exp4_cardinality, exp5_workload, heuristics, observe, parallel, search_space, serve,
+    strategy_regret, validation, view_exec,
 };
 use eve_bench::report::{write_bench_json, Json};
 use eve_bench::table::{num, TextTable};
@@ -79,10 +79,14 @@ fn main() {
         serve_report();
         ran = true;
     }
+    if arg == "observe" {
+        observe_report();
+        ran = true;
+    }
     if !ran {
         eprintln!("unknown experiment `{arg}`");
         eprintln!(
-            "usage: repro [exp1|exp2|exp3|exp4|exp5|heuristics|validate|regret|batch|view-exec|columns|parallel|search|durability|serve|all]"
+            "usage: repro [exp1|exp2|exp3|exp4|exp5|heuristics|validate|regret|batch|view-exec|columns|parallel|search|durability|serve|observe|all]"
         );
         std::process::exit(2);
     }
@@ -940,10 +944,18 @@ fn serve_report() {
         report.read_p99_us.to_string(),
     ]);
     lt.row(vec![
-        "all".into(),
+        "all (driver stopwatch)".into(),
         report.requests.to_string(),
         report.p50_us.to_string(),
         report.p99_us.to_string(),
+    ]);
+    // The quoted latency comes from the server's own per-request-type
+    // histograms (`server.latency_us.*`), not the driver's stopwatch.
+    lt.row(vec![
+        "all (server histograms)".into(),
+        report.server_latency.count().to_string(),
+        report.server_p50_us.to_string(),
+        report.server_p99_us.to_string(),
     ]);
     println!("{}", lt.render());
     println!(
@@ -976,13 +988,123 @@ fn serve_report() {
             ("byte_identical", Json::Bool(report.byte_identical)),
             ("elapsed_ms", report.elapsed_ms.into()),
             ("throughput_rps", report.throughput_rps.into()),
-            ("p50_us", report.p50_us.into()),
-            ("p99_us", report.p99_us.into()),
+            // Headline quantiles are the server's own histogram readout;
+            // the driver's stopwatch numbers ride along for comparison.
+            ("p50_us", report.server_p50_us.into()),
+            ("p99_us", report.server_p99_us.into()),
+            ("driver_p50_us", report.p50_us.into()),
+            ("driver_p99_us", report.p99_us.into()),
             ("write_p50_us", report.write_p50_us.into()),
             ("write_p99_us", report.write_p99_us.into()),
             ("read_p50_us", report.read_p50_us.into()),
             ("read_p99_us", report.read_p99_us.into()),
             ("rows", Json::Arr(json_rows)),
+        ]),
+    );
+}
+
+fn observe_report() {
+    heading("Tracing overhead and determinism — eve-trace on the wide join (extension)");
+    let cfg = observe::ObserveConfig::default();
+    let report = observe::run(&cfg).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+
+    let mut t = TextTable::new(&["workload", "arm", "wall ms", "per-site ns"]);
+    t.row(vec![
+        report.workload.clone(),
+        "untraced (spans off)".into(),
+        num(report.untraced_ms, 2),
+        num(report.disabled_site_ns, 2),
+    ]);
+    t.row(vec![
+        report.workload.clone(),
+        "traced (spans on)".into(),
+        num(report.traced_ms, 2),
+        num(report.enabled_site_ns, 2),
+    ]);
+    if let (Some(off), Some(on)) = (report.serve_untraced_ms, report.serve_traced_ms) {
+        t.row(vec![
+            "serve (2×8 sessions)".into(),
+            "untraced (spans off)".into(),
+            num(off, 2),
+            "-".into(),
+        ]);
+        t.row(vec![
+            "serve (2×8 sessions)".into(),
+            "traced (spans on)".into(),
+            num(on, 2),
+            "-".into(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "{} on {} rows: {} spans per run; projected disabled-path overhead {}% \
+         (gate <= 5%); enabled-arm overhead {}%; extents byte-identical: {}; \
+         exec-counter deltas deterministic: {}.",
+        report.workload,
+        report.rows,
+        report.spans_per_run,
+        num(report.projected_disabled_overhead_pct, 3),
+        num(report.enabled_overhead_pct, 1),
+        if report.extents_identical {
+            "yes"
+        } else {
+            "NO"
+        },
+        if report.snapshot_deterministic {
+            "yes"
+        } else {
+            "NO"
+        },
+    );
+
+    if !report.extents_identical
+        || !report.snapshot_deterministic
+        || report.projected_disabled_overhead_pct > 5.0
+        || report.spans_per_run == 0
+    {
+        eprintln!(
+            "error: observe gate failed (identical={}, deterministic={}, overhead={}%, spans={})",
+            report.extents_identical,
+            report.snapshot_deterministic,
+            report.projected_disabled_overhead_pct,
+            report.spans_per_run
+        );
+        std::process::exit(1);
+    }
+
+    emit_json(
+        "observe",
+        Json::obj(vec![
+            ("workload", Json::Str(report.workload.clone())),
+            ("rows", report.rows.into()),
+            ("untraced_ms", report.untraced_ms.into()),
+            ("traced_ms", report.traced_ms.into()),
+            ("enabled_overhead_pct", report.enabled_overhead_pct.into()),
+            ("disabled_site_ns", report.disabled_site_ns.into()),
+            ("enabled_site_ns", report.enabled_site_ns.into()),
+            ("spans_per_run", report.spans_per_run.into()),
+            (
+                "projected_disabled_overhead_pct",
+                report.projected_disabled_overhead_pct.into(),
+            ),
+            ("extents_identical", Json::Bool(report.extents_identical)),
+            (
+                "snapshot_deterministic",
+                Json::Bool(report.snapshot_deterministic),
+            ),
+            // Non-finite numbers render as JSON null, so a skipped serve
+            // arm shows up as null rather than a fake zero.
+            (
+                "serve_untraced_ms",
+                report.serve_untraced_ms.unwrap_or(f64::NAN).into(),
+            ),
+            (
+                "serve_traced_ms",
+                report.serve_traced_ms.unwrap_or(f64::NAN).into(),
+            ),
         ]),
     );
 }

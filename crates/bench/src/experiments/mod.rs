@@ -9,6 +9,7 @@ pub mod exp3_distribution;
 pub mod exp4_cardinality;
 pub mod exp5_workload;
 pub mod heuristics;
+pub mod observe;
 pub mod parallel;
 pub mod search_space;
 pub mod serve;

@@ -104,6 +104,16 @@ pub struct ServeReport {
     pub read_p50_us: u64,
     /// 99th percentile for reader requests, microseconds.
     pub read_p99_us: u64,
+    /// Server-side p50, microseconds: the server's own per-request-type
+    /// latency histograms (`server.latency_us.*`) merged, so the quoted
+    /// quantile comes from what the server measured, not from the bench
+    /// driver's stopwatch.
+    pub server_p50_us: u64,
+    /// Server-side 99th percentile, microseconds.
+    pub server_p99_us: u64,
+    /// The merged server-side latency histogram the quantiles came from
+    /// (for bucket-level agreement checks against the driver's samples).
+    pub server_latency: eve_trace::HistogramSnapshot,
     /// Per-tenant outcomes.
     pub rows: Vec<TenantOutcome>,
 }
@@ -345,6 +355,24 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, String> {
         });
     }
 
+    // The server's own measurement of the same load: merge the per-type
+    // latency histograms for exactly the request kinds the driver timed
+    // (statements, queries, stats probes — session setup is excluded on
+    // both sides).
+    let server_snapshot = server.metrics_registry().snapshot();
+    let mut server_latency = eve_trace::HistogramSnapshot::default();
+    for kind in ["statement", "query", "stats"] {
+        if let Some(h) = server_snapshot
+            .histograms
+            .get(&format!("server.latency_us.{kind}"))
+        {
+            for (bucket, v) in h.buckets.iter().enumerate() {
+                server_latency.buckets[bucket] += v;
+            }
+            server_latency.sum += h.sum;
+        }
+    }
+
     server.shutdown();
     std::fs::remove_dir_all(&root).ok();
     std::fs::remove_dir_all(&oracle_root).ok();
@@ -368,6 +396,9 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, String> {
         write_p99_us: percentile(&write_lat, 0.99),
         read_p50_us: percentile(&read_lat, 0.50),
         read_p99_us: percentile(&read_lat, 0.99),
+        server_p50_us: server_latency.quantile(0.50),
+        server_p99_us: server_latency.quantile(0.99),
+        server_latency,
         rows,
     })
 }
@@ -404,6 +435,47 @@ mod tests {
             // seed + one matched pair per round, all Dest='Asia'.
             assert_eq!(row.view_rows, 1 + cfg.writer_rounds, "{row:?}");
         }
+    }
+
+    #[test]
+    fn server_side_quantiles_agree_with_driver_within_one_log2_bucket() {
+        // Satellite gate: the p50 the server reads out of its own
+        // `server.latency_us.*` histograms and the p50 the driver
+        // computes from stopwatch samples are two measurements of the
+        // same population — they may differ by wire/channel overhead,
+        // but never by more than one log2 bucket (a factor of two at
+        // histogram resolution). The load is sized so per-request service
+        // time (view maintenance over a growing join, queueing behind the
+        // worker pools — both measured on both sides) dominates the
+        // constant in-process wire overhead.
+        let report = run(&ServeConfig {
+            tenants: 2,
+            clients_per_tenant: 16,
+            writer_rounds: 48,
+            reads_per_client: 8,
+            shards: 2,
+            readers: 2,
+            driver_threads: 4,
+        })
+        .unwrap();
+        assert_eq!(report.errors, 0);
+        assert!(report.byte_identical);
+        // Same population on both sides: every timed driver request has
+        // exactly one server-side sample.
+        assert_eq!(
+            report.server_latency.count(),
+            report.requests as u64,
+            "server histograms must cover exactly the driver's requests"
+        );
+        let driver_bucket = eve_trace::bucket_of(report.p50_us);
+        let server_bucket = report.server_latency.quantile_bucket(0.50);
+        assert!(
+            driver_bucket.abs_diff(server_bucket) <= 1,
+            "p50 disagreement beyond one log2 bucket: driver {} us (bucket {driver_bucket}) \
+             vs server {} us (bucket {server_bucket})",
+            report.p50_us,
+            report.server_p50_us,
+        );
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! view definitions become undefined".
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
+
+use eve_trace::Counter;
 
 use crate::constraints::{JoinConstraint, PcConstraint, PcRelationship};
 use crate::error::{Error, Result};
@@ -76,8 +77,11 @@ pub struct Mkb {
     /// every mutation (see [`Mkb::bump_generation`]). `OnceLock` keeps reads
     /// shareable across scoped threads without locking on the hot path.
     index: OnceLock<ConstraintIndex>,
-    index_hits: AtomicU64,
-    index_misses: AtomicU64,
+    /// Registry-compatible counter handles ([`eve_trace::Counter`]): the
+    /// engine registers them into its telemetry registry so one registry
+    /// reset covers them alongside every other counter family.
+    index_hits: Arc<Counter>,
+    index_misses: Arc<Counter>,
 }
 
 impl Clone for Mkb {
@@ -91,8 +95,11 @@ impl Clone for Mkb {
             default_join_selectivity: self.default_join_selectivity,
             generation: self.generation,
             index: self.index.clone(),
-            index_hits: AtomicU64::new(self.index_hits.load(Ordering::Relaxed)),
-            index_misses: AtomicU64::new(self.index_misses.load(Ordering::Relaxed)),
+            // Counter::clone detaches: the clone starts at the same value
+            // but counts independently (differential-oracle engines must
+            // not share accounting with the original).
+            index_hits: Arc::new((*self.index_hits).clone()),
+            index_misses: Arc::new((*self.index_misses).clone()),
         }
     }
 }
@@ -138,10 +145,10 @@ impl Mkb {
     /// first access after a mutation.
     fn index(&self) -> &ConstraintIndex {
         if let Some(built) = self.index.get() {
-            self.index_hits.fetch_add(1, Ordering::Relaxed);
+            self.index_hits.inc();
             return built;
         }
-        self.index_misses.fetch_add(1, Ordering::Relaxed);
+        self.index_misses.inc();
         self.index.get_or_init(|| self.build_index())
     }
 
@@ -197,18 +204,26 @@ impl Mkb {
     /// already-built index versus lazy (re)builds after a mutation.
     #[must_use]
     pub fn index_stats(&self) -> (u64, u64) {
-        (
-            self.index_hits.load(Ordering::Relaxed),
-            self.index_misses.load(Ordering::Relaxed),
-        )
+        (self.index_hits.get(), self.index_misses.get())
     }
 
     /// Zeroes the inverted-index hit/miss counters (the built index itself
     /// is kept). Called by the engine's `reset_io` so `stats` deltas taken
     /// between checkpoints all start from the same origin.
     pub fn reset_index_stats(&self) {
-        self.index_hits.store(0, Ordering::Relaxed);
-        self.index_misses.store(0, Ordering::Relaxed);
+        self.index_hits.reset();
+        self.index_misses.reset();
+    }
+
+    /// The live counter handles, named for registry adoption. The engine
+    /// registers them into its telemetry [`eve_trace::Registry`] so a
+    /// single registry reset clears them with every other family.
+    #[must_use]
+    pub fn index_counter_handles(&self) -> [(&'static str, Arc<Counter>); 2] {
+        [
+            ("mkb.index_hits", Arc::clone(&self.index_hits)),
+            ("mkb.index_misses", Arc::clone(&self.index_misses)),
+        ]
     }
 
     /// Pair-specific join-selectivity overrides (keys are sorted pairs), in

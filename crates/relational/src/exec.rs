@@ -133,6 +133,7 @@ pub fn execute_with_options(
     mode: ExecMode,
     opts: &ExecOptions,
 ) -> Result<Relation> {
+    let _query_span = eve_trace::span("exec.query");
     if mode == ExecMode::Columnar {
         // The columnar image is part of the physical storage: build (or
         // reuse — it is cached in the shared storage) each base input's
@@ -215,6 +216,7 @@ fn filter_rows(rel: &Relation, pred: &Predicate) -> Result<Vec<u32>> {
 fn eval(plan: &PhysicalPlan, node: &PlanNode, ctx: Ctx<'_>, out_hint: usize) -> Result<Relation> {
     match node {
         PlanNode::Scan { input, pushdown } => {
+            let _span = eve_trace::span("exec.scan");
             let rel = &plan.inputs[*input].relation;
             match pushdown {
                 None => Ok(rel.clone()), // zero-copy: shares tuple storage
@@ -263,6 +265,7 @@ fn eval(plan: &PhysicalPlan, node: &PlanNode, ctx: Ctx<'_>, out_hint: usize) -> 
             residual,
             pushdown,
         } => {
+            let _span = eve_trace::span("exec.index_scan");
             let rel = &plan.inputs[*input].relation;
             if ctx.mode == ExecMode::RowOriented {
                 // Baseline semantics: the index clause is just a filter.
@@ -318,6 +321,7 @@ fn eval(plan: &PhysicalPlan, node: &PlanNode, ctx: Ctx<'_>, out_hint: usize) -> 
         } => {
             let probe_rel = eval(plan, probe, ctx, 0)?;
             let build_rel = eval(plan, build, ctx, 0)?;
+            let _span = eve_trace::span("exec.join.hash");
             if ctx.mode == ExecMode::Columnar
                 && key_types_match(&probe_rel, probe_keys, &build_rel, build_keys)
             {
@@ -343,6 +347,7 @@ fn eval(plan: &PhysicalPlan, node: &PlanNode, ctx: Ctx<'_>, out_hint: usize) -> 
         } => {
             let outer_rel = eval(plan, outer, ctx, 0)?;
             let inner_rel = eval(plan, inner, ctx, 0)?;
+            let _span = eve_trace::span("exec.join.nested");
             let name = format!("{}⋈{}", outer_rel.name(), inner_rel.name());
             let outer_tuples = outer_rel.tuples();
             let inner_tuples = inner_rel.tuples();

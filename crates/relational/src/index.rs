@@ -15,6 +15,9 @@
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, OnceLock};
+
+use eve_trace::Counter;
 
 use crate::column::scalar_key;
 use crate::intern;
@@ -41,6 +44,28 @@ struct HashIndex {
 #[derive(Debug, Clone, Default, PartialEq)]
 struct SortedIndex {
     rows: Vec<u32>,
+}
+
+/// Process-wide mirrors of the per-relation counters, in the global
+/// registry `index.` family. Per-instance [`IndexStats`] stay exact for
+/// the engine's per-relation rollup; these aggregate across all
+/// relations for the `metrics` surface.
+struct IndexCounters {
+    builds: Arc<Counter>,
+    hits: Arc<Counter>,
+    maintenance: Arc<Counter>,
+}
+
+fn mirrors() -> &'static IndexCounters {
+    static COUNTERS: OnceLock<IndexCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let registry = eve_trace::global();
+        IndexCounters {
+            builds: registry.counter("index.builds"),
+            hits: registry.counter("index.hits"),
+            maintenance: registry.counter("index.maintenance_ops"),
+        }
+    })
 }
 
 /// Counters for the shell `stats` surface.
@@ -112,6 +137,7 @@ impl IndexSet {
                     .push(u32::try_from(i).expect("row id fits u32"));
             }
             self.builds += 1;
+            mirrors().builds.inc();
             self.hash.insert(col, HashIndex { map });
         }
         &self.hash[&col]
@@ -124,6 +150,7 @@ impl IndexSet {
             // Stable by value keeps equal-valued rows in ascending id order.
             rows.sort_by(|&a, &b| tuples[a as usize].get(col).cmp(tuples[b as usize].get(col)));
             self.builds += 1;
+            mirrors().builds.inc();
             self.sorted.insert(col, SortedIndex { rows });
         }
         &self.sorted[&col]
@@ -133,6 +160,7 @@ impl IndexSet {
     /// index (built on first use). An un-interned text key matches nothing.
     pub(crate) fn lookup_eq(&mut self, col: usize, key: &Value, tuples: &[Tuple]) -> Vec<u32> {
         self.hits += 1;
+        mirrors().hits.inc();
         let idx = self.ensure_hash(col, tuples);
         // Probe *after* the build: a lazy first build is what interns the
         // stored text keys, so probing earlier would spuriously miss.
@@ -152,6 +180,7 @@ impl IndexSet {
         tuples: &[Tuple],
     ) -> Vec<u32> {
         self.hits += 1;
+        mirrors().hits.inc();
         let idx = self.ensure_sorted(col, tuples);
         let rows = &idx.rows;
         let below =
@@ -182,6 +211,7 @@ impl IndexSet {
         for (&col, idx) in &mut self.hash {
             idx.map.entry(scalar_key(t.get(col))).or_default().push(row);
             self.maintenance += 1;
+            mirrors().maintenance.inc();
         }
         for (&col, idx) in &mut self.sorted {
             let v = t.get(col);
@@ -192,6 +222,7 @@ impl IndexSet {
                 .partition_point(|&r| tuples[r as usize].get(col).cmp(v) != Ordering::Greater);
             idx.rows.insert(pos, row);
             self.maintenance += 1;
+            mirrors().maintenance.inc();
         }
     }
 
@@ -215,6 +246,7 @@ impl IndexSet {
                 !rows.is_empty()
             });
             self.maintenance += 1;
+            mirrors().maintenance.inc();
         }
         for idx in self.sorted.values_mut() {
             idx.rows.retain_mut(|r| {
@@ -226,6 +258,7 @@ impl IndexSet {
                 }
             });
             self.maintenance += 1;
+            mirrors().maintenance.inc();
         }
     }
 

@@ -24,8 +24,9 @@
 //! with string equality, because each string maps to exactly one shard.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
+
+use eve_trace::Counter;
 
 /// Number of independently locked pool shards (power of two).
 pub const SHARDS: usize = 16;
@@ -51,17 +52,28 @@ struct ShardInner {
     strings: Vec<Arc<str>>,
 }
 
-#[derive(Default)]
 struct Shard {
     inner: RwLock<ShardInner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Registry-backed counters (`intern.shardNN.hits`/`.misses` in the
+    /// global registry): the shell's `InternStats` rollup and the
+    /// `metrics` surface read the same atomics.
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
 }
 
 static POOL: OnceLock<Vec<Shard>> = OnceLock::new();
 
 fn shards() -> &'static [Shard] {
-    POOL.get_or_init(|| (0..SHARDS).map(|_| Shard::default()).collect())
+    POOL.get_or_init(|| {
+        let registry = eve_trace::global();
+        (0..SHARDS)
+            .map(|i| Shard {
+                inner: RwLock::default(),
+                hits: registry.counter(&format!("intern.shard{i:02}.hits")),
+                misses: registry.counter(&format!("intern.shard{i:02}.misses")),
+            })
+            .collect()
+    })
 }
 
 /// FNV-1a over the string bytes, folded to a shard index. Deliberately a
@@ -89,15 +101,15 @@ pub fn intern(s: &str) -> Symbol {
         .map
         .get(s)
     {
-        shard.hits.fetch_add(1, Ordering::Relaxed);
+        shard.hits.inc();
         return Symbol(id);
     }
     let mut inner = shard.inner.write().expect("intern shard poisoned");
     if let Some(&id) = inner.map.get(s) {
-        shard.hits.fetch_add(1, Ordering::Relaxed);
+        shard.hits.inc();
         return Symbol(id);
     }
-    shard.misses.fetch_add(1, Ordering::Relaxed);
+    shard.misses.inc();
     let local = u32::try_from(inner.strings.len()).expect("intern shard exceeds u32 ids");
     assert!(
         local < (1 << (32 - SHARD_BITS)),
@@ -171,8 +183,8 @@ fn shard_snapshot(shard: &Shard) -> InternStats {
             .expect("intern shard poisoned")
             .strings
             .len() as u64,
-        hits: shard.hits.load(Ordering::Relaxed),
-        misses: shard.misses.load(Ordering::Relaxed),
+        hits: shard.hits.get(),
+        misses: shard.misses.get(),
     }
 }
 

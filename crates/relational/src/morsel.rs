@@ -21,9 +21,11 @@
 
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
+
+use eve_trace::Counter;
 
 use crate::error::{Error, Result};
 
@@ -93,14 +95,33 @@ impl ExecOptions {
 }
 
 // ---------------------------------------------------------------------
-// Process-wide execution counters (shell `stats` surface).
+// Process-wide execution counters (shell `stats` surface), stored in the
+// `eve-trace` global registry under the `exec.` family so the `metrics`
+// command, the wire `Metrics` request and `stats` all read one set of
+// atomics.
 // ---------------------------------------------------------------------
 
-static MORSELS: AtomicU64 = AtomicU64::new(0);
-static STEALS: AtomicU64 = AtomicU64::new(0);
-static PARTITIONS: AtomicU64 = AtomicU64::new(0);
-static PARALLEL_OPS: AtomicU64 = AtomicU64::new(0);
-static SERIAL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+struct ExecCounters {
+    morsels: Arc<Counter>,
+    steals: Arc<Counter>,
+    partitions: Arc<Counter>,
+    parallel_ops: Arc<Counter>,
+    serial_fallbacks: Arc<Counter>,
+}
+
+fn counters() -> &'static ExecCounters {
+    static COUNTERS: OnceLock<ExecCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let registry = eve_trace::global();
+        ExecCounters {
+            morsels: registry.counter("exec.morsels"),
+            steals: registry.counter("exec.steals"),
+            partitions: registry.counter("exec.partitions"),
+            parallel_ops: registry.counter("exec.parallel_ops"),
+            serial_fallbacks: registry.counter("exec.serial_fallbacks"),
+        }
+    })
+}
 
 /// Morsel-scheduler counters, for the shell `stats` surface. Process-wide
 /// and monotone, mirroring [`crate::intern::InternStats`].
@@ -122,34 +143,33 @@ pub struct ExecStats {
 /// Snapshot of the scheduler counters.
 #[must_use]
 pub fn stats() -> ExecStats {
+    let c = counters();
     ExecStats {
-        morsels: MORSELS.load(Ordering::Relaxed),
-        steals: STEALS.load(Ordering::Relaxed),
-        partitions: PARTITIONS.load(Ordering::Relaxed),
-        parallel_ops: PARALLEL_OPS.load(Ordering::Relaxed),
-        serial_fallbacks: SERIAL_FALLBACKS.load(Ordering::Relaxed),
+        morsels: c.morsels.get(),
+        steals: c.steals.get(),
+        partitions: c.partitions.get(),
+        parallel_ops: c.parallel_ops.get(),
+        serial_fallbacks: c.serial_fallbacks.get(),
     }
 }
 
-/// Resets all scheduler counters to zero (bench isolation).
+/// Resets all scheduler counters to zero (bench isolation). One registry
+/// call covers the whole `exec.` family.
 pub fn reset_stats() {
-    MORSELS.store(0, Ordering::Relaxed);
-    STEALS.store(0, Ordering::Relaxed);
-    PARTITIONS.store(0, Ordering::Relaxed);
-    PARALLEL_OPS.store(0, Ordering::Relaxed);
-    SERIAL_FALLBACKS.store(0, Ordering::Relaxed);
+    counters();
+    eve_trace::global().reset_prefix("exec.");
 }
 
 pub(crate) fn note_partitions(n: u64) {
-    PARTITIONS.fetch_add(n, Ordering::Relaxed);
+    counters().partitions.add(n);
 }
 
 pub(crate) fn note_parallel_op() {
-    PARALLEL_OPS.fetch_add(1, Ordering::Relaxed);
+    counters().parallel_ops.inc();
 }
 
 pub(crate) fn note_serial_fallback() {
-    SERIAL_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+    counters().serial_fallbacks.inc();
 }
 
 // ---------------------------------------------------------------------
@@ -178,7 +198,8 @@ where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,
 {
-    MORSELS.fetch_add(morsels as u64, Ordering::Relaxed);
+    counters().morsels.add(morsels as u64);
+    let _span = eve_trace::span("exec.morsel_run");
     let workers = workers.min(morsels);
     if workers <= 1 {
         // Inline path, same failure contract as the pool: a panic in the
@@ -281,7 +302,7 @@ where
                     }
                 }
                 if local_steals > 0 {
-                    STEALS.fetch_add(local_steals, Ordering::Relaxed);
+                    counters().steals.add(local_steals);
                 }
             });
         }

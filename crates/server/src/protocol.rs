@@ -59,6 +59,10 @@ pub enum RequestBody {
     /// Zero the tenant's budget usage and drain its deferred-mutation
     /// queue (applying the queued work, in arrival order).
     ResetBudget,
+    /// A full metrics image: the process-global registry merged with the
+    /// session tenant's engine telemetry and the server's own request
+    /// latency histograms. Answered with [`ResponseBody::Metrics`].
+    Metrics,
 }
 
 /// One server response, echoing the session it answers.
@@ -124,6 +128,11 @@ pub enum ResponseBody {
     BudgetReset {
         /// Deferred mutations drained and applied by the reset.
         drained: u64,
+    },
+    /// [`RequestBody::Metrics`] answer: the merged metrics image.
+    Metrics {
+        /// Counters, gauges and histograms at the time of the request.
+        snapshot: eve_trace::MetricsSnapshot,
     },
     /// The request failed; `code` is machine-matchable, `detail` human-
     /// readable.
@@ -248,6 +257,7 @@ impl Codec for RequestBody {
             }
             RequestBody::Stats => enc.u8(6),
             RequestBody::ResetBudget => enc.u8(7),
+            RequestBody::Metrics => enc.u8(8),
         }
     }
 
@@ -263,6 +273,7 @@ impl Codec for RequestBody {
             5 => RequestBody::Query { view: dec.str()? },
             6 => RequestBody::Stats,
             7 => RequestBody::ResetBudget,
+            8 => RequestBody::Metrics,
             other => {
                 return Err(eve_store::Error::corrupt(format!(
                     "invalid RequestBody tag {other}"
@@ -339,6 +350,10 @@ impl Codec for ResponseBody {
                 code.encode(enc);
                 enc.str(detail);
             }
+            ResponseBody::Metrics { snapshot } => {
+                enc.u8(8);
+                encode_snapshot(snapshot, enc);
+            }
         }
     }
 
@@ -372,6 +387,9 @@ impl Codec for ResponseBody {
                 code: ErrorCode::decode(dec)?,
                 detail: dec.str()?,
             },
+            8 => ResponseBody::Metrics {
+                snapshot: decode_snapshot(dec)?,
+            },
             other => {
                 return Err(eve_store::Error::corrupt(format!(
                     "invalid ResponseBody tag {other}"
@@ -379,6 +397,57 @@ impl Codec for ResponseBody {
             }
         })
     }
+}
+
+/// Wire layout for a [`eve_trace::MetricsSnapshot`]: three length-
+/// prefixed name→value tables (counters, gauges, histograms), the
+/// histogram buckets written in full so merged quantiles survive the
+/// round-trip exactly. `MetricsSnapshot` lives in `eve-trace`, which
+/// stays codec-free by design, so the encoding lives here with the rest
+/// of the protocol.
+fn encode_snapshot(snapshot: &eve_trace::MetricsSnapshot, enc: &mut Enc) {
+    enc.usize(snapshot.counters.len());
+    for (name, v) in &snapshot.counters {
+        enc.str(name);
+        enc.u64(*v);
+    }
+    enc.usize(snapshot.gauges.len());
+    for (name, v) in &snapshot.gauges {
+        enc.str(name);
+        enc.i64(*v);
+    }
+    enc.usize(snapshot.histograms.len());
+    for (name, h) in &snapshot.histograms {
+        enc.str(name);
+        enc.u64(h.sum);
+        for b in &h.buckets {
+            enc.u64(*b);
+        }
+    }
+}
+
+fn decode_snapshot(dec: &mut Dec<'_>) -> eve_store::Result<eve_trace::MetricsSnapshot> {
+    let mut snapshot = eve_trace::MetricsSnapshot::default();
+    for _ in 0..dec.len()? {
+        let name = dec.str()?;
+        snapshot.counters.insert(name, dec.u64()?);
+    }
+    for _ in 0..dec.len()? {
+        let name = dec.str()?;
+        snapshot.gauges.insert(name, dec.i64()?);
+    }
+    for _ in 0..dec.len()? {
+        let name = dec.str()?;
+        let mut h = eve_trace::HistogramSnapshot {
+            sum: dec.u64()?,
+            ..eve_trace::HistogramSnapshot::default()
+        };
+        for b in &mut h.buckets {
+            *b = dec.u64()?;
+        }
+        snapshot.histograms.insert(name, h);
+    }
+    Ok(snapshot)
 }
 
 impl Codec for Response {

@@ -19,6 +19,9 @@ use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use eve_trace::{MetricsSnapshot, Registry};
 
 use crate::protocol::{
     decode_request, decode_response, encode_request, encode_response, Request, RequestBody,
@@ -54,6 +57,10 @@ struct Job {
     tenant: Arc<Tenant>,
     body: RequestBody,
     reply: Sender<Vec<u8>>,
+    /// When the router decoded the request's frame — so the latency the
+    /// server records includes queueing behind the shard/read pool, not
+    /// just execution.
+    received: Instant,
 }
 
 /// What a client connection sends to the router: raw frame bytes plus
@@ -73,6 +80,7 @@ enum Inbound {
 #[derive(Debug)]
 pub struct Server {
     warehouse: Arc<Warehouse>,
+    metrics: Arc<Registry>,
     inbound_tx: Option<Sender<Inbound>>,
     router: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -84,16 +92,18 @@ impl Server {
     pub fn start(warehouse: Arc<Warehouse>, config: ServerConfig) -> Server {
         let shards = config.shards.max(1);
         let readers = config.readers.max(1);
+        let metrics = Arc::new(Registry::new());
 
         let mut shard_txs = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards + readers);
         for i in 0..shards {
             let (tx, rx) = channel::<Job>();
             shard_txs.push(tx);
+            let registry = Arc::clone(&metrics);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("eve-shard-{i}"))
-                    .spawn(move || shard_worker(&rx))
+                    .spawn(move || shard_worker(&rx, &registry))
                     .expect("spawn shard worker"),
             );
         }
@@ -101,27 +111,48 @@ impl Server {
         let read_rx = Arc::new(Mutex::new(read_rx));
         for i in 0..readers {
             let rx = Arc::clone(&read_rx);
+            let registry = Arc::clone(&metrics);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("eve-reader-{i}"))
-                    .spawn(move || read_worker(&rx))
+                    .spawn(move || read_worker(&rx, &registry))
                     .expect("spawn read worker"),
             );
         }
 
         let (inbound_tx, inbound_rx) = channel::<Inbound>();
         let router_warehouse = Arc::clone(&warehouse);
+        let router_metrics = Arc::clone(&metrics);
         let router = std::thread::Builder::new()
             .name("eve-router".into())
-            .spawn(move || route(&router_warehouse, &inbound_rx, &shard_txs, &read_tx))
+            .spawn(move || {
+                route(
+                    &router_warehouse,
+                    &router_metrics,
+                    &inbound_rx,
+                    &shard_txs,
+                    &read_tx,
+                )
+            })
             .expect("spawn router");
 
         Server {
             warehouse,
+            metrics,
             inbound_tx: Some(inbound_tx),
             router: Some(router),
             workers,
         }
+    }
+
+    /// The server's own metrics registry: per-request-type and per-tenant
+    /// latency histograms (`server.latency_us.*`,
+    /// `server.tenant.<name>.latency_us`) plus request/error counters,
+    /// recorded from frame-decode to response-ready on the worker that
+    /// executed the request.
+    #[must_use]
+    pub fn metrics_registry(&self) -> &Arc<Registry> {
+        &self.metrics
     }
 
     /// The warehouse this server fronts.
@@ -198,9 +229,52 @@ fn send_response(reply: &Sender<Vec<u8>>, resp: &Response) {
     }
 }
 
+/// The request-type label used in `server.requests.<kind>` and
+/// `server.latency_us.<kind>` metric names.
+fn request_kind(body: &RequestBody) -> &'static str {
+    match body {
+        RequestBody::OpenSession { .. } => "open_session",
+        RequestBody::Attach => "attach",
+        RequestBody::CloseSession => "close_session",
+        RequestBody::Statement { .. } => "statement",
+        RequestBody::Apply { .. } => "apply",
+        RequestBody::Query { .. } => "query",
+        RequestBody::Stats => "stats",
+        RequestBody::ResetBudget => "reset_budget",
+        RequestBody::Metrics => "metrics",
+    }
+}
+
+/// Records one served request: the request counter for its kind, the
+/// kind's latency histogram, the tenant's latency histogram (when the
+/// request resolved to a tenant) and the error counter when the response
+/// was [`ResponseBody::Err`].
+fn record_request(
+    registry: &Registry,
+    kind: &str,
+    tenant: Option<&str>,
+    received: Instant,
+    is_err: bool,
+) {
+    let us = u64::try_from(received.elapsed().as_micros()).unwrap_or(u64::MAX);
+    registry.counter(&format!("server.requests.{kind}")).inc();
+    registry
+        .histogram(&format!("server.latency_us.{kind}"))
+        .record(us);
+    if let Some(tenant) = tenant {
+        registry
+            .histogram(&format!("server.tenant.{tenant}.latency_us"))
+            .record(us);
+    }
+    if is_err {
+        registry.counter("server.errors").inc();
+    }
+}
+
 #[allow(clippy::too_many_lines)]
 fn route(
     warehouse: &Arc<Warehouse>,
+    metrics: &Arc<Registry>,
     inbound: &Receiver<Inbound>,
     shard_txs: &[Sender<Job>],
     read_tx: &Sender<Job>,
@@ -224,19 +298,23 @@ fn route(
             }
         };
         for frame in frames {
+            let received = Instant::now();
             let req = match decode_request(&frame) {
                 Ok(req) => req,
                 Err(e) => {
                     send_response(&reply, &Response::error(0, &e));
+                    metrics.counter("server.errors").inc();
                     continue;
                 }
             };
+            let kind = request_kind(&req.body);
             match req.body {
                 RequestBody::OpenSession { tenant } => {
                     match warehouse.tenant(&tenant) {
                         Ok(_) => {
                             let session = next_session;
                             next_session += 1;
+                            record_request(metrics, kind, Some(&tenant), received, false);
                             sessions.insert(session, tenant);
                             send_response(
                                 &reply,
@@ -246,7 +324,10 @@ fn route(
                                 },
                             );
                         }
-                        Err(e) => send_response(&reply, &Response::error(0, &e)),
+                        Err(e) => {
+                            record_request(metrics, kind, Some(&tenant), received, true);
+                            send_response(&reply, &Response::error(0, &e));
+                        }
                     }
                     continue;
                 }
@@ -265,11 +346,19 @@ fn route(
                             },
                         ),
                     };
+                    record_request(
+                        metrics,
+                        kind,
+                        sessions.get(&req.session).map(String::as_str),
+                        received,
+                        !sessions.contains_key(&req.session),
+                    );
                     send_response(&reply, &resp);
                     continue;
                 }
                 RequestBody::CloseSession => {
-                    let resp = if sessions.remove(&req.session).is_some() {
+                    let closed = sessions.remove(&req.session);
+                    let resp = if closed.is_some() {
                         Response {
                             session: req.session,
                             body: ResponseBody::Closed,
@@ -282,6 +371,7 @@ fn route(
                             },
                         )
                     };
+                    record_request(metrics, kind, closed.as_deref(), received, closed.is_none());
                     send_response(&reply, &resp);
                     continue;
                 }
@@ -289,8 +379,10 @@ fn route(
                 | RequestBody::Apply { .. }
                 | RequestBody::Query { .. }
                 | RequestBody::Stats
-                | RequestBody::ResetBudget) => {
+                | RequestBody::ResetBudget
+                | RequestBody::Metrics) => {
                     let Some(tenant_name) = sessions.get(&req.session) else {
+                        record_request(metrics, kind, None, received, true);
                         send_response(
                             &reply,
                             &Response::error(
@@ -305,11 +397,15 @@ fn route(
                     let tenant = match warehouse.existing(tenant_name) {
                         Ok(t) => t,
                         Err(e) => {
+                            record_request(metrics, kind, Some(tenant_name), received, true);
                             send_response(&reply, &Response::error(req.session, &e));
                             continue;
                         }
                     };
-                    let is_read = matches!(body, RequestBody::Query { .. } | RequestBody::Stats);
+                    let is_read = matches!(
+                        body,
+                        RequestBody::Query { .. } | RequestBody::Stats | RequestBody::Metrics
+                    );
                     let target = if is_read {
                         read_tx
                     } else {
@@ -320,6 +416,7 @@ fn route(
                         tenant,
                         body,
                         reply: reply.clone(),
+                        received,
                     };
                     if let Err(e) = target.send(job) {
                         send_response(
@@ -335,7 +432,7 @@ fn route(
     // senders live in this stack frame and die here, ending the workers.
 }
 
-fn execute_job(tenant: &Tenant, body: RequestBody) -> Result<ResponseBody> {
+fn execute_job(tenant: &Tenant, body: RequestBody, registry: &Registry) -> Result<ResponseBody> {
     let admitted_to_body = |admitted| match admitted {
         Admitted::Executed(text) => ResponseBody::Output { text },
         Admitted::Queued(position) => ResponseBody::Queued {
@@ -374,40 +471,59 @@ fn execute_job(tenant: &Tenant, body: RequestBody) -> Result<ResponseBody> {
                 exec_morsels: s.exec_morsels,
             })
         }
+        RequestBody::Metrics => {
+            // Process-global families + this tenant's per-instance engine
+            // counters + the server's own request histograms, merged into
+            // one image. The read lock pins the engine while its instance
+            // registry is snapshotted.
+            let engine_snapshot = tenant.read().engine().metrics_snapshot();
+            Ok(ResponseBody::Metrics {
+                snapshot: engine_snapshot.merge(registry.snapshot()),
+            })
+        }
         RequestBody::OpenSession { .. } | RequestBody::Attach | RequestBody::CloseSession => {
             Err(Error::protocol("session ops are handled by the router"))
         }
     }
 }
 
-fn run_and_reply(job: Job) {
+fn run_and_reply(job: Job, registry: &Registry) {
     let Job {
         session,
         tenant,
         body,
         reply,
+        received,
     } = job;
-    let resp = match execute_job(&tenant, body) {
+    let kind = request_kind(&body);
+    let resp = match execute_job(&tenant, body, registry) {
         Ok(body) => Response { session, body },
         Err(e) => Response::error(session, &e),
     };
+    record_request(
+        registry,
+        kind,
+        Some(tenant.name()),
+        received,
+        matches!(resp.body, ResponseBody::Err { .. }),
+    );
     send_response(&reply, &resp);
 }
 
-fn shard_worker(rx: &Receiver<Job>) {
+fn shard_worker(rx: &Receiver<Job>, registry: &Registry) {
     while let Ok(job) = rx.recv() {
-        run_and_reply(job);
+        run_and_reply(job, registry);
     }
 }
 
-fn read_worker(rx: &Arc<Mutex<Receiver<Job>>>) {
+fn read_worker(rx: &Arc<Mutex<Receiver<Job>>>, registry: &Registry) {
     loop {
         let job = {
             let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
             guard.recv()
         };
         match job {
-            Ok(job) => run_and_reply(job),
+            Ok(job) => run_and_reply(job, registry),
             Err(_) => break,
         }
     }
@@ -498,6 +614,23 @@ impl Client {
             body,
         })?;
         Ok(resp.body)
+    }
+
+    /// Fetches the merged metrics snapshot for the session's tenant:
+    /// process-global families, the tenant engine's instance counters and
+    /// the server's request latency histograms.
+    ///
+    /// # Errors
+    ///
+    /// Wire failures or a typed error response.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot> {
+        match self.request(RequestBody::Metrics)? {
+            ResponseBody::Metrics { snapshot } => Ok(snapshot),
+            ResponseBody::Err { detail, .. } => Err(Error::Engine { detail }),
+            other => Err(Error::protocol(format!(
+                "unexpected response to Metrics: {other:?}"
+            ))),
+        }
     }
 }
 

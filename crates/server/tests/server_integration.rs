@@ -335,3 +335,41 @@ fn malformed_statements_come_back_as_typed_errors_not_dead_connections() {
     server.shutdown();
     std::fs::remove_dir_all(&root).ok();
 }
+
+#[test]
+fn metrics_request_returns_server_and_engine_families() {
+    let root = scratch("metrics");
+    let server = Server::start(
+        Arc::new(Warehouse::open(&root).unwrap()),
+        ServerConfig::default(),
+    );
+
+    let mut c = server.connect().unwrap();
+    c.open_session("obs").unwrap();
+    for line in writer_script(0) {
+        c.request(RequestBody::Statement { esql: line }).unwrap();
+    }
+    match c.request(RequestBody::Query { view: "V".into() }).unwrap() {
+        ResponseBody::Output { .. } => {}
+        other => panic!("{other:?}"),
+    }
+
+    let snap = c.metrics().unwrap();
+    // Server-side families: the statements and the query were counted and
+    // timed, per request type and per tenant.
+    assert!(snap.counters["server.requests.statement"] >= 1, "{snap:?}");
+    assert!(snap.counters["server.requests.query"] >= 1);
+    assert!(snap.histograms["server.latency_us.query"].count() >= 1);
+    assert!(snap.histograms["server.tenant.obs.latency_us"].count() >= 1);
+    // Engine instance families merged into the same image.
+    assert!(snap.counters.contains_key("mkb.index_hits"));
+    assert!(snap.counters.contains_key("cache.rewrite_hits"));
+    // The server's own registry only holds server.* names — everything
+    // else came in through the merge with the global/engine snapshot.
+    let local = server.metrics_registry().snapshot();
+    assert!(local.counters.keys().all(|k| k.starts_with("server.")));
+    assert!(local.histograms.keys().all(|k| k.starts_with("server.")));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -223,6 +223,10 @@ fn every_protocol_variant_roundtrips_through_the_wire() {
             session: 7,
             body: RequestBody::ResetBudget,
         },
+        Request {
+            session: 7,
+            body: RequestBody::Metrics,
+        },
     ];
     for req in &requests {
         let frame = encode_frame(&encode_request(req)).unwrap();
@@ -287,6 +291,21 @@ fn every_protocol_variant_roundtrips_through_the_wire() {
             body: ResponseBody::Err {
                 code: ErrorCode::BudgetExceeded,
                 detail: "over budget".into(),
+            },
+        },
+        Response {
+            session: 1,
+            body: ResponseBody::Metrics {
+                snapshot: {
+                    let registry = eve_trace::Registry::new();
+                    registry.counter("server.requests.query").add(12);
+                    registry.gauge("server.sessions").set(3);
+                    let h = registry.histogram("server.latency_us.query");
+                    for v in [0, 1, 7, 130, 4096] {
+                        h.record(v);
+                    }
+                    registry.snapshot()
+                },
             },
         },
     ];

@@ -262,6 +262,7 @@ impl GroupCommitLog {
             queue.pending.drain(..n).collect()
         };
 
+        let _span = eve_trace::span("store.group_commit_round");
         // From here the leader owns the flush claim and the drained batch.
         // If it dies (the store panics mid-append), the guard's Drop still
         // resolves every claimed slot with a typed shutdown error and

@@ -25,6 +25,10 @@
 
 use std::fs::{self, File, OpenOptions};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use eve_trace::{Counter, Histogram};
 
 use crate::error::{Error, Result};
 use crate::fsutil::{sync_dir, DirLock};
@@ -35,6 +39,45 @@ use crate::snapshot::{
     read_delta_file, read_delta_header, read_snapshot_file, read_snapshot_header, write_delta_file,
     write_snapshot_file, DeltaSnapshot, EngineSnapshot,
 };
+
+/// Process-wide mirrors of the per-store counters, kept in the global
+/// metrics registry's `store.` family. Per-instance [`StoreStats`] stay
+/// exact per store handle (and reset per handle); these aggregate across
+/// every store in the process for the `metrics` surface, alongside two
+/// latency/shape histograms the scalar stats cannot express.
+struct StoreMirrors {
+    records_appended: Arc<Counter>,
+    log_bytes_appended: Arc<Counter>,
+    fsyncs: Arc<Counter>,
+    group_commits: Arc<Counter>,
+    snapshots_written: Arc<Counter>,
+    snapshot_bytes_written: Arc<Counter>,
+    records_replayed: Arc<Counter>,
+    segments_created: Arc<Counter>,
+    /// Wall microseconds of each durable append (write + fsync).
+    fsync_us: Arc<Histogram>,
+    /// Records per group-commit batch.
+    group_batch_records: Arc<Histogram>,
+}
+
+fn mirrors() -> &'static StoreMirrors {
+    static MIRRORS: OnceLock<StoreMirrors> = OnceLock::new();
+    MIRRORS.get_or_init(|| {
+        let registry = eve_trace::global();
+        StoreMirrors {
+            records_appended: registry.counter("store.records_appended"),
+            log_bytes_appended: registry.counter("store.log_bytes_appended"),
+            fsyncs: registry.counter("store.fsyncs"),
+            group_commits: registry.counter("store.group_commits"),
+            snapshots_written: registry.counter("store.snapshots_written"),
+            snapshot_bytes_written: registry.counter("store.snapshot_bytes_written"),
+            records_replayed: registry.counter("store.records_replayed"),
+            segments_created: registry.counter("store.segments_created"),
+            fsync_us: registry.histogram("store.fsync_us"),
+            group_batch_records: registry.histogram("store.group_batch_records"),
+        }
+    })
+}
 
 /// Store I/O counters, folded into the engine's `stats` reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -355,6 +398,7 @@ impl EvolutionStore {
         dir: impl Into<PathBuf>,
         opts: RecoveryOptions,
     ) -> Result<(EvolutionStore, RecoveredLog)> {
+        let _span = eve_trace::span("store.recovery");
         let dir = dir.into();
         let lock = DirLock::acquire(&dir)?;
         let mut segments = Self::segment_paths(&dir)?;
@@ -537,6 +581,7 @@ impl EvolutionStore {
             .open(&active_path)
             .map_err(|e| Error::io(&active_path, e))?;
 
+        mirrors().records_replayed.add(tail.len() as u64);
         let stats = StoreStats {
             records_replayed: tail.len() as u64,
             torn_bytes_truncated: torn_bytes,
@@ -620,11 +665,13 @@ impl EvolutionStore {
         if frames.is_empty() {
             return Ok(self.next_seq);
         }
+        let _span = eve_trace::span("store.group_flush");
         let total: usize = frames.iter().map(|f| f.len()).sum();
         let mut buf = Vec::with_capacity(total);
         for f in frames {
             buf.extend_from_slice(f);
         }
+        let flush_started = Instant::now();
         let write =
             crate::log::append_all(&mut self.active, &self.active_path, &buf).and_then(|()| {
                 self.active
@@ -647,6 +694,14 @@ impl EvolutionStore {
         self.stats.log_bytes_appended += total as u64;
         self.stats.fsyncs += 1;
         self.stats.group_commits += 1;
+        let m = mirrors();
+        m.records_appended.add(frames.len() as u64);
+        m.log_bytes_appended.add(total as u64);
+        m.fsyncs.inc();
+        m.group_commits.inc();
+        m.fsync_us
+            .record(u64::try_from(flush_started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        m.group_batch_records.record(frames.len() as u64);
         Ok(first_seq)
     }
 
@@ -679,10 +734,14 @@ impl EvolutionStore {
     ///
     /// I/O failures.
     pub fn write_snapshot(&mut self, snapshot: &EngineSnapshot) -> Result<u64> {
+        let _span = eve_trace::span("store.snapshot");
         let seq = self.next_seq;
         let written = write_snapshot_file(&snap_path(&self.dir, seq), seq, snapshot)?;
         self.stats.snapshots_written += 1;
         self.stats.snapshot_bytes_written += written;
+        let m = mirrors();
+        m.snapshots_written.inc();
+        m.snapshot_bytes_written.add(written);
         self.rotate_after_snapshot(seq)?;
         Ok(seq)
     }
@@ -706,10 +765,14 @@ impl EvolutionStore {
                 delta.base_seq
             )));
         }
+        let _span = eve_trace::span("store.snapshot_delta");
         let written = write_delta_file(&delta_path(&self.dir, seq), seq, delta)?;
         self.stats.snapshots_written += 1;
         self.stats.delta_snapshots_written += 1;
         self.stats.snapshot_bytes_written += written;
+        let m = mirrors();
+        m.snapshots_written.inc();
+        m.snapshot_bytes_written.add(written);
         self.rotate_after_snapshot(seq)?;
         Ok(seq)
     }
@@ -744,6 +807,7 @@ impl EvolutionStore {
             self.active_path = active_path;
             self.active_len = 16;
             self.stats.segments_created += 1;
+            mirrors().segments_created.inc();
         }
         Ok(())
     }
@@ -792,8 +856,10 @@ impl EvolutionStore {
     /// [`Error::State`] when `generation` precedes the retained horizon
     /// (i.e. history before the oldest snapshot was compacted away).
     pub fn plan_travel(&mut self, generation: u64) -> Result<(EngineSnapshot, Vec<SealedRecord>)> {
+        let _span = eve_trace::span("store.time_travel");
         let plan = Self::plan_travel_in(&self.dir, generation)?;
         self.stats.records_replayed += plan.1.len() as u64;
+        mirrors().records_replayed.add(plan.1.len() as u64);
         Ok(plan)
     }
 

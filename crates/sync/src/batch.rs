@@ -30,6 +30,9 @@
 //! [`synchronize`]: crate::synchronize
 
 use std::collections::HashMap;
+use std::sync::Arc;
+
+use eve_trace::Counter;
 
 use eve_esql::ViewDef;
 use eve_misd::{Mkb, SchemaChange};
@@ -375,13 +378,26 @@ type OutcomeKey = (String, String, usize, bool);
 /// [`PartnerCache`]). Within one generation, synchronizing the same view
 /// against the same change replays the stored outcome, and distinct views
 /// over the same relations share PC-partner closures.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct RewriteCache {
     generation: Option<u64>,
     outcomes: HashMap<OutcomeKey, SyncOutcome>,
     partners: PartnerCache,
-    hits: u64,
-    misses: u64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+}
+
+impl Clone for RewriteCache {
+    fn clone(&self) -> RewriteCache {
+        RewriteCache {
+            generation: self.generation,
+            outcomes: self.outcomes.clone(),
+            partners: self.partners.clone(),
+            // Counter::clone detaches — the copy counts independently.
+            hits: Arc::new((*self.hits).clone()),
+            misses: Arc::new((*self.misses).clone()),
+        }
+    }
 }
 
 impl RewriteCache {
@@ -412,11 +428,11 @@ impl RewriteCache {
             options.enumerate_dispensable_drops,
         );
         if let Some(found) = self.outcomes.get(&key) {
-            self.hits += 1;
+            self.hits.inc();
             return Ok(found.clone());
         }
         let outcome = synchronize_with(view, change, mkb, options, &mut self.partners)?;
-        self.misses += 1;
+        self.misses.inc();
         self.outcomes.insert(key, outcome.clone());
         Ok(outcome)
     }
@@ -465,13 +481,13 @@ impl RewriteCache {
     /// Number of synchronizations served from memory.
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.get()
     }
 
     /// Number of synchronizations actually enumerated.
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.get()
     }
 
     /// PC-partner closure cache statistics `(hits, misses)`.
@@ -485,9 +501,23 @@ impl RewriteCache {
     /// engine's `reset_io` contract, so `stats` deltas taken between
     /// checkpoints all start from the same origin.
     pub fn reset_stats(&mut self) {
-        self.hits = 0;
-        self.misses = 0;
+        self.hits.reset();
+        self.misses.reset();
         self.partners.reset_stats();
+    }
+
+    /// The live counter handles of the cache *and* its embedded partner
+    /// cache, named for registry adoption: the engine registers them into
+    /// its telemetry [`eve_trace::Registry`] so one registry reset covers
+    /// every cache counter.
+    #[must_use]
+    pub fn counter_handles(&self) -> Vec<(&'static str, Arc<Counter>)> {
+        let mut handles = vec![
+            ("cache.rewrite_hits", Arc::clone(&self.hits)),
+            ("cache.rewrite_misses", Arc::clone(&self.misses)),
+        ];
+        handles.extend(self.partners.counter_handles());
+        handles
     }
 }
 

@@ -150,6 +150,27 @@ pub struct SearchStats {
     pub pruned: u64,
 }
 
+impl SearchStats {
+    /// Mirrors one run's counters into the global metrics registry under
+    /// `search.<policy>.{materialized,expanded,emitted,pruned}`, so the
+    /// `metrics` surface accumulates per-policy search-space totals.
+    fn publish(self, policy: &str) {
+        let registry = eve_trace::global();
+        registry
+            .counter(&format!("search.{policy}.materialized"))
+            .add(self.materialized);
+        registry
+            .counter(&format!("search.{policy}.expanded"))
+            .add(self.expanded);
+        registry
+            .counter(&format!("search.{policy}.emitted"))
+            .add(self.emitted);
+        registry
+            .counter(&format!("search.{policy}.pruned"))
+            .add(self.pruned);
+    }
+}
+
 /// The change restricted to one binding of the damaged relation.
 #[derive(Debug, Clone)]
 enum BindingChange {
@@ -806,11 +827,15 @@ pub fn synchronize_streaming(
         mkb,
         options,
     };
-    let stats = match policy {
-        ExplorationPolicy::Exhaustive => run_exhaustive(&ctx, emit),
-        ExplorationPolicy::BestFirst { guide } => run_best_first(&ctx, *guide, emit),
-        ExplorationPolicy::Beam { width, guide } => run_beam(&ctx, *width, *guide, emit),
+    let _span = eve_trace::span("search.run");
+    let (policy_name, stats) = match policy {
+        ExplorationPolicy::Exhaustive => ("exhaustive", run_exhaustive(&ctx, emit)),
+        ExplorationPolicy::BestFirst { guide } => {
+            ("best_first", run_best_first(&ctx, *guide, emit))
+        }
+        ExplorationPolicy::Beam { width, guide } => ("beam", run_beam(&ctx, *width, *guide, emit)),
     };
+    stats.publish(policy_name);
     Ok((true, stats))
 }
 

@@ -26,6 +26,9 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
+
+use eve_trace::Counter;
 
 use eve_esql::{ConditionItem, FromItem, RelEvolution, ViewDef};
 use eve_misd::{Mkb, PcRelationship, SchemaChange};
@@ -196,11 +199,22 @@ pub fn pc_partners(mkb: &Mkb, rel: &str) -> Vec<PcPartner> {
 /// does) when the MKB changes.
 ///
 /// [`clear`]: PartnerCache::clear
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct PartnerCache {
     map: HashMap<String, Vec<PcPartner>>,
-    hits: u64,
-    misses: u64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+}
+
+impl Clone for PartnerCache {
+    fn clone(&self) -> PartnerCache {
+        PartnerCache {
+            map: self.map.clone(),
+            // Counter::clone detaches — the copy counts independently.
+            hits: Arc::new((*self.hits).clone()),
+            misses: Arc::new((*self.misses).clone()),
+        }
+    }
 }
 
 impl PartnerCache {
@@ -215,10 +229,10 @@ impl PartnerCache {
     #[must_use]
     pub fn partners(&mut self, mkb: &Mkb, rel: &str) -> Vec<PcPartner> {
         if let Some(found) = self.map.get(rel) {
-            self.hits += 1;
+            self.hits.inc();
             return found.clone();
         }
-        self.misses += 1;
+        self.misses.inc();
         let computed = pc_partners(mkb, rel);
         self.map.insert(rel.to_owned(), computed.clone());
         computed
@@ -232,20 +246,30 @@ impl PartnerCache {
     /// Zeroes the hit/miss counters without touching the memoized closures
     /// (reporting reset between checkpoints).
     pub fn reset_stats(&mut self) {
-        self.hits = 0;
-        self.misses = 0;
+        self.hits.reset();
+        self.misses.reset();
     }
 
     /// Number of requests served from memory.
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.get()
     }
 
     /// Number of requests that ran the BFS.
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.get()
+    }
+
+    /// The live counter handles, named for registry adoption (the engine's
+    /// telemetry registry resets them with every other counter family).
+    #[must_use]
+    pub fn counter_handles(&self) -> [(&'static str, Arc<Counter>); 2] {
+        [
+            ("cache.partner_hits", Arc::clone(&self.hits)),
+            ("cache.partner_misses", Arc::clone(&self.misses)),
+        ]
     }
 }
 

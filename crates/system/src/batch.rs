@@ -61,6 +61,7 @@ struct PartitionUnit {
 /// exactly the schedule of the legacy per-op loop restricted to this
 /// partition's views.
 fn run_partition(mkb: &eve_misd::Mkb, unit: &mut PartitionUnit) -> Option<Error> {
+    let _span = eve_trace::span("engine.partition");
     for update in &unit.updates {
         let info = match mkb.relation(&update.relation) {
             Ok(info) => info,
@@ -105,6 +106,10 @@ impl EveEngine {
     /// State/validation failures. Data ops naming unknown relations are
     /// rejected before any op of their stage is applied.
     pub fn apply_batch(&mut self, ops: Vec<EvolutionOp>) -> Result<BatchOutcome> {
+        let _span = eve_trace::span("engine.apply_batch");
+        let started = std::time::Instant::now();
+        let registry = eve_trace::global();
+        registry.counter("engine.batches").inc();
         let rewrite_stats_before = self.rewrite_cache_stats();
         let mut outcome = BatchOutcome::default();
         let mut ops: Vec<Option<EvolutionOp>> = ops.into_iter().map(Some).collect();
@@ -123,12 +128,16 @@ impl EveEngine {
                 let reports = self.capability_change_batched(&change, new_extent)?;
                 outcome.reports.extend(reports);
                 outcome.capability_ops += 1;
+                registry.counter("engine.capability_changes").inc();
                 i += 1;
             }
         }
         let rewrite_stats_after = self.rewrite_cache_stats();
         outcome.rewrite_hits = rewrite_stats_after.0 - rewrite_stats_before.0;
         outcome.rewrite_misses = rewrite_stats_after.1 - rewrite_stats_before.1;
+        registry
+            .histogram("engine.apply_batch_us")
+            .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
         Ok(outcome)
     }
 
@@ -169,6 +178,9 @@ impl EveEngine {
         outcome.data_ops += op_refs.len();
         outcome.data_stages += 1;
         outcome.max_width = outcome.max_width.max(partitions.len());
+        eve_trace::global()
+            .counter("engine.batch_partitions")
+            .add(partitions.len() as u64);
 
         // Carve the engine state into per-partition units.
         let mut units: Vec<PartitionUnit> = Vec::with_capacity(partitions.len());

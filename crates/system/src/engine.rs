@@ -393,6 +393,8 @@ impl EveEngine {
         &mut self,
         update: &DataUpdate,
     ) -> Result<Vec<(String, MaintenanceTrace)>> {
+        let _span = eve_trace::span("engine.data_update");
+        eve_trace::global().counter("engine.data_updates").inc();
         let info = self.mkb.relation(&update.relation)?;
         let site_id = info.site.0;
         // The maintenance walk joins deltas against the *post-update* base
@@ -830,8 +832,11 @@ impl EveEngine {
         for s in self.sites.values_mut() {
             s.reset_io();
         }
-        self.rewrite_cache.reset_stats();
-        self.mkb.reset_index_stats();
+        // Every counter family the engine owns resets through ONE registry
+        // call: the telemetry registry adopts the MKB inverted-index and
+        // rewrite/partner cache handles, so `reset()` zeroes them all
+        // without per-subsystem reset plumbing.
+        self.telemetry_registry().reset();
         for rel in self
             .sites
             .values()
@@ -840,6 +845,34 @@ impl EveEngine {
         {
             rel.reset_index_counters();
         }
+    }
+
+    /// An instance [`eve_trace::Registry`] adopting the engine's
+    /// per-instance counter handles (MKB inverted-index hit/miss,
+    /// rewrite-cache and partner-cache hit/miss). Snapshots taken from it
+    /// read the live atomics; [`Registry::reset`](eve_trace::Registry::reset)
+    /// zeroes them all at once — which is exactly how
+    /// [`reset_io`](EveEngine::reset_io) clears the engine counter surface.
+    #[must_use]
+    pub fn telemetry_registry(&self) -> eve_trace::Registry {
+        let registry = eve_trace::Registry::new();
+        for (name, handle) in self.mkb.index_counter_handles() {
+            registry.register_counter(name, handle);
+        }
+        for (name, handle) in self.rewrite_cache.counter_handles() {
+            registry.register_counter(name, handle);
+        }
+        registry
+    }
+
+    /// One merged metrics snapshot: the process-global families (`exec.`,
+    /// `index.`, `intern.`, `store.`, `search.`, `engine.`, `trace.`) plus
+    /// this engine's per-instance counters (`mkb.`, `cache.`).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> eve_trace::MetricsSnapshot {
+        eve_trace::global()
+            .snapshot()
+            .merge(self.telemetry_registry().snapshot())
     }
 
     /// Mutable access to the site map (for the experiment harness).
@@ -1540,6 +1573,56 @@ mod tests {
         e.notify_data_update(&DataUpdate::insert("FlightRes", vec![tup!["yan", "Asia"]]))
             .unwrap();
         assert!(e.total_io() > 0, "new work accrues after the reset");
+    }
+
+    #[test]
+    fn no_telemetry_registry_counter_survives_reset() {
+        // The registry-reset regression pin: every counter the engine's
+        // telemetry registry adopts must read zero after `reset_io` —
+        // a newly wired counter that dodges the registry fails here.
+        let mut e = engine_with_travel_space();
+        e.define_view_sql(ASIA_VIEW).unwrap();
+        let change = SchemaChange::DeleteRelation {
+            relation: "Customer".into(),
+        };
+        e.notify_capability_change(&change, None).unwrap();
+        let before = e.telemetry_registry().snapshot();
+        assert!(
+            before.counters.values().sum::<u64>() > 0,
+            "telemetry counters were exercised"
+        );
+        e.reset_io();
+        let after = e.telemetry_registry().snapshot();
+        assert_eq!(
+            after.counters.len(),
+            before.counters.len(),
+            "reset must zero counters, not drop them"
+        );
+        for (name, v) in &after.counters {
+            assert_eq!(*v, 0, "counter `{name}` survived reset_io");
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_merges_instance_and_global_families() {
+        let mut e = engine_with_travel_space();
+        e.define_view_sql(ASIA_VIEW).unwrap();
+        e.notify_data_update(&DataUpdate::insert("FlightRes", vec![tup!["zed", "Asia"]]))
+            .unwrap();
+        let snap = e.metrics_snapshot();
+        // Per-instance families appear alongside the process-global ones.
+        assert!(snap.counters.contains_key("mkb.index_hits"));
+        assert!(snap.counters.contains_key("cache.rewrite_hits"));
+        assert!(
+            snap.counters.contains_key("engine.data_updates"),
+            "global engine family present"
+        );
+        assert!(
+            snap.counters
+                .get("engine.data_updates")
+                .is_some_and(|&v| v > 0),
+            "the update was counted"
+        );
     }
 
     #[test]

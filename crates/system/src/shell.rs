@@ -153,6 +153,8 @@ impl Shell {
             "show" => self.cmd_show(rest),
             "costs" => self.cmd_costs(),
             "stats" => Ok(self.cmd_stats()),
+            "metrics" => self.cmd_metrics(rest),
+            "trace" => self.cmd_trace(rest),
             "rebalance" => self.cmd_rebalance(),
             "open" => self.cmd_open(rest),
             "checkpoint" => self.cmd_checkpoint(),
@@ -624,6 +626,55 @@ impl Shell {
         out
     }
 
+    /// `metrics [prom|reset]` — the merged metrics-registry snapshot:
+    /// process-global families (`exec.`, `index.`, `intern.`, `store.`,
+    /// `search.`, `engine.`) plus this engine's per-instance counters
+    /// (`mkb.`, `cache.`). `prom` renders Prometheus text exposition;
+    /// `reset` zeroes every counter and histogram.
+    fn cmd_metrics(&mut self, rest: &str) -> Result<String> {
+        match rest {
+            "" => Ok(self
+                .engine()
+                .metrics_snapshot()
+                .render_text()
+                .trim_end()
+                .to_owned()),
+            "prom" => Ok(self
+                .engine()
+                .metrics_snapshot()
+                .prometheus()
+                .trim_end()
+                .to_owned()),
+            "reset" => {
+                eve_trace::global().reset();
+                self.engine().telemetry_registry().reset();
+                Ok("metrics reset".to_owned())
+            }
+            other => Err(usage(&format!("metrics [prom|reset] (got `{other}`)"))),
+        }
+    }
+
+    /// `trace on|off|json|clear` — span recording control and the
+    /// `chrome://tracing` JSON dump of the recorded events.
+    fn cmd_trace(&mut self, rest: &str) -> Result<String> {
+        match rest {
+            "on" => {
+                eve_trace::set_enabled(true);
+                Ok("tracing on".to_owned())
+            }
+            "off" => {
+                eve_trace::set_enabled(false);
+                Ok("tracing off".to_owned())
+            }
+            "clear" => {
+                eve_trace::clear_spans();
+                Ok("trace buffer cleared".to_owned())
+            }
+            "json" => Ok(eve_trace::chrome_json()),
+            _ => Err(usage("trace on|off|json|clear")),
+        }
+    }
+
     /// `open <dir>` — attach an evolution store: recover from it when it
     /// exists, otherwise create it around the shell's current engine state.
     fn cmd_open(&mut self, rest: &str) -> Result<String> {
@@ -886,6 +937,8 @@ EVE shell commands:
   show views|relations|constraints         inspect the warehouse / MKB
   costs                                    per-view analytic maintenance cost
   stats                                    measured I/O + messages, cache/index counters
+  metrics [prom|reset]                     metrics-registry snapshot (text or Prometheus)
+  trace on|off|json|clear                  span recording + chrome://tracing dump
   rebalance                                migrate views to cheaper replicas
   open <dir>                               attach a durable evolution store (recover or create)
   checkpoint                               write a snapshot, rotate the log segment
@@ -945,6 +998,29 @@ mod tests {
         assert!(out.contains("columnar:"), "{out}");
         assert!(out.contains("indexes:"), "{out}");
         assert!(out.contains("interned:"), "{out}");
+    }
+
+    #[test]
+    fn metrics_and_trace_commands() {
+        let mut sh = seeded_shell();
+        sh.execute("update FlightRes insert ('cal', 'Asia')")
+            .unwrap();
+        let out = sh.execute("metrics").unwrap();
+        assert!(out.contains("mkb.index_hits"), "{out}");
+        assert!(out.contains("cache.rewrite_hits"), "{out}");
+        assert!(out.contains("engine.data_updates"), "{out}");
+        let out = sh.execute("metrics prom").unwrap();
+        assert!(out.contains("engine_data_updates"), "{out}");
+        assert!(sh.execute("metrics bogus").is_err());
+
+        sh.execute("trace on").unwrap();
+        sh.execute("update FlightRes insert ('dee', 'Asia')")
+            .unwrap();
+        let json = sh.execute("trace json").unwrap();
+        assert!(json.contains("engine.data_update"), "{json}");
+        sh.execute("trace off").unwrap();
+        sh.execute("trace clear").unwrap();
+        assert!(sh.execute("trace bogus").is_err());
     }
 
     #[test]

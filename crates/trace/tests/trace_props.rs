@@ -1,0 +1,168 @@
+//! Property suites for the metrics and span halves of `eve-trace`.
+//!
+//! Histogram invariants: merge commutes and is associative, quantiles are
+//! monotone in `q` and never below the true quantile (they round *up* to
+//! a log₂ bucket bound), and a live-recorded snapshot is byte-identical
+//! to one rebuilt from the raw sample list. Span invariants: ring-buffer
+//! wraparound evicts only *recorded* events — the open-span stack (and
+//! therefore every future parent link) survives arbitrarily deep nesting
+//! through arbitrarily small rings.
+
+use proptest::prelude::*;
+
+use eve_trace::{Histogram, HistogramSnapshot};
+
+fn rebuild(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+/// True quantile of a sample list (nearest-rank, matching the histogram's
+/// ⌈q·n⌉ definition).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn snapshot_equals_rebuild_from_samples(samples in prop::collection::vec(0u64..1_000_000, 0..200)) {
+        let live = Histogram::new();
+        for &s in &samples {
+            live.record(s);
+        }
+        prop_assert_eq!(live.snapshot(), rebuild(&samples));
+        prop_assert_eq!(live.snapshot().count(), samples.len() as u64);
+        prop_assert_eq!(live.snapshot().sum, samples.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn merge_commutes_and_matches_concatenation(
+        a in prop::collection::vec(0u64..1_000_000, 0..120),
+        b in prop::collection::vec(0u64..1_000_000, 0..120),
+    ) {
+        let sa = rebuild(&a);
+        let sb = rebuild(&b);
+        prop_assert_eq!(sa.merged(&sb), sb.merged(&sa), "merge commutes");
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(sa.merged(&sb), rebuild(&both), "merge ≡ concatenated recording");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bucket_tight(
+        samples in prop::collection::vec(0u64..1_000_000, 1..200),
+        q_mils in prop::collection::vec(0u32..=1000, 2..6),
+    ) {
+        let snap = rebuild(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let mut qs: Vec<f64> = q_mils.iter().map(|&m| f64::from(m) / 1000.0).collect();
+        qs.sort_by(f64::total_cmp);
+        let mut last = 0u64;
+        for &q in &qs {
+            let approx = snap.quantile(q);
+            prop_assert!(approx >= last, "quantile monotone in q");
+            last = approx;
+            let exact = exact_quantile(&sorted, q);
+            prop_assert!(approx >= exact, "reported {approx} below exact {exact}");
+            // Tight to one log₂ bucket: the reported value is the upper
+            // bound of the exact quantile's bucket.
+            prop_assert_eq!(
+                eve_trace::metrics::bucket_of(approx),
+                eve_trace::metrics::bucket_of(exact),
+                "q={} exact={} approx={}", q, exact, approx
+            );
+        }
+    }
+
+    #[test]
+    fn merged_quantile_never_below_either_arms_min(
+        a in prop::collection::vec(0u64..100_000, 1..80),
+        b in prop::collection::vec(0u64..100_000, 1..80),
+    ) {
+        let merged = rebuild(&a).merged(&rebuild(&b));
+        let min = *a.iter().chain(b.iter()).min().expect("non-empty");
+        let max = *a.iter().chain(b.iter()).max().expect("non-empty");
+        prop_assert!(merged.quantile(0.0) >= min);
+        // p100 rounds up to a bucket bound but stays within max's bucket.
+        prop_assert_eq!(
+            eve_trace::metrics::bucket_of(merged.quantile(1.0)),
+            eve_trace::metrics::bucket_of(max)
+        );
+    }
+}
+
+mod span_ring {
+    use super::*;
+    use std::sync::{Mutex, OnceLock};
+
+    /// The span collector is process-global; serialize the tests that
+    /// reconfigure it.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn wraparound_never_loses_the_open_span_stack(
+            depth in 1usize..24,
+            capacity in 1usize..8,
+            noise in 1usize..40,
+        ) {
+            let _guard = lock();
+            eve_trace::set_capacity(capacity);
+            eve_trace::set_enabled(true);
+
+            // Open `depth` nested spans, then spam instants well past the
+            // ring capacity so early events are evicted while the spans
+            // are still open.
+            let mut open = Vec::with_capacity(depth);
+            for _ in 0..depth {
+                open.push(eve_trace::span("props.nest"));
+            }
+            for _ in 0..noise {
+                eve_trace::instant("props.noise");
+            }
+            let ids: Vec<u64> = open.iter().map(eve_trace::SpanGuard::id).collect();
+
+            // Close innermost-first; every recorded close must carry the
+            // parent captured at open time — the id one level up.
+            while let Some(guard) = open.pop() {
+                drop(guard);
+            }
+            eve_trace::set_enabled(false);
+            let events = eve_trace::snapshot_events();
+            for (level, &id) in ids.iter().enumerate() {
+                let expected_parent = if level == 0 { 0 } else { ids[level - 1] };
+                if let Some(ev) = events.iter().find(|e| e.id == id) {
+                    prop_assert_eq!(ev.parent, expected_parent,
+                        "span at nesting level {} lost its parent link", level);
+                }
+                // Evicted events are allowed (tiny ring); lost *links* are
+                // not — which the surviving deepest spans demonstrate.
+            }
+            // The deepest span closed first, so it is recorded unless the
+            // closing sequence itself overflowed the ring.
+            let deepest = *ids.last().expect("depth >= 1");
+            if depth <= capacity {
+                prop_assert!(events.iter().any(|e| e.id == deepest));
+            }
+            eve_trace::set_capacity(eve_trace::span::DEFAULT_CAPACITY);
+        }
+    }
+}
